@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper artefact (Figures 6-9, Tables II-VII) has one benchmark
+module.  The pytest-benchmark timings measure this library's real cost
+of regenerating the artefact; the artefact's *content* (scores, speedup
+series, table rows) is printed to the report via ``--benchmark-*`` or by
+running ``python -m repro.experiments <target>``.
+
+Figure/table contexts are session-scoped: mappings are machine- and
+size-independent, so they are computed once and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EvaluationContext
+from repro.experiments.context import DEFAULT_MAPPERS
+
+
+def _context(num_nodes: int) -> EvaluationContext:
+    return EvaluationContext(num_nodes, 48, 2, mappers=DEFAULT_MAPPERS())
+
+
+@pytest.fixture(scope="session")
+def context_n50() -> EvaluationContext:
+    """The Figure 6 / Tables II, IV, VI instance (grid 50 x 48)."""
+    ctx = _context(50)
+    _warm(ctx)
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def context_n100() -> EvaluationContext:
+    """The Figure 7 / Tables III, V, VII instance (grid 75 x 64)."""
+    ctx = _context(100)
+    _warm(ctx)
+    return ctx
+
+
+def _warm(ctx: EvaluationContext) -> None:
+    """Pre-compute all mappings so benchmarks measure evaluation only."""
+    for family in ("nearest_neighbor", "nearest_neighbor_with_hops", "component"):
+        for mapper in ctx.mapper_names():
+            ctx.mapping(family, mapper)

@@ -1,0 +1,75 @@
+"""Benchmarks E14-E16: ablations of the paper's design choices.
+
+Not figures from the paper, but quantifications of the ingredients its
+Section V motivates: Equation 2 ordering, serpentine direction flipping
+(Figure 5), distortion factors, plus the two model extensions
+(stencil-aware Nodecart, topology-aware cost model).
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_hyperplane_order,
+    ablation_nodecart_stencil_aware,
+    ablation_strips_distortion,
+    ablation_strips_serpentine,
+    ablation_topology_aware,
+)
+
+
+def test_ablation_hyperplane_order(benchmark):
+    results = benchmark.pedantic(
+        ablation_hyperplane_order, rounds=1, iterations=1
+    )
+    hops = results["nearest_neighbor_with_hops"]
+    # Equation 2 ordering is load-bearing on the anisotropic stencil.
+    assert hops.jsum_ratio > 1.05
+    # On the isotropic NN stencil it must not hurt.
+    assert results["nearest_neighbor"].jsum_ratio >= 0.999
+
+
+def test_ablation_strips_serpentine(benchmark):
+    results = benchmark.pedantic(
+        ablation_strips_serpentine, rounds=1, iterations=1
+    )
+    assert all(r.jsum_ratio >= 1.0 for r in results.values())
+    # Figure 5: incoherent partitions cost extra NN edges.
+    assert results["nearest_neighbor"].jsum_ratio > 1.0
+
+
+def test_ablation_strips_distortion(benchmark):
+    results = benchmark.pedantic(
+        ablation_strips_distortion, rounds=1, iterations=1
+    )
+    hops = results["nearest_neighbor_with_hops"]
+    assert hops.jsum_ratio >= 1.0  # distortion helps the hops stencil
+    # NN has alpha = 1: disabling distortion must change nothing.
+    assert results["nearest_neighbor"].jsum_ratio == pytest.approx(1.0)
+
+
+def test_ablation_nodecart_stencil_aware(benchmark):
+    # On the 50 x 48 grid only two block factorisations exist, so
+    # awareness cannot act; the 48-node instance (grid 48 x 48) has a
+    # rich divisor structure where it does.
+    results = benchmark.pedantic(
+        ablation_nodecart_stencil_aware,
+        kwargs={"num_nodes": 48},
+        rounds=1,
+        iterations=1,
+    )
+    # Awareness can only help; on the component stencil it should
+    # strictly reduce the cut.
+    assert results["component"].jsum_ratio < 1.0
+    assert results["nearest_neighbor"].jsum_ratio == pytest.approx(1.0)
+
+
+def test_ablation_topology_aware(benchmark):
+    out = benchmark.pedantic(
+        ablation_topology_aware,
+        args=("SuperMUC-NG",),
+        kwargs={"num_nodes": 50},
+        rounds=1,
+        iterations=1,
+    )
+    for mapper, times in out.items():
+        assert times["topology_aware"] >= times["flat"], mapper

@@ -1,0 +1,60 @@
+"""Benchmark E1/E2: Figure 6 — scores and speedups at N = 50.
+
+Regenerates the left-column score panels (exact ``Jsum``/``Jmax`` per
+algorithm and stencil) and the three speedup panels (VSC4, SuperMUC-NG,
+JUWELS).  The benchmark clock measures the regeneration cost of each
+panel; the panel contents are checked against the paper's findings.
+"""
+
+import pytest
+
+from repro.experiments import STENCIL_FAMILIES
+from repro.experiments.figure6 import figure6_scores, figure6_speedups
+from repro.experiments.throughput import FIGURE_MESSAGE_SIZES
+
+MACHINES = ("VSC4", "SuperMUC-NG", "JUWELS")
+
+
+def test_scores_n50(benchmark, context_n50):
+    scores = benchmark(figure6_scores, context_n50)
+    assert set(scores) == set(STENCIL_FAMILIES)
+    nn = scores["nearest_neighbor"]
+    assert nn["blocked"] == (4704, 96)
+    assert nn["stencil_strips"] == (1244, 28)
+    assert nn["hyperplane"] == (1328, 38)
+    # every algorithm beats blocked on every stencil
+    for family, per_mapper in scores.items():
+        for name, pair in per_mapper.items():
+            if name in ("blocked", "random") or pair is None:
+                continue
+            assert pair[0] < per_mapper["blocked"][0], (family, name)
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+@pytest.mark.parametrize("family", sorted(STENCIL_FAMILIES))
+def test_speedups_n50(benchmark, context_n50, machine, family):
+    series = benchmark(
+        figure6_speedups,
+        machine,
+        family,
+        context=context_n50,
+        repetitions=50,
+    )
+    # shape checks mirroring the paper's panels
+    assert set(series) >= {"hyperplane", "kd_tree", "stencil_strips", "nodecart"}
+    for cells in series.values():
+        assert [c.message_size for c in cells] == list(FIGURE_MESSAGE_SIZES)
+    largest = FIGURE_MESSAGE_SIZES[-1]
+    by = {m: {c.message_size: c for c in cells} for m, cells in series.items()}
+    # the specialised algorithms beat Nodecart at the largest size
+    for name in ("hyperplane", "stencil_strips"):
+        assert (
+            by[name][largest].speedup_over_blocked
+            > by["nodecart"][largest].speedup_over_blocked
+        ), (machine, family, name)
+    # speedups grow with message size (bandwidth regime)
+    first = FIGURE_MESSAGE_SIZES[0]
+    assert (
+        by["stencil_strips"][largest].speedup_over_blocked
+        >= by["stencil_strips"][first].speedup_over_blocked
+    )

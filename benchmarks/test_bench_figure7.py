@@ -1,0 +1,43 @@
+"""Benchmark E3/E4: Figure 7 — scores and speedups at N = 100."""
+
+import pytest
+
+from repro.experiments import STENCIL_FAMILIES
+from repro.experiments.figure7 import figure7_scores, figure7_speedups
+from repro.experiments.throughput import FIGURE_MESSAGE_SIZES
+
+MACHINES = ("VSC4", "SuperMUC-NG", "JUWELS")
+
+
+def test_scores_n100(benchmark, context_n100):
+    scores = benchmark(figure7_scores, context_n100)
+    nn = scores["nearest_neighbor"]
+    assert nn["blocked"] == (9622, 98)
+    assert nn["hyperplane"] == (2802, 38)
+    assert nn["nodecart"] == (3522, 38)
+    comp = scores["component"]
+    assert comp["kd_tree"] == (192, 2)
+    assert comp["stencil_strips"] == (192, 2)
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+@pytest.mark.parametrize("family", sorted(STENCIL_FAMILIES))
+def test_speedups_n100(benchmark, context_n100, machine, family):
+    series = benchmark(
+        figure7_speedups,
+        machine,
+        family,
+        context=context_n100,
+        repetitions=50,
+    )
+    largest = FIGURE_MESSAGE_SIZES[-1]
+    by = {m: {c.message_size: c for c in cells} for m, cells in series.items()}
+    # Headline: mapping gains persist at 100 nodes.  The 1.3x floor (not
+    # 1.5x) accommodates Hyperplane on the hops stencil, whose Jmax=198
+    # equals Nodecart's in the paper's own score panel — a bottleneck
+    # model can not credit it more (see EXPERIMENTS.md, deviation D2).
+    for name in ("hyperplane", "kd_tree", "stencil_strips"):
+        assert by[name][largest].speedup_over_blocked > 1.3, (machine, family)
+    # the component stencil yields the largest speedups (paper: up to 16x)
+    if family == "component":
+        assert by["kd_tree"][largest].speedup_over_blocked > 3.0

@@ -1,0 +1,80 @@
+"""Benchmark E6: Figure 9 — instantiation time of the algorithms.
+
+This is the one experiment whose absolute numbers are *real*: the
+pytest-benchmark clock times this library's mapping computations on the
+largest nearest-neighbour instance (N=100, grid 75 x 64).  The paper's
+headline — VieM is about two orders of magnitude slower than the
+distributed algorithms — must hold for our implementations too.
+"""
+
+import pytest
+
+from repro.core import (
+    GraphMapper,
+    HyperplaneMapper,
+    KDTreeMapper,
+    NodecartMapper,
+    StencilStripsMapper,
+)
+
+FAST = {
+    "hyperplane": HyperplaneMapper,
+    "kd_tree": KDTreeMapper,
+    "stencil_strips": StencilStripsMapper,
+    "nodecart": NodecartMapper,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FAST))
+def test_instantiation_full_mapping(benchmark, context_n100, name):
+    """Full-permutation computation (what one process would coordinate)."""
+    mapper = FAST[name]()
+    grid, alloc = context_n100.grid, context_n100.alloc
+    stencil = context_n100.stencil("nearest_neighbor")
+    perm = benchmark(mapper.map_ranks, grid, stencil, alloc)
+    assert len(perm) == grid.size
+
+
+@pytest.mark.parametrize("name", sorted(FAST))
+def test_instantiation_per_rank(benchmark, context_n100, name):
+    """The distributed per-process cost (each rank computes its own)."""
+    mapper = FAST[name]()
+    grid, alloc = context_n100.grid, context_n100.alloc
+    stencil = context_n100.stencil("nearest_neighbor")
+    probe = grid.size // 2
+    new_rank = benchmark(mapper.compute_rank, grid, stencil, alloc, probe)
+    assert 0 <= new_rank < grid.size
+
+
+def test_instantiation_graphmap(benchmark, context_n100):
+    """The sequential VieM stand-in; expected ~2 orders slower."""
+    mapper = GraphMapper(seed=1)
+    grid, alloc = context_n100.grid, context_n100.alloc
+    stencil = context_n100.stencil("nearest_neighbor")
+    perm = benchmark.pedantic(
+        mapper.map_ranks, args=(grid, stencil, alloc), rounds=3, iterations=1
+    )
+    assert len(perm) == grid.size
+
+
+def test_viem_is_two_orders_slower(context_n100):
+    """Direct assertion of the Figure 9 headline on wall-clock time."""
+    import time
+
+    grid, alloc = context_n100.grid, context_n100.alloc
+    stencil = context_n100.stencil("nearest_neighbor")
+
+    def timed(fn, reps):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    fast = min(
+        timed(lambda m=mapper(): m.map_ranks(grid, stencil, alloc), 5)
+        for mapper in FAST.values()
+    )
+    slow = timed(lambda: GraphMapper(seed=1).map_ranks(grid, stencil, alloc), 2)
+    assert slow > 50 * fast

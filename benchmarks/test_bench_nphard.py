@@ -1,0 +1,51 @@
+"""Benchmark E13: the Theorem IV.3 reduction pipeline.
+
+Times the full yes-instance pipeline (solve, reduce, witness, exact
+verification) on the paper's Figure 3 example and random instances.
+"""
+
+import numpy as np
+
+from repro.nphard import (
+    ThreeWayPartitionInstance,
+    min_jsum_bruteforce,
+    random_yes_instance,
+    reduce_to_grid_partition,
+    witness_mapping,
+)
+
+
+def _pipeline(items):
+    inst = ThreeWayPartitionInstance(items)
+    reduced = reduce_to_grid_partition(inst)
+    witness = witness_mapping(inst)
+    exact = min_jsum_bruteforce(
+        reduced.grid, reduced.stencil, reduced.node_sizes, limit_vertices=30
+    )
+    return reduced, witness, exact
+
+
+def test_paper_example_pipeline(benchmark):
+    reduced, witness, exact = benchmark(_pipeline, [6, 3, 3, 2, 2, 2])
+    assert witness is not None
+    assert exact == reduced.bound == witness[2].jsum
+
+
+def test_random_yes_instances(benchmark):
+    rng = np.random.default_rng(123)
+    instances = [
+        random_yes_instance(rng, items_per_group=2, max_value=4).items
+        for _ in range(5)
+    ]
+
+    def run_all():
+        results = []
+        for items in instances:
+            reduced, witness, exact = _pipeline(items)
+            results.append((reduced.bound, exact, witness[2].jsum))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for bound, exact, witness_jsum in results:
+        assert exact <= bound
+        assert witness_jsum >= exact

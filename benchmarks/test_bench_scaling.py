@@ -1,0 +1,35 @@
+"""Benchmark E17 (extension): scaling of the mapping advantage.
+
+Sweeps node counts around the paper's two scales and checks that the
+advantage does not erode — the trend behind the paper's 'persists at
+larger instances' conclusion (Section VI-D).
+"""
+
+from repro.experiments import scaling_sweep
+
+
+def test_scaling_sweep(benchmark):
+    sweep = benchmark.pedantic(
+        scaling_sweep,
+        args=("VSC4",),
+        kwargs={"node_counts": (10, 25, 50, 75, 100)},
+        rounds=1,
+        iterations=1,
+    )
+    for name in ("hyperplane", "kd_tree", "stencil_strips"):
+        points = sweep[name]
+        assert [p.num_nodes for p in points] == [10, 25, 50, 75, 100]
+        # the Jsum reduction stays well below 1 at every scale
+        assert all(p.jsum_reduction < 0.78 for p in points), name
+        # every scale gains; the gain *grows* with the node count (the
+        # intra-node memory floor dominates small allocations)
+        assert all(p.model_speedup > 1.0 for p in points), name
+        assert points[-1].model_speedup > points[0].model_speedup, name
+    for name in ("hyperplane", "stencil_strips"):
+        at_scale = [p for p in sweep[name] if p.num_nodes >= 50]
+        assert all(p.model_speedup > 2.0 for p in at_scale), name
+
+    # Nodecart's reduction is consistently weaker than Stencil Strips'.
+    nodecart = {p.num_nodes: p.jsum_reduction for p in sweep["nodecart"]}
+    strips = {p.num_nodes: p.jsum_reduction for p in sweep["stencil_strips"]}
+    assert all(strips[n] <= nodecart[n] for n in nodecart)

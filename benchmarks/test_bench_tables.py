@@ -1,0 +1,73 @@
+"""Benchmarks E7-E12: the appendix tables (II-VII).
+
+One benchmark per table: {VSC4, SuperMUC-NG, JUWELS} x {N=50, N=100},
+each producing the full 14-sizes x 3-stencils x 7-mappings grid of mean
+times with confidence intervals.  The content checks compare time
+*ratios* against the corresponding paper rows (who wins and by roughly
+what factor at the bandwidth end).
+"""
+
+import pytest
+
+from repro.experiments.tables import TABLE_INDEX, TABLE_MESSAGE_SIZES, appendix_table
+
+#: Paper ratios blocked/mapper at 512 KiB (bandwidth regime), NN stencil.
+#: Derived from Tables II-VII; the reproduction must land within a band.
+PAPER_NN_SPEEDUP_512K = {
+    ("VSC4", 50): {"hyperplane": 2.66, "kd_tree": 2.67, "stencil_strips": 2.70,
+                   "nodecart": 1.71},
+    ("VSC4", 100): {"hyperplane": 3.06, "kd_tree": 2.59, "stencil_strips": 3.05,
+                    "nodecart": 2.43},
+    ("SuperMUC-NG", 50): {"hyperplane": 2.00, "kd_tree": 2.19,
+                          "stencil_strips": 2.52, "nodecart": 1.72},
+    ("SuperMUC-NG", 100): {"hyperplane": 2.30, "kd_tree": 2.28,
+                           "stencil_strips": 2.23, "nodecart": 2.32},
+    ("JUWELS", 50): {"hyperplane": 2.03, "kd_tree": 1.71,
+                     "stencil_strips": 2.01, "nodecart": 1.08},
+    ("JUWELS", 100): {"hyperplane": 1.87, "kd_tree": 1.76,
+                      "stencil_strips": 1.77, "nodecart": 1.62},
+}
+
+
+@pytest.mark.parametrize("table_id", sorted(TABLE_INDEX))
+def test_appendix_table(benchmark, table_id, context_n50, context_n100):
+    machine, num_nodes = TABLE_INDEX[table_id]
+    context = context_n50 if num_nodes == 50 else context_n100
+
+    table = benchmark.pedantic(
+        appendix_table,
+        args=(machine, num_nodes),
+        kwargs={"context": context, "repetitions": 200},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Structure: all cells populated for all mappers and sizes.
+    assert table.message_sizes == TABLE_MESSAGE_SIZES
+    for family in table.times:
+        for mapper in table.mappers():
+            for size in TABLE_MESSAGE_SIZES:
+                assert table.cell(family, mapper, size) is not None
+
+    # Content: the 512 KiB NN speedups land within 45% of the paper's
+    # ratios (the substrate is a model, not the authors' testbed).  The
+    # JUWELS N=50 Nodecart cell is excluded: the paper's JUWELS blocked
+    # baseline is erratic there (non-monotonic in message size), see
+    # EXPERIMENTS.md deviation D3.
+    size = 524288
+    blocked = table.cell("nearest_neighbor", "blocked", size).value
+    for mapper, expected in PAPER_NN_SPEEDUP_512K[(machine, num_nodes)].items():
+        ours = blocked / table.cell("nearest_neighbor", mapper, size).value
+        assert ours > 1.0, (table_id, mapper)
+        if (machine, num_nodes, mapper) == ("JUWELS", 50, "nodecart"):
+            continue
+        assert abs(ours - expected) / expected < 0.45, (
+            table_id,
+            mapper,
+            ours,
+            expected,
+        )
+
+    # Random is always the worst mapping at the bandwidth end.
+    rand = table.cell("nearest_neighbor", "random", size).value
+    assert rand > blocked

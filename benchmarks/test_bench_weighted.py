@@ -1,0 +1,28 @@
+"""Benchmark E18 (extension): volume-weighted hops exchange.
+
+Re-evaluates the Figure 6 hops instance with per-offset halo volumes
+(a 3-hop offset moves a 3-layer slab).  The paper's ranking must
+survive the physically-realistic weighting.
+"""
+
+from repro.experiments import weighted_hops_experiment
+
+
+def test_weighted_hops(benchmark, context_n50):
+    results = benchmark.pedantic(
+        weighted_hops_experiment,
+        args=("VSC4",),
+        kwargs={"num_nodes": 50, "context": context_n50},
+        rounds=1,
+        iterations=1,
+    )
+    # Ranking: every specialised algorithm beats Nodecart and blocked.
+    nodecart = results["nodecart"].speedup_over_blocked
+    for name in ("hyperplane", "kd_tree", "stencil_strips", "graphmap"):
+        assert results[name].speedup_over_blocked > max(1.5, nodecart), name
+    # Weighted bottleneck bytes follow the same order as the speedups.
+    ordered = sorted(
+        (r for r in results.values() if r.mapper != "random"),
+        key=lambda r: r.bottleneck_bytes,
+    )
+    assert ordered[-1].mapper == "blocked"

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""2-D Jacobi heat diffusion on the simulated MPI layer.
+
+The canonical stencil workload from the paper's introduction: a 2-D
+domain is decomposed into tiles, one per process; every Jacobi sweep
+averages the four neighbours of each cell, so tiles exchange halo rows
+and columns with their grid neighbours each iteration.
+
+The example demonstrates three things:
+
+1. the simulated ``neighbor_alltoall`` moves *real* data — the
+   distributed result is verified against a sequential solver,
+2. rank reordering is transparent to the application (the code is
+   written against grid coordinates only),
+3. a better mapping reduces the simulated communication time of the
+   whole run.
+
+Run:  python examples/jacobi_heat_equation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.mpisim import SimMPI, cart_stencil_comm
+
+TILE = 64          # cells per tile side
+ITERATIONS = 20    # Jacobi sweeps
+NODES, CORES = 16, 12
+
+
+def sequential_reference(field: np.ndarray, iterations: int) -> np.ndarray:
+    """Plain numpy Jacobi with fixed (zero) boundary values."""
+    f = field.copy()
+    for _ in range(iterations):
+        nxt = f.copy()
+        nxt[1:-1, 1:-1] = 0.25 * (
+            f[:-2, 1:-1] + f[2:, 1:-1] + f[1:-1, :-2] + f[1:-1, 2:]
+        )
+        f = nxt
+    return f
+
+
+def distributed_jacobi(
+    mapper: repro.Mapper | None,
+) -> tuple[np.ndarray, float, np.ndarray]:
+    """Run the tiled Jacobi solver under one mapping.
+
+    Returns the final assembled field, the simulated communication time,
+    and the initial field (for the sequential reference).
+    """
+    job = SimMPI(repro.vsc4(), num_nodes=NODES, processes_per_node=CORES)
+    dims = repro.dims_create(job.allocation.total_processes, 2)
+    stencil = repro.nearest_neighbor(2)
+    cart = cart_stencil_comm(job, dims, stencil, mapper=mapper)
+
+    rows, cols = dims[0] * TILE, dims[1] * TILE
+    rng = np.random.default_rng(42)
+    global_field = rng.random((rows, cols))
+    # Dirichlet boundary: zero rim, as in the sequential reference.
+    global_field[0, :] = global_field[-1, :] = 0.0
+    global_field[:, 0] = global_field[:, -1] = 0.0
+
+    # Scatter tiles: the rank at grid coordinate (i, j) owns tile (i, j).
+    tiles = {}
+    for r in range(cart.size):
+        i, j = cart.coords(r)
+        tiles[r] = global_field[
+            i * TILE : (i + 1) * TILE, j * TILE : (j + 1) * TILE
+        ].copy()
+
+    # Stencil order: (+1,0), (-1,0), (0,+1), (0,-1) = south, north, east, west.
+    for _ in range(ITERATIONS):
+        send = np.zeros((cart.size, 4, TILE))
+        for r, tile in tiles.items():
+            send[r, 0] = tile[-1, :]   # to south neighbour: my last row
+            send[r, 1] = tile[0, :]    # to north neighbour: my first row
+            send[r, 2] = tile[:, -1]   # to east neighbour:  my last column
+            send[r, 3] = tile[:, 0]    # to west neighbour:  my first column
+        result = cart.neighbor_alltoall(send)
+
+        for r, tile in tiles.items():
+            halo = np.zeros((TILE + 2, TILE + 2))
+            halo[1:-1, 1:-1] = tile
+            # recv slot j arrives from offset -R_j:
+            if result.valid[r, 0]:
+                halo[0, 1:-1] = result.data[r, 0]     # from north (-1,0): its last row
+            if result.valid[r, 1]:
+                halo[-1, 1:-1] = result.data[r, 1]    # from south (+1,0): its first row
+            if result.valid[r, 2]:
+                halo[1:-1, 0] = result.data[r, 2]     # from west (0,-1): its last col
+            if result.valid[r, 3]:
+                halo[1:-1, -1] = result.data[r, 3]    # from east (0,+1): its first col
+            new = 0.25 * (
+                halo[:-2, 1:-1] + halo[2:, 1:-1] + halo[1:-1, :-2] + halo[1:-1, 2:]
+            )
+            # Fixed boundary cells keep their (zero) value.
+            i, j = cart.coords(r)
+            if i == 0:
+                new[0, :] = tile[0, :]
+            if i == dims[0] - 1:
+                new[-1, :] = tile[-1, :]
+            if j == 0:
+                new[:, 0] = tile[:, 0]
+            if j == dims[1] - 1:
+                new[:, -1] = tile[:, -1]
+            tiles[r] = new
+
+    assembled = np.zeros_like(global_field)
+    for r, tile in tiles.items():
+        i, j = cart.coords(r)
+        assembled[i * TILE : (i + 1) * TILE, j * TILE : (j + 1) * TILE] = tile
+    return assembled, job.clock, global_field
+
+
+def main() -> None:
+    print(f"Jacobi on {NODES * CORES} ranks ({NODES} nodes x {CORES}), "
+          f"{ITERATIONS} sweeps, tiles {TILE}x{TILE}")
+    results = {}
+    reference = None
+    for name, mapper in (
+        ("blocked", None),
+        ("hyperplane", repro.HyperplaneMapper()),
+        ("stencil_strips", repro.StencilStripsMapper()),
+    ):
+        field, elapsed, initial = distributed_jacobi(mapper)
+        if reference is None:
+            reference = sequential_reference(initial, ITERATIONS)
+        err = np.abs(field - reference).max()
+        results[name] = elapsed
+        status = "OK " if err < 1e-12 else "FAIL"
+        print(f"  {name:<16} max|distributed - sequential| = {err:.2e} [{status}]  "
+              f"simulated comm time = {elapsed * 1e3:.3f} ms")
+    base = results["blocked"]
+    for name, t in results.items():
+        if name != "blocked":
+            print(f"  {name} communication speedup over blocked: {base / t:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

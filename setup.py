@@ -1,0 +1,9 @@
+"""Setup shim for legacy editable installs (environments without `wheel`).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on minimal offline toolchains.
+"""
+
+from setuptools import setup
+
+setup()

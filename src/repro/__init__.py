@@ -1,0 +1,145 @@
+"""repro — reproduction of *Efficient Process-to-Node Mapping Algorithms
+for Stencil Computations* (Hunold, von Kirchbach, Lehr, Schulz, Träff;
+IEEE CLUSTER 2020, arXiv:2005.09521).
+
+The library provides:
+
+* Cartesian grids, stencil neighbourhoods and their communication graphs
+  (:mod:`repro.grid`),
+* the paper's three distributed mapping algorithms plus all evaluation
+  baselines (:mod:`repro.core`),
+* mapping-quality metrics ``Jsum``/``Jmax`` and the paper's statistics
+  pipeline (:mod:`repro.metrics`),
+* machine models of VSC4, SuperMUC-NG and JUWELS with a contention-aware
+  communication cost model (:mod:`repro.hardware`),
+* a simulated MPI layer with Cartesian/stencil communicators and a real
+  ``neighbor_alltoall`` data exchange (:mod:`repro.mpisim`),
+* the NP-hardness reduction of Theorem IV.3 (:mod:`repro.nphard`),
+* drivers regenerating every figure and table of the evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> import repro
+>>> grid = repro.CartesianGrid(repro.dims_create(2400, 2))
+>>> stencil = repro.nearest_neighbor(2)
+>>> alloc = repro.NodeAllocation.homogeneous(50, 48)
+>>> perm = repro.HyperplaneMapper().map_ranks(grid, stencil, alloc)
+>>> cost = repro.evaluate_mapping(grid, stencil, perm, alloc)
+>>> cost.jsum < 4704  # better than the blocked baseline
+True
+"""
+
+from .exceptions import (
+    AllocationError,
+    FactorizationError,
+    InvalidGridError,
+    InvalidStencilError,
+    MappingError,
+    ReproError,
+    SimulationError,
+)
+from .grid import (
+    CartesianGrid,
+    Stencil,
+    communication_edges,
+    communication_graph,
+    component,
+    degree_by_rank,
+    dims_create,
+    moore,
+    nearest_neighbor,
+    nearest_neighbor_with_hops,
+)
+from .hardware import (
+    CommunicationModel,
+    FatTreeTopology,
+    IslandTopology,
+    MACHINES,
+    Machine,
+    NetworkParameters,
+    NodeAllocation,
+    SingleSwitchTopology,
+    juwels,
+    supermuc_ng,
+    vsc4,
+)
+from .core import (
+    BlockedMapper,
+    GraphMapper,
+    HyperplaneMapper,
+    KDTreeMapper,
+    Mapper,
+    NodecartMapper,
+    RandomMapper,
+    StencilStripsMapper,
+    available_mappers,
+    get_mapper,
+    register_mapper,
+)
+from .metrics import (
+    ConfidenceInterval,
+    MappingCost,
+    evaluate_mapping,
+    mean_ci,
+    median_ci,
+    reduction_over_blocked,
+    remove_outliers_iqr,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # exceptions
+    "ReproError",
+    "InvalidGridError",
+    "InvalidStencilError",
+    "AllocationError",
+    "MappingError",
+    "FactorizationError",
+    "SimulationError",
+    # grid
+    "CartesianGrid",
+    "Stencil",
+    "nearest_neighbor",
+    "component",
+    "nearest_neighbor_with_hops",
+    "moore",
+    "communication_edges",
+    "communication_graph",
+    "degree_by_rank",
+    "dims_create",
+    # hardware
+    "NodeAllocation",
+    "FatTreeTopology",
+    "IslandTopology",
+    "SingleSwitchTopology",
+    "CommunicationModel",
+    "NetworkParameters",
+    "Machine",
+    "MACHINES",
+    "vsc4",
+    "supermuc_ng",
+    "juwels",
+    # core
+    "Mapper",
+    "BlockedMapper",
+    "RandomMapper",
+    "HyperplaneMapper",
+    "KDTreeMapper",
+    "StencilStripsMapper",
+    "NodecartMapper",
+    "GraphMapper",
+    "available_mappers",
+    "get_mapper",
+    "register_mapper",
+    # metrics
+    "MappingCost",
+    "evaluate_mapping",
+    "reduction_over_blocked",
+    "ConfidenceInterval",
+    "mean_ci",
+    "median_ci",
+    "remove_outliers_iqr",
+    "__version__",
+]

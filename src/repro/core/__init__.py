@@ -1,0 +1,39 @@
+"""The paper's contribution: process-to-node mapping algorithms.
+
+Three novel distributed algorithms (Section V):
+
+* :class:`HyperplaneMapper` — recursive hyperplane bisection (Algorithm 1),
+* :class:`KDTreeMapper` — k-d-tree-style equal splits (Algorithm 2),
+* :class:`StencilStripsMapper` — stencil-shaped strip tiling (Algorithm 3),
+
+and the comparison baselines (Section III / VI):
+
+* :class:`BlockedMapper` — the scheduler's identity placement,
+* :class:`RandomMapper` — seeded random placement,
+* :class:`NodecartMapper` — Gropp's factorisation-based Nodecart,
+* :class:`GraphMapper` — a VieM-style general graph mapper (recursive
+  balanced bisection + local search).
+"""
+
+from .base import Mapper, available_mappers, get_mapper, register_mapper
+from .blocked import BlockedMapper
+from .randommap import RandomMapper
+from .hyperplane import HyperplaneMapper
+from .kdtree import KDTreeMapper
+from .strips import StencilStripsMapper
+from .nodecart import NodecartMapper
+from .graphmap import GraphMapper
+
+__all__ = [
+    "Mapper",
+    "available_mappers",
+    "get_mapper",
+    "register_mapper",
+    "BlockedMapper",
+    "RandomMapper",
+    "HyperplaneMapper",
+    "KDTreeMapper",
+    "StencilStripsMapper",
+    "NodecartMapper",
+    "GraphMapper",
+]

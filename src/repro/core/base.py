@@ -1,0 +1,149 @@
+"""Mapper interface and registry.
+
+A mapper turns an instance ``(grid, stencil, allocation)`` into a
+permutation ``perm`` with ``perm[old_rank] = new_rank``; the process with
+scheduler rank ``old_rank`` (whose compute node is fixed by the blocked
+allocation) takes the grid position with row-major index ``new_rank``.
+This is the reorder semantics of ``MPI_Cart_create`` and of the paper's
+``MPIX_Cart_stencil_comm`` (Listing 1).
+
+The paper requires its algorithms to be *fully distributed*: every process
+must be able to compute its own new rank from the instance alone.  The
+interface therefore exposes both :meth:`Mapper.compute_rank` (the
+rank-local computation) and :meth:`Mapper.map_ranks` (the full
+permutation); implementations must keep the two consistent, which the test
+suite checks property-based.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+import numpy as np
+
+from .._validation import as_int
+from ..exceptions import MappingError
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+from ..hardware.allocation import NodeAllocation
+from ..metrics.cost import check_permutation
+
+__all__ = ["Mapper", "register_mapper", "get_mapper", "available_mappers"]
+
+
+class Mapper(ABC):
+    """Base class of all process-to-node mapping algorithms."""
+
+    #: Short identifier used in reports and the registry.
+    name: str = "abstract"
+
+    #: Whether every rank can compute its new rank locally (Section V goal).
+    distributed: bool = True
+
+    #: Whether the algorithm requires all nodes to host the same number of
+    #: processes (the Nodecart limitation the paper lifts).
+    requires_homogeneous: bool = False
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def compute_rank(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+        rank: int,
+    ) -> int:
+        """New rank (row-major grid position) of one calling process."""
+
+    def map_ranks(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+    ) -> np.ndarray:
+        """Full permutation ``perm[old_rank] = new_rank``.
+
+        The default implementation runs the rank-local computation for
+        every rank; subclasses typically override it with a vectorised
+        equivalent and the test suite verifies consistency.
+        """
+        self.validate_instance(grid, stencil, alloc)
+        perm = np.fromiter(
+            (
+                self.compute_rank(grid, stencil, alloc, r)
+                for r in range(grid.size)
+            ),
+            dtype=np.int64,
+            count=grid.size,
+        )
+        return check_permutation(perm, grid.size)
+
+    def coords_for_rank(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+        rank: int,
+    ) -> tuple[int, ...]:
+        """New grid coordinate of one calling process (Algorithm outputs)."""
+        return grid.coords_of(self.compute_rank(grid, stencil, alloc, rank))
+
+    # ------------------------------------------------------------------
+    # Validation shared by all implementations
+    # ------------------------------------------------------------------
+    def validate_instance(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+    ) -> None:
+        """Raise a library error when the instance is outside the domain."""
+        if stencil.ndim != grid.ndim:
+            raise MappingError(
+                f"stencil dimensionality {stencil.ndim} does not match grid "
+                f"dimensionality {grid.ndim}"
+            )
+        alloc.check_matches(grid.size)
+        if self.requires_homogeneous and not alloc.is_homogeneous:
+            raise MappingError(
+                f"{self.name} requires homogeneous node sizes, got "
+                f"{len(set(alloc.node_sizes))} distinct sizes"
+            )
+
+    def _checked_rank(self, grid: CartesianGrid, rank: int) -> int:
+        rank = as_int(rank, name="rank")
+        if not 0 <= rank < grid.size:
+            raise MappingError(f"rank must be in [0, {grid.size}), got {rank}")
+        return rank
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, Callable[[], Mapper]] = {}
+
+
+def register_mapper(name: str, factory: Callable[[], Mapper]) -> None:
+    """Register a mapper factory under *name* (used by the harness CLI)."""
+    if name in _REGISTRY:
+        raise ValueError(f"mapper {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def get_mapper(name: str) -> Mapper:
+    """Instantiate a registered mapper by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mapper {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_mappers() -> tuple[str, ...]:
+    """Names of all registered mappers, sorted."""
+    return tuple(sorted(_REGISTRY))

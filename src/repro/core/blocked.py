@@ -1,0 +1,46 @@
+"""The blocked (identity) mapping — the paper's baseline "Standard".
+
+The scheduler places ranks on nodes in blocks and ``MPI_Cart_create``
+without reordering assigns rank ``r`` to grid position ``r``.  Every other
+algorithm's quality is reported relative to this mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Mapper, register_mapper
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+from ..hardware.allocation import NodeAllocation
+
+__all__ = ["BlockedMapper"]
+
+
+class BlockedMapper(Mapper):
+    """Identity mapping: new rank equals old rank."""
+
+    name = "blocked"
+    distributed = True
+
+    def compute_rank(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+        rank: int,
+    ) -> int:
+        self.validate_instance(grid, stencil, alloc)
+        return self._checked_rank(grid, rank)
+
+    def map_ranks(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+    ) -> np.ndarray:
+        self.validate_instance(grid, stencil, alloc)
+        return np.arange(grid.size, dtype=np.int64)
+
+
+register_mapper(BlockedMapper.name, BlockedMapper)

@@ -1,0 +1,419 @@
+"""A VieM-style general graph mapper (Schulz & Träff 2017 substitute).
+
+The paper compares against VieM (Vienna Mapping), a sequential,
+high-quality general process-mapping tool built on perfectly balanced
+graph partitioning and randomised local search.  The original is C++ and
+closed to this environment, so this module implements the same algorithmic
+family from scratch:
+
+1. **Recursive balanced bisection** of the communication graph over the
+   node hierarchy (capacities follow the actual allocation, so
+   heterogeneous node sizes are supported).  Each bisection uses greedy
+   graph growing from a pseudo-peripheral seed vertex followed by
+   swap-based Fiduccia–Mattheyses-flavoured refinement with exact balance.
+2. **Randomised local search** on the final assignment: repeatedly pick a
+   *cut* edge and try to swap its endpoints — the "swaps between any
+   connected pair of vertices" neighbourhood the paper configures for
+   VieM — accepting strict `Jsum` improvements.
+
+The mapper is deliberately sequential and global (``distributed = False``)
+— reproducing VieM's defining trade-off: similar mapping quality to the
+specialised stencil algorithms at orders-of-magnitude higher instantiation
+cost (Figure 9).
+
+The mapper also accepts arbitrary communication graphs via
+:meth:`GraphMapper.map_graph`, matching VieM's scope beyond Cartesian
+instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .base import Mapper, register_mapper
+from ..exceptions import MappingError
+from ..grid.graph import communication_edges
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+from ..hardware.allocation import NodeAllocation
+from ..metrics.cost import check_permutation
+
+__all__ = ["GraphMapper"]
+
+
+class _UndirectedCSR:
+    """Compact undirected weighted adjacency built from directed edges."""
+
+    __slots__ = ("indptr", "indices", "weights", "num_vertices", "pairs", "pair_weights")
+
+    def __init__(self, directed_edges: np.ndarray, num_vertices: int):
+        self.num_vertices = num_vertices
+        if directed_edges.size == 0:
+            self.indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+            self.indices = np.empty(0, dtype=np.int64)
+            self.weights = np.empty(0, dtype=np.int64)
+            self.pairs = np.empty((0, 2), dtype=np.int64)
+            self.pair_weights = np.empty(0, dtype=np.int64)
+            return
+        # Aggregate directed multiplicity per unordered pair: the weight of
+        # {u, v} is the number of directed edges between them (1 or 2 for
+        # simple stencils), so a cut pair contributes its weight to Jsum.
+        lo = np.minimum(directed_edges[:, 0], directed_edges[:, 1])
+        hi = np.maximum(directed_edges[:, 0], directed_edges[:, 1])
+        key = lo * num_vertices + hi
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        uniq, counts = np.unique(key, return_counts=True)
+        pu, pv = np.divmod(uniq, num_vertices)
+        self.pairs = np.stack([pu, pv], axis=1).astype(np.int64)
+        self.pair_weights = counts.astype(np.int64)
+        # Symmetric CSR.
+        src = np.concatenate([pu, pv])
+        dst = np.concatenate([pv, pu])
+        w = np.concatenate([counts, counts]).astype(np.int64)
+        order = np.argsort(src, kind="stable")
+        src, dst, w = src[order], dst[order], w[order]
+        self.indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(self.indptr, src + 1, 1)
+        np.cumsum(self.indptr, out=self.indptr)
+        self.indices = dst.astype(np.int64)
+        self.weights = w
+
+    def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        s, e = self.indptr[v], self.indptr[v + 1]
+        return self.indices[s:e], self.weights[s:e]
+
+
+class GraphMapper(Mapper):
+    """General graph mapping via recursive bisection + local search.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; runs are deterministic for a fixed seed.
+    refinement_swaps:
+        Maximum improving swaps applied per bisection refinement.
+    local_search_factor:
+        The global local-search budget is
+        ``local_search_factor * (number of directed edges)`` trial swaps;
+        the paper's VieM setting prioritises quality over speed, so the
+        default is generous.
+    """
+
+    name = "graphmap"
+    distributed = False
+
+    def __init__(
+        self,
+        seed: int = 1,
+        refinement_swaps: int = 64,
+        local_search_factor: float = 4.0,
+        restarts: int = 1,
+    ):
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        self._seed = int(seed)
+        self._refinement_swaps = int(refinement_swaps)
+        self._local_search_factor = float(local_search_factor)
+        self._restarts = int(restarts)
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def map_ranks(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+    ) -> np.ndarray:
+        self.validate_instance(grid, stencil, alloc)
+        edges = communication_edges(grid, stencil)
+        return self.map_graph(edges, grid.size, alloc)
+
+    def compute_rank(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+        rank: int,
+    ) -> int:
+        """Sequential fallback: compute the full mapping, then index.
+
+        GraphMapper is *not* distributed; this mirrors running the
+        sequential tool once and broadcasting the permutation.
+        """
+        rank = self._checked_rank(grid, rank)
+        return int(self.map_ranks(grid, stencil, alloc)[rank])
+
+    def map_graph(
+        self,
+        directed_edges: np.ndarray,
+        num_vertices: int,
+        alloc: NodeAllocation,
+    ) -> np.ndarray:
+        """Map an arbitrary directed communication graph onto the nodes.
+
+        Returns the permutation ``perm[old_rank] = vertex`` assigning the
+        contiguous rank block of each node to the vertices chosen for it.
+        """
+        if alloc.total_processes != num_vertices:
+            raise MappingError(
+                f"allocation covers {alloc.total_processes} processes but the "
+                f"graph has {num_vertices} vertices"
+            )
+        directed_edges = np.asarray(directed_edges, dtype=np.int64)
+        csr = _UndirectedCSR(directed_edges, num_vertices)
+
+        # Multi-restart: run the whole pipeline with derived seeds and
+        # keep the assignment with the smallest cut (VieM's quality-first
+        # configuration corresponds to restarts > 1).
+        best_assignment: np.ndarray | None = None
+        best_cut = None
+        for attempt in range(self._restarts):
+            rng = np.random.default_rng(self._seed + attempt)
+            vertex_node = np.full(num_vertices, -1, dtype=np.int64)
+            all_vertices = np.arange(num_vertices, dtype=np.int64)
+            self._recurse(
+                csr,
+                all_vertices,
+                list(range(alloc.num_nodes)),
+                np.asarray(alloc.node_sizes, dtype=np.int64),
+                vertex_node,
+                rng,
+            )
+            self._local_search(csr, vertex_node, rng)
+            cut = self._total_cut(csr, vertex_node)
+            if best_cut is None or cut < best_cut:
+                best_cut = cut
+                best_assignment = vertex_node
+        assert best_assignment is not None
+        vertex_node = best_assignment
+
+        # Convert the vertex->node assignment into a rank permutation: the
+        # ranks of node i (a contiguous block) take its vertices in order.
+        perm = np.empty(num_vertices, dtype=np.int64)
+        order = np.argsort(vertex_node, kind="stable")
+        perm[:] = order  # perm[old_rank] = vertex
+        return check_permutation(perm, num_vertices)
+
+    @staticmethod
+    def _total_cut(csr: _UndirectedCSR, vertex_node: np.ndarray) -> int:
+        """``Jsum`` of an assignment (directed edges across nodes)."""
+        if csr.pairs.size == 0:
+            return 0
+        cut = vertex_node[csr.pairs[:, 0]] != vertex_node[csr.pairs[:, 1]]
+        return int(csr.pair_weights[cut].sum())
+
+    # ------------------------------------------------------------------
+    # Recursive bisection
+    # ------------------------------------------------------------------
+    def _recurse(
+        self,
+        csr: _UndirectedCSR,
+        vertices: np.ndarray,
+        nodes: list[int],
+        node_sizes: np.ndarray,
+        vertex_node: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        if len(nodes) == 1:
+            vertex_node[vertices] = nodes[0]
+            return
+        half = len(nodes) // 2
+        nodes_a, nodes_b = nodes[:half], nodes[half:]
+        cap_a = int(node_sizes[nodes_a].sum())
+        side_a, side_b = self._bisect(csr, vertices, cap_a, rng)
+        self._recurse(csr, side_a, nodes_a, node_sizes, vertex_node, rng)
+        self._recurse(csr, side_b, nodes_b, node_sizes, vertex_node, rng)
+
+    def _bisect(
+        self,
+        csr: _UndirectedCSR,
+        vertices: np.ndarray,
+        cap_a: int,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Split *vertices* into sides of size ``cap_a`` / rest."""
+        member = np.zeros(csr.num_vertices, dtype=bool)
+        member[vertices] = True
+        seed_vertex = self._pseudo_peripheral(csr, vertices, member, rng)
+
+        in_a = np.zeros(csr.num_vertices, dtype=bool)
+        gain: dict[int, int] = {}
+        heap: list[tuple[int, int, int]] = []
+        counter = 0
+
+        def push(v: int) -> None:
+            nonlocal counter
+            heapq.heappush(heap, (-gain[v], counter, v))
+            counter += 1
+
+        def add_to_a(v: int) -> None:
+            in_a[v] = True
+            nbrs, ws = csr.neighbors(v)
+            for z, w in zip(nbrs.tolist(), ws.tolist()):
+                if member[z] and not in_a[z]:
+                    gain[z] = gain.get(z, 0) + int(w)
+                    push(z)
+
+        add_to_a(int(seed_vertex))
+        size_a = 1
+        while size_a < cap_a:
+            v = None
+            while heap:
+                negg, _, cand = heapq.heappop(heap)
+                if not in_a[cand] and gain.get(cand, 0) == -negg:
+                    v = cand
+                    break
+            if v is None:
+                # Disconnected remainder: take any ungrown member vertex.
+                rest = vertices[~in_a[vertices]]
+                v = int(rest[0])
+            add_to_a(v)
+            size_a += 1
+
+        self._refine(csr, vertices, member, in_a, rng)
+        side_a = vertices[in_a[vertices]]
+        side_b = vertices[~in_a[vertices]]
+        return side_a, side_b
+
+    @staticmethod
+    def _pseudo_peripheral(
+        csr: _UndirectedCSR,
+        vertices: np.ndarray,
+        member: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        """Farthest vertex of a BFS from a random member vertex."""
+        start = int(vertices[rng.integers(len(vertices))])
+        visited = {start}
+        frontier = [start]
+        last = start
+        while frontier:
+            nxt = []
+            for v in frontier:
+                nbrs, _ = csr.neighbors(v)
+                for z in nbrs.tolist():
+                    if member[z] and z not in visited:
+                        visited.add(z)
+                        nxt.append(z)
+            if nxt:
+                last = nxt[0]
+            frontier = nxt
+        return last
+
+    def _refine(
+        self,
+        csr: _UndirectedCSR,
+        vertices: np.ndarray,
+        member: np.ndarray,
+        in_a: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Swap-based balanced refinement of one bisection."""
+        pairs = csr.pairs
+        if pairs.size == 0:
+            return
+        mask = member[pairs[:, 0]] & member[pairs[:, 1]]
+        sub_pairs = pairs[mask]
+        sub_w = csr.pair_weights[mask]
+        if sub_pairs.size == 0:
+            return
+
+        # Weight of the direct edge between swap candidates (counted twice
+        # in the naive gain sum when the candidates are adjacent).
+        wmap: dict[tuple[int, int], int] = {}
+        for (u, v), w in zip(sub_pairs.tolist(), sub_w.tolist()):
+            wmap[(u, v)] = w
+            wmap[(v, u)] = w
+
+        for _ in range(self._refinement_swaps):
+            # Gain of moving each vertex to the other side: ext - int.
+            cut_mask = in_a[sub_pairs[:, 0]] != in_a[sub_pairs[:, 1]]
+            sign = np.where(cut_mask, 1, -1) * sub_w
+            move_gain = np.zeros(csr.num_vertices, dtype=np.int64)
+            np.add.at(move_gain, sub_pairs[:, 0], sign)
+            np.add.at(move_gain, sub_pairs[:, 1], sign)
+
+            side_a = vertices[in_a[vertices]]
+            side_b = vertices[~in_a[vertices]]
+            if side_a.size == 0 or side_b.size == 0:
+                return
+            top = 16
+            best_a = side_a[np.argsort(move_gain[side_a])[::-1][:top]]
+            best_b = side_b[np.argsort(move_gain[side_b])[::-1][:top]]
+            best_gain = 0
+            best_pair = None
+            for a in best_a.tolist():
+                for b in best_b.tolist():
+                    g = move_gain[a] + move_gain[b] - 2 * wmap.get((a, b), 0)
+                    if g > best_gain:
+                        best_gain = int(g)
+                        best_pair = (a, b)
+            if best_pair is None:
+                return
+            a, b = best_pair
+            in_a[a] = False
+            in_a[b] = True
+
+    # ------------------------------------------------------------------
+    # Randomised local search on the final assignment
+    # ------------------------------------------------------------------
+    def _local_search(
+        self,
+        csr: _UndirectedCSR,
+        vertex_node: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        pairs = csr.pairs
+        if pairs.size == 0:
+            return
+        trials = int(self._local_search_factor * len(pairs))
+        if trials <= 0:
+            return
+        picks = rng.integers(len(pairs), size=trials)
+        for idx in picks:
+            u, v = int(pairs[idx, 0]), int(pairs[idx, 1])
+            nu, nv = int(vertex_node[u]), int(vertex_node[v])
+            if nu == nv:
+                continue
+            if self._swap_delta(csr, vertex_node, u, v) < 0:
+                vertex_node[u] = nv
+                vertex_node[v] = nu
+
+    @staticmethod
+    def _swap_delta(
+        csr: _UndirectedCSR,
+        vertex_node: np.ndarray,
+        u: int,
+        v: int,
+    ) -> int:
+        """Exact ``Jsum`` change of swapping the nodes of *u* and *v*."""
+        nu, nv = int(vertex_node[u]), int(vertex_node[v])
+        delta = 0
+        nbrs, ws = csr.neighbors(u)
+        for z, w in zip(nbrs.tolist(), ws.tolist()):
+            if z == v:
+                continue  # the u-v edge stays cut under a swap
+            nz = int(vertex_node[z])
+            delta += w * (int(nz == nu) - int(nz == nv))
+        nbrs, ws = csr.neighbors(v)
+        for z, w in zip(nbrs.tolist(), ws.tolist()):
+            if z == u:
+                continue
+            nz = int(vertex_node[z])
+            delta += w * (int(nz == nv) - int(nz == nu))
+        return delta
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphMapper(seed={self._seed}, "
+            f"refinement_swaps={self._refinement_swaps}, "
+            f"local_search_factor={self._local_search_factor}, "
+            f"restarts={self._restarts})"
+        )
+
+
+register_mapper(GraphMapper.name, GraphMapper)

@@ -1,0 +1,282 @@
+"""The Hyperplane algorithm (Section V-A, Algorithm 1).
+
+A variation of recursive bisection: the grid is recursively split by an
+axis-aligned hyperplane into two sub-grids whose sizes are multiples of
+the per-node process count ``n``, so that after ``O(log N)`` levels every
+node owns one contiguous sub-grid.
+
+Two stencil-aware ingredients:
+
+* **Preferred dimension order** — dimensions are ranked by
+  ``sum_i cos^2(angle(R_i, e_j))`` (Equation 2): the dimension most
+  orthogonal to all stencil vectors carries the least communication, so
+  it is cut first.  Ties break toward the larger dimension.  Sizes change
+  during recursion, so the order is recomputed at every step.
+* **Split positions** — the hyperplane starts at the centre of the
+  candidate dimension and walks outward until both induced sub-grid sizes
+  are multiples of ``n``; Theorem V.1 guarantees such a split exists, and
+  Theorem V.2 bounds the imbalance by ``1/2 <= |g'|/|g''| <= 1``.
+
+Grids of size at most ``2n`` are not split further; their ranks are
+assigned directly in preferred-dimension order (slowest-varying first),
+which avoids degenerate cuts on skewed grids such as ``[2, n]``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .base import Mapper, register_mapper
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+from ..hardware.allocation import NodeAllocation
+from ..metrics.cost import check_permutation
+
+__all__ = ["HyperplaneMapper", "find_split", "preferred_dimension_order"]
+
+
+def preferred_dimension_order(
+    dims: Sequence[int], scores: Sequence[float]
+) -> list[int]:
+    """Dimension indices sorted by Equation 2 score, ties by larger size.
+
+    The first index is the dimension the algorithm prefers to cut: the one
+    most orthogonal to the stencil (smallest score), and among equals the
+    largest.
+    """
+    return sorted(range(len(dims)), key=lambda j: (scores[j], -dims[j], j))
+
+
+def _split_positions(size: int) -> list[int]:
+    """Candidate hyperplane positions ``1..size-1``, centre outward.
+
+    For odd sizes the floor side is tried before the ceiling side,
+    mirroring the increment/decrement walk of the paper.
+    """
+    half = size // 2
+    positions = []
+    for delta in range(half + 1):
+        lo = half - delta
+        hi = size - half + delta  # == ceil(size/2) + delta for odd sizes
+        if 1 <= lo <= size - 1:
+            positions.append(lo)
+        if hi != lo and 1 <= hi <= size - 1:
+            positions.append(hi)
+    return positions
+
+
+def find_split(
+    dims: Sequence[int],
+    scores: Sequence[float],
+    n: int,
+    total: int,
+) -> tuple[int, int, int] | None:
+    """Find ``(dimension index, d', d'')`` with both sides multiples of *n*.
+
+    Dimensions are tried in preferred order; positions centre-outward.
+    Returns ``None`` when no dimension admits an exact split (possible
+    only when ``total`` is not a multiple of ``n``; Theorem V.1 covers the
+    divisible case).
+    """
+    for i in preferred_dimension_order(dims, scores):
+        di = dims[i]
+        if di < 2:
+            continue
+        slab = total // di  # grid cells per unit length of dimension i
+        for q in _split_positions(di):
+            if (q * slab) % n == 0:
+                return i, q, di - q
+    return None
+
+
+class HyperplaneMapper(Mapper):
+    """Recursive hyperplane bisection (Algorithm 1).
+
+    Parameters
+    ----------
+    node_size_strategy:
+        How to derive the algorithm's ``n`` from a heterogeneous
+        allocation: ``"mean"`` (default, rounded), ``"min"`` or ``"max"``
+        — the three options the paper suggests in Section V-A.
+    """
+
+    name = "hyperplane"
+    distributed = True
+
+    _STRATEGIES = ("mean", "min", "max")
+
+    def __init__(
+        self,
+        node_size_strategy: str = "mean",
+        *,
+        use_stencil_order: bool = True,
+    ):
+        if node_size_strategy not in self._STRATEGIES:
+            raise ValueError(
+                f"node_size_strategy must be one of {self._STRATEGIES}, "
+                f"got {node_size_strategy!r}"
+            )
+        self._strategy = node_size_strategy
+        # The ablation benchmark disables the Equation 2 ordering: all
+        # dimensions then score equally and ties resolve by size alone.
+        self._use_stencil_order = bool(use_stencil_order)
+
+    def _scores(self, stencil: Stencil) -> tuple[float, ...]:
+        if self._use_stencil_order:
+            return stencil.alignment_scores()
+        return tuple(0.0 for _ in range(stencil.ndim))
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    def node_size(self, alloc: NodeAllocation) -> int:
+        """The ``n`` used for split divisibility."""
+        if alloc.is_homogeneous:
+            return alloc.node_sizes[0]
+        if self._strategy == "mean":
+            return max(1, round(alloc.mean_node_size))
+        if self._strategy == "min":
+            return min(alloc.node_sizes)
+        return max(alloc.node_sizes)
+
+    # ------------------------------------------------------------------
+    # Base case: direct assignment in preferred-dimension order
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _base_coords(
+        rel_rank: int, dims: Sequence[int], order: Sequence[int]
+    ) -> list[int]:
+        """Coordinates of *rel_rank* with ``order[0]`` varying slowest."""
+        coords = [0] * len(dims)
+        stride = 1
+        strides = [0] * len(dims)
+        for j in reversed(order):
+            strides[j] = stride
+            stride *= dims[j]
+        rem = rel_rank
+        for j in order:
+            coords[j], rem = divmod(rem, strides[j])
+        return coords
+
+    # ------------------------------------------------------------------
+    # Distributed per-rank computation (Algorithm 1 verbatim shape)
+    # ------------------------------------------------------------------
+    def compute_rank(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+        rank: int,
+    ) -> int:
+        self.validate_instance(grid, stencil, alloc)
+        rank = self._checked_rank(grid, rank)
+        n = self.node_size(alloc)
+        scores = self._scores(stencil)
+
+        dims = list(grid.dims)
+        origin = [0] * grid.ndim
+        rel = rank
+        total = grid.size
+        while total > 2 * n:
+            split = find_split(dims, scores, n, total)
+            if split is None:
+                # No exact split exists (non-divisible p); fall back to a
+                # centre cut of the preferred dimension.  Routing stays a
+                # bijection; only quality degrades.
+                i = next(
+                    j
+                    for j in preferred_dimension_order(dims, scores)
+                    if dims[j] >= 2
+                )
+                d_left, d_right = dims[i] // 2, dims[i] - dims[i] // 2
+            else:
+                i, d_left, d_right = split
+            left_size = d_left * (total // dims[i])
+            if rel < left_size:
+                dims[i] = d_left
+                total = left_size
+            else:
+                rel -= left_size
+                origin[i] += d_left
+                dims[i] = d_right
+                total -= left_size
+        order = preferred_dimension_order(dims, scores)
+        coords = self._base_coords(rel, dims, order)
+        return grid.rank_of([o + c for o, c in zip(origin, coords)])
+
+    # ------------------------------------------------------------------
+    # Global mapping (single recursion over sub-grids)
+    # ------------------------------------------------------------------
+    def map_ranks(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+    ) -> np.ndarray:
+        self.validate_instance(grid, stencil, alloc)
+        n = self.node_size(alloc)
+        scores = self._scores(stencil)
+        perm = np.empty(grid.size, dtype=np.int64)
+
+        # Explicit stack of (dims, origin, first_rank, total) sub-problems.
+        stack: list[tuple[list[int], list[int], int, int]] = [
+            (list(grid.dims), [0] * grid.ndim, 0, grid.size)
+        ]
+        while stack:
+            dims, origin, first, total = stack.pop()
+            if total <= 2 * n:
+                self._assign_base(grid, perm, dims, origin, first, total, scores)
+                continue
+            split = find_split(dims, scores, n, total)
+            if split is None:
+                i = next(
+                    j
+                    for j in preferred_dimension_order(dims, scores)
+                    if dims[j] >= 2
+                )
+                d_left, d_right = dims[i] // 2, dims[i] - dims[i] // 2
+            else:
+                i, d_left, d_right = split
+            left_size = d_left * (total // dims[i])
+            left_dims = list(dims)
+            left_dims[i] = d_left
+            right_dims = list(dims)
+            right_dims[i] = d_right
+            right_origin = list(origin)
+            right_origin[i] += d_left
+            stack.append((left_dims, list(origin), first, left_size))
+            stack.append((right_dims, right_origin, first + left_size, total - left_size))
+        return check_permutation(perm, grid.size)
+
+    def _assign_base(
+        self,
+        grid: CartesianGrid,
+        perm: np.ndarray,
+        dims: list[int],
+        origin: list[int],
+        first: int,
+        total: int,
+        scores: Sequence[float],
+    ) -> None:
+        """Vectorised base-case assignment of one sub-grid."""
+        order = preferred_dimension_order(dims, scores)
+        rel = np.arange(total, dtype=np.int64)
+        coords = np.empty((total, len(dims)), dtype=np.int64)
+        stride = 1
+        strides = [0] * len(dims)
+        for j in reversed(order):
+            strides[j] = stride
+            stride *= dims[j]
+        rem = rel
+        for j in order:
+            coords[:, j], rem = np.divmod(rem, strides[j])
+        coords += np.asarray(origin, dtype=np.int64)
+        perm[first : first + total] = grid.ranks_array(coords, validate=False)
+
+    def __repr__(self) -> str:
+        return f"HyperplaneMapper(node_size_strategy={self._strategy!r})"
+
+
+register_mapper(HyperplaneMapper.name, HyperplaneMapper)

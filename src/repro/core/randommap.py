@@ -1,0 +1,60 @@
+"""Random placement baseline (the appendix's ``Random`` column).
+
+Each process takes a uniformly random grid position.  With a shared seed
+every rank can reproduce the same permutation, so the mapping is
+"distributed" in the degenerate sense; it exists to show the cost of
+ignoring locality entirely (Tables II-VII include it, the speedup plots
+omit it for space).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Mapper, register_mapper
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+from ..hardware.allocation import NodeAllocation
+
+__all__ = ["RandomMapper"]
+
+
+class RandomMapper(Mapper):
+    """Seeded uniformly-random permutation mapping."""
+
+    name = "random"
+    distributed = True
+
+    def __init__(self, seed: int = 0x5EED):
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        """The shared seed all ranks use to derive the permutation."""
+        return self._seed
+
+    def map_ranks(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+    ) -> np.ndarray:
+        self.validate_instance(grid, stencil, alloc)
+        rng = np.random.default_rng(self._seed)
+        return rng.permutation(grid.size).astype(np.int64)
+
+    def compute_rank(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+        rank: int,
+    ) -> int:
+        rank = self._checked_rank(grid, rank)
+        return int(self.map_ranks(grid, stencil, alloc)[rank])
+
+    def __repr__(self) -> str:
+        return f"RandomMapper(seed={self._seed:#x})"
+
+
+register_mapper(RandomMapper.name, RandomMapper)

@@ -1,0 +1,118 @@
+"""Command-line entry point: regenerate any figure or table.
+
+Usage::
+
+    python -m repro.experiments figure6 [--machine VSC4] [--reps 50]
+    python -m repro.experiments figure7 [--machine JUWELS]
+    python -m repro.experiments figure8 [--family nearest_neighbor] [--fast]
+    python -m repro.experiments figure9
+    python -m repro.experiments table II [--reps 50]
+    python -m repro.experiments ablations
+
+Repetition counts default to quick settings; pass ``--reps 200`` for the
+paper's sample sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .ablations import (
+    ablation_hyperplane_order,
+    ablation_nodecart_stencil_aware,
+    ablation_strips_distortion,
+    ablation_strips_serpentine,
+    ablation_topology_aware,
+)
+from .context import DEFAULT_MAPPERS, STENCIL_FAMILIES
+from .figure6 import figure6_context, figure6_scores, figure6_speedups
+from .figure7 import figure7_context, figure7_scores, figure7_speedups
+from .figure8 import figure8_reductions, summarize_reductions
+from .figure9 import figure9_instantiation_times
+from .instances import instance_set
+from .report import (
+    render_appendix_table,
+    render_instantiation,
+    render_reduction_summaries,
+    render_scores,
+    render_speedups,
+)
+from .tables import TABLE_INDEX, appendix_table
+
+
+def _figure(which: int, machine: str, reps: int) -> None:
+    context = figure6_context() if which == 6 else figure7_context()
+    scores = figure6_scores(context) if which == 6 else figure7_scores(context)
+    print(render_scores(scores))
+    for family in STENCIL_FAMILIES:
+        fn = figure6_speedups if which == 6 else figure7_speedups
+        series = fn(machine, family, context=context, repetitions=reps)
+        print(f"== speedups on {machine}, {family} ==")
+        print(render_speedups(series))
+        print()
+
+
+def _figure8(family: str, fast: bool) -> None:
+    mappers = DEFAULT_MAPPERS()
+    instances = instance_set()
+    if fast:
+        mappers.pop("graphmap", None)
+        instances = instances[::4]
+    reductions = figure8_reductions(family, mappers=mappers, instances=instances)
+    print(f"== Figure 8 ({family}), {len(instances)} instances ==")
+    print(render_reduction_summaries(summarize_reductions(reductions)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser.add_argument(
+        "target",
+        choices=["figure6", "figure7", "figure8", "figure9", "table", "ablations"],
+    )
+    parser.add_argument("table_id", nargs="?", help="II..VII for the table target")
+    parser.add_argument("--machine", default="VSC4")
+    parser.add_argument("--family", default="nearest_neighbor")
+    parser.add_argument("--reps", type=int, default=50)
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.target == "figure6":
+        _figure(6, args.machine, args.reps)
+    elif args.target == "figure7":
+        _figure(7, args.machine, args.reps)
+    elif args.target == "figure8":
+        _figure8(args.family, args.fast)
+    elif args.target == "figure9":
+        print(render_instantiation(figure9_instantiation_times()))
+    elif args.target == "table":
+        if args.table_id not in TABLE_INDEX:
+            parser.error(f"table_id must be one of {sorted(TABLE_INDEX)}")
+        machine, nodes = TABLE_INDEX[args.table_id]
+        print(render_appendix_table(
+            appendix_table(machine, nodes, repetitions=args.reps)
+        ))
+    elif args.target == "ablations":
+        for title, result in (
+            ("hyperplane dimension order", ablation_hyperplane_order()),
+            ("strips serpentine", ablation_strips_serpentine()),
+            ("strips distortion", ablation_strips_distortion()),
+            ("nodecart stencil-aware", ablation_nodecart_stencil_aware()),
+        ):
+            print(f"== {title} ==")
+            for family, res in result.items():
+                print(
+                    f"  {family:<28} baseline={res.baseline}  variant={res.variant}  "
+                    f"Jsum x{res.jsum_ratio:.2f}  Jmax x{res.jmax_ratio:.2f}"
+                )
+        print("== topology-aware cost model (VSC4, NN, 512 KiB) ==")
+        for mapper, times in ablation_topology_aware().items():
+            print(
+                f"  {mapper:<12} flat={times['flat'] * 1e3:8.3f} ms   "
+                f"aware={times['topology_aware'] * 1e3:8.3f} ms"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

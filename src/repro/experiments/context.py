@@ -1,0 +1,176 @@
+"""Shared evaluation context: one instance, many mappers, cached results.
+
+The throughput experiments evaluate the same mappings on three machines
+and fourteen message sizes; mappings, edge lists and ``Jsum``/``Jmax``
+are machine- and size-independent, so the context computes them once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core import (
+    BlockedMapper,
+    GraphMapper,
+    HyperplaneMapper,
+    KDTreeMapper,
+    Mapper,
+    NodecartMapper,
+    RandomMapper,
+    StencilStripsMapper,
+)
+from ..exceptions import MappingError
+from ..grid.dims import dims_create
+from ..grid.graph import communication_edges
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import (
+    Stencil,
+    component,
+    nearest_neighbor,
+    nearest_neighbor_with_hops,
+)
+from ..hardware.allocation import NodeAllocation
+from ..metrics.cost import MappingCost, evaluate_mapping
+
+__all__ = ["EvaluationContext", "DEFAULT_MAPPERS", "STENCIL_FAMILIES"]
+
+#: Stencil factories keyed by the paper's names, applied to the grid
+#: dimensionality of the instance.
+STENCIL_FAMILIES: dict[str, Callable[[int], Stencil]] = {
+    "nearest_neighbor": nearest_neighbor,
+    "nearest_neighbor_with_hops": nearest_neighbor_with_hops,
+    "component": component,
+}
+
+
+def DEFAULT_MAPPERS() -> dict[str, Mapper]:
+    """Fresh instances of the seven evaluated mappings, in paper order.
+
+    ``graphmap`` plays the role of VieM; ``blocked`` is the paper's
+    "Standard".
+    """
+    return {
+        "blocked": BlockedMapper(),
+        "hyperplane": HyperplaneMapper(),
+        "kd_tree": KDTreeMapper(),
+        "stencil_strips": StencilStripsMapper(),
+        "nodecart": NodecartMapper(),
+        "graphmap": GraphMapper(),
+        "random": RandomMapper(),
+    }
+
+
+class EvaluationContext:
+    """One evaluation instance with cached per-mapper results.
+
+    Parameters
+    ----------
+    num_nodes / processes_per_node:
+        Allocation shape (the paper uses 48 processes per node).
+    ndims:
+        Grid dimensionality; dimensions come from ``dims_create``.
+    mappers:
+        Mapping from result name to mapper instance; defaults to the
+        seven algorithms of the evaluation.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        processes_per_node: int = 48,
+        ndims: int = 2,
+        mappers: Mapping[str, Mapper] | None = None,
+    ):
+        self.num_nodes = int(num_nodes)
+        self.processes_per_node = int(processes_per_node)
+        p = self.num_nodes * self.processes_per_node
+        self.grid = CartesianGrid(dims_create(p, ndims))
+        self.alloc = NodeAllocation.homogeneous(
+            self.num_nodes, self.processes_per_node
+        )
+        self.mappers: dict[str, Mapper] = (
+            dict(mappers) if mappers is not None else DEFAULT_MAPPERS()
+        )
+        self._stencils: dict[str, Stencil] = {}
+        self._edges: dict[str, np.ndarray] = {}
+        self._perms: dict[tuple[str, str], np.ndarray | None] = {}
+        self._costs: dict[tuple[str, str], MappingCost | None] = {}
+
+    # ------------------------------------------------------------------
+    # Cached pieces
+    # ------------------------------------------------------------------
+    def stencil(self, family: str) -> Stencil:
+        """The stencil of *family* for this instance's dimensionality."""
+        if family not in self._stencils:
+            try:
+                factory = STENCIL_FAMILIES[family]
+            except KeyError:
+                raise KeyError(
+                    f"unknown stencil family {family!r}; "
+                    f"available: {sorted(STENCIL_FAMILIES)}"
+                ) from None
+            self._stencils[family] = factory(self.grid.ndim)
+        return self._stencils[family]
+
+    def edges(self, family: str) -> np.ndarray:
+        """Cached directed edge list for *family*."""
+        if family not in self._edges:
+            self._edges[family] = communication_edges(
+                self.grid, self.stencil(family)
+            )
+        return self._edges[family]
+
+    def mapping(self, family: str, mapper_name: str) -> np.ndarray | None:
+        """Cached permutation; ``None`` when the mapper rejects the instance.
+
+        A rejection (for example Nodecart on non-factorisable node sizes)
+        is recorded so the harness can render the paper's "not
+        applicable" cells instead of crashing a whole sweep.
+        """
+        key = (family, mapper_name)
+        if key not in self._perms:
+            mapper = self.mappers[mapper_name]
+            try:
+                self._perms[key] = mapper.map_ranks(
+                    self.grid, self.stencil(family), self.alloc
+                )
+            except MappingError:
+                self._perms[key] = None
+        return self._perms[key]
+
+    def cost(self, family: str, mapper_name: str) -> MappingCost | None:
+        """Cached ``Jsum``/``Jmax`` evaluation (``None`` if rejected)."""
+        key = (family, mapper_name)
+        if key not in self._costs:
+            perm = self.mapping(family, mapper_name)
+            if perm is None:
+                self._costs[key] = None
+            else:
+                self._costs[key] = evaluate_mapping(
+                    self.grid,
+                    self.stencil(family),
+                    perm,
+                    self.alloc,
+                    edges=self.edges(family),
+                )
+        return self._costs[key]
+
+    def scores(self, family: str) -> dict[str, tuple[int, int] | None]:
+        """``(Jsum, Jmax)`` per mapper for the Figure 6/7 score panels."""
+        out: dict[str, tuple[int, int] | None] = {}
+        for name in self.mappers:
+            cost = self.cost(family, name)
+            out[name] = None if cost is None else (cost.jsum, cost.jmax)
+        return out
+
+    def mapper_names(self) -> Sequence[str]:
+        """Result names in insertion (paper) order."""
+        return tuple(self.mappers)
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationContext(N={self.num_nodes}, "
+            f"n={self.processes_per_node}, dims={list(self.grid.dims)})"
+        )

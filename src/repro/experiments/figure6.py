@@ -1,0 +1,53 @@
+"""Figure 6: scores and speedups for N = 50 nodes (grid 50 x 48).
+
+Left column: ``Jsum``/``Jmax`` of all algorithms per stencil family.
+Right columns: speedup over the blocked mapping on VSC4, SuperMUC-NG and
+JUWELS across message sizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..hardware.machines import Machine
+from .context import EvaluationContext, STENCIL_FAMILIES
+from .throughput import FIGURE_MESSAGE_SIZES, SpeedupCell, speedup_series
+
+__all__ = ["figure6_context", "figure6_scores", "figure6_speedups", "FIGURE6_NODES"]
+
+#: Node count of Figure 6 (48 processes per node, grid 50 x 48).
+FIGURE6_NODES = 50
+
+
+def figure6_context(**kwargs) -> EvaluationContext:
+    """A fresh evaluation context for the Figure 6 instance."""
+    return EvaluationContext(FIGURE6_NODES, 48, 2, **kwargs)
+
+
+def figure6_scores(
+    context: EvaluationContext | None = None,
+) -> dict[str, dict[str, tuple[int, int] | None]]:
+    """Score panels: ``{family: {mapper: (Jsum, Jmax)}}``."""
+    context = context if context is not None else figure6_context()
+    return {family: context.scores(family) for family in STENCIL_FAMILIES}
+
+
+def figure6_speedups(
+    machine: str | Machine,
+    family: str,
+    *,
+    context: EvaluationContext | None = None,
+    message_sizes: Sequence[int] = FIGURE_MESSAGE_SIZES,
+    repetitions: int = 200,
+    seed: int = 0,
+) -> dict[str, list[SpeedupCell]]:
+    """One speedup panel of Figure 6."""
+    context = context if context is not None else figure6_context()
+    return speedup_series(
+        context,
+        machine,
+        family,
+        message_sizes=message_sizes,
+        repetitions=repetitions,
+        seed=seed,
+    )

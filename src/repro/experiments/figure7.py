@@ -1,0 +1,52 @@
+"""Figure 7: scores and speedups for N = 100 nodes (grid 75 x 64).
+
+Structurally identical to Figure 6 at twice the node count; the paper
+uses it to show the algorithms' advantage persists at larger scale.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..hardware.machines import Machine
+from .context import EvaluationContext, STENCIL_FAMILIES
+from .throughput import FIGURE_MESSAGE_SIZES, SpeedupCell, speedup_series
+
+__all__ = ["figure7_context", "figure7_scores", "figure7_speedups", "FIGURE7_NODES"]
+
+#: Node count of Figure 7 (48 processes per node, grid 75 x 64).
+FIGURE7_NODES = 100
+
+
+def figure7_context(**kwargs) -> EvaluationContext:
+    """A fresh evaluation context for the Figure 7 instance."""
+    return EvaluationContext(FIGURE7_NODES, 48, 2, **kwargs)
+
+
+def figure7_scores(
+    context: EvaluationContext | None = None,
+) -> dict[str, dict[str, tuple[int, int] | None]]:
+    """Score panels: ``{family: {mapper: (Jsum, Jmax)}}``."""
+    context = context if context is not None else figure7_context()
+    return {family: context.scores(family) for family in STENCIL_FAMILIES}
+
+
+def figure7_speedups(
+    machine: str | Machine,
+    family: str,
+    *,
+    context: EvaluationContext | None = None,
+    message_sizes: Sequence[int] = FIGURE_MESSAGE_SIZES,
+    repetitions: int = 200,
+    seed: int = 0,
+) -> dict[str, list[SpeedupCell]]:
+    """One speedup panel of Figure 7."""
+    context = context if context is not None else figure7_context()
+    return speedup_series(
+        context,
+        machine,
+        family,
+        message_sizes=message_sizes,
+        repetitions=repetitions,
+        seed=seed,
+    )

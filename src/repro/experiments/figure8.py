@@ -1,0 +1,113 @@
+"""Figure 8: reduction-over-blocked distributions on 144 instances.
+
+For every instance and algorithm the driver computes the pair
+``(Jsum_X / Jsum_blocked, Jmax_X / Jmax_blocked)``; the figure plots the
+distribution per algorithm with median notches (Gaussian-asymptotic 95%
+CIs).  The paper's headline findings, which the reproduction checks:
+
+* Hyperplane and Stencil Strips have significantly better median
+  reduction than Nodecart on all three stencil families,
+* Stencil Strips and VieM are statistically indistinguishable on the
+  nearest-neighbour and component stencils.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import Mapper
+from ..exceptions import MappingError
+from ..grid.graph import communication_edges
+from ..metrics.cost import evaluate_mapping
+from ..metrics.stats import ConfidenceInterval, median_ci
+from .context import DEFAULT_MAPPERS, STENCIL_FAMILIES
+from .instances import Instance, instance_set
+
+__all__ = ["figure8_reductions", "summarize_reductions", "ReductionSummary"]
+
+
+@dataclass(frozen=True)
+class ReductionSummary:
+    """Median reductions of one algorithm over the instance set."""
+
+    mapper: str
+    jsum_median: ConfidenceInterval
+    jmax_median: ConfidenceInterval
+    samples: int
+
+
+def figure8_reductions(
+    family: str,
+    *,
+    mappers: Mapping[str, Mapper] | None = None,
+    instances: Sequence[Instance] | None = None,
+) -> dict[str, dict[str, np.ndarray]]:
+    """Reduction samples per mapper over the instance set.
+
+    Returns ``{mapper: {"jsum": array, "jmax": array}}`` with one entry
+    per instance the mapper accepted (NaN where it rejected, so arrays
+    stay aligned with the instance list).
+    """
+    if family not in STENCIL_FAMILIES:
+        raise KeyError(
+            f"unknown stencil family {family!r}; available: {sorted(STENCIL_FAMILIES)}"
+        )
+    mappers = dict(mappers) if mappers is not None else DEFAULT_MAPPERS()
+    mappers.pop("blocked", None)  # the baseline itself is not plotted
+    instances = list(instances) if instances is not None else instance_set()
+
+    out = {
+        name: {
+            "jsum": np.full(len(instances), np.nan),
+            "jmax": np.full(len(instances), np.nan),
+        }
+        for name in mappers
+    }
+    factory = STENCIL_FAMILIES[family]
+    for idx, inst in enumerate(instances):
+        stencil = factory(inst.grid.ndim)
+        edges = communication_edges(inst.grid, stencil)
+        blocked_perm = np.arange(inst.grid.size, dtype=np.int64)
+        blocked = evaluate_mapping(
+            inst.grid, stencil, blocked_perm, inst.allocation, edges=edges
+        )
+        for name, mapper in mappers.items():
+            try:
+                perm = mapper.map_ranks(inst.grid, stencil, inst.allocation)
+            except MappingError:
+                continue
+            cost = evaluate_mapping(
+                inst.grid, stencil, perm, inst.allocation, edges=edges
+            )
+            out[name]["jsum"][idx] = (
+                cost.jsum / blocked.jsum if blocked.jsum else 1.0
+            )
+            out[name]["jmax"][idx] = (
+                cost.jmax / blocked.jmax if blocked.jmax else 1.0
+            )
+    return out
+
+
+def summarize_reductions(
+    reductions: Mapping[str, Mapping[str, np.ndarray]],
+) -> list[ReductionSummary]:
+    """Median + notch CI per mapper (the quantity behind Figure 8)."""
+    summaries = []
+    for name, series in reductions.items():
+        jsum = np.asarray(series["jsum"])
+        jmax = np.asarray(series["jmax"])
+        ok = ~np.isnan(jsum)
+        if not ok.any():
+            continue
+        summaries.append(
+            ReductionSummary(
+                mapper=name,
+                jsum_median=median_ci(jsum[ok]),
+                jmax_median=median_ci(jmax[ok]),
+                samples=int(ok.sum()),
+            )
+        )
+    return summaries

@@ -1,0 +1,89 @@
+"""Figure 9: instantiation time of the mapping algorithms.
+
+The paper times only the rank-recomputation (not communicator
+construction) on the largest nearest-neighbour instance (N=100,
+grid 75 x 64), 200 repetitions, outlier removal, mean with 95% CI; VieM
+is reported separately because it is two orders of magnitude slower.
+
+This experiment measures *real* wall-clock time of this library's
+implementations — it is the one benchmark whose absolute numbers are
+meaningful on the reproduction machine.  Both views are reported:
+
+* ``full``  — computing the complete permutation (what a sequential tool
+  like VieM must do),
+* ``per_rank`` — one rank's local computation (what each process of a
+  distributed algorithm actually executes).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import Mapper
+from ..metrics.stats import ConfidenceInterval, mean_ci
+from .context import DEFAULT_MAPPERS, EvaluationContext
+
+__all__ = ["InstantiationTiming", "figure9_instantiation_times"]
+
+
+@dataclass(frozen=True)
+class InstantiationTiming:
+    """Instantiation-time statistics of one algorithm (seconds)."""
+
+    mapper: str
+    full: ConfidenceInterval
+    per_rank: ConfidenceInterval | None
+    distributed: bool
+
+
+def _time_callable(fn, repetitions: int) -> ConfidenceInterval:
+    samples = np.empty(repetitions, dtype=np.float64)
+    for i in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        samples[i] = time.perf_counter() - start
+    return mean_ci(samples)
+
+
+def figure9_instantiation_times(
+    *,
+    context: EvaluationContext | None = None,
+    family: str = "nearest_neighbor",
+    mappers: Mapping[str, Mapper] | None = None,
+    repetitions: int = 20,
+    slow_repetitions: int = 3,
+) -> dict[str, InstantiationTiming]:
+    """Measure instantiation times on the Figure 9 instance.
+
+    ``repetitions`` applies to the fast distributed algorithms,
+    ``slow_repetitions`` to sequential ones (GraphMapper), mirroring how
+    the paper reports VieM separately.
+    """
+    context = context if context is not None else EvaluationContext(100, 48, 2)
+    mappers = dict(mappers) if mappers is not None else DEFAULT_MAPPERS()
+    grid, alloc = context.grid, context.alloc
+    stencil = context.stencil(family)
+    results: dict[str, InstantiationTiming] = {}
+    for name, mapper in mappers.items():
+        reps = repetitions if mapper.distributed else slow_repetitions
+        full = _time_callable(
+            lambda m=mapper: m.map_ranks(grid, stencil, alloc), max(1, reps)
+        )
+        per_rank = None
+        if mapper.distributed:
+            probe_rank = grid.size // 2
+            per_rank = _time_callable(
+                lambda m=mapper: m.compute_rank(grid, stencil, alloc, probe_rank),
+                max(1, repetitions),
+            )
+        results[name] = InstantiationTiming(
+            mapper=name,
+            full=full,
+            per_rank=per_rank,
+            distributed=mapper.distributed,
+        )
+    return results

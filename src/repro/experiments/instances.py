@@ -1,0 +1,65 @@
+"""The Figure 8 instance set (Section VI-C).
+
+``I = N x P x D`` with node counts ``N = {10, 13, ..., 31}``, processes
+per node ``P = {10, 13, ..., 31} u {32}`` and dimensionalities
+``D = {2, 3}`` — 8 x 9 x 2 = 144 instances.  Grids follow
+``MPI_Dims_create`` semantics (dimension sizes as close as possible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..grid.dims import dims_create
+from ..grid.grid import CartesianGrid
+from ..hardware.allocation import NodeAllocation
+
+__all__ = ["Instance", "instance_set", "NODE_COUNTS", "PROCESS_COUNTS", "DIMENSIONALITIES"]
+
+#: Node counts of the instance set: 10, 13, ..., 31.
+NODE_COUNTS: tuple[int, ...] = tuple(range(10, 32, 3))
+
+#: Processes per node: 10, 13, ..., 31 plus the power of two 32.
+PROCESS_COUNTS: tuple[int, ...] = tuple(range(10, 32, 3)) + (32,)
+
+#: Grid dimensionalities.
+DIMENSIONALITIES: tuple[int, ...] = (2, 3)
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One (N, n, d) evaluation instance."""
+
+    num_nodes: int
+    processes_per_node: int
+    ndims: int
+
+    @property
+    def total_processes(self) -> int:
+        """``p = N * n``."""
+        return self.num_nodes * self.processes_per_node
+
+    @cached_property
+    def grid(self) -> CartesianGrid:
+        """The ``dims_create`` grid of the instance."""
+        return CartesianGrid(dims_create(self.total_processes, self.ndims))
+
+    @cached_property
+    def allocation(self) -> NodeAllocation:
+        """Homogeneous allocation of ``n`` processes on each node."""
+        return NodeAllocation.homogeneous(self.num_nodes, self.processes_per_node)
+
+    def label(self) -> str:
+        """Short identifier, e.g. ``N13_n16_2d``."""
+        return f"N{self.num_nodes}_n{self.processes_per_node}_{self.ndims}d"
+
+
+def instance_set() -> list[Instance]:
+    """All 144 instances of Section VI-C in deterministic order."""
+    return [
+        Instance(n, ppn, d)
+        for n in NODE_COUNTS
+        for ppn in PROCESS_COUNTS
+        for d in DIMENSIONALITIES
+    ]

@@ -1,0 +1,134 @@
+"""Plain-text rendering of experiment results in the paper's layout.
+
+All drivers return structured data; these helpers turn them into the
+rows a reader can compare side by side with the paper's figures and
+tables.  Used by the benchmark harness and the ``python -m
+repro.experiments`` entry point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..metrics.stats import ConfidenceInterval
+from .figure8 import ReductionSummary
+from .figure9 import InstantiationTiming
+from .tables import AppendixTable
+from .throughput import SpeedupCell
+
+__all__ = [
+    "DISPLAY_NAMES",
+    "render_scores",
+    "render_speedups",
+    "render_appendix_table",
+    "render_reduction_summaries",
+    "render_instantiation",
+]
+
+#: Paper names of the mappers.
+DISPLAY_NAMES: dict[str, str] = {
+    "blocked": "Standard",
+    "hyperplane": "Hyperplane",
+    "kd_tree": "k-d Tree",
+    "stencil_strips": "Stencil Strips",
+    "nodecart": "Nodecart",
+    "graphmap": "VieM*",
+    "random": "Random",
+}
+
+
+def _display(name: str) -> str:
+    return DISPLAY_NAMES.get(name, name)
+
+
+def render_scores(
+    scores: Mapping[str, Mapping[str, tuple[int, int] | None]],
+) -> str:
+    """Score panels (Figure 6/7 left column) as text."""
+    lines: list[str] = []
+    for family, per_mapper in scores.items():
+        lines.append(f"== {family} ==")
+        ranked = sorted(
+            (item for item in per_mapper.items() if item[1] is not None),
+            key=lambda item: item[1],
+        )
+        for name, pair in ranked:
+            lines.append(f"  {_display(name):<16} Jsum={pair[0]:>7}  Jmax={pair[1]:>5}")
+        for name, pair in per_mapper.items():
+            if pair is None:
+                lines.append(f"  {_display(name):<16} (not applicable)")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_speedups(series: Mapping[str, Sequence[SpeedupCell]]) -> str:
+    """One speedup panel as a size x mapper text matrix."""
+    mappers = list(series)
+    sizes = sorted({cell.message_size for cells in series.values() for cell in cells})
+    header = "size[B]   " + "  ".join(f"{_display(m):>14}" for m in mappers)
+    lines = [header]
+    by_key = {
+        (m, c.message_size): c for m, cells in series.items() for c in cells
+    }
+    for size in sizes:
+        row = [f"{size:>8}  "]
+        for m in mappers:
+            cell = by_key.get((m, size))
+            row.append(f"{cell.speedup_over_blocked:>13.2f}x" if cell else f"{'-':>14}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def _fmt_ci(ci: ConfidenceInterval | None, scale: float = 1e3) -> str:
+    """Format seconds as the paper's 'mean+-ci' milliseconds."""
+    if ci is None:
+        return "      n/a      "
+    return f"{ci.value * scale:9.3f}±{ci.half_width * scale:6.3f}"
+
+
+def render_appendix_table(table: AppendixTable) -> str:
+    """One appendix table (II-VII) as text, one block per stencil."""
+    lines = [
+        f"Table: {table.machine}, N={table.num_nodes} "
+        f"(times in ms, mean ± 95% CI)"
+    ]
+    mappers = table.mappers()
+    for family, per_mapper in table.times.items():
+        lines.append(f"-- {family} --")
+        lines.append(
+            "size[B]   " + "  ".join(f"{_display(m):>16}" for m in mappers)
+        )
+        for size in table.message_sizes:
+            row = [f"{size:>8}  "]
+            for m in mappers:
+                row.append(_fmt_ci(per_mapper[m][size]))
+            lines.append("  ".join(row))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_reduction_summaries(summaries: Sequence[ReductionSummary]) -> str:
+    """Figure 8 medians with notch CIs as text."""
+    lines = ["mapper            Jsum median [95% CI]        Jmax median [95% CI]   n"]
+    for s in sorted(summaries, key=lambda s: s.jsum_median.value):
+        lines.append(
+            f"{_display(s.mapper):<16}  "
+            f"{s.jsum_median.value:6.3f} [{s.jsum_median.low:6.3f}, {s.jsum_median.high:6.3f}]  "
+            f"{s.jmax_median.value:6.3f} [{s.jmax_median.low:6.3f}, {s.jmax_median.high:6.3f}]  "
+            f"{s.samples:>3}"
+        )
+    return "\n".join(lines)
+
+
+def render_instantiation(timings: Mapping[str, InstantiationTiming]) -> str:
+    """Figure 9 instantiation times as text (milliseconds)."""
+    lines = ["mapper            full mapping [ms]    per-rank [µs]    distributed"]
+    for name, t in sorted(timings.items(), key=lambda item: item[1].full.value):
+        per_rank = (
+            f"{t.per_rank.value * 1e6:12.2f}" if t.per_rank is not None else "         n/a"
+        )
+        lines.append(
+            f"{_display(name):<16}  {t.full.value * 1e3:12.3f}        "
+            f"{per_rank}       {'yes' if t.distributed else 'no'}"
+        )
+    return "\n".join(lines)

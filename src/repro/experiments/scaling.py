@@ -1,0 +1,102 @@
+"""Extension experiment E17: scaling of the mapping advantage.
+
+The paper evaluates two node counts (50 and 100) and concludes that the
+advantage persists; this extension sweeps node counts to chart the
+trend: ``Jmax`` reduction and model speedup versus the number of nodes
+at a fixed 48 processes per node (weak scaling of the process grid).
+
+Not a paper figure — listed in DESIGN.md as an E-series extension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core import Mapper
+from ..exceptions import MappingError
+from ..hardware.machines import Machine
+from .context import EvaluationContext, DEFAULT_MAPPERS
+from .throughput import resolve_machine
+
+__all__ = ["ScalingPoint", "scaling_sweep", "DEFAULT_NODE_COUNTS"]
+
+#: Node counts of the sweep (the paper's 50 and 100 plus surroundings).
+DEFAULT_NODE_COUNTS: tuple[int, ...] = (10, 25, 50, 75, 100, 150)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (node count, mapper) sample of the sweep."""
+
+    num_nodes: int
+    mapper: str
+    jsum: int
+    jmax: int
+    jsum_reduction: float
+    jmax_reduction: float
+    model_speedup: float
+
+
+def scaling_sweep(
+    machine: str | Machine = "VSC4",
+    *,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    family: str = "nearest_neighbor",
+    message_size: int = 262144,
+    mappers: dict[str, Mapper] | None = None,
+    processes_per_node: int = 48,
+) -> dict[str, list[ScalingPoint]]:
+    """Sweep node counts; reductions and model speedups per mapper."""
+    machine = resolve_machine(machine)
+    if mappers is None:
+        mappers = DEFAULT_MAPPERS()
+        mappers.pop("random", None)
+        mappers.pop("graphmap", None)  # keep the sweep fast by default
+    out: dict[str, list[ScalingPoint]] = {name: [] for name in mappers if name != "blocked"}
+    for num_nodes in node_counts:
+        context = EvaluationContext(
+            num_nodes, processes_per_node, 2, mappers=dict(mappers)
+        )
+        model = machine.model(min(num_nodes, machine.total_nodes))
+        edges = context.edges(family)
+        stencil = context.stencil(family)
+        blocked_cost = context.cost(family, "blocked")
+        assert blocked_cost is not None
+        blocked_time = model.alltoall_time(
+            context.grid,
+            stencil,
+            context.mapping(family, "blocked"),
+            context.alloc,
+            message_size,
+            edges=edges,
+        )
+        for name in out:
+            try:
+                perm = context.mapping(family, name)
+            except MappingError:  # pragma: no cover - mapping() catches
+                continue
+            if perm is None:
+                continue
+            cost = context.cost(family, name)
+            assert cost is not None
+            t = model.alltoall_time(
+                context.grid, stencil, perm, context.alloc, message_size,
+                edges=edges,
+            )
+            out[name].append(
+                ScalingPoint(
+                    num_nodes=num_nodes,
+                    mapper=name,
+                    jsum=cost.jsum,
+                    jmax=cost.jmax,
+                    jsum_reduction=cost.jsum / blocked_cost.jsum
+                    if blocked_cost.jsum
+                    else 1.0,
+                    jmax_reduction=cost.jmax / blocked_cost.jmax
+                    if blocked_cost.jmax
+                    else 1.0,
+                    model_speedup=blocked_time / t if t else 1.0,
+                )
+            )
+    return out

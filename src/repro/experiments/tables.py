@@ -1,0 +1,88 @@
+"""Tables II–VII: absolute ``neighbor_alltoall`` times with 95% CIs.
+
+Six tables: {VSC4, SuperMUC-NG, JUWELS} x {N=50, N=100}, each with
+14 message sizes x 3 stencil families x 7 mappings (including Random,
+which the figures omit for space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.machines import Machine
+from ..metrics.stats import ConfidenceInterval
+from .context import EvaluationContext, STENCIL_FAMILIES
+from .throughput import measure_times, resolve_machine
+
+__all__ = ["TABLE_MESSAGE_SIZES", "AppendixTable", "appendix_table", "TABLE_INDEX"]
+
+#: The 14 per-neighbour message sizes of the appendix tables (bytes).
+TABLE_MESSAGE_SIZES: tuple[int, ...] = tuple(64 * 2**i for i in range(14))
+
+#: Which (machine, node count) each paper table corresponds to.
+TABLE_INDEX: dict[str, tuple[str, int]] = {
+    "II": ("VSC4", 50),
+    "III": ("VSC4", 100),
+    "IV": ("SuperMUC-NG", 50),
+    "V": ("SuperMUC-NG", 100),
+    "VI": ("JUWELS", 50),
+    "VII": ("JUWELS", 100),
+}
+
+
+@dataclass
+class AppendixTable:
+    """One appendix table: times[family][mapper][size] -> CI (seconds)."""
+
+    machine: str
+    num_nodes: int
+    message_sizes: tuple[int, ...]
+    times: dict[str, dict[str, dict[int, ConfidenceInterval | None]]] = field(
+        default_factory=dict
+    )
+
+    def cell(
+        self, family: str, mapper: str, size: int
+    ) -> ConfidenceInterval | None:
+        """One table cell; ``None`` when the mapper rejected the instance."""
+        return self.times[family][mapper][size]
+
+    def mappers(self) -> tuple[str, ...]:
+        """Column order of the table."""
+        first_family = next(iter(self.times.values()))
+        return tuple(first_family)
+
+
+def appendix_table(
+    machine: str | Machine,
+    num_nodes: int,
+    *,
+    context: EvaluationContext | None = None,
+    message_sizes: tuple[int, ...] = TABLE_MESSAGE_SIZES,
+    repetitions: int = 200,
+    seed: int = 0,
+) -> AppendixTable:
+    """Regenerate one appendix table on the machine model.
+
+    Passing a pre-built *context* (for example shared with the figure
+    drivers) reuses the cached mappings.
+    """
+    machine = resolve_machine(machine)
+    context = (
+        context if context is not None else EvaluationContext(num_nodes, 48, 2)
+    )
+    table = AppendixTable(
+        machine=machine.name,
+        num_nodes=num_nodes,
+        message_sizes=tuple(message_sizes),
+    )
+    for family in STENCIL_FAMILIES:
+        table.times[family] = measure_times(
+            context,
+            machine,
+            family,
+            message_sizes,
+            repetitions=repetitions,
+            seed=seed,
+        )
+    return table

@@ -1,0 +1,145 @@
+"""Shared machinery of the throughput experiments (Figures 6/7, Tables II–VII).
+
+The measured quantity is the barrier-synchronised
+``MPI_Neighbor_alltoall`` time; the reproduction obtains it from the
+machine's communication model, draws noisy repetitions, and applies the
+paper's statistics pipeline (IQR outlier removal, mean with 95% CI).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.machines import MACHINES, Machine
+from ..metrics.stats import ConfidenceInterval, mean_ci
+from .context import EvaluationContext
+
+__all__ = [
+    "FIGURE_MESSAGE_SIZES",
+    "SpeedupCell",
+    "resolve_machine",
+    "measure_times",
+    "speedup_series",
+]
+
+#: Per-neighbour message sizes behind the seven Figure 6/7 columns.  The
+#: figures label the x-axis with 8x these values (the total payload per
+#: process of the largest stencil); the underlying per-neighbour sizes
+#: are the ones appearing in the appendix tables.
+FIGURE_MESSAGE_SIZES: tuple[int, ...] = (128, 512, 2048, 8192, 32768, 131072, 524288)
+
+
+@dataclass(frozen=True)
+class SpeedupCell:
+    """One bar of a Figure 6/7 speedup panel."""
+
+    mapper: str
+    message_size: int
+    mean_time: ConfidenceInterval
+    speedup_over_blocked: float
+
+
+def resolve_machine(machine: str | Machine) -> Machine:
+    """Accept a machine instance or one of the Table I names."""
+    if isinstance(machine, Machine):
+        return machine
+    try:
+        return MACHINES[machine]()
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {machine!r}; available: {sorted(MACHINES)}"
+        ) from None
+
+
+def measure_times(
+    context: EvaluationContext,
+    machine: str | Machine,
+    family: str,
+    message_sizes: Sequence[int],
+    *,
+    repetitions: int = 200,
+    seed: int = 0,
+    topology_aware: bool = False,
+) -> dict[str, dict[int, ConfidenceInterval | None]]:
+    """Mean exchange time (with CI) per mapper and message size.
+
+    ``None`` cells mark mappers that rejected the instance.  Sampling is
+    deterministic: the RNG stream is derived from *seed*, the machine
+    name, the family, the mapper and the size.
+    """
+    machine = resolve_machine(machine)
+    model = machine.model(context.num_nodes, topology_aware=topology_aware)
+    edges = context.edges(family)
+    stencil = context.stencil(family)
+    results: dict[str, dict[int, ConfidenceInterval | None]] = {}
+    for mapper_name in context.mapper_names():
+        perm = context.mapping(family, mapper_name)
+        per_size: dict[int, ConfidenceInterval | None] = {}
+        for size in message_sizes:
+            if perm is None:
+                per_size[size] = None
+                continue
+            rng = np.random.default_rng(
+                abs(hash((seed, machine.name, family, mapper_name, size))) % 2**32
+            )
+            samples = model.sample_times(
+                context.grid,
+                stencil,
+                perm,
+                context.alloc,
+                size,
+                repetitions=repetitions,
+                rng=rng,
+                edges=edges,
+            )
+            per_size[size] = mean_ci(samples)
+        results[mapper_name] = per_size
+    return results
+
+
+def speedup_series(
+    context: EvaluationContext,
+    machine: str | Machine,
+    family: str,
+    *,
+    message_sizes: Sequence[int] = FIGURE_MESSAGE_SIZES,
+    repetitions: int = 200,
+    seed: int = 0,
+) -> dict[str, list[SpeedupCell]]:
+    """Speedup-over-blocked bars for one machine and stencil family.
+
+    The blocked mapping itself is the reference and is omitted from the
+    output, exactly like the figures.
+    """
+    times = measure_times(
+        context,
+        machine,
+        family,
+        message_sizes,
+        repetitions=repetitions,
+        seed=seed,
+    )
+    blocked = times["blocked"]
+    series: dict[str, list[SpeedupCell]] = {}
+    for mapper_name, per_size in times.items():
+        if mapper_name == "blocked":
+            continue
+        cells = []
+        for size in message_sizes:
+            ci = per_size[size]
+            base = blocked[size]
+            if ci is None or base is None or ci.value == 0:
+                continue
+            cells.append(
+                SpeedupCell(
+                    mapper=mapper_name,
+                    message_size=size,
+                    mean_time=ci,
+                    speedup_over_blocked=base.value / ci.value,
+                )
+            )
+        series[mapper_name] = cells
+    return series

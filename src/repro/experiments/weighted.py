@@ -1,0 +1,86 @@
+"""Extension experiment E18: volume-weighted hops exchange.
+
+The paper assumes unit edge weights ("every process sends and receives
+the same amount of data to its communication neighbours", Section VI-B).
+Real higher-order codes move *thicker* halo slabs along hop offsets
+(a 3-hop neighbour needs a 3-layer slab), so the hops stencil's
+communication is even more anisotropic than the unit-weight model
+suggests.  This experiment re-evaluates the Figure 6 hops instance with
+physically-derived per-offset volumes and asks whether the algorithms'
+ranking survives the weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.machines import Machine
+from ..metrics.cost import weighted_cut_bytes
+from ..workloads import halo_exchange_volume
+from .context import EvaluationContext
+from .throughput import resolve_machine
+
+__all__ = ["WeightedResult", "weighted_hops_experiment"]
+
+
+@dataclass(frozen=True)
+class WeightedResult:
+    """Volume-weighted evaluation of one mapping."""
+
+    mapper: str
+    cut_bytes: float
+    bottleneck_bytes: float
+    model_time: float
+    speedup_over_blocked: float
+
+
+def weighted_hops_experiment(
+    machine: str | Machine = "VSC4",
+    *,
+    num_nodes: int = 50,
+    tile: tuple[int, ...] = (128, 128),
+    element_bytes: int = 8,
+    context: EvaluationContext | None = None,
+) -> dict[str, WeightedResult]:
+    """Run E18; returns per-mapper weighted costs and model times."""
+    machine = resolve_machine(machine)
+    context = (
+        context if context is not None else EvaluationContext(num_nodes, 48, 2)
+    )
+    family = "nearest_neighbor_with_hops"
+    stencil = context.stencil(family)
+    volumes = halo_exchange_volume(context.grid, stencil, tile, element_bytes)
+    model = machine.model(num_nodes)
+
+    results: dict[str, WeightedResult] = {}
+    blocked_time = None
+    for name in context.mapper_names():
+        perm = context.mapping(family, name)
+        if perm is None:
+            continue
+        cut, bottleneck = weighted_cut_bytes(
+            context.grid, stencil, perm, context.alloc, volumes
+        )
+        t = model.weighted_alltoall_time(
+            context.grid, stencil, perm, context.alloc, volumes
+        )
+        if name == "blocked":
+            blocked_time = t
+        results[name] = WeightedResult(
+            mapper=name,
+            cut_bytes=cut,
+            bottleneck_bytes=bottleneck,
+            model_time=t,
+            speedup_over_blocked=1.0,
+        )
+    assert blocked_time is not None, "the blocked mapper must be present"
+    return {
+        name: WeightedResult(
+            mapper=r.mapper,
+            cut_bytes=r.cut_bytes,
+            bottleneck_bytes=r.bottleneck_bytes,
+            model_time=r.model_time,
+            speedup_over_blocked=blocked_time / r.model_time,
+        )
+        for name, r in results.items()
+    }

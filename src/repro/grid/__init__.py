@@ -1,0 +1,31 @@
+"""Cartesian process grids and stencil communication patterns.
+
+This subpackage is the structural substrate of the library: it defines the
+d-dimensional Cartesian process grid (Section II of the paper), the stencil
+neighbourhoods (Figure 2), the induced communication graph, and an
+``MPI_Dims_create``-compatible grid factorisation routine.
+"""
+
+from .grid import CartesianGrid
+from .stencil import (
+    Stencil,
+    component,
+    moore,
+    nearest_neighbor,
+    nearest_neighbor_with_hops,
+)
+from .graph import communication_edges, communication_graph, degree_by_rank
+from .dims import dims_create
+
+__all__ = [
+    "CartesianGrid",
+    "Stencil",
+    "nearest_neighbor",
+    "component",
+    "nearest_neighbor_with_hops",
+    "moore",
+    "communication_edges",
+    "communication_graph",
+    "degree_by_rank",
+    "dims_create",
+]

@@ -1,0 +1,214 @@
+"""The d-dimensional Cartesian process grid.
+
+Processes with ranks ``0 <= r < p`` are placed on a grid with dimension
+sizes ``D = [d0, ..., d_{d-1}]`` in row-major order (the last dimension
+varies fastest), exactly as in Section II of the paper and in
+``MPI_Cart_create``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+import numpy as np
+
+from .._validation import as_int, as_int_tuple, check_positive_dims, check_rank
+from ..exceptions import InvalidGridError
+
+__all__ = ["CartesianGrid"]
+
+
+class CartesianGrid:
+    """A d-dimensional Cartesian grid of processes.
+
+    Parameters
+    ----------
+    dims:
+        Dimension sizes ``[d0, ..., d_{d-1}]``; all must be positive.
+    periods:
+        Optional per-dimension periodicity flags (as in ``MPI_Cart_create``).
+        Defaults to non-periodic in every dimension, which is the setting
+        used throughout the paper's evaluation.
+
+    Notes
+    -----
+    Ranks are assigned to coordinates in row-major order: rank
+    ``r = r0 * (d1 * ... * d_{d-1}) + r1 * (d2 * ... ) + ... + r_{d-1}``.
+    """
+
+    __slots__ = ("_dims", "_periods", "_size", "_strides")
+
+    def __init__(self, dims: Sequence[int], periods: Sequence[bool] | None = None):
+        self._dims = as_int_tuple(dims, name="dims")
+        check_positive_dims(self._dims)
+        if periods is None:
+            self._periods = tuple(False for _ in self._dims)
+        else:
+            periods = tuple(bool(x) for x in periods)
+            if len(periods) != len(self._dims):
+                raise InvalidGridError(
+                    f"periods has length {len(periods)}, expected {len(self._dims)}"
+                )
+            self._periods = periods
+        size = 1
+        strides = []
+        for d in reversed(self._dims):
+            strides.append(size)
+            size *= d
+        self._strides = tuple(reversed(strides))
+        self._size = size
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Dimension sizes ``[d0, ..., d_{d-1}]``."""
+        return self._dims
+
+    @property
+    def periods(self) -> tuple[bool, ...]:
+        """Per-dimension periodicity flags."""
+        return self._periods
+
+    @property
+    def ndim(self) -> int:
+        """Number of grid dimensions ``d``."""
+        return len(self._dims)
+
+    @property
+    def size(self) -> int:
+        """Total number of processes ``p = prod(dims)``."""
+        return self._size
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Row-major strides used by the rank/coordinate bijection."""
+        return self._strides
+
+    # ------------------------------------------------------------------
+    # Rank <-> coordinate bijection
+    # ------------------------------------------------------------------
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        """Return the coordinate vector of *rank* (``MPI_Cart_coords``)."""
+        rank = as_int(rank, name="rank")
+        check_rank(rank, self._size)
+        coords = []
+        for stride, d in zip(self._strides, self._dims):
+            q, rank = divmod(rank, stride)
+            coords.append(q)
+        return tuple(coords)
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Return the rank at *coords* (``MPI_Cart_rank``).
+
+        Periodic dimensions wrap; non-periodic out-of-range coordinates
+        raise :class:`InvalidGridError`.
+        """
+        coords = as_int_tuple(coords, name="coords")
+        if len(coords) != self.ndim:
+            raise InvalidGridError(
+                f"coords has length {len(coords)}, expected {self.ndim}"
+            )
+        rank = 0
+        for c, d, periodic, stride in zip(
+            coords, self._dims, self._periods, self._strides
+        ):
+            if periodic:
+                c %= d
+            elif not 0 <= c < d:
+                raise InvalidGridError(
+                    f"coordinate {c} out of range [0, {d}) in non-periodic dimension"
+                )
+            rank += c * stride
+        return rank
+
+    def all_coords(self) -> np.ndarray:
+        """Return an ``(p, d)`` array of the coordinates of ranks 0..p-1."""
+        return self.coords_array(np.arange(self._size))
+
+    def coords_array(self, ranks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`coords_of` for an array of ranks."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size and (ranks.min() < 0 or ranks.max() >= self._size):
+            raise InvalidGridError("rank out of range")
+        out = np.empty(ranks.shape + (self.ndim,), dtype=np.int64)
+        rem = ranks
+        for axis, stride in enumerate(self._strides):
+            out[..., axis], rem = np.divmod(rem, stride)
+        return out
+
+    def ranks_array(self, coords: np.ndarray, *, validate: bool = True) -> np.ndarray:
+        """Vectorised :meth:`rank_of` for an ``(..., d)`` coordinate array.
+
+        Periodic dimensions wrap.  With ``validate=True`` (default),
+        out-of-range coordinates in non-periodic dimensions raise; with
+        ``validate=False`` the caller guarantees validity (hot paths).
+        """
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.shape[-1] != self.ndim:
+            raise InvalidGridError(
+                f"coords last axis has length {coords.shape[-1]}, expected {self.ndim}"
+            )
+        wrapped = coords.copy()
+        for axis, (d, periodic) in enumerate(zip(self._dims, self._periods)):
+            if periodic:
+                wrapped[..., axis] %= d
+            elif validate:
+                col = wrapped[..., axis]
+                if col.size and ((col < 0).any() or (col >= d).any()):
+                    raise InvalidGridError(
+                        f"coordinate out of range in non-periodic dimension {axis}"
+                    )
+        strides = np.asarray(self._strides, dtype=np.int64)
+        return wrapped @ strides
+
+    # ------------------------------------------------------------------
+    # Neighbourhood queries
+    # ------------------------------------------------------------------
+    def shift(self, rank: int, offset: Sequence[int]) -> int | None:
+        """Return the rank reached from *rank* by the relative *offset*.
+
+        Returns ``None`` when the move leaves the grid through a
+        non-periodic boundary (the analogue of ``MPI_PROC_NULL``).
+        """
+        offset = as_int_tuple(offset, name="offset")
+        if len(offset) != self.ndim:
+            raise InvalidGridError(
+                f"offset has length {len(offset)}, expected {self.ndim}"
+            )
+        coords = list(self.coords_of(rank))
+        for axis, (step, d, periodic) in enumerate(
+            zip(offset, self._dims, self._periods)
+        ):
+            c = coords[axis] + step
+            if periodic:
+                c %= d
+            elif not 0 <= c < d:
+                return None
+            coords[axis] = c
+        return self.rank_of(coords)
+
+    def iter_ranks(self) -> Iterator[int]:
+        """Iterate over all ranks in order."""
+        return iter(range(self._size))
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, CartesianGrid):
+            return NotImplemented
+        return self._dims == other._dims and self._periods == other._periods
+
+    def __hash__(self) -> int:
+        return hash((self._dims, self._periods))
+
+    def __repr__(self) -> str:
+        if any(self._periods):
+            return f"CartesianGrid(dims={list(self._dims)}, periods={list(self._periods)})"
+        return f"CartesianGrid(dims={list(self._dims)})"

@@ -1,0 +1,300 @@
+"""Stencil neighbourhoods (k-neighbourhoods).
+
+A stencil is a set of relative coordinate offsets
+``S = {R_0, ..., R_{k-1}}`` describing the communication targets of every
+process in the grid (Section II of the paper).  The three stencils used in
+the paper's evaluation are provided as factories:
+
+* :func:`nearest_neighbor` — ``S = {±1_i | 0 <= i < d}`` (Figure 2a),
+* :func:`component` — ``S = {±1_i | 0 <= i < d-1}`` (Figure 2b),
+* :func:`nearest_neighbor_with_hops` — nearest neighbour plus
+  ``{±a·1_0 | a in {2, 3}}`` (Figure 2c).
+
+:func:`moore` (full box neighbourhood) is provided as an extension for the
+image-processing workloads mentioned in the introduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from .._validation import as_int, as_int_tuple
+from ..exceptions import InvalidStencilError
+
+__all__ = [
+    "Stencil",
+    "nearest_neighbor",
+    "component",
+    "nearest_neighbor_with_hops",
+    "moore",
+]
+
+
+class Stencil:
+    """An immutable k-neighbourhood of relative offsets.
+
+    Parameters
+    ----------
+    offsets:
+        Sequence of relative coordinate vectors; each must have the same
+        length (the stencil dimensionality) and must not be all-zero.
+        Duplicate offsets are rejected — the paper assumes unit edge
+        weights, so a duplicate would silently double-count an edge.
+    name:
+        Optional human-readable name used in reports and ``repr``.
+    """
+
+    __slots__ = ("_offsets", "_name", "_array")
+
+    def __init__(self, offsets: Sequence[Sequence[int]], name: str | None = None):
+        normalized: list[tuple[int, ...]] = []
+        seen: set[tuple[int, ...]] = set()
+        for i, off in enumerate(offsets):
+            vec = as_int_tuple(off, name=f"offsets[{i}]")
+            if all(c == 0 for c in vec):
+                raise InvalidStencilError(
+                    f"offsets[{i}] is the zero vector (self-communication)"
+                )
+            if vec in seen:
+                raise InvalidStencilError(f"duplicate offset {vec} at position {i}")
+            seen.add(vec)
+            normalized.append(vec)
+        if not normalized:
+            raise InvalidStencilError("a stencil needs at least one offset")
+        ndim = len(normalized[0])
+        for i, vec in enumerate(normalized):
+            if len(vec) != ndim:
+                raise InvalidStencilError(
+                    f"offsets[{i}] has length {len(vec)}, expected {ndim}"
+                )
+        self._offsets = tuple(normalized)
+        self._name = name
+        self._array = np.asarray(self._offsets, dtype=np.int64)
+        self._array.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def offsets(self) -> tuple[tuple[int, ...], ...]:
+        """The relative offset vectors in insertion order."""
+        return self._offsets
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality ``d`` of each offset vector."""
+        return len(self._offsets[0])
+
+    @property
+    def k(self) -> int:
+        """Neighbourhood size (number of offsets)."""
+        return len(self._offsets)
+
+    @property
+    def name(self) -> str:
+        """Human-readable name (synthesised if not given)."""
+        if self._name is not None:
+            return self._name
+        return f"custom[{self.k}x{self.ndim}d]"
+
+    def as_array(self) -> np.ndarray:
+        """The offsets as a read-only ``(k, d)`` int64 array."""
+        return self._array
+
+    # ------------------------------------------------------------------
+    # Structural queries used by the mapping algorithms
+    # ------------------------------------------------------------------
+    def is_symmetric(self) -> bool:
+        """``True`` if for every offset ``R`` the stencil contains ``-R``.
+
+        Symmetric stencils yield symmetric communication graphs; all three
+        paper stencils are symmetric.
+        """
+        offset_set = set(self._offsets)
+        return all(tuple(-c for c in off) in offset_set for off in self._offsets)
+
+    def communication_counts(self) -> tuple[int, ...]:
+        """Per-dimension counts ``f_j = |{R in S : R_j != 0}|``.
+
+        This is the dimension weighting used by the k-d tree algorithm
+        (Section V-B).
+        """
+        return tuple(int(np.count_nonzero(self._array[:, j])) for j in range(self.ndim))
+
+    def extensions(self) -> tuple[int, ...]:
+        """Per-dimension extensions ``e_i = max_i R_i - min_i R_i``.
+
+        These define the bounding rectangle of the stencil used by the
+        Stencil Strips algorithm (Section V-C).
+        """
+        maxima = self._array.max(axis=0)
+        minima = self._array.min(axis=0)
+        return tuple(int(x) for x in (maxima - minima))
+
+    def bounding_volume(self) -> int:
+        """Volume ``Vb`` of the bounding rectangle with zero extents as 1."""
+        vol = 1
+        for e in self.extensions():
+            vol *= e if e != 0 else 1
+        return vol
+
+    def nonzero_extension_count(self) -> int:
+        """``db`` — the number of dimensions with non-zero extension."""
+        return sum(1 for e in self.extensions() if e != 0)
+
+    def distortion_factors(self) -> tuple[float, ...]:
+        """Distortion factors ``alpha_i = eps_i / Vb**(1/db)`` (Section V-C).
+
+        Dimensions with zero extension get ``alpha_i = 0`` — the strips
+        algorithm clamps the resulting strip width to one.  When the stencil
+        communicates in no dimension at all (impossible by construction,
+        since offsets are non-zero) ``db`` would be 0; we guard anyway.
+        """
+        exts = self.extensions()
+        db = self.nonzero_extension_count()
+        if db == 0:  # pragma: no cover - unreachable via public API
+            return tuple(0.0 for _ in exts)
+        side = self.bounding_volume() ** (1.0 / db)
+        return tuple((e / side) if e != 0 else 0.0 for e in exts)
+
+    def alignment_scores(self) -> tuple[float, ...]:
+        """Per-dimension scores ``sum_i cos^2(angle(R_i, e_j))`` (Eq. 2).
+
+        The hyperplane algorithm prefers to cut the dimension with the
+        *smallest* score (the dimension most orthogonal to all stencil
+        vectors), breaking ties by size.
+        """
+        sq = self._array.astype(np.float64) ** 2
+        norms = sq.sum(axis=1)
+        # cos^2(angle(R, e_j)) = R_j^2 / |R|^2 ; norms are > 0 by construction.
+        return tuple(float(s) for s in (sq / norms[:, None]).sum(axis=0))
+
+    def flattened(self) -> list[int]:
+        """The ``stencil[]`` array of Listing 1: k*d relative offsets."""
+        return [int(c) for off in self._offsets for c in off]
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.k
+
+    def __iter__(self):
+        return iter(self._offsets)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Stencil):
+            return NotImplemented
+        return set(self._offsets) == set(other._offsets)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._offsets))
+
+    def __repr__(self) -> str:
+        return f"Stencil(name={self.name!r}, k={self.k}, ndim={self.ndim})"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_flattened(cls, flat: Sequence[int], ndims: int, name: str | None = None) -> "Stencil":
+        """Build a stencil from the flattened Listing 1 representation.
+
+        ``flat`` has length ``k * ndims``; consecutive groups of ``ndims``
+        entries form one offset vector.
+        """
+        ndims = as_int(ndims, name="ndims")
+        if ndims <= 0:
+            raise InvalidStencilError(f"ndims must be positive, got {ndims}")
+        flat = as_int_tuple(flat, name="stencil")
+        if len(flat) % ndims != 0:
+            raise InvalidStencilError(
+                f"flattened stencil length {len(flat)} is not a multiple of ndims={ndims}"
+            )
+        offsets = [flat[i : i + ndims] for i in range(0, len(flat), ndims)]
+        return cls(offsets, name=name)
+
+
+def _unit(ndim: int, axis: int, value: int) -> tuple[int, ...]:
+    vec = [0] * ndim
+    vec[axis] = value
+    return tuple(vec)
+
+
+def nearest_neighbor(ndim: int) -> Stencil:
+    """The nearest-neighbour stencil ``S = {1_i, -1_i | 0 <= i < d}``.
+
+    This is the stencil implied by MPI Cartesian communicators
+    (Figure 2a).
+    """
+    ndim = as_int(ndim, name="ndim")
+    if ndim <= 0:
+        raise InvalidStencilError(f"ndim must be positive, got {ndim}")
+    offsets = []
+    for axis in range(ndim):
+        offsets.append(_unit(ndim, axis, 1))
+        offsets.append(_unit(ndim, axis, -1))
+    return Stencil(offsets, name=f"nearest_neighbor_{ndim}d")
+
+
+def component(ndim: int) -> Stencil:
+    """The component stencil ``S = {1_i, -1_i | 0 <= i < d-1}`` (Figure 2b).
+
+    Communicates in every dimension except the last; for ``d = 2`` this is
+    the one-dimensional stencil used in the NP-hardness reduction.
+    Requires ``ndim >= 2`` so that the stencil is non-empty.
+    """
+    ndim = as_int(ndim, name="ndim")
+    if ndim < 2:
+        raise InvalidStencilError(
+            f"the component stencil needs ndim >= 2, got {ndim}"
+        )
+    offsets = []
+    for axis in range(ndim - 1):
+        offsets.append(_unit(ndim, axis, 1))
+        offsets.append(_unit(ndim, axis, -1))
+    return Stencil(offsets, name=f"component_{ndim}d")
+
+
+def nearest_neighbor_with_hops(ndim: int, hops: Sequence[int] = (2, 3)) -> Stencil:
+    """Nearest neighbour plus hops ``{±a·1_0 | a in hops}`` (Figure 2c).
+
+    The default hop distances ``(2, 3)`` match the paper's definition.
+    """
+    ndim = as_int(ndim, name="ndim")
+    if ndim <= 0:
+        raise InvalidStencilError(f"ndim must be positive, got {ndim}")
+    hops = as_int_tuple(hops, name="hops")
+    for a in hops:
+        if a < 2:
+            raise InvalidStencilError(f"hop distances must be >= 2, got {a}")
+    base = nearest_neighbor(ndim)
+    offsets = list(base.offsets)
+    for a in hops:
+        offsets.append(_unit(ndim, 0, a))
+        offsets.append(_unit(ndim, 0, -a))
+    return Stencil(offsets, name=f"nearest_neighbor_hops_{ndim}d")
+
+
+def moore(ndim: int, radius: int = 1) -> Stencil:
+    """The full box (Moore) neighbourhood of the given radius.
+
+    Not part of the paper's evaluation; useful for image-processing
+    workloads and for stress-testing mappers with dense neighbourhoods.
+    """
+    ndim = as_int(ndim, name="ndim")
+    radius = as_int(radius, name="radius")
+    if ndim <= 0:
+        raise InvalidStencilError(f"ndim must be positive, got {ndim}")
+    if radius <= 0:
+        raise InvalidStencilError(f"radius must be positive, got {radius}")
+    offsets = [
+        vec
+        for vec in itertools.product(range(-radius, radius + 1), repeat=ndim)
+        if any(c != 0 for c in vec)
+    ]
+    return Stencil(offsets, name=f"moore_{ndim}d_r{radius}")

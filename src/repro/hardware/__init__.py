@@ -1,0 +1,29 @@
+"""Hardware substrate: node allocations, network topologies, machine models.
+
+The paper evaluates on three production systems (Table I).  We model each
+as a :class:`~repro.hardware.machines.Machine`: a collection of compute
+nodes joined by a (possibly blocked/pruned) fat-tree network, with a
+LogGP-style point-to-point cost model and per-node NIC bandwidth
+contention.  The model's purpose is to rank mappings the way the real
+systems do — inter-node traffic through a shared NIC is the bottleneck —
+not to predict absolute microseconds.
+"""
+
+from .allocation import NodeAllocation
+from .topology import FatTreeTopology, IslandTopology, SingleSwitchTopology
+from .costmodel import CommunicationModel, NetworkParameters
+from .machines import MACHINES, Machine, juwels, supermuc_ng, vsc4
+
+__all__ = [
+    "NodeAllocation",
+    "FatTreeTopology",
+    "IslandTopology",
+    "SingleSwitchTopology",
+    "CommunicationModel",
+    "NetworkParameters",
+    "Machine",
+    "MACHINES",
+    "vsc4",
+    "supermuc_ng",
+    "juwels",
+]

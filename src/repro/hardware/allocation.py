@@ -1,0 +1,169 @@
+"""Node allocations: which process rank lives on which compute node.
+
+The paper assumes the scheduler hands the application ``N`` nodes with
+``n_i`` processes each and that ranks are placed *blocked*: ranks
+``0..n_0-1`` on node 0, the next ``n_1`` on node 1, and so on.  Every
+mapping algorithm must respect this allocation — it may only choose which
+grid position each rank takes, not which node it lives on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from .._validation import as_int, as_int_tuple
+from ..exceptions import AllocationError
+
+__all__ = ["NodeAllocation"]
+
+
+class NodeAllocation:
+    """An ordered list of per-node process counts ``[n_0, ..., n_{N-1}]``.
+
+    Parameters
+    ----------
+    node_sizes:
+        Number of processes on each node; all must be positive.
+
+    Notes
+    -----
+    Rank ``r`` resides on the node whose half-open rank interval contains
+    ``r`` under the blocked placement (prefix sums of ``node_sizes``).
+    """
+
+    __slots__ = ("_sizes", "_offsets", "_total", "_node_of_rank")
+
+    def __init__(self, node_sizes: Sequence[int]):
+        sizes = as_int_tuple(node_sizes, name="node_sizes")
+        if not sizes:
+            raise AllocationError("node_sizes must be non-empty")
+        for i, n in enumerate(sizes):
+            if n <= 0:
+                raise AllocationError(f"node_sizes[{i}] must be positive, got {n}")
+        self._sizes = sizes
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        self._offsets = offsets
+        self._total = int(offsets[-1])
+        node_of_rank = np.repeat(
+            np.arange(len(sizes), dtype=np.int64), np.asarray(sizes, dtype=np.int64)
+        )
+        node_of_rank.setflags(write=False)
+        self._node_of_rank = node_of_rank
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, num_nodes: int, processes_per_node: int) -> "NodeAllocation":
+        """``N`` nodes with ``n`` processes each (the paper's main setting)."""
+        num_nodes = as_int(num_nodes, name="num_nodes")
+        processes_per_node = as_int(processes_per_node, name="processes_per_node")
+        if num_nodes <= 0:
+            raise AllocationError(f"num_nodes must be positive, got {num_nodes}")
+        if processes_per_node <= 0:
+            raise AllocationError(
+                f"processes_per_node must be positive, got {processes_per_node}"
+            )
+        return cls([processes_per_node] * num_nodes)
+
+    @classmethod
+    def for_total(cls, total: int, processes_per_node: int) -> "NodeAllocation":
+        """Cover ``total`` processes with full nodes plus one remainder node.
+
+        This models a scheduler filling nodes of capacity ``n`` until the
+        process count is exhausted (the "not divisible" case the paper's
+        algorithms handle but Nodecart does not).
+        """
+        total = as_int(total, name="total")
+        processes_per_node = as_int(processes_per_node, name="processes_per_node")
+        if total <= 0:
+            raise AllocationError(f"total must be positive, got {total}")
+        if processes_per_node <= 0:
+            raise AllocationError(
+                f"processes_per_node must be positive, got {processes_per_node}"
+            )
+        full, rest = divmod(total, processes_per_node)
+        sizes = [processes_per_node] * full
+        if rest:
+            sizes.append(rest)
+        return cls(sizes)
+
+    # ------------------------------------------------------------------
+    # Properties and queries
+    # ------------------------------------------------------------------
+    @property
+    def node_sizes(self) -> tuple[int, ...]:
+        """Per-node process counts ``n_i``."""
+        return self._sizes
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of compute nodes ``N``."""
+        return len(self._sizes)
+
+    @property
+    def total_processes(self) -> int:
+        """Total process count ``p = sum(n_i)``."""
+        return self._total
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """``True`` if every node holds the same number of processes."""
+        return len(set(self._sizes)) == 1
+
+    @property
+    def mean_node_size(self) -> float:
+        """Average ``n_i`` (the hyperplane algorithm's heterogeneous input)."""
+        return self._total / len(self._sizes)
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting *rank* under the blocked placement."""
+        rank = as_int(rank, name="rank")
+        if not 0 <= rank < self._total:
+            raise AllocationError(f"rank must be in [0, {self._total}), got {rank}")
+        return int(self._node_of_rank[rank])
+
+    def node_of_ranks(self) -> np.ndarray:
+        """Read-only ``(p,)`` array mapping each rank to its node."""
+        return self._node_of_rank
+
+    def ranks_on_node(self, node: int) -> range:
+        """The contiguous rank interval hosted by *node*."""
+        node = as_int(node, name="node")
+        if not 0 <= node < len(self._sizes):
+            raise AllocationError(
+                f"node must be in [0, {len(self._sizes)}), got {node}"
+            )
+        return range(int(self._offsets[node]), int(self._offsets[node + 1]))
+
+    def check_matches(self, process_count: int) -> None:
+        """Raise :class:`AllocationError` unless ``p == process_count``."""
+        if self._total != process_count:
+            raise AllocationError(
+                f"allocation covers {self._total} processes but the grid has "
+                f"{process_count}"
+            )
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, NodeAllocation):
+            return NotImplemented
+        return self._sizes == other._sizes
+
+    def __hash__(self) -> int:
+        return hash(self._sizes)
+
+    def __repr__(self) -> str:
+        if self.is_homogeneous:
+            return (
+                f"NodeAllocation.homogeneous({self.num_nodes}, {self._sizes[0]})"
+            )
+        return f"NodeAllocation({list(self._sizes)})"

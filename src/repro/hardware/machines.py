@@ -1,0 +1,160 @@
+"""Models of the evaluation machines (Table I).
+
+===========  ==========================  =====================  ==============
+Machine      Processor                   Network                Nodes x cores
+===========  ==========================  =====================  ==============
+VSC4         Intel Skylake Platinum 8174 OmniPath fat tree 2:1  790 x 48
+SuperMUC-NG  Intel Skylake Platinum 8174 OmniPath islands 1:4   6336 x 48
+JUWELS       Intel Xeon Platinum 8168    InfiniBand tree 2:1    2271 x 48
+===========  ==========================  =====================  ==============
+
+The network parameters are *calibrated effective* constants: they fold
+protocol overhead and switch contention so that the blocked baseline of
+each machine lands in the magnitude range of the paper's Tables II–VII
+(e.g. blocked nearest-neighbour, 512 KiB, N=50 on VSC4 ≈ 64 ms with a
+bottleneck of 96 outgoing messages per node).  Only time *ratios* between
+mappings are claims of the reproduction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from .._validation import as_int
+from ..exceptions import AllocationError
+from .allocation import NodeAllocation
+from .costmodel import CommunicationModel, NetworkParameters
+from .topology import FatTreeTopology, IslandTopology, Topology
+
+__all__ = ["Machine", "vsc4", "supermuc_ng", "juwels", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A named HPC system: size, processor, network model."""
+
+    name: str
+    total_nodes: int
+    cores_per_node: int
+    processor: str
+    network: str
+    params: NetworkParameters
+    topology_factory: Callable[[int], Topology]
+
+    def topology(self, num_nodes: int | None = None) -> Topology:
+        """Interconnect for an allocation of *num_nodes* (default: all)."""
+        n = self.total_nodes if num_nodes is None else as_int(num_nodes, name="num_nodes")
+        if not 0 < n <= self.total_nodes:
+            raise AllocationError(
+                f"{self.name} has {self.total_nodes} nodes; requested {n}"
+            )
+        return self.topology_factory(n)
+
+    def model(
+        self, num_nodes: int | None = None, *, topology_aware: bool = False
+    ) -> CommunicationModel:
+        """Communication model for an allocation on this machine."""
+        return CommunicationModel(
+            self.params,
+            self.topology(num_nodes),
+            topology_aware=topology_aware,
+        )
+
+    def allocation(
+        self, num_nodes: int, processes_per_node: int | None = None
+    ) -> NodeAllocation:
+        """A full-node allocation as used throughout the evaluation."""
+        num_nodes = as_int(num_nodes, name="num_nodes")
+        ppn = (
+            self.cores_per_node
+            if processes_per_node is None
+            else as_int(processes_per_node, name="processes_per_node")
+        )
+        if not 0 < num_nodes <= self.total_nodes:
+            raise AllocationError(
+                f"{self.name} has {self.total_nodes} nodes; requested {num_nodes}"
+            )
+        if not 0 < ppn <= self.cores_per_node:
+            raise AllocationError(
+                f"{self.name} has {self.cores_per_node} cores per node; "
+                f"requested {ppn} processes per node"
+            )
+        return NodeAllocation.homogeneous(num_nodes, ppn)
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine({self.name!r}, nodes={self.total_nodes}, "
+            f"cores_per_node={self.cores_per_node})"
+        )
+
+
+def vsc4() -> Machine:
+    """Vienna Scientific Cluster 4 (Section VI-A)."""
+    return Machine(
+        name="VSC4",
+        total_nodes=790,
+        cores_per_node=48,
+        processor="Intel Skylake Platinum 8174 @ 3.1 GHz",
+        network="OmniPath 100 Gbit/s, two-level fat tree, blocking 2:1",
+        params=NetworkParameters(
+            nic_bandwidth=0.79e9,
+            memory_bandwidth=3.6e9,
+            inter_latency=2.0e-6,
+            intra_latency=5.0e-7,
+            per_message_overhead=1.0e-6,
+        ),
+        topology_factory=lambda n: FatTreeTopology(
+            n, nodes_per_switch=32, blocking_factor=2.0
+        ),
+    )
+
+
+def supermuc_ng() -> Machine:
+    """SuperMUC-NG at LRZ (Section VI-A)."""
+    return Machine(
+        name="SuperMUC-NG",
+        total_nodes=6336,
+        cores_per_node=48,
+        processor="Intel Skylake Platinum 8174 @ 3.1 GHz",
+        network="OmniPath, island fat trees, inter-island pruning 1:4",
+        params=NetworkParameters(
+            nic_bandwidth=0.89e9,
+            memory_bandwidth=3.8e9,
+            inter_latency=2.0e-6,
+            intra_latency=5.0e-7,
+            per_message_overhead=1.1e-6,
+        ),
+        topology_factory=lambda n: IslandTopology(
+            n, nodes_per_island=792, pruning_factor=4.0
+        ),
+    )
+
+
+def juwels() -> Machine:
+    """JUWELS at FZJ (Section VI-A)."""
+    return Machine(
+        name="JUWELS",
+        total_nodes=2271,
+        cores_per_node=48,
+        processor="Intel Xeon Platinum 8168 @ 2.7 GHz",
+        network="InfiniBand 100 Gbit/s, two-level fat tree, pruning 2:1",
+        params=NetworkParameters(
+            nic_bandwidth=1.12e9,
+            memory_bandwidth=3.8e9,
+            inter_latency=1.6e-6,
+            intra_latency=5.0e-7,
+            per_message_overhead=1.0e-6,
+        ),
+        topology_factory=lambda n: FatTreeTopology(
+            n, nodes_per_switch=24, blocking_factor=2.0
+        ),
+    )
+
+
+#: Factories of all modelled machines, keyed by the paper's names.
+MACHINES: dict[str, Callable[[], Machine]] = {
+    "VSC4": vsc4,
+    "SuperMUC-NG": supermuc_ng,
+    "JUWELS": juwels,
+}

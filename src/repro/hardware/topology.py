@@ -1,0 +1,210 @@
+"""Interconnect topologies of the evaluation machines (Table I).
+
+The paper assumes homogeneous inter-node communication performance
+(Section II), so the *primary* cost model treats every node pair alike.
+The topology classes nevertheless model the real structure — two-level
+fat trees with a blocking factor (VSC4, JUWELS) and island systems with
+pruned inter-island links (SuperMUC-NG) — because the cost model offers a
+topology-aware extension that charges shared up-link contention; the
+ablation benchmarks use it to probe how far the homogeneity assumption
+carries.
+
+Nodes are numbered ``0..N-1`` and fill leaf switches (and islands) in
+order, matching how schedulers allocate contiguous node blocks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .._validation import as_int
+from ..exceptions import ReproError
+
+__all__ = ["Topology", "SingleSwitchTopology", "FatTreeTopology", "IslandTopology"]
+
+
+class Topology(ABC):
+    """Abstract interconnect: hop distances and shared-link groups."""
+
+    def __init__(self, num_nodes: int):
+        num_nodes = as_int(num_nodes, name="num_nodes")
+        if num_nodes <= 0:
+            raise ReproError(f"num_nodes must be positive, got {num_nodes}")
+        self._num_nodes = num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of compute nodes attached to the fabric."""
+        return self._num_nodes
+
+    @abstractmethod
+    def hop_distance(self, a: int, b: int) -> int:
+        """Switch hops between nodes *a* and *b* (0 when ``a == b``)."""
+
+    @abstractmethod
+    def leaf_of(self, node: int) -> int:
+        """Index of the shared leaf group (switch/island) of *node*."""
+
+    @abstractmethod
+    def uplink_capacity_fraction(self) -> float:
+        """Fraction of aggregate leaf bandwidth available on the up-link.
+
+        A blocking factor ``b:1`` or pruning factor ``1:b`` yields
+        ``1/b``: traffic leaving a leaf group shares a link provisioned at
+        that fraction of the group's injection bandwidth.
+        """
+
+    def _check_node(self, node: int) -> int:
+        node = as_int(node, name="node")
+        if not 0 <= node < self._num_nodes:
+            raise ReproError(f"node must be in [0, {self._num_nodes}), got {node}")
+        return node
+
+    def to_networkx(self):
+        """Export switches and nodes as a :class:`networkx.Graph`."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node("core", kind="switch")
+        leaves = {self.leaf_of(i) for i in range(self._num_nodes)}
+        for leaf in leaves:
+            g.add_node(f"leaf{leaf}", kind="switch")
+            g.add_edge("core", f"leaf{leaf}", capacity=self.uplink_capacity_fraction())
+        for i in range(self._num_nodes):
+            g.add_node(f"node{i}", kind="node")
+            g.add_edge(f"node{i}", f"leaf{self.leaf_of(i)}", capacity=1.0)
+        return g
+
+
+class SingleSwitchTopology(Topology):
+    """All nodes on one non-blocking switch (small allocations)."""
+
+    def hop_distance(self, a: int, b: int) -> int:
+        a, b = self._check_node(a), self._check_node(b)
+        return 0 if a == b else 1
+
+    def leaf_of(self, node: int) -> int:
+        self._check_node(node)
+        return 0
+
+    def uplink_capacity_fraction(self) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return f"SingleSwitchTopology(num_nodes={self._num_nodes})"
+
+
+class FatTreeTopology(Topology):
+    """Two-level fat tree with a blocking factor (VSC4, JUWELS).
+
+    Parameters
+    ----------
+    num_nodes:
+        Nodes attached to the tree.
+    nodes_per_switch:
+        Nodes per leaf switch; nodes fill switches contiguously.
+    blocking_factor:
+        ``b`` in a ``b:1`` blocked tree: the leaf up-link carries
+        ``1/b`` of the leaf's aggregate injection bandwidth.
+    """
+
+    def __init__(self, num_nodes: int, nodes_per_switch: int = 32, blocking_factor: float = 1.0):
+        super().__init__(num_nodes)
+        nodes_per_switch = as_int(nodes_per_switch, name="nodes_per_switch")
+        if nodes_per_switch <= 0:
+            raise ReproError(
+                f"nodes_per_switch must be positive, got {nodes_per_switch}"
+            )
+        if blocking_factor < 1.0:
+            raise ReproError(
+                f"blocking_factor must be >= 1, got {blocking_factor}"
+            )
+        self._nodes_per_switch = nodes_per_switch
+        self._blocking = float(blocking_factor)
+
+    @property
+    def nodes_per_switch(self) -> int:
+        """Nodes attached to one leaf switch."""
+        return self._nodes_per_switch
+
+    @property
+    def blocking_factor(self) -> float:
+        """The ``b`` of the ``b:1`` blocking ratio."""
+        return self._blocking
+
+    def hop_distance(self, a: int, b: int) -> int:
+        a, b = self._check_node(a), self._check_node(b)
+        if a == b:
+            return 0
+        return 1 if self.leaf_of(a) == self.leaf_of(b) else 3
+
+    def leaf_of(self, node: int) -> int:
+        return self._check_node(node) // self._nodes_per_switch
+
+    def uplink_capacity_fraction(self) -> float:
+        return 1.0 / self._blocking
+
+    def __repr__(self) -> str:
+        return (
+            f"FatTreeTopology(num_nodes={self._num_nodes}, "
+            f"nodes_per_switch={self._nodes_per_switch}, "
+            f"blocking_factor={self._blocking})"
+        )
+
+
+class IslandTopology(Topology):
+    """Islands of fat-tree-connected nodes with pruned island links.
+
+    SuperMUC-NG bundles nodes into islands; within an island the fat tree
+    is non-blocking, but inter-island links are pruned 1:4.
+
+    Parameters
+    ----------
+    num_nodes:
+        Nodes in the allocation.
+    nodes_per_island:
+        Nodes per island; nodes fill islands contiguously.
+    pruning_factor:
+        ``b`` in a ``1:b`` pruned inter-island connection.
+    """
+
+    def __init__(self, num_nodes: int, nodes_per_island: int = 792, pruning_factor: float = 4.0):
+        super().__init__(num_nodes)
+        nodes_per_island = as_int(nodes_per_island, name="nodes_per_island")
+        if nodes_per_island <= 0:
+            raise ReproError(
+                f"nodes_per_island must be positive, got {nodes_per_island}"
+            )
+        if pruning_factor < 1.0:
+            raise ReproError(f"pruning_factor must be >= 1, got {pruning_factor}")
+        self._nodes_per_island = nodes_per_island
+        self._pruning = float(pruning_factor)
+
+    @property
+    def nodes_per_island(self) -> int:
+        """Nodes bundled into one island."""
+        return self._nodes_per_island
+
+    @property
+    def pruning_factor(self) -> float:
+        """The ``b`` of the ``1:b`` pruning ratio."""
+        return self._pruning
+
+    def hop_distance(self, a: int, b: int) -> int:
+        a, b = self._check_node(a), self._check_node(b)
+        if a == b:
+            return 0
+        return 3 if self.leaf_of(a) == self.leaf_of(b) else 5
+
+    def leaf_of(self, node: int) -> int:
+        return self._check_node(node) // self._nodes_per_island
+
+    def uplink_capacity_fraction(self) -> float:
+        return 1.0 / self._pruning
+
+    def __repr__(self) -> str:
+        return (
+            f"IslandTopology(num_nodes={self._num_nodes}, "
+            f"nodes_per_island={self._nodes_per_island}, "
+            f"pruning_factor={self._pruning})"
+        )

@@ -1,0 +1,31 @@
+"""Mapping quality metrics and the paper's statistics pipeline."""
+
+from .cost import (
+    MappingCost,
+    evaluate_mapping,
+    jmax,
+    jsum,
+    node_of_vertex,
+    per_node_cut,
+    reduction_over_blocked,
+)
+from .stats import (
+    ConfidenceInterval,
+    mean_ci,
+    median_ci,
+    remove_outliers_iqr,
+)
+
+__all__ = [
+    "MappingCost",
+    "evaluate_mapping",
+    "jsum",
+    "jmax",
+    "node_of_vertex",
+    "per_node_cut",
+    "reduction_over_blocked",
+    "ConfidenceInterval",
+    "mean_ci",
+    "median_ci",
+    "remove_outliers_iqr",
+]

@@ -1,0 +1,201 @@
+"""Inter-node communication cost of a mapping (Section II objectives).
+
+A *mapping* is represented throughout the library as a permutation array
+``perm`` of length ``p`` with ``perm[old_rank] = new_rank``: the process
+with scheduler rank ``old_rank`` (which fixes its compute node) occupies
+the grid position whose row-major index is ``new_rank``.  This is exactly
+the reorder semantics of ``MPI_Cart_create``.
+
+Cost definitions (all on **directed** edges of the communication graph):
+
+* ``Jsum``  — number of edges whose endpoints sit on different nodes,
+* ``Jmax``  — the largest number of *outgoing* inter-node edges over all
+  nodes (the bottleneck node ``N_b``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import MappingError
+from ..grid.graph import communication_edges
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+from ..hardware.allocation import NodeAllocation
+
+__all__ = [
+    "node_of_vertex",
+    "jsum",
+    "jmax",
+    "per_node_cut",
+    "MappingCost",
+    "evaluate_mapping",
+    "reduction_over_blocked",
+    "weighted_cut_bytes",
+]
+
+
+def check_permutation(perm: np.ndarray, size: int) -> np.ndarray:
+    """Validate and normalise a mapping permutation.
+
+    Raises :class:`MappingError` when *perm* is not a bijection on
+    ``[0, size)`` — the invariant every mapper must satisfy.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape != (size,):
+        raise MappingError(f"mapping has shape {perm.shape}, expected ({size},)")
+    seen = np.zeros(size, dtype=bool)
+    if perm.size:
+        if perm.min() < 0 or perm.max() >= size:
+            raise MappingError("mapping contains out-of-range ranks")
+        seen[perm] = True
+    if not seen.all():
+        raise MappingError("mapping is not a permutation (duplicate targets)")
+    return perm
+
+
+def node_of_vertex(perm: np.ndarray, alloc: NodeAllocation) -> np.ndarray:
+    """Node index of each grid vertex under the mapping.
+
+    Grid vertex ``v`` (row-major position ``v``) is occupied by the old
+    rank ``r`` with ``perm[r] = v``; its node is ``alloc.node_of(r)``.
+    """
+    perm = check_permutation(perm, alloc.total_processes)
+    nodes = np.empty(alloc.total_processes, dtype=np.int64)
+    nodes[perm] = alloc.node_of_ranks()
+    return nodes
+
+
+def jsum(edges: np.ndarray, vertex_nodes: np.ndarray) -> int:
+    """Total inter-node communication ``Jsum`` over directed *edges*."""
+    if edges.size == 0:
+        return 0
+    return int(
+        np.count_nonzero(vertex_nodes[edges[:, 0]] != vertex_nodes[edges[:, 1]])
+    )
+
+
+def per_node_cut(
+    edges: np.ndarray, vertex_nodes: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Outgoing inter-node edge count of every node.
+
+    Entry ``i`` is ``|{(u, v) in E : M(u) = i, M(v) != i}|``.
+    """
+    if edges.size == 0:
+        return np.zeros(num_nodes, dtype=np.int64)
+    src_nodes = vertex_nodes[edges[:, 0]]
+    dst_nodes = vertex_nodes[edges[:, 1]]
+    cut = src_nodes != dst_nodes
+    return np.bincount(src_nodes[cut], minlength=num_nodes).astype(np.int64)
+
+
+def jmax(edges: np.ndarray, vertex_nodes: np.ndarray, num_nodes: int) -> int:
+    """Bottleneck-node cost ``Jmax`` (largest outgoing inter-node count)."""
+    cuts = per_node_cut(edges, vertex_nodes, num_nodes)
+    return int(cuts.max()) if cuts.size else 0
+
+
+@dataclass(frozen=True)
+class MappingCost:
+    """Full cost breakdown of one mapping on one instance."""
+
+    jsum: int
+    jmax: int
+    total_edges: int
+    per_node: np.ndarray = field(repr=False)
+    bottleneck_node: int
+
+    @property
+    def intra_edges(self) -> int:
+        """Number of directed edges staying inside a node."""
+        return self.total_edges - self.jsum
+
+    @property
+    def cut_fraction(self) -> float:
+        """``Jsum`` as a fraction of all directed edges."""
+        return self.jsum / self.total_edges if self.total_edges else 0.0
+
+
+def evaluate_mapping(
+    grid: CartesianGrid,
+    stencil: Stencil,
+    perm: np.ndarray,
+    alloc: NodeAllocation,
+    *,
+    edges: np.ndarray | None = None,
+) -> MappingCost:
+    """Evaluate ``Jsum``/``Jmax`` of a mapping permutation.
+
+    Parameters
+    ----------
+    edges:
+        Optional pre-computed edge array from
+        :func:`~repro.grid.graph.communication_edges`; pass it when
+        evaluating many mappings of the same instance.
+    """
+    alloc.check_matches(grid.size)
+    if edges is None:
+        edges = communication_edges(grid, stencil)
+    nodes = node_of_vertex(perm, alloc)
+    cuts = per_node_cut(edges, nodes, alloc.num_nodes)
+    total_jsum = int(cuts.sum())
+    bottleneck = int(cuts.argmax()) if cuts.size else 0
+    return MappingCost(
+        jsum=total_jsum,
+        jmax=int(cuts.max()) if cuts.size else 0,
+        total_edges=int(edges.shape[0]),
+        per_node=cuts,
+        bottleneck_node=bottleneck,
+    )
+
+
+def weighted_cut_bytes(
+    grid: CartesianGrid,
+    stencil: Stencil,
+    perm: np.ndarray,
+    alloc: NodeAllocation,
+    offset_bytes,
+) -> tuple[float, float]:
+    """Volume-weighted cut: ``(total inter-node bytes, bottleneck bytes)``.
+
+    The weighted analogue of ``(Jsum, Jmax)`` when each stencil offset
+    carries a different payload (``offset_bytes``: offset tuple ->
+    bytes, e.g. from :func:`repro.workloads.halo_exchange_volume`).
+    """
+    from ..grid.graph import communication_edges_by_offset
+
+    missing = [off for off in stencil.offsets if off not in offset_bytes]
+    if missing:
+        raise MappingError(f"offset_bytes missing entries for {missing}")
+    edges, offset_index = communication_edges_by_offset(grid, stencil)
+    if edges.shape[0] == 0:
+        return 0.0, 0.0
+    weights = np.array([float(offset_bytes[off]) for off in stencil.offsets])
+    edge_bytes = weights[offset_index]
+    nodes = node_of_vertex(perm, alloc)
+    src_nodes = nodes[edges[:, 0]]
+    cut = src_nodes != nodes[edges[:, 1]]
+    per_node = np.bincount(
+        src_nodes[cut], weights=edge_bytes[cut], minlength=alloc.num_nodes
+    )
+    return float(per_node.sum()), float(per_node.max())
+
+
+def reduction_over_blocked(cost: MappingCost, blocked_cost: MappingCost) -> tuple[float, float]:
+    """Reduction pair ``(Jsum_X / Jsum_blocked, Jmax_X / Jmax_blocked)``.
+
+    This is the quantity plotted in Figure 8; values below 1 mean the
+    mapping improves on the scheduler's blocked placement.  A blocked cost
+    of zero (no inter-node communication at all) yields a reduction of 1
+    when the compared cost is also zero, and ``inf`` otherwise.
+    """
+
+    def ratio(x: int, base: int) -> float:
+        if base == 0:
+            return 1.0 if x == 0 else float("inf")
+        return x / base
+
+    return ratio(cost.jsum, blocked_cost.jsum), ratio(cost.jmax, blocked_cost.jmax)

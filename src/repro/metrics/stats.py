@@ -1,0 +1,113 @@
+"""The paper's statistics pipeline (Section VI-B/VI-C/VI-D).
+
+The experimental methodology is: collect many samples per configuration,
+remove outliers beyond 1.5 inter-quartile ranges from the first and third
+quartile, then report either the mean with a 95% normal confidence
+interval (throughput tables and speedup bars) or the median with a
+Gaussian-based asymptotic 95% confidence interval (the notches of
+Figure 8's distribution plots).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConfidenceInterval",
+    "remove_outliers_iqr",
+    "mean_ci",
+    "median_ci",
+]
+
+# Two-sided 97.5% standard-normal quantile, used for all 95% intervals.
+_Z975 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a symmetric-or-not confidence interval."""
+
+    value: float
+    low: float
+    high: float
+    confidence: float = 0.95
+
+    @property
+    def half_width(self) -> float:
+        """Largest one-sided deviation, as printed in the paper's tables."""
+        return max(self.value - self.low, self.high - self.value)
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """``True`` if the two intervals intersect.
+
+        Non-overlapping median notches are the paper's criterion for a
+        statistically significant difference (Section VI-C).
+        """
+        return self.low <= other.high and other.low <= self.high
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfidenceInterval({self.value:.6g} "
+            f"[{self.low:.6g}, {self.high:.6g}])"
+        )
+
+
+def remove_outliers_iqr(samples: np.ndarray, factor: float = 1.5) -> np.ndarray:
+    """Drop samples beyond ``factor`` IQRs outside ``[Q1, Q3]``.
+
+    Matches the paper's outlier rule ("beyond 1.5 inter-quartile range
+    from the third and first quartile").  Arrays with fewer than four
+    samples are returned unchanged — quartiles are meaningless there.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1:
+        raise ValueError(f"samples must be 1-D, got shape {samples.shape}")
+    if samples.size < 4:
+        return samples
+    q1, q3 = np.percentile(samples, [25.0, 75.0])
+    iqr = q3 - q1
+    lo = q1 - factor * iqr
+    hi = q3 + factor * iqr
+    kept = samples[(samples >= lo) & (samples <= hi)]
+    # Degenerate distributions (iqr == 0 with far outliers) can keep
+    # everything or almost nothing; guarantee at least one sample survives.
+    return kept if kept.size else samples
+
+
+def mean_ci(samples: np.ndarray, *, remove_outliers: bool = True) -> ConfidenceInterval:
+    """Mean with a 95% normal confidence interval after outlier removal.
+
+    This is the estimator behind the throughput tables (Tables II-VII) and
+    the speedup bars of Figures 6 and 7.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise ValueError("mean_ci needs at least one sample")
+    if remove_outliers:
+        samples = remove_outliers_iqr(samples)
+    m = float(samples.mean())
+    if samples.size == 1:
+        return ConfidenceInterval(m, m, m)
+    sem = float(samples.std(ddof=1)) / math.sqrt(samples.size)
+    return ConfidenceInterval(m, m - _Z975 * sem, m + _Z975 * sem)
+
+
+def median_ci(samples: np.ndarray) -> ConfidenceInterval:
+    """Median with the Gaussian-asymptotic 95% CI ``±1.57 · IQR / sqrt(n)``.
+
+    This is the classic notched-box-plot formula (McGill, Tukey, Larsen)
+    the paper cites as the "Gaussian-based asymptotic approximation" for
+    the Figure 8 notches.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise ValueError("median_ci needs at least one sample")
+    med = float(np.median(samples))
+    if samples.size == 1:
+        return ConfidenceInterval(med, med, med)
+    q1, q3 = np.percentile(samples, [25.0, 75.0])
+    half = 1.57 * (q3 - q1) / math.sqrt(samples.size)
+    return ConfidenceInterval(med, med - half, med + half)

@@ -1,0 +1,173 @@
+"""Simulated MPI job and base communicator.
+
+A :class:`SimMPI` instance models one job: a node allocation on a modelled
+machine, with a global simulated clock.  Communication operations advance
+the clock by the machine model's estimate; the data itself really moves
+between per-rank buffers, so algorithms built on the layer (for example
+the Jacobi example) can be checked for correctness.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import as_int
+from ..exceptions import SimulationError
+from ..hardware.allocation import NodeAllocation
+from ..hardware.costmodel import CommunicationModel
+from ..hardware.machines import Machine
+
+__all__ = ["SimMPI", "SimComm"]
+
+
+class SimMPI:
+    """One simulated job: machine + allocation + clock.
+
+    Parameters
+    ----------
+    machine:
+        The modelled system; ``None`` disables time accounting (the data
+        plane still works), which is convenient in unit tests.
+    num_nodes / processes_per_node:
+        Allocation shape; alternatively pass an explicit ``allocation``.
+    topology_aware:
+        Forwarded to the machine's communication model.
+    """
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        num_nodes: int | None = None,
+        processes_per_node: int | None = None,
+        *,
+        allocation: NodeAllocation | None = None,
+        topology_aware: bool = False,
+    ):
+        if allocation is None:
+            if num_nodes is None:
+                raise SimulationError(
+                    "pass either an allocation or num_nodes/processes_per_node"
+                )
+            if machine is not None:
+                allocation = machine.allocation(num_nodes, processes_per_node)
+            else:
+                if processes_per_node is None:
+                    raise SimulationError(
+                        "processes_per_node is required without a machine"
+                    )
+                allocation = NodeAllocation.homogeneous(
+                    as_int(num_nodes, name="num_nodes"),
+                    as_int(processes_per_node, name="processes_per_node"),
+                )
+        self.machine = machine
+        self.allocation = allocation
+        self.model: CommunicationModel | None = (
+            machine.model(allocation.num_nodes, topology_aware=topology_aware)
+            if machine is not None
+            else None
+        )
+        self._clock = 0.0
+        self._events: list[tuple[str, float]] = []
+        self.world = SimComm(self, allocation.total_processes)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Simulated seconds elapsed in communication so far."""
+        return self._clock
+
+    @property
+    def events(self) -> list[tuple[str, float]]:
+        """Chronological ``(operation, seconds)`` log."""
+        return list(self._events)
+
+    def advance(self, operation: str, seconds: float) -> None:
+        """Charge *seconds* of simulated time to *operation*."""
+        if seconds < 0:
+            raise SimulationError(f"cannot advance clock by {seconds}")
+        self._clock += seconds
+        self._events.append((operation, seconds))
+
+    def reset_clock(self) -> None:
+        """Zero the clock and clear the event log."""
+        self._clock = 0.0
+        self._events.clear()
+
+    def __repr__(self) -> str:
+        name = self.machine.name if self.machine else "no-machine"
+        return (
+            f"SimMPI({name}, nodes={self.allocation.num_nodes}, "
+            f"p={self.allocation.total_processes}, clock={self._clock:.6f}s)"
+        )
+
+
+class SimComm:
+    """The world communicator of a simulated job."""
+
+    def __init__(self, mpi: SimMPI, size: int):
+        size = as_int(size, name="size")
+        if size <= 0:
+            raise SimulationError(f"communicator size must be positive, got {size}")
+        self.mpi = mpi
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        """Number of ranks (``MPI_Comm_size``)."""
+        return self._size
+
+    def check_rank(self, rank: int) -> int:
+        rank = as_int(rank, name="rank")
+        if not 0 <= rank < self._size:
+            raise SimulationError(
+                f"rank must be in [0, {self._size}), got {rank}"
+            )
+        return rank
+
+    # ------------------------------------------------------------------
+    # Collectives with time accounting
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronise all ranks; charges a logarithmic latency term."""
+        model = self.mpi.model
+        if model is not None and self._size > 1:
+            rounds = math.ceil(math.log2(self._size))
+            self.mpi.advance("barrier", rounds * model.params.inter_latency)
+
+    def allreduce(self, values: np.ndarray, op: str = "sum") -> np.ndarray:
+        """Elementwise reduction of per-rank *values* (``(size, ...)``).
+
+        Returns the reduced array every rank would receive.  Charges a
+        latency-dominated recursive-doubling estimate.
+        """
+        values = np.asarray(values)
+        if values.shape[0] != self._size:
+            raise SimulationError(
+                f"allreduce expects a leading axis of {self._size} ranks, "
+                f"got shape {values.shape}"
+            )
+        ops = {
+            "sum": lambda v: v.sum(axis=0),
+            "max": lambda v: v.max(axis=0),
+            "min": lambda v: v.min(axis=0),
+        }
+        if op not in ops:
+            raise SimulationError(f"unsupported allreduce op {op!r}")
+        result = ops[op](values)
+        model = self.mpi.model
+        if model is not None and self._size > 1:
+            rounds = math.ceil(math.log2(self._size))
+            bytes_each = np.asarray(result).nbytes
+            per_round = (
+                model.params.inter_latency
+                + bytes_each / model.params.nic_bandwidth
+            )
+            self.mpi.advance("allreduce", rounds * per_round)
+        return result
+
+    def __repr__(self) -> str:
+        return f"SimComm(size={self._size})"

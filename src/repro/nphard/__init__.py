@@ -1,0 +1,32 @@
+"""NP-hardness of the Cartesian mapping problem (Section IV).
+
+The paper proves GRID-PARTITION NP-hard by reduction from
+3-WAY-PARTITION (Theorem IV.3).  This subpackage makes the construction
+executable:
+
+* :mod:`repro.nphard.threeway` — 3-WAY-PARTITION instances, an exact
+  solver, and instance generators,
+* :mod:`repro.nphard.reduction` — the Theorem IV.3 transformation and the
+  witness mapping of a yes instance,
+* :mod:`repro.nphard.bruteforce` — an exact branch-and-bound
+  GRID-PARTITION solver for small instances, used to verify the
+  reduction end-to-end.
+"""
+
+from .threeway import (
+    ThreeWayPartitionInstance,
+    random_no_instance,
+    random_yes_instance,
+)
+from .reduction import GridPartitionInstance, reduce_to_grid_partition, witness_mapping
+from .bruteforce import min_jsum_bruteforce
+
+__all__ = [
+    "ThreeWayPartitionInstance",
+    "random_yes_instance",
+    "random_no_instance",
+    "GridPartitionInstance",
+    "reduce_to_grid_partition",
+    "witness_mapping",
+    "min_jsum_bruteforce",
+]

@@ -1,0 +1,93 @@
+"""Exact GRID-PARTITION solver for small instances (branch and bound).
+
+Used by the test suite to verify the Theorem IV.3 reduction end-to-end:
+the minimum achievable ``Jsum`` of the reduced instance equals the bound
+``Q = 2|I'| - 6`` exactly when the 3-WAY-PARTITION instance is a yes
+instance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..exceptions import ReproError
+from ..grid.graph import communication_edges
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+
+__all__ = ["min_jsum_bruteforce"]
+
+
+def min_jsum_bruteforce(
+    grid: CartesianGrid,
+    stencil: Stencil,
+    node_sizes: Sequence[int],
+    *,
+    limit_vertices: int = 24,
+) -> int:
+    """Minimum ``Jsum`` over all capacity-respecting assignments.
+
+    Branch-and-bound over vertices in rank order: each vertex is assigned
+    to a node with remaining capacity; the partial cut (edges between
+    already-assigned vertices on different nodes) prunes the search.
+    Nodes with equal size and no assigned vertex are interchangeable, so
+    only the first empty node of each size is branched on.
+
+    Exponential — guarded by ``limit_vertices``.
+    """
+    p = grid.size
+    if p > limit_vertices:
+        raise ReproError(
+            f"brute force limited to {limit_vertices} vertices, grid has {p}"
+        )
+    if sum(node_sizes) != p:
+        raise ReproError(
+            f"node sizes sum to {sum(node_sizes)}, but the grid has {p} vertices"
+        )
+    edges = communication_edges(grid, stencil)
+    # Undirected neighbour lists restricted to already-assigned vertices
+    # (lower rank), with directed multiplicity as weight.
+    weight: dict[tuple[int, int], int] = {}
+    for u, v in edges.tolist():
+        a, b = (u, v) if u > v else (v, u)
+        weight[(a, b)] = weight.get((a, b), 0) + 1
+    back_neighbors: list[list[tuple[int, int]]] = [[] for _ in range(p)]
+    for (a, b), w in weight.items():
+        back_neighbors[a].append((b, w))
+
+    sizes = list(node_sizes)
+    remaining = list(sizes)
+    assignment = [-1] * p
+    best = [float("inf")]
+
+    def recurse(vertex: int, partial_cut: int) -> None:
+        if partial_cut >= best[0]:
+            return
+        if vertex == p:
+            best[0] = partial_cut
+            return
+        seen_empty_sizes: set[int] = set()
+        for node in range(len(sizes)):
+            if remaining[node] == 0:
+                continue
+            if remaining[node] == sizes[node]:
+                # Untouched node: interchangeable with same-sized ones.
+                if sizes[node] in seen_empty_sizes:
+                    continue
+                seen_empty_sizes.add(sizes[node])
+            added = 0
+            for other, w in back_neighbors[vertex]:
+                if assignment[other] != node:
+                    added += w
+            assignment[vertex] = node
+            remaining[node] -= 1
+            recurse(vertex + 1, partial_cut + added)
+            remaining[node] += 1
+            assignment[vertex] = -1
+
+    recurse(0, 0)
+    if not np.isfinite(best[0]):  # pragma: no cover - sizes checked above
+        raise ReproError("no feasible assignment found")
+    return int(best[0])

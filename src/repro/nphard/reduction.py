@@ -1,0 +1,104 @@
+"""The Theorem IV.3 reduction: 3-WAY-PARTITION -> GRID-PARTITION.
+
+Given an instance ``I'`` of 3-WAY-PARTITION with total sum ``3t``, build
+
+* a Cartesian grid ``D = [3, t]`` (three independent rows, because
+* the one-dimensional component stencil ``S = {+1_1, -1_1}`` only
+  communicates along the second dimension),
+* node sizes ``N = I'`` (one node per item),
+* the bound ``Q = 2|I'| - 6``.
+
+Every node must then occupy a set of cells; the cheapest shape is a
+consecutive run inside one row (two outgoing directed edges, one fewer at
+row ends), so ``Jsum = Q`` is achievable exactly when the items can be
+packed into the three rows — i.e. when ``I'`` is a yes instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ReproError
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+from ..hardware.allocation import NodeAllocation
+from ..metrics.cost import MappingCost, evaluate_mapping
+from .threeway import ThreeWayPartitionInstance
+
+__all__ = ["GridPartitionInstance", "reduce_to_grid_partition", "witness_mapping"]
+
+
+@dataclass(frozen=True)
+class GridPartitionInstance:
+    """A GRID-PARTITION decision instance (Definition IV.1)."""
+
+    grid: CartesianGrid
+    stencil: Stencil
+    node_sizes: tuple[int, ...]
+    bound: int
+
+    @property
+    def allocation(self) -> NodeAllocation:
+        """The node allocation induced by the partition sizes."""
+        return NodeAllocation(self.node_sizes)
+
+
+def reduce_to_grid_partition(
+    instance: ThreeWayPartitionInstance,
+) -> GridPartitionInstance:
+    """Theorem IV.3 transformation of a 3-WAY-PARTITION instance.
+
+    Raises :class:`ReproError` when the item sum is not divisible by 3 —
+    such instances are trivially no instances and yield no grid.
+    """
+    total = instance.total
+    if total % 3 != 0:
+        raise ReproError(
+            f"item sum {total} is not divisible by 3; the instance is a "
+            "trivial no instance and has no grid image"
+        )
+    grid = CartesianGrid([3, total // 3])
+    stencil = Stencil([(0, 1), (0, -1)], name="component_reduction")
+    bound = 2 * len(instance) - 6
+    return GridPartitionInstance(
+        grid=grid,
+        stencil=stencil,
+        node_sizes=tuple(instance.items),
+        bound=bound,
+    )
+
+
+def witness_mapping(
+    instance: ThreeWayPartitionInstance,
+) -> tuple[GridPartitionInstance, np.ndarray, MappingCost] | None:
+    """Build and verify the witness mapping of a yes instance.
+
+    When ``instance`` has a 3-way equal-sum partition, order the nodes so
+    that the items of each subset fill one grid row consecutively; the
+    *blocked* mapping of that node order realises ``Jsum = Q``.  Returns
+    ``None`` for no instances.
+    """
+    solution = instance.solve()
+    if solution is None:
+        return None
+    ordered_items = [x for group in solution for x in group]
+    reduced = reduce_to_grid_partition(instance)
+    ordered = GridPartitionInstance(
+        grid=reduced.grid,
+        stencil=reduced.stencil,
+        node_sizes=tuple(ordered_items),
+        bound=reduced.bound,
+    )
+    # Rows are laid out consecutively in row-major order, so packing the
+    # reordered nodes blockwise puts every node inside one row.
+    perm = np.arange(ordered.grid.size, dtype=np.int64)
+    cost = evaluate_mapping(
+        ordered.grid, ordered.stencil, perm, ordered.allocation
+    )
+    if cost.jsum > ordered.bound:  # pragma: no cover - theorem guarantees
+        raise ReproError(
+            f"witness mapping exceeded the bound: {cost.jsum} > {ordered.bound}"
+        )
+    return ordered, perm, cost

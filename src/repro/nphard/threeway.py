@@ -1,0 +1,144 @@
+"""3-WAY-PARTITION: instances, exact decision, generators.
+
+Definition IV.2: given a multi-set ``I`` of positive integers, decide
+whether ``I`` can be split into three disjoint subsets of equal sum.
+The problem is NP-complete (Korf 2009); the exact solver here is a
+memoised backtracking search, perfectly adequate for the small instances
+used to validate the reduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .._validation import as_int_tuple
+from ..exceptions import ReproError
+
+__all__ = [
+    "ThreeWayPartitionInstance",
+    "random_yes_instance",
+    "random_no_instance",
+]
+
+
+@dataclass(frozen=True)
+class ThreeWayPartitionInstance:
+    """A multi-set of positive integers."""
+
+    items: tuple[int, ...]
+
+    def __init__(self, items: Sequence[int]):
+        items = as_int_tuple(items, name="items")
+        if not items:
+            raise ReproError("a 3-way-partition instance needs at least one item")
+        for x in items:
+            if x <= 0:
+                raise ReproError(f"items must be positive, got {x}")
+        object.__setattr__(self, "items", tuple(items))
+
+    @property
+    def total(self) -> int:
+        """Sum of all items."""
+        return sum(self.items)
+
+    def solve(self) -> tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...]] | None:
+        """Exact decision with witness: three equal-sum subsets or ``None``.
+
+        Items are processed largest-first; the state ``(index, s0, s1)``
+        is memoised (the third subset's sum is implied by the prefix sum)
+        and the witness is reconstructed by replaying feasible choices.
+        """
+        total = self.total
+        if total % 3 != 0:
+            return None
+        target = total // 3
+        items = tuple(sorted(self.items, reverse=True))
+        if items[0] > target:
+            return None
+        n = len(items)
+        prefix = tuple(itertools.accumulate((0,) + items))
+
+        @lru_cache(maxsize=None)
+        def feasible(index: int, s0: int, s1: int) -> bool:
+            if index == n:
+                return s0 == target and s1 == target
+            x = items[index]
+            s2 = prefix[index] - s0 - s1
+            if s0 + x <= target and feasible(index + 1, s0 + x, s1):
+                return True
+            # Symmetry: when two subset sums are equal the branches are
+            # interchangeable, so explore only one.
+            if s1 != s0 and s1 + x <= target and feasible(index + 1, s0, s1 + x):
+                return True
+            if s2 != s0 and s2 != s1 and s2 + x <= target:
+                return feasible(index + 1, s0, s1)
+            return False
+
+        if not feasible(0, 0, 0):
+            return None
+
+        # Replay the memoised search to recover one witness.
+        groups: tuple[list[int], list[int], list[int]] = ([], [], [])
+        s0 = s1 = 0
+        for index in range(n):
+            x = items[index]
+            s2 = prefix[index] - s0 - s1
+            if s0 + x <= target and feasible(index + 1, s0 + x, s1):
+                groups[0].append(x)
+                s0 += x
+            elif s1 != s0 and s1 + x <= target and feasible(index + 1, s0, s1 + x):
+                groups[1].append(x)
+                s1 += x
+            else:
+                groups[2].append(x)
+        g0, g1, g2 = (tuple(g) for g in groups)
+        assert sum(g0) == sum(g1) == sum(g2) == target
+        return g0, g1, g2
+
+    def is_yes(self) -> bool:
+        """``True`` when a 3-way equal-sum partition exists."""
+        return self.solve() is not None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def random_yes_instance(
+    rng: np.random.Generator, *, items_per_group: int = 3, max_value: int = 9
+) -> ThreeWayPartitionInstance:
+    """A guaranteed yes instance: three groups forged to the same sum.
+
+    Each group gets ``items_per_group`` random values; the last item of
+    every group is adjusted upward so all groups share the maximum group
+    sum.
+    """
+    if items_per_group < 1:
+        raise ReproError("items_per_group must be >= 1")
+    groups = [
+        [int(rng.integers(1, max_value + 1)) for _ in range(items_per_group)]
+        for _ in range(3)
+    ]
+    target = max(sum(g) for g in groups)
+    items: list[int] = []
+    for g in groups:
+        g[-1] += target - sum(g)
+        items.extend(g)
+    perm = rng.permutation(len(items))
+    return ThreeWayPartitionInstance([items[i] for i in perm])
+
+
+def random_no_instance(
+    rng: np.random.Generator, *, size: int = 9, max_value: int = 9
+) -> ThreeWayPartitionInstance:
+    """A verified no instance (rejection sampling against the solver)."""
+    for _ in range(10_000):
+        items = [int(rng.integers(1, max_value + 1)) for _ in range(size)]
+        inst = ThreeWayPartitionInstance(items)
+        if not inst.is_yes():
+            return inst
+    raise ReproError("could not sample a no instance")  # pragma: no cover

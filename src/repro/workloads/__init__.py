@@ -1,0 +1,29 @@
+"""Synthetic communication workload generators.
+
+The specialised algorithms exploit Cartesian structure; the general
+graph mapper (VieM's role) accepts arbitrary communication graphs.  This
+subpackage generates the workloads that populate that comparison space:
+
+* :func:`stencil_workload` — the structured case (grid + stencil),
+* :func:`random_sparse_workload` — unstructured sparse communication,
+* :func:`clustered_workload` — community-structured communication
+  (processes talk mostly within groups, as in multi-physics couplings),
+* :func:`halo_exchange_volume` — byte-volume annotation of stencil
+  workloads for weighted experiments.
+"""
+
+from .generators import (
+    Workload,
+    clustered_workload,
+    halo_exchange_volume,
+    random_sparse_workload,
+    stencil_workload,
+)
+
+__all__ = [
+    "Workload",
+    "stencil_workload",
+    "random_sparse_workload",
+    "clustered_workload",
+    "halo_exchange_volume",
+]

@@ -1,0 +1,181 @@
+"""Communication workload generators (see package docstring)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_int
+from ..exceptions import ReproError
+from ..grid.graph import communication_edges
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+
+__all__ = [
+    "Workload",
+    "stencil_workload",
+    "random_sparse_workload",
+    "clustered_workload",
+    "halo_exchange_volume",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A directed communication workload.
+
+    Attributes
+    ----------
+    num_processes:
+        Vertex count of the communication graph.
+    edges:
+        ``(m, 2)`` directed edge array.
+    name:
+        Human-readable workload label.
+    """
+
+    num_processes: int
+    edges: np.ndarray
+    name: str
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edge count."""
+        return int(self.edges.shape[0])
+
+    def degree_out(self) -> np.ndarray:
+        """Per-process out-degree."""
+        return np.bincount(
+            self.edges[:, 0], minlength=self.num_processes
+        ).astype(np.int64)
+
+    def is_symmetric(self) -> bool:
+        """``True`` when every directed edge has its reverse."""
+        pairs = {tuple(e) for e in self.edges.tolist()}
+        return all((v, u) in pairs for u, v in pairs)
+
+
+def stencil_workload(grid: CartesianGrid, stencil: Stencil) -> Workload:
+    """The structured workload the paper targets."""
+    return Workload(
+        num_processes=grid.size,
+        edges=communication_edges(grid, stencil),
+        name=f"stencil[{stencil.name}@{list(grid.dims)}]",
+    )
+
+
+def random_sparse_workload(
+    num_processes: int,
+    degree: int,
+    *,
+    seed: int = 0,
+    symmetric: bool = True,
+) -> Workload:
+    """Sparse random communication: ``degree`` partners per process.
+
+    Partners are sampled without replacement; with ``symmetric`` each
+    link is used in both directions (the common case for halo-style
+    exchanges over irregular meshes).
+    """
+    num_processes = as_int(num_processes, name="num_processes")
+    degree = as_int(degree, name="degree")
+    if num_processes < 2:
+        raise ReproError(f"need at least 2 processes, got {num_processes}")
+    if not 0 < degree < num_processes:
+        raise ReproError(
+            f"degree must be in (0, {num_processes}), got {degree}"
+        )
+    rng = np.random.default_rng(seed)
+    pairs: set[tuple[int, int]] = set()
+    for u in range(num_processes):
+        choices = rng.choice(num_processes - 1, size=degree, replace=False)
+        for c in choices:
+            v = int(c) + (int(c) >= u)  # skip self
+            pairs.add((u, v))
+            if symmetric:
+                pairs.add((v, u))
+    edges = np.array(sorted(pairs), dtype=np.int64)
+    return Workload(
+        num_processes=num_processes,
+        edges=edges,
+        name=f"random[p={num_processes},deg={degree}]",
+    )
+
+
+def clustered_workload(
+    num_clusters: int,
+    cluster_size: int,
+    *,
+    intra_degree: int = 4,
+    inter_links: int = 1,
+    seed: int = 0,
+) -> Workload:
+    """Community-structured communication.
+
+    Each cluster is a sparse random subgraph; consecutive clusters share
+    ``inter_links`` symmetric links (a coupling surface).  A good mapper
+    should place clusters on nodes — the structure recursive bisection
+    exploits.
+    """
+    num_clusters = as_int(num_clusters, name="num_clusters")
+    cluster_size = as_int(cluster_size, name="cluster_size")
+    if num_clusters < 1 or cluster_size < 2:
+        raise ReproError("need num_clusters >= 1 and cluster_size >= 2")
+    if not 0 < intra_degree < cluster_size:
+        raise ReproError(
+            f"intra_degree must be in (0, {cluster_size}), got {intra_degree}"
+        )
+    rng = np.random.default_rng(seed)
+    pairs: set[tuple[int, int]] = set()
+    for c in range(num_clusters):
+        base = c * cluster_size
+        for local_u in range(cluster_size):
+            u = base + local_u
+            choices = rng.choice(cluster_size - 1, size=intra_degree, replace=False)
+            for ch in choices:
+                v = base + int(ch) + (int(ch) >= local_u)
+                pairs.add((u, v))
+                pairs.add((v, u))
+    for c in range(num_clusters - 1):
+        for _ in range(inter_links):
+            u = c * cluster_size + int(rng.integers(cluster_size))
+            v = (c + 1) * cluster_size + int(rng.integers(cluster_size))
+            pairs.add((u, v))
+            pairs.add((v, u))
+    edges = np.array(sorted(pairs), dtype=np.int64)
+    return Workload(
+        num_processes=num_clusters * cluster_size,
+        edges=edges,
+        name=f"clustered[{num_clusters}x{cluster_size}]",
+    )
+
+
+def halo_exchange_volume(
+    grid: CartesianGrid,
+    stencil: Stencil,
+    tile_shape: tuple[int, ...],
+    element_bytes: int = 8,
+) -> dict[tuple[int, ...], int]:
+    """Bytes per stencil offset for a halo exchange of the given tile.
+
+    For offset ``R`` the transferred face is the tile cross-section
+    orthogonal to the non-zero components of ``R`` — one row/column/face
+    per unit of displacement.  Useful for volume-weighted experiments
+    where hop offsets carry less data than unit offsets.
+    """
+    if len(tile_shape) != grid.ndim:
+        raise ReproError(
+            f"tile_shape has length {len(tile_shape)}, expected {grid.ndim}"
+        )
+    element_bytes = as_int(element_bytes, name="element_bytes")
+    volumes: dict[tuple[int, ...], int] = {}
+    for offset in stencil.offsets:
+        cells = 1
+        for extent, step in zip(tile_shape, offset):
+            if step == 0:
+                cells *= extent
+            else:
+                cells *= min(abs(step), extent)
+        volumes[offset] = cells * element_bytes
+    return volumes

@@ -1,0 +1,144 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+import repro
+from repro import (
+    BlockedMapper,
+    CartesianGrid,
+    GraphMapper,
+    HyperplaneMapper,
+    KDTreeMapper,
+    NodeAllocation,
+    NodecartMapper,
+    RandomMapper,
+    StencilStripsMapper,
+)
+
+# ----------------------------------------------------------------------
+# Plain fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def paper_grid_50() -> CartesianGrid:
+    """The Figure 6 instance grid (50 nodes x 48 processes)."""
+    return CartesianGrid([50, 48])
+
+
+@pytest.fixture
+def paper_alloc_50() -> NodeAllocation:
+    return NodeAllocation.homogeneous(50, 48)
+
+
+@pytest.fixture
+def small_grid() -> CartesianGrid:
+    return CartesianGrid([6, 4])
+
+
+@pytest.fixture
+def small_alloc() -> NodeAllocation:
+    return NodeAllocation.homogeneous(4, 6)
+
+
+def all_mappers() -> dict[str, repro.Mapper]:
+    """Fresh instances of every mapper (GraphMapper with a small budget)."""
+    return {
+        "blocked": BlockedMapper(),
+        "random": RandomMapper(seed=11),
+        "hyperplane": HyperplaneMapper(),
+        "kd_tree": KDTreeMapper(),
+        "stencil_strips": StencilStripsMapper(),
+        "nodecart": NodecartMapper(),
+        "graphmap": GraphMapper(seed=2, local_search_factor=0.5),
+    }
+
+
+@pytest.fixture(params=sorted(all_mappers()))
+def any_mapper(request) -> repro.Mapper:
+    """Parametrised over every mapping algorithm."""
+    return all_mappers()[request.param]
+
+
+@pytest.fixture(params=["hyperplane", "kd_tree", "stencil_strips"])
+def paper_mapper(request) -> repro.Mapper:
+    """Parametrised over the paper's three distributed algorithms."""
+    return all_mappers()[request.param]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+
+def grids(max_ndim: int = 3, max_size: int = 120) -> st.SearchStrategy:
+    """Random small Cartesian grids."""
+
+    def build(dims):
+        return CartesianGrid(dims)
+
+    return (
+        st.integers(1, max_ndim)
+        .flatmap(
+            lambda d: st.lists(st.integers(1, 8), min_size=d, max_size=d)
+        )
+        .filter(lambda dims: int(np.prod(dims)) <= max_size)
+        .map(build)
+    )
+
+
+def stencils_for(ndim: int) -> st.SearchStrategy:
+    """Random stencils matching *ndim*: paper families + random offsets."""
+    families = [repro.nearest_neighbor(ndim)]
+    if ndim >= 2:
+        families.append(repro.component(ndim))
+        families.append(repro.nearest_neighbor_with_hops(ndim))
+
+    def offsets_to_stencil(offs):
+        unique = [o for o in dict.fromkeys(map(tuple, offs)) if any(o)]
+        if not unique:
+            unique = [tuple([1] + [0] * (ndim - 1))]
+        return repro.Stencil(unique)
+
+    random_stencils = st.lists(
+        st.lists(st.integers(-2, 2), min_size=ndim, max_size=ndim),
+        min_size=1,
+        max_size=6,
+    ).map(offsets_to_stencil)
+    return st.one_of(st.sampled_from(families), random_stencils)
+
+
+def allocations_for(total: int) -> st.SearchStrategy:
+    """Random node allocations covering exactly *total* processes."""
+
+    def split(seed: int) -> NodeAllocation:
+        rng = np.random.default_rng(seed)
+        sizes = []
+        left = total
+        while left > 0:
+            take = int(rng.integers(1, left + 1))
+            take = min(take, left)
+            sizes.append(take)
+            left -= take
+        return NodeAllocation(sizes)
+
+    homogeneous = st.sampled_from(
+        [n for n in (1, 2, 3, 4, 6, 8) if total % n == 0]
+    ).map(lambda n: NodeAllocation.homogeneous(total // n, n))
+    return st.one_of(homogeneous, st.integers(0, 2**32 - 1).map(split))
+
+
+# ----------------------------------------------------------------------
+# Assertion helpers
+# ----------------------------------------------------------------------
+
+
+def assert_valid_mapping(perm: np.ndarray, alloc: NodeAllocation) -> None:
+    """A mapping must be a bijection; capacities follow automatically."""
+    p = alloc.total_processes
+    assert perm.shape == (p,)
+    assert sorted(perm.tolist()) == list(range(p))

@@ -1,0 +1,106 @@
+"""Property tests of algorithm internals (split positions, strip plans,
+block factorisations)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nearest_neighbor
+from repro.core.hyperplane import _split_positions
+from repro.core.nodecart import block_factorizations
+from repro.core.strips import strip_widths
+from repro.grid.dims import dims_create, divisors
+
+
+class TestSplitPositions:
+    def test_small_cases(self):
+        assert _split_positions(2) == [1]
+        assert _split_positions(3) == [1, 2]
+        assert _split_positions(4) == [2, 1, 3]
+        assert _split_positions(5) == [2, 3, 1, 4]
+
+    @given(st.integers(2, 60))
+    @settings(max_examples=60)
+    def test_covers_all_positions_once(self, size):
+        positions = _split_positions(size)
+        assert sorted(positions) == list(range(1, size))
+
+    @given(st.integers(2, 60))
+    @settings(max_examples=60)
+    def test_centre_outward_ordering(self, size):
+        """Distances from the centre are non-decreasing."""
+        positions = _split_positions(size)
+        distances = [abs(q - size / 2) for q in positions]
+        assert all(a <= b + 0.51 for a, b in zip(distances, distances[1:]))
+
+
+class TestStripWidthProperties:
+    @given(
+        st.integers(2, 40),
+        st.integers(2, 40),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=80)
+    def test_widths_partition_dimensions_2d(self, d0, d1, n):
+        dims = [d0, d1]
+        largest = 0 if d0 >= d1 else 1
+        widths = strip_widths(dims, (1.0, 1.0), n, largest)
+        other = 1 - largest
+        assert set(widths) == {other}
+        assert sum(widths[other]) == dims[other]
+        assert all(w >= 1 for w in widths[other])
+        # all strips but the last share the nominal width
+        nominal = widths[other][0]
+        assert all(w == nominal for w in widths[other][:-1])
+        assert widths[other][-1] >= nominal
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=50)
+    def test_width_close_to_sqrt_n(self, n):
+        """For the NN stencil in 2-D the strip width is floor(sqrt(n))."""
+        widths = strip_widths([1000, 999], (1.0, 1.0), n, 0)
+        nominal = widths[1][0]
+        assert nominal == max(1, int(math.sqrt(n)))
+
+
+class TestBlockFactorizationProperties:
+    @given(st.integers(2, 400), st.integers(2, 4))
+    @settings(max_examples=80)
+    def test_always_feasible_when_n_divides_p(self, p, d):
+        """Number theory: n | p implies a valid block exists (so
+        Nodecart's practical failures are heterogeneity / indivisibility,
+        which the mapper rejects before factorising)."""
+        dims = dims_create(p, d)
+        for n in divisors(p):
+            if n == 1:
+                continue
+            blocks = block_factorizations(n, dims)
+            assert blocks, (p, d, n)
+            for block in blocks:
+                assert math.prod(block) == n
+                assert all(c_i <= d_i and d_i % c_i == 0 for c_i, d_i in zip(block, dims))
+
+    def test_ordering_of_candidates_is_deterministic(self):
+        a = block_factorizations(12, [12, 12])
+        b = block_factorizations(12, [12, 12])
+        assert a == b
+
+
+class TestDistributedSpotChecks:
+    """Cross-checks at a larger scale than the exhaustive property tests."""
+
+    @pytest.mark.parametrize("mapper_name", ["hyperplane", "kd_tree", "stencil_strips"])
+    def test_consistency_on_paper_scale_instance(self, mapper_name):
+        import repro
+
+        grid = repro.CartesianGrid([75, 64])
+        stencil = nearest_neighbor(2)
+        alloc = repro.NodeAllocation.homogeneous(100, 48)
+        mapper = repro.get_mapper(mapper_name)
+        perm = mapper.map_ranks(grid, stencil, alloc)
+        rng = np.random.default_rng(17)
+        for r in rng.integers(0, grid.size, size=25):
+            assert mapper.compute_rank(grid, stencil, alloc, int(r)) == perm[r]

@@ -1,0 +1,97 @@
+"""Tests for node allocations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AllocationError, NodeAllocation
+
+
+class TestConstruction:
+    def test_homogeneous(self):
+        a = NodeAllocation.homogeneous(4, 12)
+        assert a.num_nodes == 4
+        assert a.total_processes == 48
+        assert a.is_homogeneous
+        assert a.node_sizes == (12, 12, 12, 12)
+        assert a.mean_node_size == 12.0
+
+    def test_heterogeneous(self):
+        a = NodeAllocation([3, 5, 2])
+        assert not a.is_homogeneous
+        assert a.total_processes == 10
+        assert a.mean_node_size == pytest.approx(10 / 3)
+
+    def test_for_total_with_remainder(self):
+        a = NodeAllocation.for_total(50, 12)
+        assert a.node_sizes == (12, 12, 12, 12, 2)
+
+    def test_for_total_exact(self):
+        a = NodeAllocation.for_total(48, 12)
+        assert a.node_sizes == (12,) * 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AllocationError):
+            NodeAllocation([])
+        with pytest.raises(AllocationError):
+            NodeAllocation([3, 0])
+        with pytest.raises(AllocationError):
+            NodeAllocation.homogeneous(0, 4)
+        with pytest.raises(AllocationError):
+            NodeAllocation.homogeneous(4, 0)
+        with pytest.raises(AllocationError):
+            NodeAllocation.for_total(0, 4)
+
+    def test_equality_and_hash(self):
+        assert NodeAllocation([2, 3]) == NodeAllocation([2, 3])
+        assert NodeAllocation([2, 3]) != NodeAllocation([3, 2])
+        assert hash(NodeAllocation([2, 3])) == hash(NodeAllocation([2, 3]))
+
+    def test_repr(self):
+        assert "homogeneous(2, 4)" in repr(NodeAllocation.homogeneous(2, 4))
+        assert "[1, 2]" in repr(NodeAllocation([1, 2]))
+
+
+class TestRankPlacement:
+    def test_blocked_placement(self):
+        a = NodeAllocation([2, 3, 1])
+        assert [a.node_of(r) for r in range(6)] == [0, 0, 1, 1, 1, 2]
+
+    def test_node_of_ranks_array(self):
+        a = NodeAllocation([2, 2])
+        assert a.node_of_ranks().tolist() == [0, 0, 1, 1]
+
+    def test_node_of_ranks_is_readonly(self):
+        a = NodeAllocation([2, 2])
+        with pytest.raises(ValueError):
+            a.node_of_ranks()[0] = 1
+
+    def test_ranks_on_node(self):
+        a = NodeAllocation([2, 3, 1])
+        assert list(a.ranks_on_node(1)) == [2, 3, 4]
+        assert list(a.ranks_on_node(2)) == [5]
+
+    def test_rank_bounds(self):
+        a = NodeAllocation([2])
+        with pytest.raises(AllocationError):
+            a.node_of(2)
+        with pytest.raises(AllocationError):
+            a.ranks_on_node(1)
+
+    def test_check_matches(self):
+        a = NodeAllocation([2, 2])
+        a.check_matches(4)
+        with pytest.raises(AllocationError):
+            a.check_matches(5)
+
+    @given(st.lists(st.integers(1, 9), min_size=1, max_size=10))
+    @settings(max_examples=50)
+    def test_placement_consistency_property(self, sizes):
+        a = NodeAllocation(sizes)
+        nodes = a.node_of_ranks()
+        counts = np.bincount(nodes, minlength=len(sizes))
+        assert counts.tolist() == list(sizes)
+        for node in range(a.num_nodes):
+            for r in a.ranks_on_node(node):
+                assert a.node_of(r) == node

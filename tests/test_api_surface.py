@@ -1,0 +1,120 @@
+"""Tests for the public API surface, exceptions, and validation helpers."""
+
+import pytest
+
+import repro
+from repro._validation import as_int, as_int_tuple, check_positive_dims, check_rank
+from repro.exceptions import (
+    AllocationError,
+    FactorizationError,
+    InvalidGridError,
+    InvalidStencilError,
+    MappingError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            InvalidGridError,
+            InvalidStencilError,
+            AllocationError,
+            MappingError,
+            FactorizationError,
+            SimulationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Input-shaped errors are also ValueErrors for generic callers."""
+        for exc in (InvalidGridError, InvalidStencilError, AllocationError):
+            assert issubclass(exc, ValueError)
+
+    def test_factorization_is_mapping_error(self):
+        assert issubclass(FactorizationError, MappingError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(MappingError, RuntimeError)
+        assert issubclass(SimulationError, RuntimeError)
+
+
+class TestPublicExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_mapper_registry(self):
+        names = repro.available_mappers()
+        assert {
+            "blocked",
+            "random",
+            "hyperplane",
+            "kd_tree",
+            "stencil_strips",
+            "nodecart",
+            "graphmap",
+        } <= set(names)
+        for name in names:
+            mapper = repro.get_mapper(name)
+            assert isinstance(mapper, repro.Mapper)
+            assert mapper.name == name
+
+    def test_get_mapper_unknown(self):
+        with pytest.raises(KeyError):
+            repro.get_mapper("simulated-annealing")
+
+    def test_register_mapper_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            repro.register_mapper("blocked", repro.BlockedMapper)
+
+    def test_quickstart_docstring_flow(self):
+        """The module docstring example must actually work."""
+        grid = repro.CartesianGrid(repro.dims_create(2400, 2))
+        stencil = repro.nearest_neighbor(2)
+        alloc = repro.NodeAllocation.homogeneous(50, 48)
+        perm = repro.HyperplaneMapper().map_ranks(grid, stencil, alloc)
+        cost = repro.evaluate_mapping(grid, stencil, perm, alloc)
+        assert cost.jsum < 4704
+
+
+class TestValidationHelpers:
+    def test_as_int_accepts_integral(self):
+        import numpy as np
+
+        assert as_int(5) == 5
+        assert as_int(np.int64(7)) == 7
+        assert as_int(4.0) == 4
+
+    def test_as_int_rejects_bool_and_fraction(self):
+        with pytest.raises(TypeError):
+            as_int(True)
+        with pytest.raises(TypeError):
+            as_int(2.5)
+        with pytest.raises(TypeError):
+            as_int("3x")
+
+    def test_as_int_tuple(self):
+        assert as_int_tuple([1, 2]) == (1, 2)
+        with pytest.raises(TypeError):
+            as_int_tuple("12")
+        with pytest.raises(TypeError):
+            as_int_tuple(5)
+
+    def test_check_positive_dims(self):
+        check_positive_dims((1, 2))
+        with pytest.raises(InvalidGridError):
+            check_positive_dims(())
+        with pytest.raises(InvalidGridError):
+            check_positive_dims((1, 0))
+
+    def test_check_rank(self):
+        check_rank(0, 5)
+        with pytest.raises(InvalidGridError):
+            check_rank(5, 5)
+        with pytest.raises(InvalidGridError):
+            check_rank(-1, 5)

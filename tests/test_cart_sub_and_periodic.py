@@ -1,0 +1,124 @@
+"""Tests for MPI_Cart_sub slices and periodic-grid mapping."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CartesianGrid,
+    HyperplaneMapper,
+    KDTreeMapper,
+    NodeAllocation,
+    SimulationError,
+    StencilStripsMapper,
+    communication_edges,
+    evaluate_mapping,
+    nearest_neighbor,
+    vsc4,
+)
+from repro.mpisim import SimMPI, cart_create
+
+
+class TestCartSub:
+    def _cart(self):
+        job = SimMPI(vsc4(), num_nodes=4, processes_per_node=6)
+        return cart_create(job, [4, 6], reorder=False)
+
+    def test_row_slices(self):
+        cart = self._cart()
+        rows = cart.sub([False, True])
+        assert len(rows) == 4
+        for i, sub in enumerate(rows):
+            assert sub.grid.dims == (6,)
+            assert sub.fixed_coords == {0: i}
+            assert [cart.coords(r)[0] for r in sub.members] == [i] * 6
+
+    def test_column_slices(self):
+        cart = self._cart()
+        cols = cart.sub([True, False])
+        assert len(cols) == 6
+        assert all(sub.size == 4 for sub in cols)
+
+    def test_keep_all_returns_single_full_slice(self):
+        cart = self._cart()
+        full = cart.sub([True, True])
+        assert len(full) == 1
+        assert full[0].size == cart.size
+        assert full[0].members == tuple(range(24))
+
+    def test_sub_rank_round_trip(self):
+        cart = self._cart()
+        rows = cart.sub([False, True])
+        sub = rows[2]
+        for local in range(sub.size):
+            parent = sub.parent_rank(local)
+            assert cart.coords(parent) == (2,) + sub.coords(local)
+
+    def test_3d_plane_slices(self):
+        job = SimMPI(vsc4(), num_nodes=4, processes_per_node=6)
+        cart = cart_create(job, [2, 3, 4], reorder=False)
+        planes = cart.sub([True, False, True])
+        assert len(planes) == 3
+        assert all(p.grid.dims == (2, 4) for p in planes)
+        # the slices partition the communicator
+        all_members = sorted(m for p in planes for m in p.members)
+        assert all_members == list(range(24))
+
+    def test_validation(self):
+        cart = self._cart()
+        with pytest.raises(SimulationError):
+            cart.sub([True])
+        with pytest.raises(SimulationError):
+            cart.sub([False, False])
+
+    def test_periods_inherited(self):
+        job = SimMPI(vsc4(), num_nodes=4, processes_per_node=6)
+        cart = cart_create(job, [4, 6], periods=[True, False], reorder=False)
+        cols = cart.sub([True, False])
+        assert cols[0].grid.periods == (True,)
+
+
+class TestPeriodicGrids:
+    """The mapping algorithms run unchanged on periodic grids; the
+    evaluation counts wrap-around edges."""
+
+    @pytest.mark.parametrize(
+        "mapper",
+        [HyperplaneMapper(), KDTreeMapper(), StencilStripsMapper()],
+        ids=["hyperplane", "kd_tree", "stencil_strips"],
+    )
+    def test_periodic_mapping_still_beats_blocked(self, mapper):
+        grid = CartesianGrid([16, 12], periods=[True, True])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(16, 12)
+        edges = communication_edges(grid, stencil)
+        assert edges.shape[0] == 16 * 12 * 4  # full degree everywhere
+        blocked = evaluate_mapping(grid, stencil, np.arange(192), alloc, edges=edges)
+        perm = mapper.map_ranks(grid, stencil, alloc)
+        cost = evaluate_mapping(grid, stencil, perm, alloc, edges=edges)
+        assert cost.jsum < blocked.jsum
+
+    def test_periodic_blocked_rows_cost(self):
+        """Periodic wrap makes blocked rows pay the seam too."""
+        grid_open = CartesianGrid([8, 8])
+        grid_per = CartesianGrid([8, 8], periods=[True, False])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(8, 8)
+        open_cost = evaluate_mapping(
+            grid_open, stencil, np.arange(64), alloc
+        )
+        per_cost = evaluate_mapping(grid_per, stencil, np.arange(64), alloc)
+        # wrap edges between first and last row add 2*8 directed edges
+        assert per_cost.jsum == open_cost.jsum + 16
+
+    def test_mapping_ignores_periodicity_flag(self):
+        """The paper's algorithms read only dims and stencil, so the
+        permutation is identical with and without periods."""
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(6, 8)
+        a = HyperplaneMapper().map_ranks(
+            CartesianGrid([8, 6]), stencil, alloc
+        )
+        b = HyperplaneMapper().map_ranks(
+            CartesianGrid([8, 6], periods=[True, True]), stencil, alloc
+        )
+        assert (a == b).all()

@@ -1,0 +1,126 @@
+"""Tests for the Jsum/Jmax cost metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CartesianGrid,
+    MappingError,
+    NodeAllocation,
+    communication_edges,
+    evaluate_mapping,
+    nearest_neighbor,
+    reduction_over_blocked,
+)
+from repro.metrics.cost import check_permutation, node_of_vertex
+
+from .conftest import allocations_for, grids
+
+
+class TestPermutationValidation:
+    def test_identity_accepted(self):
+        perm = check_permutation(np.arange(5), 5)
+        assert perm.dtype == np.int64
+
+    def test_wrong_shape(self):
+        with pytest.raises(MappingError):
+            check_permutation(np.arange(4), 5)
+
+    def test_out_of_range(self):
+        with pytest.raises(MappingError):
+            check_permutation(np.array([0, 1, 5]), 3)
+
+    def test_duplicates(self):
+        with pytest.raises(MappingError):
+            check_permutation(np.array([0, 1, 1]), 3)
+
+
+class TestNodeOfVertex:
+    def test_identity_mapping(self):
+        alloc = NodeAllocation([2, 2])
+        nodes = node_of_vertex(np.arange(4), alloc)
+        assert nodes.tolist() == [0, 0, 1, 1]
+
+    def test_swap_mapping(self):
+        alloc = NodeAllocation([2, 2])
+        # ranks 0,1 (node 0) take vertices 2,3
+        perm = np.array([2, 3, 0, 1])
+        nodes = node_of_vertex(perm, alloc)
+        assert nodes.tolist() == [1, 1, 0, 0]
+
+
+class TestEvaluate:
+    def test_blocked_line(self):
+        g = CartesianGrid([4])
+        alloc = NodeAllocation([2, 2])
+        cost = evaluate_mapping(g, nearest_neighbor(1), np.arange(4), alloc)
+        # one cut link in the middle, both directions
+        assert cost.jsum == 2
+        assert cost.jmax == 1
+        assert cost.total_edges == 6
+        assert cost.intra_edges == 4
+        assert cost.cut_fraction == pytest.approx(2 / 6)
+
+    def test_single_node_has_zero_cost(self):
+        g = CartesianGrid([3, 3])
+        alloc = NodeAllocation([9])
+        cost = evaluate_mapping(g, nearest_neighbor(2), np.arange(9), alloc)
+        assert cost.jsum == 0
+        assert cost.jmax == 0
+
+    def test_per_node_sums_to_jsum(self):
+        g = CartesianGrid([6, 4])
+        alloc = NodeAllocation([8, 8, 8])
+        cost = evaluate_mapping(g, nearest_neighbor(2), np.arange(24), alloc)
+        assert cost.per_node.sum() == cost.jsum
+        assert cost.per_node.max() == cost.jmax
+        assert cost.per_node[cost.bottleneck_node] == cost.jmax
+
+    def test_precomputed_edges_match(self):
+        g = CartesianGrid([5, 5])
+        s = nearest_neighbor(2)
+        alloc = NodeAllocation([5] * 5)
+        edges = communication_edges(g, s)
+        a = evaluate_mapping(g, s, np.arange(25), alloc)
+        b = evaluate_mapping(g, s, np.arange(25), alloc, edges=edges)
+        assert a.jsum == b.jsum and a.jmax == b.jmax
+
+    def test_allocation_mismatch(self):
+        g = CartesianGrid([4])
+        with pytest.raises(Exception):
+            evaluate_mapping(g, nearest_neighbor(1), np.arange(4), NodeAllocation([3]))
+
+    @given(grids(max_ndim=2, max_size=36), st.data())
+    @settings(max_examples=40)
+    def test_jsum_invariant_under_within_node_relabelling(self, grid, data):
+        """Permuting ranks within a node never changes Jsum/Jmax."""
+        alloc = data.draw(allocations_for(grid.size))
+        s = nearest_neighbor(grid.ndim)
+        base = np.arange(grid.size)
+        cost_a = evaluate_mapping(grid, s, base, alloc)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        shuffled = base.copy()
+        for node in range(alloc.num_nodes):
+            ranks = np.array(list(alloc.ranks_on_node(node)))
+            shuffled[ranks] = shuffled[rng.permutation(ranks)]
+        cost_b = evaluate_mapping(grid, s, shuffled, alloc)
+        assert cost_a.jsum == cost_b.jsum
+        assert cost_a.jmax == cost_b.jmax
+
+
+class TestReduction:
+    def test_blocked_reduction_is_one(self):
+        g = CartesianGrid([6, 4])
+        s = nearest_neighbor(2)
+        alloc = NodeAllocation([6] * 4)
+        cost = evaluate_mapping(g, s, np.arange(24), alloc)
+        assert reduction_over_blocked(cost, cost) == (1.0, 1.0)
+
+    def test_zero_base_handled(self):
+        g = CartesianGrid([2, 2])
+        s = nearest_neighbor(2)
+        alloc = NodeAllocation([4])
+        zero = evaluate_mapping(g, s, np.arange(4), alloc)
+        assert reduction_over_blocked(zero, zero) == (1.0, 1.0)

@@ -1,0 +1,187 @@
+"""Tests for the contention-aware communication cost model."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BlockedMapper,
+    CartesianGrid,
+    CommunicationModel,
+    HyperplaneMapper,
+    NetworkParameters,
+    NodeAllocation,
+    SingleSwitchTopology,
+    FatTreeTopology,
+    SimulationError,
+    nearest_neighbor,
+    vsc4,
+)
+
+PARAMS = NetworkParameters(
+    nic_bandwidth=1e9,
+    memory_bandwidth=4e9,
+    inter_latency=1e-6,
+    intra_latency=1e-7,
+    per_message_overhead=1e-6,
+)
+
+
+def _setup(dims=(8, 6), nodes=4):
+    grid = CartesianGrid(list(dims))
+    stencil = nearest_neighbor(2)
+    alloc = NodeAllocation.homogeneous(nodes, grid.size // nodes)
+    return grid, stencil, alloc
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            NetworkParameters(nic_bandwidth=0, memory_bandwidth=1e9)
+        with pytest.raises(SimulationError):
+            NetworkParameters(nic_bandwidth=1e9, memory_bandwidth=1e9, inter_latency=-1)
+
+    def test_scaled_copy(self):
+        p2 = PARAMS.scaled(nic_bandwidth=2e9)
+        assert p2.nic_bandwidth == 2e9
+        assert p2.memory_bandwidth == PARAMS.memory_bandwidth
+
+
+class TestAlltoallModel:
+    def test_monotone_in_message_size(self):
+        grid, stencil, alloc = _setup()
+        model = CommunicationModel(PARAMS)
+        perm = np.arange(grid.size)
+        times = [
+            model.alltoall_time(grid, stencil, perm, alloc, m)
+            for m in (0, 1024, 65536, 1 << 20)
+        ]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_zero_bytes_is_overhead_dominated(self):
+        grid, stencil, alloc = _setup()
+        model = CommunicationModel(PARAMS)
+        bd = model.alltoall_breakdown(grid, stencil, np.arange(grid.size), alloc, 0)
+        assert bd.total == pytest.approx(bd.overhead + max(bd.nic_out, bd.nic_in, bd.memory))
+
+    def test_negative_bytes_rejected(self):
+        grid, stencil, alloc = _setup()
+        model = CommunicationModel(PARAMS)
+        with pytest.raises(SimulationError):
+            model.alltoall_time(grid, stencil, np.arange(grid.size), alloc, -1)
+
+    def test_breakdown_consistency(self):
+        grid, stencil, alloc = _setup()
+        model = CommunicationModel(PARAMS)
+        bd = model.alltoall_breakdown(
+            grid, stencil, np.arange(grid.size), alloc, 4096
+        )
+        assert bd.total == pytest.approx(
+            bd.overhead + max(bd.nic_out, bd.nic_in, bd.memory, bd.uplink)
+        )
+        assert bd.bottleneck in {"nic_out", "nic_in", "memory", "uplink"}
+
+    def test_better_mapping_is_faster_at_large_messages(self):
+        grid = CartesianGrid([16, 12])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(16, 12)
+        model = CommunicationModel(PARAMS)
+        blocked = BlockedMapper().map_ranks(grid, stencil, alloc)
+        better = HyperplaneMapper().map_ranks(grid, stencil, alloc)
+        m = 1 << 20
+        assert model.alltoall_time(grid, stencil, better, alloc, m) < \
+            model.alltoall_time(grid, stencil, blocked, alloc, m)
+
+    def test_symmetric_stencil_balances_in_out(self):
+        grid, stencil, alloc = _setup()
+        model = CommunicationModel(PARAMS)
+        bd = model.alltoall_breakdown(grid, stencil, np.arange(grid.size), alloc, 8192)
+        assert bd.nic_out == pytest.approx(bd.nic_in)
+
+    def test_single_node_no_nic_time(self):
+        grid = CartesianGrid([4, 4])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation([16])
+        model = CommunicationModel(PARAMS)
+        bd = model.alltoall_breakdown(grid, stencil, np.arange(16), alloc, 8192)
+        assert bd.nic_out == 0.0 and bd.nic_in == 0.0
+        assert bd.memory > 0.0
+
+    def test_edgeless_stencil(self):
+        grid = CartesianGrid([2, 2])
+        from repro import Stencil
+
+        stencil = Stencil([(3, 0)])  # leaves the grid everywhere
+        alloc = NodeAllocation([4])
+        model = CommunicationModel(PARAMS)
+        assert model.alltoall_time(grid, stencil, np.arange(4), alloc, 1024) == 0.0
+
+
+class TestTopologyAware:
+    def test_requires_topology(self):
+        with pytest.raises(SimulationError):
+            CommunicationModel(PARAMS, None, topology_aware=True)
+
+    def test_uplink_term_increases_time(self):
+        grid, stencil, alloc = _setup(dims=(16, 12), nodes=16)
+        flat = CommunicationModel(PARAMS, FatTreeTopology(16, 4, 4.0))
+        aware = CommunicationModel(
+            PARAMS, FatTreeTopology(16, 4, 4.0), topology_aware=True
+        )
+        perm = np.arange(grid.size)
+        m = 1 << 20
+        assert aware.alltoall_time(grid, stencil, perm, alloc, m) >= \
+            flat.alltoall_time(grid, stencil, perm, alloc, m)
+
+    def test_single_switch_has_no_uplink_penalty(self):
+        grid, stencil, alloc = _setup()
+        aware = CommunicationModel(
+            PARAMS, SingleSwitchTopology(4), topology_aware=True
+        )
+        bd = aware.alltoall_breakdown(grid, stencil, np.arange(grid.size), alloc, 8192)
+        assert bd.uplink == 0.0
+
+
+class TestSampling:
+    def test_samples_near_base(self):
+        grid, stencil, alloc = _setup()
+        model = CommunicationModel(PARAMS)
+        perm = np.arange(grid.size)
+        base = model.alltoall_time(grid, stencil, perm, alloc, 8192)
+        samples = model.sample_times(
+            grid, stencil, perm, alloc, 8192,
+            repetitions=100, rng=np.random.default_rng(1), outlier_probability=0.0,
+        )
+        assert samples.shape == (100,)
+        assert (samples >= base).all()
+        assert samples.mean() < base * 1.2
+
+    def test_outliers_injected(self):
+        grid, stencil, alloc = _setup()
+        model = CommunicationModel(PARAMS)
+        perm = np.arange(grid.size)
+        samples = model.sample_times(
+            grid, stencil, perm, alloc, 8192,
+            repetitions=500, rng=np.random.default_rng(2), outlier_probability=0.2,
+        )
+        base = model.alltoall_time(grid, stencil, perm, alloc, 8192)
+        assert (samples > 1.8 * base).any()
+
+    def test_repetitions_validated(self):
+        grid, stencil, alloc = _setup()
+        model = CommunicationModel(PARAMS)
+        with pytest.raises(SimulationError):
+            model.sample_times(grid, stencil, np.arange(grid.size), alloc, 64, repetitions=0)
+
+
+class TestMachinePresets:
+    def test_vsc4_magnitude_calibration(self):
+        """Blocked NN, N=50, 512 KiB lands near the paper's 64 ms."""
+        machine = vsc4()
+        grid = CartesianGrid([50, 48])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(50, 48)
+        model = machine.model(50)
+        t = model.alltoall_time(
+            grid, stencil, np.arange(2400), alloc, 512 * 1024
+        )
+        assert 0.03 < t < 0.13  # same order of magnitude as 64 ms

@@ -1,0 +1,115 @@
+"""Tests for the ``MPI_Dims_create`` equivalent."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import InvalidGridError, dims_create
+from repro.grid.dims import divisors, prime_factors
+
+
+class TestPrimeFactors:
+    def test_small_values(self):
+        assert prime_factors(1) == []
+        assert prime_factors(2) == [2]
+        assert prime_factors(48) == [2, 2, 2, 2, 3]
+        assert prime_factors(97) == [97]
+
+    def test_invalid(self):
+        with pytest.raises(InvalidGridError):
+            prime_factors(0)
+
+    @given(st.integers(1, 10_000))
+    @settings(max_examples=100)
+    def test_product_reconstructs(self, n):
+        assert math.prod(prime_factors(n)) == n
+
+
+class TestDivisors:
+    def test_known(self):
+        assert divisors(1) == [1]
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(49) == [1, 7, 49]
+
+    @given(st.integers(1, 5_000))
+    @settings(max_examples=100)
+    def test_all_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(ds)
+
+
+class TestDimsCreate:
+    def test_paper_grids(self):
+        """The evaluation grids of Figures 6 and 7."""
+        assert dims_create(2400, 2) == (50, 48)
+        assert dims_create(4800, 2) == (75, 64)
+
+    def test_simple_cases(self):
+        assert dims_create(12, 2) == (4, 3)
+        assert dims_create(12, 3) == (3, 2, 2)
+        assert dims_create(7, 2) == (7, 1)
+        assert dims_create(1, 3) == (1, 1, 1)
+
+    def test_one_dimension(self):
+        assert dims_create(30, 1) == (30,)
+
+    def test_perfect_square_and_cube(self):
+        assert dims_create(36, 2) == (6, 6)
+        assert dims_create(27, 3) == (3, 3, 3)
+
+    def test_non_increasing_order(self):
+        for n in (24, 96, 2400, 1056, 330):
+            for d in (2, 3, 4):
+                dims = dims_create(n, d)
+                assert list(dims) == sorted(dims, reverse=True)
+                assert math.prod(dims) == n
+
+    def test_minimises_largest_dimension(self):
+        # 2400 = 50*48; any 2-d factorisation has max >= 50
+        dims = dims_create(2400, 2)
+        for q in range(49, int(math.isqrt(2400)), -1):
+            assert 2400 % q != 0 or q == 48  # no divisor strictly between
+
+    def test_constraints_fixed_entries(self):
+        assert dims_create(24, 3, dims=[0, 2, 0]) == (4, 2, 3)
+        assert dims_create(24, 2, dims=[6, 0]) == (6, 4)
+        assert dims_create(24, 2, dims=[6, 4]) == (6, 4)
+
+    def test_constraint_indivisible(self):
+        with pytest.raises(InvalidGridError):
+            dims_create(24, 2, dims=[5, 0])
+
+    def test_all_fixed_wrong_product(self):
+        with pytest.raises(InvalidGridError):
+            dims_create(24, 2, dims=[2, 3])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(InvalidGridError):
+            dims_create(0, 2)
+        with pytest.raises(InvalidGridError):
+            dims_create(4, 0)
+        with pytest.raises(InvalidGridError):
+            dims_create(4, 2, dims=[1])
+        with pytest.raises(InvalidGridError):
+            dims_create(4, 2, dims=[-1, 0])
+
+    @given(st.integers(1, 4096), st.integers(1, 4))
+    @settings(max_examples=150)
+    def test_product_and_order_properties(self, n, d):
+        dims = dims_create(n, d)
+        assert len(dims) == d
+        assert math.prod(dims) == n
+        assert list(dims) == sorted(dims, reverse=True)
+
+    @given(st.integers(2, 2048))
+    @settings(max_examples=100)
+    def test_2d_is_closest_divisor_pair(self, n):
+        """The 2-d split uses the divisor closest to sqrt(n)."""
+        d0, d1 = dims_create(n, 2)
+        best = min(
+            (q for q in divisors(n) if q * q >= n),
+        )
+        assert d0 == best and d1 == n // best

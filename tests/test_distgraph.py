@@ -1,0 +1,131 @@
+"""Tests for the distributed graph communicator (Section VI-B step)."""
+
+import numpy as np
+import pytest
+
+from repro import HyperplaneMapper, SimulationError, vsc4
+from repro.mpisim import (
+    DistGraphComm,
+    SimMPI,
+    cart_create,
+    cart_stencil_comm,
+    dist_graph_from_cart,
+)
+
+
+def _cart(num_nodes=4, ppn=4, dims=(4, 4), mapper=None):
+    job = SimMPI(vsc4(), num_nodes=num_nodes, processes_per_node=ppn)
+    return cart_create(job, list(dims), mapper=mapper, reorder=mapper is not None)
+
+
+class TestConstruction:
+    def test_from_cart_degrees(self):
+        cart = _cart()
+        dg = dist_graph_from_cart(cart)
+        centre = cart.rank_at([1, 1])
+        corner = cart.rank_at([0, 0])
+        assert dg.outdegree(centre) == 4
+        assert dg.indegree(centre) == 4
+        assert dg.outdegree(corner) == 2
+        assert dg.num_directed_edges == 2 * (3 * 4 + 4 * 3)
+
+    def test_symmetric_stencil_sources_match_destinations(self):
+        cart = _cart()
+        dg = dist_graph_from_cart(cart)
+        for u in range(dg.size):
+            assert sorted(dg.sources_of(u)) == sorted(dg.destinations_of(u))
+
+    def test_inconsistent_lists_rejected(self):
+        job = SimMPI(num_nodes=1, processes_per_node=2)
+        with pytest.raises(SimulationError):
+            DistGraphComm(job, sources=[[1], []], destinations=[[], []])
+
+    def test_length_mismatch_rejected(self):
+        job = SimMPI(num_nodes=1, processes_per_node=2)
+        with pytest.raises(SimulationError):
+            DistGraphComm(job, sources=[[], []], destinations=[[]])
+
+    def test_rank_bounds_checked(self):
+        job = SimMPI(num_nodes=1, processes_per_node=2)
+        with pytest.raises(SimulationError):
+            DistGraphComm(job, sources=[[5], []], destinations=[[], [0]])
+
+    def test_repr(self):
+        cart = _cart()
+        assert "edges=" in repr(dist_graph_from_cart(cart))
+
+
+class TestExchange:
+    def test_ragged_exchange_round_trip(self):
+        """Send (sender_rank, slot) pairs; check every delivery."""
+        cart = _cart()
+        dg = dist_graph_from_cart(cart)
+        send = [
+            [np.array([u, i]) for i in range(dg.outdegree(u))]
+            for u in range(dg.size)
+        ]
+        recv, elapsed = dg.neighbor_alltoall(send)
+        assert elapsed > 0
+        for u in range(dg.size):
+            assert len(recv[u]) == dg.indegree(u)
+            for j, src in enumerate(dg.sources_of(u)):
+                sender, slot = recv[u][j]
+                assert sender == src
+                assert dg.destinations_of(int(sender))[int(slot)] == u
+
+    def test_matches_cart_neighbor_alltoall(self):
+        """The dist-graph exchange delivers the same payloads as the
+        dense Cartesian exchange (on valid slots)."""
+        cart = _cart(mapper=HyperplaneMapper())
+        dg = dist_graph_from_cart(cart)
+        k = cart.num_neighbors
+        dense_send = np.arange(cart.size * k, dtype=float).reshape(cart.size, k, 1)
+        dense = cart.neighbor_alltoall(dense_send, synchronize=False)
+
+        ragged_send = []
+        for u in range(cart.size):
+            bufs = []
+            for i, v in enumerate(cart.neighbors(u)):
+                if v is not None:
+                    bufs.append(dense_send[u, i])
+            ragged_send.append(bufs)
+        recv, _ = dg.neighbor_alltoall(ragged_send, synchronize=False)
+
+        for u in range(cart.size):
+            ragged_iter = iter(recv[u])
+            for j in range(k):
+                if dense.valid[u, j]:
+                    assert next(ragged_iter)[0] == dense.data[u, j, 0]
+
+    def test_wrong_send_count_rejected(self):
+        cart = _cart()
+        dg = dist_graph_from_cart(cart)
+        send = [[np.zeros(1)] * dg.outdegree(u) for u in range(dg.size)]
+        send[0] = send[0][:-1]
+        with pytest.raises(SimulationError):
+            dg.neighbor_alltoall(send)
+
+    def test_exchange_charges_clock_via_cart_model(self):
+        cart = _cart()
+        dg = dist_graph_from_cart(cart)
+        cart.mpi.reset_clock()
+        send = [
+            [np.zeros(64) for _ in range(dg.outdegree(u))] for u in range(dg.size)
+        ]
+        _, elapsed = dg.neighbor_alltoall(send)
+        assert elapsed > 0
+        assert cart.mpi.clock >= elapsed
+
+    def test_asymmetric_stencil(self):
+        """One-directional stencil: sources and destinations differ."""
+        job = SimMPI(num_nodes=2, processes_per_node=3)
+        cart = cart_stencil_comm(job, [6], [1], reorder=False)  # send right
+        dg = dist_graph_from_cart(cart)
+        assert dg.destinations_of(0) == (1,)
+        assert dg.sources_of(0) == ()
+        assert dg.sources_of(5) == (4,)
+        assert dg.destinations_of(5) == ()
+        send = [[np.array([u])] if dg.outdegree(u) else [] for u in range(6)]
+        recv, _ = dg.neighbor_alltoall(send)
+        assert [len(r) for r in recv] == [0, 1, 1, 1, 1, 1]
+        assert recv[3][0][0] == 2

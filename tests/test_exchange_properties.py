@@ -1,0 +1,75 @@
+"""Property-based tests of the neighbour-exchange data plane."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CartesianGrid
+from repro.mpisim.neighbor import neighbor_alltoall
+
+from .conftest import grids, stencils_for
+
+
+@given(grids(max_ndim=3, max_size=80), st.data())
+@settings(max_examples=40, deadline=None)
+def test_conservation(grid, data):
+    """Every payload is delivered exactly once or dropped at a boundary.
+
+    The multiset of delivered values equals the multiset of sent values
+    whose target stays inside the grid.
+    """
+    stencil = data.draw(stencils_for(grid.ndim))
+    p, k = grid.size, stencil.k
+    send = np.arange(p * k, dtype=np.float64).reshape(p, k, 1)
+    recv, valid = neighbor_alltoall(grid, stencil, send, fill_value=np.nan)
+
+    delivered = sorted(recv[valid][:, 0].tolist())
+    expected = []
+    for u in range(p):
+        for j, off in enumerate(stencil.offsets):
+            if grid.shift(u, off) is not None:
+                expected.append(float(send[u, j, 0]))
+    assert delivered == sorted(expected)
+
+
+@given(grids(max_ndim=2, max_size=64), st.data())
+@settings(max_examples=30, deadline=None)
+def test_periodic_grid_loses_nothing(grid, data):
+    """On fully periodic grids every slot is valid."""
+    periodic = CartesianGrid(grid.dims, periods=[True] * grid.ndim)
+    stencil = data.draw(stencils_for(grid.ndim))
+    send = np.ones((periodic.size, stencil.k, 1))
+    _, valid = neighbor_alltoall(periodic, stencil, send)
+    assert valid.all()
+
+
+@given(grids(max_ndim=2, max_size=64), st.data())
+@settings(max_examples=30, deadline=None)
+def test_pairing_inverse(grid, data):
+    """recv[u, j] originates from shift(u, -R_j) when that rank exists."""
+    stencil = data.draw(stencils_for(grid.ndim))
+    p, k = grid.size, stencil.k
+    send = np.empty((p, k, 1))
+    send[:, :, 0] = np.arange(p)[:, None]  # payload = sender rank
+    recv, valid = neighbor_alltoall(grid, stencil, send, fill_value=-1.0)
+    for u in range(p):
+        for j, off in enumerate(stencil.offsets):
+            src = grid.shift(u, [-c for c in off])
+            if src is None:
+                assert not valid[u, j]
+                assert recv[u, j, 0] == -1.0
+            else:
+                assert valid[u, j]
+                assert recv[u, j, 0] == src
+
+
+@given(grids(max_ndim=2, max_size=48), st.data())
+@settings(max_examples=25, deadline=None)
+def test_exchange_preserves_dtype_and_shape(grid, data):
+    stencil = data.draw(stencils_for(grid.ndim))
+    shape = (grid.size, stencil.k, 2, 3)
+    send = np.zeros(shape, dtype=np.float32)
+    recv, valid = neighbor_alltoall(grid, stencil, send)
+    assert recv.shape == shape
+    assert recv.dtype == np.float32
+    assert valid.shape == (grid.size, stencil.k)

@@ -1,0 +1,231 @@
+"""Tests for the experiment drivers (structure and key findings)."""
+
+import pytest
+
+from repro import BlockedMapper, HyperplaneMapper, StencilStripsMapper
+from repro.experiments import (
+    EvaluationContext,
+    Instance,
+    STENCIL_FAMILIES,
+    ablation_hyperplane_order,
+    ablation_nodecart_stencil_aware,
+    ablation_strips_distortion,
+    ablation_strips_serpentine,
+    ablation_topology_aware,
+    appendix_table,
+    figure8_reductions,
+    figure9_instantiation_times,
+    instance_set,
+    summarize_reductions,
+)
+from repro.experiments.throughput import FIGURE_MESSAGE_SIZES, speedup_series
+from repro.experiments.report import (
+    render_appendix_table,
+    render_instantiation,
+    render_reduction_summaries,
+    render_scores,
+    render_speedups,
+)
+
+FAST_MAPPERS = {
+    "blocked": BlockedMapper(),
+    "hyperplane": HyperplaneMapper(),
+    "stencil_strips": StencilStripsMapper(),
+}
+
+
+@pytest.fixture(scope="module")
+def small_context() -> EvaluationContext:
+    """A small shared instance (8 nodes x 12) to keep the suite fast."""
+    return EvaluationContext(8, 12, 2, mappers=FAST_MAPPERS)
+
+
+class TestInstances:
+    def test_instance_set_has_144_entries(self):
+        instances = instance_set()
+        assert len(instances) == 144
+
+    def test_parameter_ranges(self):
+        instances = instance_set()
+        assert {i.num_nodes for i in instances} == set(range(10, 32, 3))
+        assert {i.processes_per_node for i in instances} == set(range(10, 32, 3)) | {32}
+        assert {i.ndims for i in instances} == {2, 3}
+
+    def test_instance_grid_consistency(self):
+        inst = Instance(13, 16, 2)
+        assert inst.total_processes == 208
+        assert inst.grid.size == 208
+        assert inst.allocation.num_nodes == 13
+        assert inst.label() == "N13_n16_2d"
+
+
+class TestContext:
+    def test_caches_are_reused(self, small_context):
+        a = small_context.mapping("nearest_neighbor", "hyperplane")
+        b = small_context.mapping("nearest_neighbor", "hyperplane")
+        assert a is b
+        ca = small_context.cost("nearest_neighbor", "hyperplane")
+        cb = small_context.cost("nearest_neighbor", "hyperplane")
+        assert ca is cb
+
+    def test_scores_structure(self, small_context):
+        scores = small_context.scores("nearest_neighbor")
+        assert set(scores) == set(FAST_MAPPERS)
+        assert all(v is not None for v in scores.values())
+
+    def test_unknown_family(self, small_context):
+        with pytest.raises(KeyError):
+            small_context.stencil("moore")
+
+    def test_families_cover_paper(self):
+        assert set(STENCIL_FAMILIES) == {
+            "nearest_neighbor",
+            "nearest_neighbor_with_hops",
+            "component",
+        }
+
+
+class TestThroughput:
+    def test_speedup_series_structure(self, small_context):
+        series = speedup_series(
+            small_context,
+            "VSC4",
+            "nearest_neighbor",
+            message_sizes=(1024, 65536),
+            repetitions=20,
+        )
+        assert "blocked" not in series
+        for cells in series.values():
+            assert [c.message_size for c in cells] == [1024, 65536]
+            assert all(c.speedup_over_blocked > 0 for c in cells)
+
+    def test_speedup_grows_with_message_size(self, small_context):
+        series = speedup_series(
+            small_context,
+            "VSC4",
+            "nearest_neighbor",
+            message_sizes=(256, 262144),
+            repetitions=20,
+        )
+        cells = series["hyperplane"]
+        assert cells[-1].speedup_over_blocked >= cells[0].speedup_over_blocked
+
+    def test_unknown_machine(self, small_context):
+        with pytest.raises(KeyError):
+            speedup_series(small_context, "Fugaku", "nearest_neighbor")
+
+    def test_figure_sizes_are_table_subset(self):
+        from repro.experiments.tables import TABLE_MESSAGE_SIZES
+
+        assert set(FIGURE_MESSAGE_SIZES) <= set(TABLE_MESSAGE_SIZES)
+
+
+class TestTables:
+    def test_table_structure(self, small_context):
+        table = appendix_table(
+            "JUWELS",
+            small_context.num_nodes,
+            context=small_context,
+            message_sizes=(64, 1024),
+            repetitions=10,
+        )
+        assert table.machine == "JUWELS"
+        assert set(table.times) == set(STENCIL_FAMILIES)
+        cell = table.cell("nearest_neighbor", "hyperplane", 1024)
+        assert cell is not None and cell.value > 0
+        assert set(table.mappers()) == set(FAST_MAPPERS)
+
+    def test_render_table(self, small_context):
+        table = appendix_table(
+            "VSC4",
+            small_context.num_nodes,
+            context=small_context,
+            message_sizes=(64,),
+            repetitions=5,
+        )
+        text = render_appendix_table(table)
+        assert "VSC4" in text and "nearest_neighbor" in text
+
+
+class TestFigure8:
+    def test_reductions_on_subset(self):
+        instances = instance_set()[::24]  # 6 instances for speed
+        red = figure8_reductions(
+            "nearest_neighbor", mappers=dict(FAST_MAPPERS), instances=instances
+        )
+        assert "blocked" not in red
+        for series in red.values():
+            assert series["jsum"].shape == (len(instances),)
+        summaries = summarize_reductions(red)
+        assert {s.mapper for s in summaries} == {"hyperplane", "stencil_strips"}
+        for s in summaries:
+            assert 0 < s.jsum_median.value <= 1.1  # reductions, not increases
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            figure8_reductions("moore")
+
+    def test_render_summaries(self):
+        instances = instance_set()[::48]
+        red = figure8_reductions(
+            "component", mappers=dict(FAST_MAPPERS), instances=instances
+        )
+        text = render_reduction_summaries(summarize_reductions(red))
+        assert "median" in text
+
+
+class TestFigure9:
+    def test_instantiation_structure(self):
+        context = EvaluationContext(4, 8, 2, mappers=FAST_MAPPERS)
+        timings = figure9_instantiation_times(
+            context=context, mappers=FAST_MAPPERS, repetitions=3,
+            slow_repetitions=1,
+        )
+        assert set(timings) == set(FAST_MAPPERS)
+        for t in timings.values():
+            assert t.full.value > 0
+            assert t.per_rank is not None and t.per_rank.value > 0
+        text = render_instantiation(timings)
+        assert "Hyperplane" in text
+
+
+class TestAblations:
+    def test_hyperplane_order_matters_for_hops(self):
+        results = ablation_hyperplane_order(num_nodes=10)
+        hops = results["nearest_neighbor_with_hops"]
+        assert hops.jsum_ratio >= 1.0  # removing the ordering never helps
+
+    def test_serpentine_ablation(self):
+        results = ablation_strips_serpentine(num_nodes=10)
+        assert all(r.jsum_ratio >= 1.0 for r in results.values())
+
+    def test_distortion_ablation(self):
+        results = ablation_strips_distortion(num_nodes=10)
+        hops = results["nearest_neighbor_with_hops"]
+        assert hops.jsum_ratio >= 1.0
+
+    def test_nodecart_stencil_aware_helps_component(self):
+        results = ablation_nodecart_stencil_aware(num_nodes=10)
+        comp = results["component"]
+        assert comp.jsum_ratio <= 1.0  # awareness can only help here
+
+    def test_topology_aware_times(self):
+        out = ablation_topology_aware("VSC4", num_nodes=10, message_size=65536)
+        for times in out.values():
+            assert times["topology_aware"] >= times["flat"]
+
+
+class TestRendering:
+    def test_render_scores_smoke(self, small_context):
+        text = render_scores(
+            {f: small_context.scores(f) for f in STENCIL_FAMILIES}
+        )
+        assert "Hyperplane" in text and "Jsum" in text
+
+    def test_render_speedups_smoke(self, small_context):
+        series = speedup_series(
+            small_context, "VSC4", "component",
+            message_sizes=(1024,), repetitions=5,
+        )
+        text = render_speedups(series)
+        assert "1024" in text

@@ -1,0 +1,130 @@
+"""Tests for the induced communication graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CartesianGrid,
+    InvalidStencilError,
+    Stencil,
+    communication_edges,
+    communication_graph,
+    component,
+    degree_by_rank,
+    nearest_neighbor,
+)
+
+from .conftest import grids, stencils_for
+
+
+class TestEdgeEnumeration:
+    def test_line_graph(self):
+        g = CartesianGrid([4])
+        edges = communication_edges(g, nearest_neighbor(1))
+        # 3 undirected internal links, both directions
+        assert edges.shape == (6, 2)
+        as_set = {tuple(e) for e in edges.tolist()}
+        assert (0, 1) in as_set and (1, 0) in as_set
+        assert (3, 2) in as_set and (0, 3) not in as_set
+
+    def test_2d_count(self):
+        g = CartesianGrid([3, 3])
+        edges = communication_edges(g, nearest_neighbor(2))
+        # vertical 2*3 + horizontal 3*2 = 12 links, directed = 24
+        assert edges.shape == (24, 2)
+
+    def test_directed_edge_count_matches_paper_blocked_oracle(self):
+        # 50x48 nearest neighbour: 49*48*2 + 50*47*2 = 9404 directed edges
+        g = CartesianGrid([50, 48])
+        edges = communication_edges(g, nearest_neighbor(2))
+        assert edges.shape[0] == 49 * 48 * 2 + 50 * 47 * 2
+
+    def test_periodic_adds_wraparound(self):
+        g = CartesianGrid([3, 3], periods=[True, True])
+        edges = communication_edges(g, nearest_neighbor(2))
+        assert edges.shape == (36, 2)  # every vertex has full degree 4
+
+    def test_component_stencil_only_first_dimension(self):
+        g = CartesianGrid([3, 3])
+        edges = communication_edges(g, component(2))
+        coords = g.all_coords()
+        for u, v in edges.tolist():
+            assert coords[u][1] == coords[v][1]  # same column
+
+    def test_hop_offsets_skip_cells(self):
+        g = CartesianGrid([5, 1])
+        s = Stencil([(2, 0)])
+        edges = communication_edges(g, s)
+        assert {tuple(e) for e in edges.tolist()} == {(0, 2), (1, 3), (2, 4)}
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(InvalidStencilError):
+            communication_edges(CartesianGrid([4]), nearest_neighbor(2))
+
+    def test_offset_larger_than_grid_yields_no_edges(self):
+        g = CartesianGrid([2, 2])
+        edges = communication_edges(g, Stencil([(3, 0)]))
+        assert edges.shape == (0, 2)
+
+    @given(grids(max_ndim=2, max_size=64), st.data())
+    @settings(max_examples=40)
+    def test_symmetric_stencil_gives_symmetric_edges(self, grid, data):
+        stencil = data.draw(stencils_for(grid.ndim))
+        edges = communication_edges(grid, stencil)
+        if not stencil.is_symmetric():
+            return
+        pairs = {tuple(e) for e in edges.tolist()}
+        assert all((v, u) in pairs for u, v in pairs)
+
+    @given(grids(max_ndim=3, max_size=80), st.data())
+    @settings(max_examples=40)
+    def test_edges_match_shift_semantics(self, grid, data):
+        stencil = data.draw(stencils_for(grid.ndim))
+        edges = communication_edges(grid, stencil)
+        expected = set()
+        for r in range(grid.size):
+            for off in stencil.offsets:
+                t = grid.shift(r, off)
+                if t is not None:
+                    expected.add((r, t))
+        # multiplicities: distinct offsets can map to the same pair only
+        # on tiny periodic grids; non-periodic grids here.
+        assert {tuple(e) for e in edges.tolist()} == expected
+
+
+class TestDegrees:
+    def test_interior_degree_equals_k(self):
+        g = CartesianGrid([5, 5])
+        deg = degree_by_rank(g, nearest_neighbor(2))
+        centre = g.rank_of([2, 2])
+        corner = g.rank_of([0, 0])
+        assert deg[centre] == 4
+        assert deg[corner] == 2
+
+    def test_periodic_degrees_uniform(self):
+        g = CartesianGrid([4, 4], periods=[True, True])
+        deg = degree_by_rank(g, nearest_neighbor(2))
+        assert (deg == 4).all()
+
+    def test_degree_sum_equals_edge_count(self):
+        g = CartesianGrid([6, 3])
+        s = nearest_neighbor(2)
+        assert degree_by_rank(g, s).sum() == communication_edges(g, s).shape[0]
+
+
+class TestNetworkxExport:
+    def test_digraph_structure(self):
+        g = CartesianGrid([3, 2])
+        nxg = communication_graph(g, nearest_neighbor(2))
+        assert nxg.number_of_nodes() == 6
+        assert nxg.number_of_edges() == communication_edges(
+            g, nearest_neighbor(2)
+        ).shape[0]
+
+    def test_connected_for_nn(self):
+        import networkx as nx
+
+        g = CartesianGrid([4, 4])
+        nxg = communication_graph(g, nearest_neighbor(2))
+        assert nx.is_strongly_connected(nxg)

@@ -1,0 +1,133 @@
+"""Tests for the VieM-substitute general graph mapper."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CartesianGrid,
+    GraphMapper,
+    MappingError,
+    NodeAllocation,
+    component,
+    evaluate_mapping,
+    nearest_neighbor,
+)
+from repro.core.graphmap import _UndirectedCSR
+
+
+class TestUndirectedCSR:
+    def test_pair_aggregation(self):
+        edges = np.array([[0, 1], [1, 0], [1, 2]])
+        csr = _UndirectedCSR(edges, 3)
+        pairs = {tuple(p): w for p, w in zip(csr.pairs.tolist(), csr.pair_weights)}
+        assert pairs == {(0, 1): 2, (1, 2): 1}
+
+    def test_neighbors(self):
+        edges = np.array([[0, 1], [1, 0], [1, 2]])
+        csr = _UndirectedCSR(edges, 3)
+        nbrs, ws = csr.neighbors(1)
+        assert set(nbrs.tolist()) == {0, 2}
+        assert sorted(ws.tolist()) == [1, 2]
+
+    def test_empty(self):
+        csr = _UndirectedCSR(np.empty((0, 2), dtype=np.int64), 4)
+        nbrs, _ = csr.neighbors(0)
+        assert nbrs.size == 0
+
+
+class TestQuality:
+    def test_better_than_blocked_on_square_grid(self):
+        grid = CartesianGrid([12, 12])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(12, 12)
+        perm = GraphMapper(seed=3).map_ranks(grid, stencil, alloc)
+        cost = evaluate_mapping(grid, stencil, perm, alloc)
+        blocked = evaluate_mapping(grid, stencil, np.arange(144), alloc)
+        assert cost.jsum < blocked.jsum
+
+    def test_quality_within_paper_band_on_figure6_instance(self):
+        """VieM reported Jsum=1342 on the 50x48 NN instance; our
+        substitute must land in the same band (between the best
+        specialised algorithm and Nodecart)."""
+        grid = CartesianGrid([50, 48])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(50, 48)
+        perm = GraphMapper(seed=1).map_ranks(grid, stencil, alloc)
+        cost = evaluate_mapping(grid, stencil, perm, alloc)
+        assert 1244 <= cost.jsum <= 2404
+
+    def test_component_stencil_near_optimal(self):
+        grid = CartesianGrid([20, 12])
+        stencil = component(2)
+        alloc = NodeAllocation.homogeneous(20, 12)
+        perm = GraphMapper(seed=5).map_ranks(grid, stencil, alloc)
+        cost = evaluate_mapping(grid, stencil, perm, alloc)
+        blocked = evaluate_mapping(grid, stencil, np.arange(240), alloc)
+        assert cost.jsum < 0.25 * blocked.jsum
+
+
+class TestGeneralGraphs:
+    def test_map_graph_arbitrary_topology(self):
+        """A two-clique graph must split into its cliques."""
+        clique_a = [(i, j) for i in range(4) for j in range(4) if i != j]
+        clique_b = [(i + 4, j + 4) for i, j in clique_a]
+        bridge = [(0, 4), (4, 0)]
+        edges = np.array(clique_a + clique_b + bridge)
+        alloc = NodeAllocation([4, 4])
+        perm = GraphMapper(seed=7).map_graph(edges, 8, alloc)
+        from repro.metrics.cost import node_of_vertex
+
+        nodes = node_of_vertex(perm, alloc)
+        assert len(set(nodes[:4].tolist())) == 1
+        assert len(set(nodes[4:].tolist())) == 1
+        assert nodes[0] != nodes[7]
+
+    def test_map_graph_size_mismatch(self):
+        with pytest.raises(MappingError):
+            GraphMapper().map_graph(np.array([[0, 1]]), 3, NodeAllocation([2, 2]))
+
+    def test_edgeless_graph(self):
+        perm = GraphMapper().map_graph(
+            np.empty((0, 2), dtype=np.int64), 4, NodeAllocation([2, 2])
+        )
+        assert sorted(perm.tolist()) == [0, 1, 2, 3]
+
+    def test_heterogeneous_capacities(self):
+        grid = CartesianGrid([6, 4])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation([10, 8, 6])
+        perm = GraphMapper(seed=2).map_ranks(grid, stencil, alloc)
+        from repro.metrics.cost import node_of_vertex
+
+        counts = np.bincount(node_of_vertex(perm, alloc), minlength=3)
+        assert counts.tolist() == [10, 8, 6]
+
+
+class TestDeterminismAndConfig:
+    def test_seed_determinism(self):
+        grid = CartesianGrid([8, 8])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(4, 16)
+        a = GraphMapper(seed=9).map_ranks(grid, stencil, alloc)
+        b = GraphMapper(seed=9).map_ranks(grid, stencil, alloc)
+        assert (a == b).all()
+
+    def test_zero_local_search_budget(self):
+        grid = CartesianGrid([6, 4])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(4, 6)
+        perm = GraphMapper(seed=1, local_search_factor=0.0).map_ranks(
+            grid, stencil, alloc
+        )
+        assert sorted(perm.tolist()) == list(range(24))
+
+    def test_compute_rank_falls_back_to_full_mapping(self):
+        grid = CartesianGrid([4, 4])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(4, 4)
+        m = GraphMapper(seed=4)
+        perm = m.map_ranks(grid, stencil, alloc)
+        assert m.compute_rank(grid, stencil, alloc, 5) == perm[5]
+
+    def test_not_distributed(self):
+        assert GraphMapper.distributed is False

@@ -1,0 +1,181 @@
+"""Unit and property tests for :class:`repro.CartesianGrid`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CartesianGrid, InvalidGridError
+
+from .conftest import grids
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        g = CartesianGrid([4, 3, 2])
+        assert g.dims == (4, 3, 2)
+        assert g.ndim == 3
+        assert g.size == 24
+        assert len(g) == 24
+        assert g.periods == (False, False, False)
+
+    def test_row_major_strides(self):
+        g = CartesianGrid([4, 3, 2])
+        assert g.strides == (6, 2, 1)
+
+    def test_single_dimension(self):
+        g = CartesianGrid([7])
+        assert g.size == 7
+        assert g.coords_of(3) == (3,)
+
+    def test_size_one_dimensions(self):
+        g = CartesianGrid([1, 5, 1])
+        assert g.size == 5
+        assert g.coords_of(2) == (0, 2, 0)
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(InvalidGridError):
+            CartesianGrid([])
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(InvalidGridError):
+            CartesianGrid([4, 0])
+        with pytest.raises(InvalidGridError):
+            CartesianGrid([-2])
+
+    def test_non_integer_dims_rejected(self):
+        with pytest.raises(TypeError):
+            CartesianGrid([2.5, 3])
+
+    def test_periods_length_mismatch(self):
+        with pytest.raises(InvalidGridError):
+            CartesianGrid([2, 3], periods=[True])
+
+    def test_equality_and_hash(self):
+        assert CartesianGrid([2, 3]) == CartesianGrid([2, 3])
+        assert CartesianGrid([2, 3]) != CartesianGrid([3, 2])
+        assert CartesianGrid([2, 3]) != CartesianGrid([2, 3], periods=[True, False])
+        assert hash(CartesianGrid([2, 3])) == hash(CartesianGrid([2, 3]))
+
+    def test_repr_mentions_dims(self):
+        assert "[5, 4]" in repr(CartesianGrid([5, 4]))
+
+
+class TestRankCoordBijection:
+    def test_known_coords(self):
+        g = CartesianGrid([3, 4])
+        assert g.coords_of(0) == (0, 0)
+        assert g.coords_of(5) == (1, 1)
+        assert g.coords_of(11) == (2, 3)
+
+    def test_rank_of_inverts_coords_of(self):
+        g = CartesianGrid([3, 4, 5])
+        for r in range(g.size):
+            assert g.rank_of(g.coords_of(r)) == r
+
+    def test_rank_out_of_range(self):
+        g = CartesianGrid([2, 2])
+        with pytest.raises(InvalidGridError):
+            g.coords_of(4)
+        with pytest.raises(InvalidGridError):
+            g.coords_of(-1)
+
+    def test_coords_out_of_range(self):
+        g = CartesianGrid([2, 2])
+        with pytest.raises(InvalidGridError):
+            g.rank_of([2, 0])
+        with pytest.raises(InvalidGridError):
+            g.rank_of([0, -1])
+
+    def test_coords_wrong_length(self):
+        with pytest.raises(InvalidGridError):
+            CartesianGrid([2, 2]).rank_of([0])
+
+    def test_periodic_wrapping(self):
+        g = CartesianGrid([3, 4], periods=[True, True])
+        assert g.rank_of([3, 0]) == g.rank_of([0, 0])
+        assert g.rank_of([-1, -1]) == g.rank_of([2, 3])
+
+    def test_nonperiodic_dimension_does_not_wrap(self):
+        g = CartesianGrid([3, 4], periods=[True, False])
+        assert g.rank_of([-1, 2]) == g.rank_of([2, 2])
+        with pytest.raises(InvalidGridError):
+            g.rank_of([0, 4])
+
+    @given(grids())
+    @settings(max_examples=50)
+    def test_bijection_property(self, grid):
+        seen = {grid.rank_of(grid.coords_of(r)) for r in range(grid.size)}
+        assert seen == set(range(grid.size))
+
+
+class TestVectorised:
+    def test_all_coords_matches_scalar(self):
+        g = CartesianGrid([4, 3, 2])
+        coords = g.all_coords()
+        assert coords.shape == (24, 3)
+        for r in range(g.size):
+            assert tuple(coords[r]) == g.coords_of(r)
+
+    def test_ranks_array_matches_scalar(self):
+        g = CartesianGrid([4, 5])
+        coords = g.all_coords()
+        ranks = g.ranks_array(coords)
+        assert list(ranks) == list(range(g.size))
+
+    def test_ranks_array_periodic(self):
+        g = CartesianGrid([3, 3], periods=[True, False])
+        out = g.ranks_array(np.array([[4, 1]]))
+        assert out[0] == g.rank_of([1, 1])
+
+    def test_ranks_array_validates(self):
+        g = CartesianGrid([3, 3])
+        with pytest.raises(InvalidGridError):
+            g.ranks_array(np.array([[3, 0]]))
+
+    def test_ranks_array_shape_check(self):
+        g = CartesianGrid([3, 3])
+        with pytest.raises(InvalidGridError):
+            g.ranks_array(np.zeros((2, 3), dtype=np.int64))
+
+    def test_coords_array_out_of_range(self):
+        g = CartesianGrid([2, 2])
+        with pytest.raises(InvalidGridError):
+            g.coords_array(np.array([4]))
+
+
+class TestShift:
+    def test_interior_shift(self):
+        g = CartesianGrid([3, 3])
+        centre = g.rank_of([1, 1])
+        assert g.shift(centre, [1, 0]) == g.rank_of([2, 1])
+        assert g.shift(centre, [-1, -1]) == g.rank_of([0, 0])
+
+    def test_boundary_returns_none(self):
+        g = CartesianGrid([3, 3])
+        corner = g.rank_of([0, 0])
+        assert g.shift(corner, [-1, 0]) is None
+        assert g.shift(corner, [0, -1]) is None
+
+    def test_periodic_shift_wraps(self):
+        g = CartesianGrid([3, 3], periods=[True, True])
+        corner = g.rank_of([0, 0])
+        assert g.shift(corner, [-1, 0]) == g.rank_of([2, 0])
+
+    def test_shift_length_check(self):
+        g = CartesianGrid([3, 3])
+        with pytest.raises(InvalidGridError):
+            g.shift(0, [1])
+
+    @given(grids(), st.data())
+    @settings(max_examples=50)
+    def test_shift_inverse_property(self, grid, data):
+        """Shifting by R then by -R returns to the start (when valid)."""
+        rank = data.draw(st.integers(0, grid.size - 1))
+        offset = data.draw(
+            st.lists(st.integers(-2, 2), min_size=grid.ndim, max_size=grid.ndim)
+        )
+        mid = grid.shift(rank, offset)
+        if mid is not None:
+            back = grid.shift(mid, [-c for c in offset])
+            assert back == rank

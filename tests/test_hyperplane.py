@@ -1,0 +1,134 @@
+"""Tests for the Hyperplane algorithm (Algorithm 1, Theorems V.1/V.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CartesianGrid,
+    HyperplaneMapper,
+    NodeAllocation,
+    evaluate_mapping,
+    nearest_neighbor,
+    nearest_neighbor_with_hops,
+)
+from repro.core.hyperplane import find_split, preferred_dimension_order
+
+
+class TestPreferredOrder:
+    def test_smallest_score_first(self):
+        # hops stencil: dimension 0 is heavily used, cut dimension 1 first
+        scores = nearest_neighbor_with_hops(2).alignment_scores()
+        assert preferred_dimension_order([50, 48], scores) == [1, 0]
+
+    def test_tie_broken_by_size(self):
+        scores = nearest_neighbor(2).alignment_scores()
+        assert preferred_dimension_order([50, 48], scores) == [0, 1]
+        assert preferred_dimension_order([48, 50], scores) == [1, 0]
+
+    def test_component_prefers_silent_dimension(self):
+        # component(2) only communicates along dim 0 -> cut dim 1 first...
+        # scores: dim0 = 2.0, dim1 = 0.0
+        from repro import component
+
+        scores = component(2).alignment_scores()
+        assert preferred_dimension_order([10, 10], scores)[0] == 1
+
+
+class TestFindSplit:
+    def test_center_split_even(self):
+        scores = (1.0, 1.0)
+        i, d1, d2 = find_split([4, 4], scores, 4, 16)
+        assert d1 + d2 == 4
+        assert {d1, d2} == {2}
+
+    def test_split_respects_divisibility(self):
+        # total=24, n=8: a split of dims [6, 4] must give sides % 8 == 0
+        scores = (1.0, 1.0)
+        i, d1, d2 = find_split([6, 4], scores, 8, 24)
+        slab = 24 // [6, 4][i]
+        assert (d1 * slab) % 8 == 0 and (d2 * slab) % 8 == 0
+
+    def test_none_when_impossible(self):
+        # total=9 cells, n=5: no split produces multiples of 5
+        assert find_split([3, 3], (1.0, 1.0), 5, 9) is None
+
+    @given(
+        st.integers(2, 12),  # C (number of node-multiples)
+        st.integers(1, 9),   # n
+        st.integers(1, 3),   # extra factor to vary shapes
+    )
+    @settings(max_examples=100)
+    def test_theorem_v2_balance(self, c, n, extra):
+        """When n | total and total >= 2n, the found split satisfies
+        1/2 <= |g'|/|g''| <= 1 (Theorem V.2)."""
+        total = c * n * extra
+        # build dims from the factorisation of total
+        from repro.grid.dims import dims_create
+
+        dims = list(dims_create(total, 2))
+        split = find_split(dims, (1.0, 1.0), n, total)
+        if total < 2 * n:
+            return
+        assert split is not None, "Theorem V.1: a split must exist"
+        i, d1, d2 = split
+        slab = total // dims[i]
+        small, large = sorted([d1 * slab, d2 * slab])
+        assert small + large == total
+        assert small * 2 >= large  # ratio >= 1/2
+
+
+class TestMapping:
+    def test_contiguous_nodes_form_rectangles_on_divisible_grid(self):
+        """On 4x4 with n=4 each node should own a 2x2 block."""
+        grid = CartesianGrid([4, 4])
+        alloc = NodeAllocation.homogeneous(4, 4)
+        perm = HyperplaneMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        cost = evaluate_mapping(grid, nearest_neighbor(2), perm, alloc)
+        # 2x2 blocks: 4 cut links per inner boundary: Jsum = 2*(2*4) = 16
+        assert cost.jsum == 16
+        assert cost.jmax == 4
+
+    def test_recursion_depth_logarithmic(self):
+        """Large instance completes fast: O(log N) levels only."""
+        grid = CartesianGrid([64, 64])
+        alloc = NodeAllocation.homogeneous(128, 32)
+        perm = HyperplaneMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        assert len(set(perm.tolist())) == grid.size
+
+    def test_non_divisible_process_count_falls_back(self):
+        """p not a multiple of n still yields a valid mapping."""
+        grid = CartesianGrid([7, 5])
+        alloc = NodeAllocation.for_total(35, 8)  # 4 full nodes + 3 rest
+        perm = HyperplaneMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        assert sorted(perm.tolist()) == list(range(35))
+
+    def test_node_size_strategies(self):
+        alloc = NodeAllocation([4, 8, 12])
+        assert HyperplaneMapper().node_size(alloc) == 8
+        assert HyperplaneMapper("min").node_size(alloc) == 4
+        assert HyperplaneMapper("max").node_size(alloc) == 12
+
+    def test_homogeneous_node_size(self):
+        alloc = NodeAllocation.homogeneous(3, 7)
+        assert HyperplaneMapper("max").node_size(alloc) == 7
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            HyperplaneMapper("median")
+
+    def test_repr(self):
+        assert "mean" in repr(HyperplaneMapper())
+
+    def test_ablation_flag_changes_result_on_anisotropic_stencil(self):
+        grid = CartesianGrid([50, 48])
+        alloc = NodeAllocation.homogeneous(50, 48)
+        stencil = nearest_neighbor_with_hops(2)
+        with_order = HyperplaneMapper().map_ranks(grid, stencil, alloc)
+        without = HyperplaneMapper(use_stencil_order=False).map_ranks(
+            grid, stencil, alloc
+        )
+        c1 = evaluate_mapping(grid, stencil, with_order, alloc)
+        c2 = evaluate_mapping(grid, stencil, without, alloc)
+        # Equation 2 ordering must help on the hops stencil
+        assert c1.jsum < c2.jsum

@@ -1,0 +1,101 @@
+"""Tests for the k-d tree algorithm (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CartesianGrid,
+    KDTreeMapper,
+    NodeAllocation,
+    Stencil,
+    component,
+    evaluate_mapping,
+    nearest_neighbor,
+    nearest_neighbor_with_hops,
+)
+from repro.core.kdtree import split_dimension_index
+
+
+class TestSplitDimension:
+    def test_largest_weighted_dimension_wins(self):
+        # NN: f = (2, 2): weight = d/2 -> larger dimension
+        counts = nearest_neighbor(2).communication_counts()
+        assert split_dimension_index([50, 48], counts) == 0
+        assert split_dimension_index([48, 50], counts) == 1
+
+    def test_silent_dimension_has_infinite_weight(self):
+        # component(2): f = (2, 0): dimension 1 always splits first
+        counts = component(2).communication_counts()
+        assert split_dimension_index([100, 2], counts) == 1
+
+    def test_hops_biases_away_from_dimension_zero(self):
+        counts = nearest_neighbor_with_hops(2).communication_counts()  # (6, 2)
+        # weights: 50/6 = 8.3 vs 48/2 = 24 -> split dim 1
+        assert split_dimension_index([50, 48], counts) == 1
+
+    def test_size_one_dimension_skipped(self):
+        counts = nearest_neighbor(2).communication_counts()
+        assert split_dimension_index([1, 5], counts) == 1
+
+    def test_all_size_one_rejected(self):
+        counts = nearest_neighbor(2).communication_counts()
+        with pytest.raises(ValueError):
+            split_dimension_index([1, 1], counts)
+
+    def test_tie_broken_by_larger_dimension(self):
+        # equal weights d/f: (8,2) vs (4,1): 4 == 4 -> pick the larger d=8
+        stencil = Stencil([(1, 0), (-1, 0), (0, 1)])
+        counts = stencil.communication_counts()  # (2, 1)
+        assert split_dimension_index([8, 4], counts) == 0
+
+
+class TestMapping:
+    def test_power_of_two_grid_gives_blocks(self):
+        grid = CartesianGrid([4, 4])
+        alloc = NodeAllocation.homogeneous(4, 4)
+        perm = KDTreeMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        cost = evaluate_mapping(grid, nearest_neighbor(2), perm, alloc)
+        assert cost.jsum == 16  # 2x2 blocks
+        assert cost.jmax == 4
+
+    def test_oblivious_to_node_size(self):
+        """The mapping is identical for any allocation of the same p."""
+        grid = CartesianGrid([6, 4])
+        stencil = nearest_neighbor(2)
+        a = KDTreeMapper().map_ranks(grid, stencil, NodeAllocation([12, 12]))
+        b = KDTreeMapper().map_ranks(grid, stencil, NodeAllocation([8, 8, 8]))
+        c = KDTreeMapper().map_ranks(grid, stencil, NodeAllocation([5, 7, 12]))
+        assert (a == b).all() and (b == c).all()
+
+    def test_component_optimal_on_paper_instance(self):
+        grid = CartesianGrid([50, 48])
+        alloc = NodeAllocation.homogeneous(50, 48)
+        perm = KDTreeMapper().map_ranks(grid, component(2), alloc)
+        cost = evaluate_mapping(grid, component(2), perm, alloc)
+        assert (cost.jsum, cost.jmax) == (96, 2)
+
+    def test_odd_dimension_floor_ceil(self):
+        grid = CartesianGrid([5])
+        alloc = NodeAllocation([5])
+        perm = KDTreeMapper().map_ranks(grid, nearest_neighbor(1), alloc)
+        # leaf order on a line is left-to-right
+        assert perm.tolist() == [0, 1, 2, 3, 4]
+
+    def test_memoised_global_equals_per_rank_on_awkward_grid(self):
+        grid = CartesianGrid([9, 7, 5])
+        stencil = nearest_neighbor_with_hops(3)
+        alloc = NodeAllocation.for_total(grid.size, 16)
+        m = KDTreeMapper()
+        perm = m.map_ranks(grid, stencil, alloc)
+        sampled = [0, 1, grid.size // 3, grid.size // 2, grid.size - 1]
+        for r in sampled:
+            assert m.compute_rank(grid, stencil, alloc, r) == perm[r]
+
+    def test_locality_beats_blocked_on_square_grids(self):
+        grid = CartesianGrid([16, 16])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(16, 16)
+        perm = KDTreeMapper().map_ranks(grid, stencil, alloc)
+        cost = evaluate_mapping(grid, stencil, perm, alloc)
+        blocked = evaluate_mapping(grid, stencil, np.arange(256), alloc)
+        assert cost.jsum < blocked.jsum

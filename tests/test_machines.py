@@ -1,0 +1,56 @@
+"""Tests for the Table I machine presets."""
+
+import pytest
+
+from repro import MACHINES, juwels, supermuc_ng, vsc4
+from repro.exceptions import AllocationError
+from repro.hardware.topology import FatTreeTopology, IslandTopology
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(MACHINES) == {"VSC4", "SuperMUC-NG", "JUWELS"}
+
+    def test_table1_sizes(self):
+        assert vsc4().total_nodes == 790
+        assert supermuc_ng().total_nodes == 6336
+        assert juwels().total_nodes == 2271
+        assert all(MACHINES[m]().cores_per_node == 48 for m in MACHINES)
+
+    def test_topology_families(self):
+        assert isinstance(vsc4().topology(100), FatTreeTopology)
+        assert isinstance(supermuc_ng().topology(100), IslandTopology)
+        assert isinstance(juwels().topology(100), FatTreeTopology)
+
+    def test_allocation_shapes(self):
+        a = vsc4().allocation(50)
+        assert a.num_nodes == 50 and a.node_sizes[0] == 48
+        b = vsc4().allocation(10, 24)
+        assert b.node_sizes == (24,) * 10
+
+    def test_allocation_bounds(self):
+        with pytest.raises(AllocationError):
+            vsc4().allocation(791)
+        with pytest.raises(AllocationError):
+            vsc4().allocation(10, 49)
+        with pytest.raises(AllocationError):
+            vsc4().allocation(0)
+
+    def test_topology_bounds(self):
+        with pytest.raises(AllocationError):
+            juwels().topology(5000)
+
+    def test_model_construction(self):
+        m = supermuc_ng().model(100)
+        assert m.topology is not None
+        assert not m.topology_aware
+        m2 = supermuc_ng().model(100, topology_aware=True)
+        assert m2.topology_aware
+
+    def test_machine_repr(self):
+        assert "VSC4" in repr(vsc4())
+
+    def test_juwels_fastest_nic(self):
+        """InfiniBand JUWELS has the highest calibrated NIC bandwidth
+        (its blocked baseline is the fastest in the paper's tables)."""
+        assert juwels().params.nic_bandwidth > vsc4().params.nic_bandwidth

@@ -1,0 +1,168 @@
+"""Property-based tests every mapping algorithm must satisfy."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CartesianGrid,
+    MappingError,
+    NodeAllocation,
+    evaluate_mapping,
+    nearest_neighbor,
+)
+from repro.metrics.cost import node_of_vertex
+
+from .conftest import all_mappers, allocations_for, assert_valid_mapping, grids, stencils_for
+
+
+@given(grids(max_ndim=3, max_size=60), st.data())
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_mapping_is_bijection(any_mapper, grid, data):
+    """Every accepted instance yields a permutation of the ranks."""
+    stencil = data.draw(stencils_for(grid.ndim))
+    alloc = data.draw(allocations_for(grid.size))
+    try:
+        perm = any_mapper.map_ranks(grid, stencil, alloc)
+    except MappingError:
+        return  # rejection is a valid outcome (Nodecart)
+    assert_valid_mapping(perm, alloc)
+
+
+@given(grids(max_ndim=3, max_size=60), st.data())
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_capacities_respected(any_mapper, grid, data):
+    """Exactly n_i grid vertices end up on node i."""
+    stencil = data.draw(stencils_for(grid.ndim))
+    alloc = data.draw(allocations_for(grid.size))
+    try:
+        perm = any_mapper.map_ranks(grid, stencil, alloc)
+    except MappingError:
+        return
+    per_node = np.bincount(node_of_vertex(perm, alloc), minlength=alloc.num_nodes)
+    assert tuple(per_node) == alloc.node_sizes
+
+
+@given(grids(max_ndim=3, max_size=48), st.data())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_distributed_consistency(paper_mapper, grid, data):
+    """compute_rank(r) must equal map_ranks()[r] for every rank.
+
+    This is the paper's requirement that each process can compute its
+    position locally (Section V).
+    """
+    stencil = data.draw(stencils_for(grid.ndim))
+    alloc = data.draw(allocations_for(grid.size))
+    perm = paper_mapper.map_ranks(grid, stencil, alloc)
+    for r in range(grid.size):
+        assert paper_mapper.compute_rank(grid, stencil, alloc, r) == perm[r]
+
+
+@given(grids(max_ndim=2, max_size=48), st.data())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_determinism(any_mapper, grid, data):
+    """Two invocations produce the identical mapping."""
+    stencil = data.draw(stencils_for(grid.ndim))
+    alloc = data.draw(allocations_for(grid.size))
+    try:
+        a = any_mapper.map_ranks(grid, stencil, alloc)
+        b = any_mapper.map_ranks(grid, stencil, alloc)
+    except MappingError:
+        return
+    assert (a == b).all()
+
+
+def test_single_node_mapping_trivially_costless(any_mapper):
+    grid = CartesianGrid([4, 4])
+    stencil = nearest_neighbor(2)
+    alloc = NodeAllocation([16])
+    try:
+        perm = any_mapper.map_ranks(grid, stencil, alloc)
+    except MappingError:
+        pytest.skip("mapper rejects the instance")
+    cost = evaluate_mapping(grid, stencil, perm, alloc)
+    assert cost.jsum == 0
+
+
+def test_one_process_per_node(any_mapper):
+    """p == N: every vertex on its own node; Jsum equals all edges."""
+    grid = CartesianGrid([3, 3])
+    stencil = nearest_neighbor(2)
+    alloc = NodeAllocation.homogeneous(9, 1)
+    try:
+        perm = any_mapper.map_ranks(grid, stencil, alloc)
+    except MappingError:
+        pytest.skip("mapper rejects the instance")
+    cost = evaluate_mapping(grid, stencil, perm, alloc)
+    assert cost.jsum == cost.total_edges
+
+
+def test_instance_validation_errors(any_mapper):
+    grid = CartesianGrid([4, 4])
+    with pytest.raises(MappingError):
+        any_mapper.map_ranks(grid, nearest_neighbor(3), NodeAllocation([16]))
+    with pytest.raises(Exception):
+        any_mapper.map_ranks(grid, nearest_neighbor(2), NodeAllocation([15]))
+
+
+def test_compute_rank_bounds(any_mapper):
+    grid = CartesianGrid([4, 2])
+    stencil = nearest_neighbor(2)
+    alloc = NodeAllocation([4, 4])
+    try:
+        any_mapper.compute_rank(grid, stencil, alloc, 0)
+    except MappingError:
+        pytest.skip("mapper rejects the instance")
+    with pytest.raises(MappingError):
+        any_mapper.compute_rank(grid, stencil, alloc, 8)
+    with pytest.raises(MappingError):
+        any_mapper.compute_rank(grid, stencil, alloc, -1)
+
+
+@pytest.mark.parametrize("name", sorted(all_mappers()))
+def test_skewed_grid_2xn(name):
+    """The degenerate [2, n] grid from Section V-A must be handled."""
+    mapper = all_mappers()[name]
+    grid = CartesianGrid([2, 21])
+    stencil = nearest_neighbor(2)
+    alloc = NodeAllocation.homogeneous(2, 21)
+    try:
+        perm = mapper.map_ranks(grid, stencil, alloc)
+    except MappingError:
+        pytest.skip("mapper rejects the instance")
+    assert_valid_mapping(perm, alloc)
+
+
+@pytest.mark.parametrize("name", sorted(all_mappers()))
+def test_1d_grid(name):
+    mapper = all_mappers()[name]
+    grid = CartesianGrid([24])
+    stencil = nearest_neighbor(1)
+    alloc = NodeAllocation.homogeneous(4, 6)
+    try:
+        perm = mapper.map_ranks(grid, stencil, alloc)
+    except MappingError:
+        pytest.skip("mapper rejects the instance")
+    assert_valid_mapping(perm, alloc)
+    if name != "random":  # random placement makes no locality promise
+        cost = evaluate_mapping(grid, stencil, perm, alloc)
+        # contiguous runs are optimal: 3 cut links = 6 directed edges
+        assert cost.jsum <= 3 * 4  # nothing should be catastrophically bad
+
+
+def test_hyperplane_base_case_matches_paper_skewed_example():
+    """NN on [2, n]: two partitions with 3 outgoing edges each (Sec. V-A)."""
+    from repro import HyperplaneMapper
+
+    grid = CartesianGrid([2, 21])
+    stencil = nearest_neighbor(2)
+    alloc = NodeAllocation.homogeneous(2, 21)
+    perm = HyperplaneMapper().map_ranks(grid, stencil, alloc)
+    cost = evaluate_mapping(grid, stencil, perm, alloc)
+    assert cost.jmax == 3
+    assert cost.jsum == 6

@@ -1,0 +1,227 @@
+"""Tests for the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HyperplaneMapper,
+    NodeAllocation,
+    SimulationError,
+    nearest_neighbor,
+    vsc4,
+)
+from repro.mpisim import (
+    CartComm,
+    SimMPI,
+    cart_create,
+    cart_stencil_comm,
+    neighbor_alltoall,
+)
+from repro.grid.grid import CartesianGrid
+
+
+class TestSimMPI:
+    def test_construction_with_machine(self):
+        job = SimMPI(vsc4(), num_nodes=4, processes_per_node=8)
+        assert job.world.size == 32
+        assert job.model is not None
+        assert job.clock == 0.0
+
+    def test_construction_without_machine(self):
+        job = SimMPI(num_nodes=2, processes_per_node=4)
+        assert job.model is None
+        assert job.world.size == 8
+
+    def test_explicit_allocation(self):
+        job = SimMPI(allocation=NodeAllocation([3, 5]))
+        assert job.world.size == 8
+
+    def test_missing_arguments(self):
+        with pytest.raises(SimulationError):
+            SimMPI()
+        with pytest.raises(SimulationError):
+            SimMPI(num_nodes=2)
+
+    def test_clock_advances_and_resets(self):
+        job = SimMPI(vsc4(), num_nodes=2, processes_per_node=4)
+        job.advance("x", 1.5)
+        assert job.clock == 1.5
+        assert job.events == [("x", 1.5)]
+        job.reset_clock()
+        assert job.clock == 0.0 and job.events == []
+
+    def test_negative_advance_rejected(self):
+        job = SimMPI(num_nodes=2, processes_per_node=2)
+        with pytest.raises(SimulationError):
+            job.advance("x", -1.0)
+
+    def test_barrier_charges_time(self):
+        job = SimMPI(vsc4(), num_nodes=2, processes_per_node=4)
+        job.world.barrier()
+        assert job.clock > 0.0
+
+    def test_barrier_free_without_machine(self):
+        job = SimMPI(num_nodes=2, processes_per_node=4)
+        job.world.barrier()
+        assert job.clock == 0.0
+
+
+class TestAllreduce:
+    def test_sum(self):
+        job = SimMPI(num_nodes=2, processes_per_node=2)
+        values = np.arange(4.0)
+        assert job.world.allreduce(values, "sum") == pytest.approx(6.0)
+
+    def test_max_and_min(self):
+        job = SimMPI(num_nodes=2, processes_per_node=2)
+        values = np.array([[1.0, 5.0], [2.0, 4.0], [3.0, 3.0], [0.0, 6.0]])
+        assert job.world.allreduce(values, "max").tolist() == [3.0, 6.0]
+        assert job.world.allreduce(values, "min").tolist() == [0.0, 3.0]
+
+    def test_shape_and_op_validation(self):
+        job = SimMPI(num_nodes=2, processes_per_node=2)
+        with pytest.raises(SimulationError):
+            job.world.allreduce(np.zeros(3), "sum")
+        with pytest.raises(SimulationError):
+            job.world.allreduce(np.zeros(4), "median")
+
+    def test_time_charged_with_machine(self):
+        job = SimMPI(vsc4(), num_nodes=2, processes_per_node=2)
+        job.world.allreduce(np.zeros(4), "sum")
+        assert job.clock > 0.0
+
+
+class TestNeighborAlltoallDataPlane:
+    def test_line_exchange(self):
+        grid = CartesianGrid([3])
+        stencil = nearest_neighbor(1)  # offsets (+1,), (-1,)
+        send = np.zeros((3, 2, 1))
+        for r in range(3):
+            send[r, :, 0] = r
+        recv, valid = neighbor_alltoall(grid, stencil, send)
+        # slot 0 (offset +1) arrives from the left neighbour
+        assert valid[1, 0] and recv[1, 0, 0] == 0
+        assert valid[2, 0] and recv[2, 0, 0] == 1
+        assert not valid[0, 0]  # nobody left of rank 0
+        # slot 1 (offset -1) arrives from the right neighbour
+        assert valid[1, 1] and recv[1, 1, 0] == 2
+        assert not valid[2, 1]
+
+    def test_periodic_all_valid(self):
+        grid = CartesianGrid([4], periods=[True])
+        stencil = nearest_neighbor(1)
+        send = np.arange(8.0).reshape(4, 2, 1)
+        recv, valid = neighbor_alltoall(grid, stencil, send)
+        assert valid.all()
+        # rank 0 slot 0 from rank 3's slot 0
+        assert recv[0, 0, 0] == send[3, 0, 0]
+
+    def test_shape_validation(self):
+        grid = CartesianGrid([3])
+        with pytest.raises(SimulationError):
+            neighbor_alltoall(grid, nearest_neighbor(1), np.zeros((3, 3, 1)))
+
+    def test_fill_value(self):
+        grid = CartesianGrid([2])
+        stencil = nearest_neighbor(1)
+        recv, valid = neighbor_alltoall(
+            grid, stencil, np.ones((2, 2, 1)), fill_value=-7.0
+        )
+        assert recv[0, 0, 0] == -7.0  # invalid slot keeps the fill value
+
+    def test_round_trip_identity(self):
+        """Sending rank ids: every valid slot must hold shift(u, -R_j)."""
+        grid = CartesianGrid([4, 3])
+        stencil = nearest_neighbor(2)
+        send = np.zeros((12, 4, 1))
+        for r in range(12):
+            send[r, :, 0] = r
+        recv, valid = neighbor_alltoall(grid, stencil, send)
+        for u in range(12):
+            for j, off in enumerate(stencil.offsets):
+                src = grid.shift(u, [-c for c in off])
+                if src is None:
+                    assert not valid[u, j]
+                else:
+                    assert valid[u, j] and recv[u, j, 0] == src
+
+
+class TestCartComm:
+    def _job(self):
+        return SimMPI(vsc4(), num_nodes=4, processes_per_node=4)
+
+    def test_cart_create_defaults_to_blocked(self):
+        job = self._job()
+        cart = cart_create(job, [4, 4], reorder=False)
+        assert (cart.perm == np.arange(16)).all()
+        assert cart.dims == (4, 4)
+        assert cart.num_neighbors == 4
+
+    def test_cart_create_with_mapper(self):
+        job = self._job()
+        cart = cart_create(job, [4, 4], mapper=HyperplaneMapper())
+        assert sorted(cart.perm.tolist()) == list(range(16))
+
+    def test_grid_size_must_match_job(self):
+        from repro import ReproError
+
+        job = self._job()
+        with pytest.raises(ReproError):
+            cart_create(job, [5, 4])
+
+    def test_stencil_comm_from_flattened(self):
+        job = self._job()
+        cart = cart_stencil_comm(job, [4, 4], [1, 0, -1, 0])
+        assert cart.stencil.offsets == ((1, 0), (-1, 0))
+
+    def test_neighbors_listing(self):
+        job = self._job()
+        cart = cart_create(job, [4, 4], reorder=False)
+        centre = cart.rank_at([1, 1])
+        nbrs = cart.neighbors(centre)
+        assert cart.rank_at([2, 1]) in nbrs
+        corner = cart.rank_at([0, 0])
+        assert cart.neighbors(corner).count(None) == 2
+
+    def test_old_rank_and_node(self):
+        job = self._job()
+        cart = cart_create(job, [4, 4], mapper=HyperplaneMapper())
+        for new_rank in range(16):
+            old = cart.old_rank_of(new_rank)
+            assert cart.perm[old] == new_rank
+            assert cart.node_of(new_rank) == job.allocation.node_of(old)
+
+    def test_exchange_charges_clock(self):
+        job = self._job()
+        cart = cart_create(job, [4, 4], reorder=False)
+        send = np.ones((16, 4, 16))
+        result = cart.neighbor_alltoall(send)
+        assert result.elapsed > 0
+        assert job.clock >= result.elapsed  # barrier + exchange
+
+    def test_exchange_without_sync(self):
+        job = self._job()
+        cart = cart_create(job, [4, 4], reorder=False)
+        job.reset_clock()
+        result = cart.neighbor_alltoall(np.ones((16, 4, 2)), synchronize=False)
+        barrier_events = [e for e in job.events if e[0] == "barrier"]
+        assert not barrier_events
+
+    def test_reorder_false_ignores_mapper(self):
+        job = self._job()
+        cart = cart_stencil_comm(
+            job, [4, 4], nearest_neighbor(2), reorder=False,
+            mapper=HyperplaneMapper(),
+        )
+        assert (cart.perm == np.arange(16)).all()
+
+    def test_better_mapping_reduces_exchange_time(self):
+        job_a = SimMPI(vsc4(), num_nodes=16, processes_per_node=12)
+        job_b = SimMPI(vsc4(), num_nodes=16, processes_per_node=12)
+        dims = [16, 12]
+        cart_a = cart_create(job_a, dims, reorder=False)
+        cart_b = cart_create(job_b, dims, mapper=HyperplaneMapper())
+        send = np.ones((192, 4, 4096))
+        ta = cart_a.neighbor_alltoall(send).elapsed
+        tb = cart_b.neighbor_alltoall(send).elapsed
+        assert tb < ta

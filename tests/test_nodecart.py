@@ -1,0 +1,136 @@
+"""Tests for Gropp's Nodecart baseline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CartesianGrid,
+    FactorizationError,
+    MappingError,
+    NodeAllocation,
+    NodecartMapper,
+    component,
+    evaluate_mapping,
+    nearest_neighbor,
+    nearest_neighbor_with_hops,
+)
+from repro.core.nodecart import block_factorizations, block_surface
+
+
+class TestFactorizations:
+    def test_all_candidates_found(self):
+        # n=4 into dims [4, 4]: (1,4), (2,2), (4,1)
+        assert set(block_factorizations(4, [4, 4])) == {(1, 4), (2, 2), (4, 1)}
+
+    def test_divisibility_enforced(self):
+        # c0 must divide 50: only 1 and 2 among divisors of 48
+        cands = block_factorizations(48, [50, 48])
+        assert set(cands) == {(1, 48), (2, 24)}
+
+    def test_empty_when_impossible(self):
+        assert block_factorizations(3, [5, 5]) == []
+
+    def test_3d(self):
+        cands = block_factorizations(8, [4, 4, 4])
+        assert (2, 2, 2) in cands
+
+
+class TestBlockSurface:
+    def test_nn_surface_is_perimeter_like(self):
+        eye = np.eye(2, dtype=np.int64)
+        offsets = np.concatenate([eye, -eye])
+        # 2x24 block: 2*24 (up+down) + 2*2 (left+right) = 52
+        assert block_surface((2, 24), offsets) == 52
+        assert block_surface((1, 48), offsets) == 98
+
+    def test_hops_surface(self):
+        s = nearest_neighbor_with_hops(2)
+        # 2x24 block: +-1_0: 24+24; +-2_0,+-3_0: all 48 cells each; +-1_1: 2+2
+        assert block_surface((2, 24), s.as_array()) == 48 + 4 * 48 + 4
+
+
+class TestBlockSelection:
+    def test_paper_block_for_n50(self):
+        grid = CartesianGrid([50, 48])
+        mapper = NodecartMapper()
+        assert mapper.select_block(grid, nearest_neighbor(2), 48) == (2, 24)
+
+    def test_paper_block_for_n100(self):
+        grid = CartesianGrid([75, 64])
+        mapper = NodecartMapper()
+        assert mapper.select_block(grid, nearest_neighbor(2), 48) == (3, 16)
+
+    def test_default_ignores_actual_stencil(self):
+        """Faithful Nodecart optimises for NN whatever the stencil is."""
+        grid = CartesianGrid([50, 48])
+        mapper = NodecartMapper()
+        assert mapper.select_block(grid, component(2), 48) == (2, 24)
+        assert mapper.select_block(grid, nearest_neighbor_with_hops(2), 48) == (2, 24)
+
+    def test_stencil_aware_extension_can_differ(self):
+        grid = CartesianGrid([48, 48])
+        aware = NodecartMapper(stencil_aware=True)
+        oblivious = NodecartMapper()
+        s = component(2)  # communicates along dim 0 only
+        block_aware = aware.select_block(grid, s, 48)
+        block_obl = oblivious.select_block(grid, s, 48)
+        # the aware variant should elongate the block along dimension 0
+        assert block_aware[0] > block_obl[0]
+
+    def test_factorization_always_feasible_when_n_divides_p(self):
+        """Number-theoretic fact: n | p implies every prime multiplicity
+        of n fits into the dimensions, so a block always exists for valid
+        homogeneous instances.  Nodecart's real-world failures are the
+        non-divisible/heterogeneous allocations it rejects up front."""
+        from repro.grid.dims import dims_create
+
+        for p, d in ((60, 2), (96, 2), (360, 3), (1056, 3)):
+            dims = dims_create(p, d)
+            for n in (q for q in range(2, p + 1) if p % q == 0):
+                assert block_factorizations(n, dims), (p, d, n)
+
+    def test_factorization_error_on_direct_misuse(self):
+        """select_block with an n that does not divide the grid raises."""
+        grid = CartesianGrid([5, 7])
+        with pytest.raises(FactorizationError):
+            NodecartMapper().select_block(grid, nearest_neighbor(2), 6)
+
+
+class TestMapping:
+    def test_paper_costs(self):
+        grid = CartesianGrid([50, 48])
+        alloc = NodeAllocation.homogeneous(50, 48)
+        perm = NodecartMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        cost = evaluate_mapping(grid, nearest_neighbor(2), perm, alloc)
+        assert (cost.jsum, cost.jmax) == (2404, 50)
+
+    def test_blocks_are_contiguous_rectangles(self):
+        grid = CartesianGrid([4, 4])
+        alloc = NodeAllocation.homogeneous(4, 4)
+        perm = NodecartMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        from repro.metrics.cost import node_of_vertex
+
+        nodes = node_of_vertex(perm, alloc)
+        coords = grid.all_coords()
+        for node in range(4):
+            pts = coords[nodes == node]
+            spans = pts.max(axis=0) - pts.min(axis=0) + 1
+            assert int(np.prod(spans)) == 4  # an axis-aligned 2x2 box
+
+    def test_requires_homogeneous(self):
+        grid = CartesianGrid([4, 4])
+        with pytest.raises(MappingError):
+            NodecartMapper().map_ranks(
+                grid, nearest_neighbor(2), NodeAllocation([8, 4, 4])
+            )
+
+    def test_distributed_consistency(self):
+        grid = CartesianGrid([6, 8])
+        alloc = NodeAllocation.homogeneous(6, 8)
+        m = NodecartMapper()
+        perm = m.map_ranks(grid, nearest_neighbor(2), alloc)
+        for r in range(grid.size):
+            assert m.compute_rank(grid, nearest_neighbor(2), alloc, r) == perm[r]
+
+    def test_repr(self):
+        assert "stencil_aware=True" in repr(NodecartMapper(stencil_aware=True))

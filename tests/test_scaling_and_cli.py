@@ -1,0 +1,105 @@
+"""Tests for the scaling extension experiment and the CLI entry point."""
+
+import pytest
+
+from repro import BlockedMapper, HyperplaneMapper, StencilStripsMapper
+from repro.experiments import scaling_sweep
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestScalingSweep:
+    def test_structure_and_trend(self):
+        mappers = {
+            "blocked": BlockedMapper(),
+            "hyperplane": HyperplaneMapper(),
+            "stencil_strips": StencilStripsMapper(),
+        }
+        sweep = scaling_sweep(
+            "VSC4",
+            node_counts=(4, 9, 16),
+            mappers=mappers,
+            processes_per_node=16,
+        )
+        assert set(sweep) == {"hyperplane", "stencil_strips"}
+        for points in sweep.values():
+            assert [p.num_nodes for p in points] == [4, 9, 16]
+            for p in points:
+                assert 0 < p.jsum_reduction < 1.0
+                assert p.model_speedup > 1.0
+
+    def test_speedup_persists_at_scale(self):
+        sweep = scaling_sweep(
+            "VSC4",
+            node_counts=(25, 100),
+            mappers={
+                "blocked": BlockedMapper(),
+                "stencil_strips": StencilStripsMapper(),
+            },
+        )
+        points = sweep["stencil_strips"]
+        assert all(p.model_speedup > 1.5 for p in points)
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            scaling_sweep("Summit", node_counts=(4,))
+
+
+class TestCLI:
+    def test_figure9(self, capsys):
+        assert experiments_main(["figure9"]) == 0
+        out = capsys.readouterr().out
+        assert "VieM*" in out and "per-rank" in out
+
+    def test_figure8_fast(self, capsys):
+        assert experiments_main(["figure8", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "median" in out
+
+    def test_table(self, capsys):
+        assert experiments_main(["table", "II", "--reps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "VSC4" in out and "524288" in out
+
+    def test_table_requires_valid_id(self, capsys):
+        with pytest.raises(SystemExit):
+            experiments_main(["table", "IX"])
+
+    def test_ablations(self, capsys):
+        assert experiments_main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "serpentine" in out and "topology-aware" in out
+
+    def test_invalid_target(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["figure10"])
+
+
+class TestGraphMapperRestarts:
+    def test_restarts_never_worse(self):
+        from repro import (
+            CartesianGrid,
+            GraphMapper,
+            NodeAllocation,
+            evaluate_mapping,
+            nearest_neighbor,
+        )
+
+        grid = CartesianGrid([12, 8])
+        stencil = nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(8, 12)
+        one = GraphMapper(seed=11, restarts=1).map_ranks(grid, stencil, alloc)
+        three = GraphMapper(seed=11, restarts=3).map_ranks(grid, stencil, alloc)
+        j1 = evaluate_mapping(grid, stencil, one, alloc).jsum
+        j3 = evaluate_mapping(grid, stencil, three, alloc).jsum
+        assert j3 <= j1
+
+    def test_invalid_restarts(self):
+        from repro import GraphMapper
+
+        with pytest.raises(ValueError):
+            GraphMapper(restarts=0)
+
+    def test_repr_mentions_restarts(self):
+        from repro import GraphMapper
+
+        assert "restarts=2" in repr(GraphMapper(restarts=2))

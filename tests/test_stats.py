@@ -1,0 +1,118 @@
+"""Tests for the statistics pipeline (Section VI methodology)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConfidenceInterval, mean_ci, median_ci, remove_outliers_iqr
+
+
+class TestOutlierRemoval:
+    def test_planted_outlier_removed(self):
+        samples = np.array([1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 50.0])
+        kept = remove_outliers_iqr(samples)
+        assert 50.0 not in kept
+        assert len(kept) == 6
+
+    def test_clean_data_untouched(self):
+        samples = np.linspace(1.0, 2.0, 20)
+        assert len(remove_outliers_iqr(samples)) == 20
+
+    def test_small_samples_returned_verbatim(self):
+        samples = np.array([1.0, 100.0, 1.0])
+        assert (remove_outliers_iqr(samples) == samples).all()
+
+    def test_constant_data(self):
+        samples = np.full(10, 3.0)
+        assert (remove_outliers_iqr(samples) == samples).all()
+
+    def test_degenerate_iqr_keeps_at_least_one(self):
+        samples = np.array([1.0] * 9 + [100.0])
+        kept = remove_outliers_iqr(samples)
+        assert kept.size >= 1
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            remove_outliers_iqr(np.zeros((2, 2)))
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=4, max_size=50))
+    @settings(max_examples=50)
+    def test_subset_property(self, values):
+        samples = np.array(values)
+        kept = remove_outliers_iqr(samples)
+        assert kept.size <= samples.size
+        assert np.isin(kept, samples).all()
+
+
+class TestMeanCI:
+    def test_constant_samples(self):
+        ci = mean_ci(np.full(10, 2.5))
+        assert ci.value == 2.5
+        assert ci.low == ci.high == 2.5
+        assert ci.half_width == 0.0
+
+    def test_ci_contains_mean_and_shrinks(self):
+        rng = np.random.default_rng(0)
+        small = mean_ci(rng.normal(10, 1, size=20))
+        large = mean_ci(rng.normal(10, 1, size=2000))
+        assert small.low < 10.5 and small.high > 9.5
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_outlier_removal_changes_estimate(self):
+        samples = np.array([1.0] * 30 + [1000.0])
+        with_removal = mean_ci(samples)
+        without = mean_ci(samples, remove_outliers=False)
+        assert with_removal.value == pytest.approx(1.0)
+        assert without.value > 30
+
+    def test_single_sample(self):
+        ci = mean_ci(np.array([4.2]))
+        assert ci.value == ci.low == ci.high == 4.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci(np.array([]))
+
+
+class TestMedianCI:
+    def test_median_value(self):
+        ci = median_ci(np.array([1.0, 2.0, 3.0, 4.0, 100.0]))
+        assert ci.value == 3.0
+
+    def test_notch_formula(self):
+        samples = np.arange(1.0, 101.0)
+        ci = median_ci(samples)
+        q1, q3 = np.percentile(samples, [25, 75])
+        half = 1.57 * (q3 - q1) / np.sqrt(100)
+        assert ci.low == pytest.approx(ci.value - half)
+        assert ci.high == pytest.approx(ci.value + half)
+
+    def test_single_sample(self):
+        ci = median_ci(np.array([7.0]))
+        assert ci.low == ci.high == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_ci(np.array([]))
+
+
+class TestConfidenceInterval:
+    def test_overlap_detection(self):
+        a = ConfidenceInterval(1.0, 0.9, 1.1)
+        b = ConfidenceInterval(1.05, 1.0, 1.2)
+        c = ConfidenceInterval(2.0, 1.9, 2.1)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+    def test_touching_intervals_overlap(self):
+        a = ConfidenceInterval(1.0, 0.9, 1.1)
+        b = ConfidenceInterval(1.2, 1.1, 1.3)
+        assert a.overlaps(b)
+
+    def test_half_width_asymmetric(self):
+        ci = ConfidenceInterval(1.0, 0.8, 1.1)
+        assert ci.half_width == pytest.approx(0.2)
+
+    def test_repr(self):
+        assert "[" in repr(ConfidenceInterval(1.0, 0.9, 1.1))

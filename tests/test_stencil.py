@@ -1,0 +1,175 @@
+"""Unit tests for stencil neighbourhoods (Figure 2 definitions)."""
+
+import math
+
+import pytest
+
+from repro import (
+    InvalidStencilError,
+    Stencil,
+    component,
+    moore,
+    nearest_neighbor,
+    nearest_neighbor_with_hops,
+)
+
+
+class TestFactories:
+    def test_nearest_neighbor_2d(self):
+        s = nearest_neighbor(2)
+        assert s.k == 4
+        assert set(s.offsets) == {(1, 0), (-1, 0), (0, 1), (0, -1)}
+
+    def test_nearest_neighbor_3d(self):
+        s = nearest_neighbor(3)
+        assert s.k == 6
+        assert all(sum(abs(c) for c in off) == 1 for off in s.offsets)
+
+    def test_component_2d_is_one_dimensional(self):
+        s = component(2)
+        assert set(s.offsets) == {(1, 0), (-1, 0)}
+
+    def test_component_3d_excludes_last_dimension(self):
+        s = component(3)
+        assert s.k == 4
+        assert all(off[2] == 0 for off in s.offsets)
+
+    def test_component_needs_two_dimensions(self):
+        with pytest.raises(InvalidStencilError):
+            component(1)
+
+    def test_hops_default_matches_paper(self):
+        s = nearest_neighbor_with_hops(2)
+        assert s.k == 8
+        assert (2, 0) in s.offsets and (-3, 0) in s.offsets
+
+    def test_hops_custom_distances(self):
+        s = nearest_neighbor_with_hops(2, hops=(5,))
+        assert (5, 0) in s.offsets and (-5, 0) in s.offsets
+        assert s.k == 6
+
+    def test_hops_rejects_distance_one(self):
+        # distance 1 would duplicate the nearest-neighbour offsets
+        with pytest.raises(InvalidStencilError):
+            nearest_neighbor_with_hops(2, hops=(1,))
+
+    def test_moore_counts(self):
+        assert moore(2).k == 8
+        assert moore(3).k == 26
+        assert moore(2, radius=2).k == 24
+
+    def test_moore_invalid(self):
+        with pytest.raises(InvalidStencilError):
+            moore(0)
+        with pytest.raises(InvalidStencilError):
+            moore(2, radius=0)
+
+    def test_factory_dim_validation(self):
+        with pytest.raises(InvalidStencilError):
+            nearest_neighbor(0)
+
+
+class TestValidation:
+    def test_zero_offset_rejected(self):
+        with pytest.raises(InvalidStencilError):
+            Stencil([(0, 0)])
+
+    def test_duplicate_offset_rejected(self):
+        with pytest.raises(InvalidStencilError):
+            Stencil([(1, 0), (1, 0)])
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(InvalidStencilError):
+            Stencil([(1, 0), (1,)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidStencilError):
+            Stencil([])
+
+    def test_equality_is_set_based(self):
+        a = Stencil([(1, 0), (-1, 0)])
+        b = Stencil([(-1, 0), (1, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestStructuralQueries:
+    def test_symmetry(self):
+        assert nearest_neighbor(2).is_symmetric()
+        assert nearest_neighbor_with_hops(3).is_symmetric()
+        assert not Stencil([(1, 0)]).is_symmetric()
+
+    def test_communication_counts_nn(self):
+        assert nearest_neighbor(2).communication_counts() == (2, 2)
+
+    def test_communication_counts_component(self):
+        # component stencil never crosses the last dimension: f = (2, 0)
+        assert component(2).communication_counts() == (2, 0)
+
+    def test_communication_counts_hops(self):
+        # 2 NN + 4 hop offsets cross dimension 0
+        assert nearest_neighbor_with_hops(2).communication_counts() == (6, 2)
+
+    def test_extensions(self):
+        assert nearest_neighbor(2).extensions() == (2, 2)
+        assert nearest_neighbor_with_hops(2).extensions() == (6, 2)
+        assert component(2).extensions() == (2, 0)
+
+    def test_bounding_volume_treats_zero_extent_as_one(self):
+        assert component(2).bounding_volume() == 2
+        assert nearest_neighbor(2).bounding_volume() == 4
+        assert nearest_neighbor_with_hops(2).bounding_volume() == 12
+
+    def test_distortion_factors_nn_are_uniform(self):
+        alphas = nearest_neighbor(2).distortion_factors()
+        assert alphas == pytest.approx((1.0, 1.0))
+
+    def test_distortion_factors_hops_elongated(self):
+        alphas = nearest_neighbor_with_hops(2).distortion_factors()
+        assert alphas[0] == pytest.approx(6 / math.sqrt(12))
+        assert alphas[1] == pytest.approx(2 / math.sqrt(12))
+
+    def test_distortion_factor_zero_for_silent_dimension(self):
+        assert component(2).distortion_factors()[1] == 0.0
+
+    def test_alignment_scores_nn(self):
+        # each +-1_i contributes cos^2 = 1 to its own dimension
+        assert nearest_neighbor(2).alignment_scores() == pytest.approx((2.0, 2.0))
+
+    def test_alignment_scores_diagonal(self):
+        s = Stencil([(1, 1)])
+        assert s.alignment_scores() == pytest.approx((0.5, 0.5))
+
+    def test_alignment_scores_hops_prefer_cutting_dim1(self):
+        scores = nearest_neighbor_with_hops(2).alignment_scores()
+        # dimension 0 carries six aligned offsets: far higher score
+        assert scores[0] > scores[1]
+
+
+class TestFlattened:
+    def test_round_trip(self):
+        s = nearest_neighbor_with_hops(2)
+        rebuilt = Stencil.from_flattened(s.flattened(), 2)
+        assert rebuilt == s
+
+    def test_from_flattened_listing1_example(self):
+        s = Stencil.from_flattened([1, 0, -1, 0], 2)
+        assert set(s.offsets) == {(1, 0), (-1, 0)}
+
+    def test_from_flattened_length_check(self):
+        with pytest.raises(InvalidStencilError):
+            Stencil.from_flattened([1, 0, 1], 2)
+
+    def test_from_flattened_bad_ndims(self):
+        with pytest.raises(InvalidStencilError):
+            Stencil.from_flattened([1, 0], 0)
+
+    def test_iteration_and_len(self):
+        s = nearest_neighbor(2)
+        assert len(s) == 4
+        assert list(s) == list(s.offsets)
+
+    def test_array_is_readonly(self):
+        arr = nearest_neighbor(2).as_array()
+        with pytest.raises(ValueError):
+            arr[0, 0] = 5

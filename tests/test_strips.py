@@ -1,0 +1,143 @@
+"""Tests for the Stencil Strips algorithm (Algorithm 3, Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CartesianGrid,
+    NodeAllocation,
+    StencilStripsMapper,
+    component,
+    evaluate_mapping,
+    nearest_neighbor,
+    nearest_neighbor_with_hops,
+)
+from repro.core.strips import strip_widths
+
+
+class TestStripWidths:
+    def test_nn_2d_near_square(self):
+        # sqrt(48) = 6.93 -> width 6, eight strips of 6 across 48
+        widths = strip_widths([50, 48], (1.0, 1.0), 48, largest=0)
+        assert widths == {1: [6] * 8}
+
+    def test_last_strip_absorbs_remainder(self):
+        widths = strip_widths([50, 45], (1.0, 1.0), 48, largest=0)
+        # 45 // 6 = 7 strips; last takes 45 - 6*7 = 3 extra
+        assert widths == {1: [6] * 6 + [9]}
+
+    def test_silent_dimension_width_one(self):
+        # alpha = 0 -> clamp to 1
+        widths = strip_widths([50, 48], (1.0, 0.0), 48, largest=0)
+        assert widths == {1: [1] * 48}
+
+    def test_3d_nn_near_cubic(self):
+        # 48^(1/3) = 3.63 -> 3; then (48/3)^(1/2) = 4
+        widths = strip_widths([10, 12, 12], (1.0, 1.0, 1.0), 48, largest=1)
+        assert set(widths) == {0, 2}
+        assert widths[0][0] == 3
+        assert widths[2][0] == 4
+
+    def test_width_clamped_to_dimension(self):
+        widths = strip_widths([100, 3], (1.0, 1.0), 1000, largest=0)
+        assert all(w <= 3 for w in widths[1])
+
+
+class TestMapping:
+    def test_nn_blocks_on_paper_instance(self):
+        grid = CartesianGrid([50, 48])
+        alloc = NodeAllocation.homogeneous(50, 48)
+        perm = StencilStripsMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        cost = evaluate_mapping(grid, nearest_neighbor(2), perm, alloc)
+        assert (cost.jsum, cost.jmax) == (1244, 28)
+
+    def test_component_optimal(self):
+        grid = CartesianGrid([50, 48])
+        alloc = NodeAllocation.homogeneous(50, 48)
+        perm = StencilStripsMapper().map_ranks(grid, component(2), alloc)
+        cost = evaluate_mapping(grid, component(2), perm, alloc)
+        assert (cost.jsum, cost.jmax) == (96, 2)
+
+    def test_serpentine_consecutive_ranks_adjacent_2d(self):
+        """With serpentine on, the traversal is a connected snake in 2-D
+        (width-1 columns), so consecutive ranks are grid neighbours."""
+        grid = CartesianGrid([8, 6])
+        alloc = NodeAllocation.homogeneous(8, 6)
+        mapper = StencilStripsMapper()
+        perm = mapper.map_ranks(grid, component(2), alloc)
+        coords = grid.coords_array(perm)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_serpentine_off_breaks_coherence(self):
+        grid = CartesianGrid([8, 6])
+        alloc = NodeAllocation.homogeneous(8, 6)
+        mapper = StencilStripsMapper(serpentine=False)
+        perm = mapper.map_ranks(grid, component(2), alloc)
+        coords = grid.coords_array(perm)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert (steps > 1).any()  # Figure 5b: jumps between columns
+
+    def test_serpentine_improves_cost(self):
+        """Nodes that wrap between columns stay coherent only with the
+        Figure 5a direction flipping; the nearest-neighbour stencil sees
+        the incoherence through its cross-column edges."""
+        grid = CartesianGrid([50, 48])
+        alloc = NodeAllocation.homogeneous(50, 48)
+        stencil = nearest_neighbor(2)
+        on = StencilStripsMapper().map_ranks(grid, stencil, alloc)
+        off = StencilStripsMapper(serpentine=False).map_ranks(grid, stencil, alloc)
+        assert (
+            evaluate_mapping(grid, stencil, on, alloc).jsum
+            < evaluate_mapping(grid, stencil, off, alloc).jsum
+        )
+
+    def test_serpentine_irrelevant_for_component(self):
+        """The component stencil has no cross-column edges, so both
+        directions reach the optimum on the paper instance."""
+        grid = CartesianGrid([50, 48])
+        alloc = NodeAllocation.homogeneous(50, 48)
+        stencil = component(2)
+        off = StencilStripsMapper(serpentine=False).map_ranks(grid, stencil, alloc)
+        assert evaluate_mapping(grid, stencil, off, alloc).jsum == 96
+
+    def test_distortion_improves_hops(self):
+        grid = CartesianGrid([50, 48])
+        alloc = NodeAllocation.homogeneous(50, 48)
+        stencil = nearest_neighbor_with_hops(2)
+        with_d = StencilStripsMapper().map_ranks(grid, stencil, alloc)
+        without = StencilStripsMapper(use_distortion=False).map_ranks(
+            grid, stencil, alloc
+        )
+        c_with = evaluate_mapping(grid, stencil, with_d, alloc)
+        c_without = evaluate_mapping(grid, stencil, without, alloc)
+        assert c_with.jsum <= c_without.jsum
+
+    def test_1d_grid_is_identity_traversal(self):
+        grid = CartesianGrid([12])
+        alloc = NodeAllocation.homogeneous(3, 4)
+        perm = StencilStripsMapper().map_ranks(grid, nearest_neighbor(1), alloc)
+        assert perm.tolist() == list(range(12))
+
+    def test_largest_dimension_tie_uses_first(self):
+        grid = CartesianGrid([6, 6])
+        alloc = NodeAllocation.homogeneous(6, 6)
+        perm = StencilStripsMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        assert sorted(perm.tolist()) == list(range(36))
+
+    def test_3d_consistency_per_rank(self):
+        grid = CartesianGrid([6, 8, 5])
+        stencil = nearest_neighbor(3)
+        alloc = NodeAllocation.for_total(grid.size, 24)
+        m = StencilStripsMapper()
+        perm = m.map_ranks(grid, stencil, alloc)
+        for r in (0, 1, 7, grid.size // 2, grid.size - 1):
+            assert m.compute_rank(grid, stencil, alloc, r) == perm[r]
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            StencilStripsMapper("median")
+
+    def test_repr_includes_flags(self):
+        r = repr(StencilStripsMapper(serpentine=False))
+        assert "serpentine=False" in r

@@ -1,0 +1,75 @@
+"""Tests for the interconnect topology models."""
+
+import pytest
+
+from repro import FatTreeTopology, IslandTopology, SingleSwitchTopology
+from repro.exceptions import ReproError
+
+
+class TestSingleSwitch:
+    def test_distances(self):
+        t = SingleSwitchTopology(4)
+        assert t.hop_distance(0, 0) == 0
+        assert t.hop_distance(0, 3) == 1
+
+    def test_single_leaf(self):
+        t = SingleSwitchTopology(4)
+        assert {t.leaf_of(i) for i in range(4)} == {0}
+        assert t.uplink_capacity_fraction() == 1.0
+
+    def test_bounds(self):
+        t = SingleSwitchTopology(4)
+        with pytest.raises(ReproError):
+            t.hop_distance(0, 4)
+        with pytest.raises(ReproError):
+            SingleSwitchTopology(0)
+
+
+class TestFatTree:
+    def test_leaf_grouping(self):
+        t = FatTreeTopology(10, nodes_per_switch=4, blocking_factor=2.0)
+        assert t.leaf_of(0) == 0
+        assert t.leaf_of(3) == 0
+        assert t.leaf_of(4) == 1
+        assert t.leaf_of(9) == 2
+
+    def test_distances(self):
+        t = FatTreeTopology(8, nodes_per_switch=4)
+        assert t.hop_distance(0, 1) == 1   # same leaf
+        assert t.hop_distance(0, 5) == 3   # across the core
+        assert t.hop_distance(2, 2) == 0
+
+    def test_blocking_fraction(self):
+        t = FatTreeTopology(8, nodes_per_switch=4, blocking_factor=2.0)
+        assert t.uplink_capacity_fraction() == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FatTreeTopology(8, nodes_per_switch=0)
+        with pytest.raises(ReproError):
+            FatTreeTopology(8, blocking_factor=0.5)
+
+    def test_networkx_export(self):
+        g = FatTreeTopology(8, nodes_per_switch=4).to_networkx()
+        switches = [n for n, d in g.nodes(data=True) if d.get("kind") == "switch"]
+        nodes = [n for n, d in g.nodes(data=True) if d.get("kind") == "node"]
+        assert len(nodes) == 8
+        assert len(switches) == 3  # core + 2 leaves
+
+
+class TestIsland:
+    def test_grouping_and_distance(self):
+        t = IslandTopology(10, nodes_per_island=4, pruning_factor=4.0)
+        assert t.leaf_of(3) == 0 and t.leaf_of(4) == 1
+        assert t.hop_distance(0, 1) == 3
+        assert t.hop_distance(0, 9) == 5
+
+    def test_pruning_fraction(self):
+        t = IslandTopology(10, nodes_per_island=4, pruning_factor=4.0)
+        assert t.uplink_capacity_fraction() == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            IslandTopology(4, nodes_per_island=-1)
+        with pytest.raises(ReproError):
+            IslandTopology(4, pruning_factor=0.0)

@@ -1,0 +1,116 @@
+"""Tests for the text visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CartesianGrid,
+    HyperplaneMapper,
+    NodeAllocation,
+    NodecartMapper,
+    RandomMapper,
+    StencilStripsMapper,
+    nearest_neighbor,
+)
+from repro.exceptions import ReproError
+from repro.visualize import (
+    NodeRegion,
+    node_regions,
+    render_mapping,
+    render_region_summary,
+)
+
+
+class TestRenderMapping:
+    def test_blocked_2d_rows(self):
+        grid = CartesianGrid([3, 4])
+        alloc = NodeAllocation.homogeneous(3, 4)
+        text = render_mapping(grid, np.arange(12), alloc)
+        lines = text.splitlines()
+        assert lines[0] == "A A A A"
+        assert lines[1] == "B B B B"
+        assert lines[2] == "C C C C"
+
+    def test_nodecart_blocks_render(self):
+        grid = CartesianGrid([4, 4])
+        alloc = NodeAllocation.homogeneous(4, 4)
+        perm = NodecartMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        lines = render_mapping(grid, perm, alloc).splitlines()
+        assert lines[0] == "A A B B"
+        assert lines[2] == "C C D D"
+
+    def test_1d(self):
+        grid = CartesianGrid([4])
+        alloc = NodeAllocation([2, 2])
+        assert render_mapping(grid, np.arange(4), alloc) == "A A B B"
+
+    def test_3d_layer_selection(self):
+        grid = CartesianGrid([2, 2, 2])
+        alloc = NodeAllocation([4, 4])
+        text0 = render_mapping(grid, np.arange(8), alloc, layer=0)
+        text1 = render_mapping(grid, np.arange(8), alloc, layer=1)
+        assert text0 == "A A\nA A"
+        assert text1 == "B B\nB B"
+
+    def test_layer_bounds(self):
+        grid = CartesianGrid([2, 2, 2])
+        alloc = NodeAllocation([8])
+        with pytest.raises(ReproError):
+            render_mapping(grid, np.arange(8), alloc, layer=2)
+
+    def test_4d_rejected(self):
+        grid = CartesianGrid([2, 2, 2, 2])
+        alloc = NodeAllocation([16])
+        with pytest.raises(ReproError):
+            render_mapping(grid, np.arange(16), alloc)
+
+    def test_many_nodes_glyphs_cycle(self):
+        grid = CartesianGrid([70])
+        alloc = NodeAllocation([1] * 70)
+        text = render_mapping(grid, np.arange(70), alloc)
+        assert len(text.split()) == 70  # does not crash past 62 glyphs
+
+
+class TestNodeRegions:
+    def test_rectangular_blocks(self):
+        grid = CartesianGrid([4, 4])
+        alloc = NodeAllocation.homogeneous(4, 4)
+        perm = NodecartMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        regions = node_regions(grid, perm, alloc)
+        assert all(r.contiguous for r in regions)
+        assert all(r.fill_ratio == 1.0 for r in regions)
+        assert all(r.box_volume == 4 for r in regions)
+
+    def test_hyperplane_regions_contiguous(self):
+        grid = CartesianGrid([8, 6])
+        alloc = NodeAllocation.homogeneous(4, 12)
+        perm = HyperplaneMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        regions = node_regions(grid, perm, alloc)
+        assert all(r.contiguous for r in regions)
+        assert sum(r.size for r in regions) == 48
+
+    def test_strips_regions_contiguous(self):
+        grid = CartesianGrid([10, 6])
+        alloc = NodeAllocation.homogeneous(5, 12)
+        perm = StencilStripsMapper().map_ranks(grid, nearest_neighbor(2), alloc)
+        regions = node_regions(grid, perm, alloc)
+        assert all(r.contiguous for r in regions)
+
+    def test_random_regions_mostly_fragmented(self):
+        grid = CartesianGrid([10, 10])
+        alloc = NodeAllocation.homogeneous(10, 10)
+        perm = RandomMapper(seed=5).map_ranks(grid, nearest_neighbor(2), alloc)
+        regions = node_regions(grid, perm, alloc)
+        assert sum(1 for r in regions if not r.contiguous) >= 5
+
+    def test_summary_rendering(self):
+        grid = CartesianGrid([4, 4])
+        alloc = NodeAllocation.homogeneous(4, 4)
+        regions = node_regions(grid, np.arange(16), alloc)
+        text = render_region_summary(regions)
+        assert "contiguous regions: 4/4" in text
+
+    def test_region_dataclass(self):
+        r = NodeRegion(node=0, size=4, bounding_box=((0, 1), (0, 3)), contiguous=True)
+        assert r.box_volume == 8
+        assert r.fill_ratio == 0.5

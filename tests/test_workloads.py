@@ -1,0 +1,114 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro import (
+    CartesianGrid,
+    GraphMapper,
+    NodeAllocation,
+    nearest_neighbor,
+    nearest_neighbor_with_hops,
+)
+from repro.exceptions import ReproError
+from repro.metrics.cost import node_of_vertex
+from repro.workloads import (
+    clustered_workload,
+    halo_exchange_volume,
+    random_sparse_workload,
+    stencil_workload,
+)
+
+
+class TestStencilWorkload:
+    def test_matches_graph_builder(self):
+        grid = CartesianGrid([5, 5])
+        w = stencil_workload(grid, nearest_neighbor(2))
+        assert w.num_processes == 25
+        assert w.num_edges == 2 * (4 * 5 + 5 * 4)
+        assert w.is_symmetric()
+
+    def test_degree_out(self):
+        grid = CartesianGrid([3, 3])
+        w = stencil_workload(grid, nearest_neighbor(2))
+        deg = w.degree_out()
+        assert deg[grid.rank_of([1, 1])] == 4
+        assert deg[grid.rank_of([0, 0])] == 2
+
+
+class TestRandomSparse:
+    def test_shape_and_symmetry(self):
+        w = random_sparse_workload(20, 3, seed=1)
+        assert w.num_processes == 20
+        assert w.is_symmetric()
+        assert (w.edges[:, 0] != w.edges[:, 1]).all()  # no self loops
+
+    def test_asymmetric_option(self):
+        w = random_sparse_workload(20, 3, seed=1, symmetric=False)
+        assert (w.edges[:, 0] != w.edges[:, 1]).all()
+
+    def test_determinism(self):
+        a = random_sparse_workload(15, 2, seed=9)
+        b = random_sparse_workload(15, 2, seed=9)
+        assert (a.edges == b.edges).all()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            random_sparse_workload(1, 1)
+        with pytest.raises(ReproError):
+            random_sparse_workload(10, 0)
+        with pytest.raises(ReproError):
+            random_sparse_workload(10, 10)
+
+
+class TestClustered:
+    def test_structure(self):
+        w = clustered_workload(4, 8, intra_degree=3, seed=2)
+        assert w.num_processes == 32
+        assert w.is_symmetric()
+        # intra-cluster edges dominate
+        cluster_of = w.edges // 8
+        intra = (cluster_of[:, 0] == cluster_of[:, 1]).sum()
+        assert intra > 0.8 * w.num_edges
+
+    def test_graphmap_recovers_clusters(self):
+        """With node size == cluster size, the mapper should cut only
+        the coupling links."""
+        w = clustered_workload(4, 8, intra_degree=4, inter_links=1, seed=3)
+        alloc = NodeAllocation.homogeneous(4, 8)
+        perm = GraphMapper(seed=1).map_graph(w.edges, w.num_processes, alloc)
+        nodes = node_of_vertex(perm, alloc)
+        # count cut directed edges; optimum = 2 per coupling * 3 couplings
+        cut = (nodes[w.edges[:, 0]] != nodes[w.edges[:, 1]]).sum()
+        assert cut <= 3 * 4  # small multiple of the optimum
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            clustered_workload(0, 4)
+        with pytest.raises(ReproError):
+            clustered_workload(2, 4, intra_degree=4)
+
+
+class TestHaloVolume:
+    def test_unit_offsets_send_faces(self):
+        grid = CartesianGrid([4, 4])
+        vols = halo_exchange_volume(grid, nearest_neighbor(2), (16, 32))
+        assert vols[(1, 0)] == 32 * 8    # a row of the tile
+        assert vols[(0, 1)] == 16 * 8    # a column
+
+    def test_hops_send_thicker_slabs(self):
+        grid = CartesianGrid([8, 8])
+        vols = halo_exchange_volume(
+            grid, nearest_neighbor_with_hops(2), (16, 16)
+        )
+        assert vols[(2, 0)] == 2 * vols[(1, 0)]
+        assert vols[(3, 0)] == 3 * vols[(1, 0)]
+
+    def test_element_bytes(self):
+        grid = CartesianGrid([4, 4])
+        vols = halo_exchange_volume(grid, nearest_neighbor(2), (8, 8), element_bytes=4)
+        assert vols[(1, 0)] == 8 * 4
+
+    def test_shape_validation(self):
+        grid = CartesianGrid([4, 4])
+        with pytest.raises(ReproError):
+            halo_exchange_volume(grid, nearest_neighbor(2), (8,))
