@@ -1,0 +1,95 @@
+"""Benchmark smoke: batched engine vs the naive per-instance loop.
+
+The acceptance workload of the engine subsystem: >= 100 evaluations
+sharing <= 5 distinct grids.  The naive path is what the experiment
+drivers did before the engine existed — rebuild the communication-edge
+array, rerun the mapper, and score one permutation at a time.  The
+warm-cache engine must produce bit-identical ``Jsum``/``Jmax`` and be at
+least 3x faster (in practice the margin is far larger, since the edge
+rebuild dominates the naive loop).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    CartesianGrid,
+    EvaluationEngine,
+    MappingRequest,
+    NodeAllocation,
+    evaluate_mapping,
+    nearest_neighbor,
+)
+from repro.engine import create_mapper
+from repro.grid.dims import dims_create
+from repro.grid.graph import communication_edges
+
+#: 5 distinct grids x 5 deterministic mappers x 5 sweeps = 125 evaluations.
+NODE_COUNTS = (10, 12, 15, 18, 20)
+PROCESSES_PER_NODE = 24
+MAPPERS = ("blocked", "hyperplane", "kd_tree", "stencil_strips", "nodecart")
+SWEEPS = 5
+
+
+def _workload() -> list[MappingRequest]:
+    stencil = nearest_neighbor(2)
+    requests = []
+    for _ in range(SWEEPS):
+        for num_nodes in NODE_COUNTS:
+            p = num_nodes * PROCESSES_PER_NODE
+            grid = CartesianGrid(dims_create(p, 2))
+            alloc = NodeAllocation.homogeneous(num_nodes, PROCESSES_PER_NODE)
+            for name in MAPPERS:
+                requests.append(MappingRequest(grid, stencil, alloc, name))
+    return requests
+
+
+def _naive_loop(requests: list[MappingRequest]) -> list[tuple[int, int]]:
+    """The pre-engine inner loop: recompute everything per evaluation."""
+    scores = []
+    for request in requests:
+        edges = communication_edges(request.grid, request.stencil)
+        perm = create_mapper(request.mapper).map_ranks(
+            request.grid, request.stencil, request.alloc
+        )
+        cost = evaluate_mapping(
+            request.grid, request.stencil, perm, request.alloc, edges=edges
+        )
+        scores.append((cost.jsum, cost.jmax))
+    return scores
+
+
+def test_engine_beats_naive_loop_3x():
+    requests = _workload()
+    assert len(requests) >= 100
+    assert len({r.grid for r in requests}) <= 5
+
+    start = time.perf_counter()
+    naive_scores = _naive_loop(requests)
+    naive_time = time.perf_counter() - start
+
+    engine = EvaluationEngine()
+    engine.evaluate_batch(requests)  # warm the caches
+    start = time.perf_counter()
+    results = engine.evaluate_batch(requests)
+    engine_time = time.perf_counter() - start
+
+    engine_scores = [(r.jsum, r.jmax) for r in results]
+    assert engine_scores == naive_scores
+
+    stats = engine.cache_stats()
+    assert stats["edges"].hits > 0 and stats["costs"].hits > 0
+    speedup = naive_time / engine_time if engine_time else float("inf")
+    assert speedup >= 3.0, (
+        f"warm engine only {speedup:.1f}x faster "
+        f"({naive_time:.3f}s naive vs {engine_time:.3f}s batched)"
+    )
+
+
+def test_cold_engine_matches_naive_values():
+    """Even cold (first batch), the engine's numbers are identical."""
+    requests = _workload()[: len(NODE_COUNTS) * len(MAPPERS)]
+    naive_scores = _naive_loop(requests)
+    results = EvaluationEngine().evaluate_batch(requests)
+    assert [(r.jsum, r.jmax) for r in results] == naive_scores

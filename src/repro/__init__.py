@@ -15,6 +15,8 @@ The library provides:
 * a simulated MPI layer with Cartesian/stencil communicators and a real
   ``neighbor_alltoall`` data exchange (:mod:`repro.mpisim`),
 * the NP-hardness reduction of Theorem IV.3 (:mod:`repro.nphard`),
+* a batched, cached, parallel evaluation engine shared by every
+  experiment driver (:mod:`repro.engine`),
 * drivers regenerating every figure and table of the evaluation
   (:mod:`repro.experiments`).
 
@@ -81,10 +83,16 @@ from .metrics import (
     ConfidenceInterval,
     MappingCost,
     evaluate_mapping,
+    evaluate_mappings_batch,
     mean_ci,
     median_ci,
     reduction_over_blocked,
     remove_outliers_iqr,
+)
+from .engine import (
+    EvaluationEngine,
+    MappingRequest,
+    MappingResult,
 )
 
 __version__ = "1.0.0"
@@ -136,10 +144,15 @@ __all__ = [
     # metrics
     "MappingCost",
     "evaluate_mapping",
+    "evaluate_mappings_batch",
     "reduction_over_blocked",
     "ConfidenceInterval",
     "mean_ci",
     "median_ci",
     "remove_outliers_iqr",
+    # engine
+    "EvaluationEngine",
+    "MappingRequest",
+    "MappingResult",
     "__version__",
 ]

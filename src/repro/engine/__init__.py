@@ -1,0 +1,32 @@
+"""Batched, cached, parallel evaluation of mapping instances.
+
+The engine subsystem turns the repeated inner loop of every experiment
+(communication graph -> mapper -> ``Jsum``/``Jmax``) into a batch API:
+
+>>> from repro.engine import EvaluationEngine, MappingRequest
+>>> engine = EvaluationEngine()
+>>> requests = [
+...     MappingRequest(grid, stencil, alloc, mapper)
+...     for mapper in engine.mappers()
+... ]                                                   # doctest: +SKIP
+>>> results = engine.evaluate_batch(requests)           # doctest: +SKIP
+
+See :mod:`repro.engine.engine` for the caching/batching/fan-out design
+and :mod:`repro.engine.registry` for name-based mapper discovery.
+"""
+
+from .cache import CacheStats, LRUCache
+from .engine import EvaluationEngine
+from .registry import create_mapper, list_mappers, resolve_mapper
+from .request import MappingRequest, MappingResult
+
+__all__ = [
+    "EvaluationEngine",
+    "MappingRequest",
+    "MappingResult",
+    "LRUCache",
+    "CacheStats",
+    "list_mappers",
+    "create_mapper",
+    "resolve_mapper",
+]

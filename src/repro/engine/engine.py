@@ -1,0 +1,281 @@
+"""The batched mapping-evaluation engine.
+
+Every experiment in the paper reduces to the same inner loop — build a
+stencil communication graph, run a mapper, score the permutation with
+``Jsum``/``Jmax``.  :class:`EvaluationEngine` is the shared executor of
+that loop:
+
+* **memoization** — communication-edge arrays (keyed by the grid and
+  stencil) plus computed permutations and costs (keyed by instance and
+  mapper spec) live behind LRU caches, so sweeps that revisit the same
+  instances never recompute the expensive intermediates;
+* **batching** — all permutations of one instance are scored as a single
+  stacked NumPy operation (:func:`repro.metrics.cost.evaluate_mappings_batch`)
+  instead of one pass per mapping;
+* **fan-out** — independent instances of a batch are distributed over a
+  ``concurrent.futures`` thread pool (the scoring kernels release the
+  GIL inside NumPy; a process pool would re-pickle every mapper and
+  defeat cache sharing).
+
+The engine is the architectural seam for future scaling work: sharding a
+sweep means sharding its request list, and any alternative backend only
+has to honour the ``MappingRequest -> MappingResult`` contract.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..core import Mapper
+from ..exceptions import MappingError
+from ..grid.graph import communication_edges
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+from ..hardware.allocation import NodeAllocation
+from ..metrics.cost import (
+    MappingCost,
+    check_permutation,
+    evaluate_mappings_batch,
+)
+from .cache import CacheStats, LRUCache
+from .registry import list_mappers, resolve_mapper, spec_key
+from .request import MappingRequest, MappingResult
+
+__all__ = ["EvaluationEngine"]
+
+
+class EvaluationEngine:
+    """Caching, batching, parallel executor of mapping evaluations.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool width for fanning out independent instances of a
+        batch.  ``None`` picks ``min(8, cpu_count)``; ``1`` forces
+        serial execution (useful for profiling and tests).
+    edge_cache_entries / perm_cache_entries / cost_cache_entries:
+        Capacities of the three LRU caches.  Edge arrays are the large
+        ones (``O(k * p)`` int64 per entry); permutations and costs are
+        small but numerous.  (Rank-to-node arrays need no engine cache:
+        :class:`NodeAllocation` precomputes them at construction.)
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int | None = None,
+        edge_cache_entries: int = 128,
+        perm_cache_entries: int = 2048,
+        cost_cache_entries: int = 4096,
+    ):
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self._edge_cache = LRUCache(edge_cache_entries)
+        self._perm_cache = LRUCache(perm_cache_entries)
+        self._cost_cache = LRUCache(cost_cache_entries)
+
+    # ------------------------------------------------------------------
+    # Cached intermediates
+    # ------------------------------------------------------------------
+    def edges(self, grid: CartesianGrid, stencil: Stencil) -> np.ndarray:
+        """Directed communication edges, memoized by ``(grid, stencil)``.
+
+        The key hashes the grid's dimensions and periodicity plus the
+        stencil's offset set, so structurally equal instances share one
+        entry regardless of object identity.  Returned arrays are
+        read-only: every caller shares the cached buffer.
+        """
+
+        def compute() -> np.ndarray:
+            arr = communication_edges(grid, stencil)
+            arr.setflags(write=False)
+            return arr
+
+        return self._edge_cache.get_or_compute((grid, stencil), compute)
+
+    def permutation(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+        mapper: str | Mapper,
+    ) -> tuple[np.ndarray | None, str | None]:
+        """Run (or recall) a mapper on an instance.
+
+        Returns ``(perm, None)`` on success and ``(None, message)`` when
+        the mapper rejects the instance; rejections are memoized too, so
+        a sweep pays for each "not applicable" cell once.  Permutations
+        come back read-only: every caller shares the cached buffer.
+        """
+
+        def compute() -> tuple[np.ndarray | None, str | None]:
+            try:
+                perm = resolve_mapper(mapper).map_ranks(grid, stencil, alloc)
+            except MappingError as exc:
+                return None, str(exc)
+            perm.setflags(write=False)
+            return perm, None
+
+        key = (grid, stencil, alloc, spec_key(mapper))
+        return self._perm_cache.get_or_compute(key, compute)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, request: MappingRequest) -> MappingResult:
+        """Evaluate a single request (a batch of one)."""
+        return self.evaluate_batch([request])[0]
+
+    def evaluate_batch(
+        self, requests: Iterable[MappingRequest]
+    ) -> list[MappingResult]:
+        """Evaluate a batch of requests, returned in input order.
+
+        Requests are grouped by evaluation instance; each group shares
+        one cached edge array and one cached rank-to-node array, scores
+        all its distinct permutations as one stacked kernel call, and
+        duplicate ``(instance, mapper)`` requests are computed once.
+        Independent groups run on the engine's thread pool.
+        """
+        requests = list(requests)
+        results: list[MappingResult | None] = [None] * len(requests)
+
+        groups: dict[tuple, list[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.instance_key, []).append(i)
+
+        def run_group(indices: Sequence[int]) -> None:
+            for i, result in zip(indices, self._evaluate_group(
+                [requests[i] for i in indices]
+            )):
+                results[i] = result
+
+        group_indices = list(groups.values())
+        if self.max_workers > 1 and len(group_indices) > 1:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                # list() propagates the first worker exception, if any.
+                list(pool.map(run_group, group_indices))
+        else:
+            for indices in group_indices:
+                run_group(indices)
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def _evaluate_group(
+        self, requests: Sequence[MappingRequest]
+    ) -> list[MappingResult]:
+        """Evaluate requests sharing one ``(grid, stencil, alloc)``."""
+        first = requests[0]
+        grid, stencil, alloc = first.grid, first.stencil, first.alloc
+        edges = self.edges(grid, stencil)
+
+        # Deduplicate: one permutation/score per distinct mapper spec
+        # (or per distinct explicit perm), fanned back out afterwards.
+        keys: list[object] = [
+            ("explicit-perm", id(request.perm))
+            if request.perm is not None
+            else spec_key(request.mapper)
+            for request in requests
+        ]
+        slots: dict[object, list[int]] = {}
+        for i, key in enumerate(keys):
+            slots.setdefault(key, []).append(i)
+
+        perm_by_key: dict[object, np.ndarray] = {}
+        costs: dict[object, MappingCost] = {}
+        failures: dict[object, str] = {}
+        to_score: list[object] = []
+        for key, indices in slots.items():
+            request = requests[indices[0]]
+            if request.perm is not None:
+                # validate here so one malformed explicit perm becomes a
+                # per-request error instead of aborting the whole batch
+                try:
+                    perm, error = (
+                        check_permutation(request.perm, grid.size),
+                        None,
+                    )
+                except MappingError as exc:
+                    perm, error = None, str(exc)
+            else:
+                perm, error = self.permutation(
+                    grid, stencil, alloc, request.mapper
+                )
+            if perm is None:
+                failures[key] = error or "mapper rejected the instance"
+                continue
+            perm_by_key[key] = perm
+            # Memoized costs only apply to mapper-spec requests: explicit
+            # perms are keyed by object identity, which gc can recycle.
+            if request.perm is None:
+                cached = self._cost_cache.get((grid, stencil, alloc, key))
+                if cached is not None:
+                    costs[key] = cached
+                    continue
+            to_score.append(key)
+
+        if to_score:
+            batch = evaluate_mappings_batch(
+                grid,
+                stencil,
+                np.stack([perm_by_key[key] for key in to_score]),
+                alloc,
+                edges=edges,
+            )
+            for key, cost in zip(to_score, batch):
+                # shared across every future cache hit -> freeze the buffer
+                cost.per_node.setflags(write=False)
+                costs[key] = cost
+                if requests[slots[key][0]].perm is None:
+                    self._cost_cache.put((grid, stencil, alloc, key), cost)
+        results: list[MappingResult] = []
+        for request, key in zip(requests, keys):
+            if key in failures:
+                results.append(
+                    MappingResult(request=request, perm=None, error=failures[key])
+                )
+            else:
+                results.append(
+                    MappingResult(
+                        request=request,
+                        perm=perm_by_key[key],
+                        cost=costs[key],
+                    )
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def mappers() -> tuple[str, ...]:
+        """Registry names accepted as a request's ``mapper`` spec."""
+        return list_mappers()
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Hit/miss/occupancy counters of the three LRU caches."""
+        return {
+            "edges": self._edge_cache.stats(),
+            "permutations": self._perm_cache.stats(),
+            "costs": self._cost_cache.stats(),
+        }
+
+    def clear_caches(self) -> None:
+        """Drop every cached intermediate (counters are kept)."""
+        self._edge_cache.clear()
+        self._perm_cache.clear()
+        self._cost_cache.clear()
+
+    def __repr__(self) -> str:
+        stats = self.cache_stats()
+        return (
+            f"EvaluationEngine(max_workers={self.max_workers}, "
+            f"edges={stats['edges'].size}, "
+            f"perms={stats['permutations'].size})"
+        )

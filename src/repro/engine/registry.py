@@ -1,0 +1,58 @@
+"""Name-based mapper discovery for the evaluation engine.
+
+Re-exposes the :mod:`repro.core` registry with the guarantee that every
+built-in mapper is registered: importing :mod:`repro.core` anywhere
+triggers each module-level ``register_mapper`` call, and this module
+performs that import itself, so ``list_mappers()`` is complete without
+the caller having to know which submodule defines which algorithm.
+"""
+
+from __future__ import annotations
+
+from ..core import Mapper, available_mappers, get_mapper
+
+__all__ = ["list_mappers", "create_mapper", "resolve_mapper", "spec_key"]
+
+
+def list_mappers() -> tuple[str, ...]:
+    """Sorted names of every registered mapping algorithm."""
+    return available_mappers()
+
+
+def create_mapper(name: str) -> Mapper:
+    """Fresh instance of the registered mapper *name*.
+
+    Raises ``KeyError`` with the list of known names on an unknown name.
+    """
+    return get_mapper(name)
+
+
+def resolve_mapper(spec: str | Mapper) -> Mapper:
+    """Turn a request's mapper spec — a registry name or an already
+    constructed instance — into a :class:`Mapper`."""
+    if isinstance(spec, Mapper):
+        return spec
+    if isinstance(spec, str):
+        return create_mapper(spec)
+    raise TypeError(
+        f"mapper spec must be a registry name or a Mapper instance, "
+        f"got {type(spec).__name__}"
+    )
+
+
+def spec_key(spec: str | Mapper) -> object:
+    """Hashable memoization key of a mapper spec.
+
+    Registry names are memoized by name (construction is deterministic:
+    every built-in mapper is seeded).  Pre-built instances are memoized
+    by identity: the instance itself is the key (``Mapper`` hashes by
+    object identity), so the cache holds a strong reference and the key
+    can never be recycled for a different mapper — unlike ``id()``,
+    which the allocator reuses after garbage collection.
+    """
+    if isinstance(spec, (str, Mapper)):
+        return spec
+    raise TypeError(
+        f"mapper spec must be a registry name or a Mapper instance, "
+        f"got {type(spec).__name__}"
+    )

@@ -1,0 +1,104 @@
+"""Request/result records of the batched evaluation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core import Mapper
+from ..exceptions import InvalidStencilError
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+from ..hardware.allocation import NodeAllocation
+from ..metrics.cost import MappingCost
+
+__all__ = ["MappingRequest", "MappingResult"]
+
+
+@dataclass(frozen=True, eq=False)
+class MappingRequest:
+    """One mapping evaluation: run *mapper* on ``(grid, stencil, alloc)``.
+
+    Requests compare and hash by object identity (``eq=False``): the
+    optional ``perm``/``tag`` payloads are not reliably comparable, and
+    the engine deduplicates by instance and mapper spec, not by request
+    equality.
+
+    Parameters
+    ----------
+    mapper:
+        A registry name (``"nodecart"``) or a configured
+        :class:`~repro.core.Mapper` instance.
+    perm:
+        Optional pre-computed permutation; when given the mapper is not
+        run and only the ``Jsum``/``Jmax`` scoring happens (used to score
+        externally produced mappings through the same cached pipeline).
+    tag:
+        Opaque caller payload carried through to the result, handy for
+        joining batch output back to driver state (instance labels,
+        figure row indices, ...).
+    """
+
+    grid: CartesianGrid
+    stencil: Stencil
+    alloc: NodeAllocation
+    mapper: str | Mapper
+    perm: np.ndarray | None = None
+    tag: Any = None
+
+    def __post_init__(self):
+        # Fail malformed instances here, with a clear message, instead of
+        # mid-batch from inside the engine's cache machinery.
+        if self.stencil.ndim != self.grid.ndim:
+            raise InvalidStencilError(
+                f"stencil dimensionality {self.stencil.ndim} does not match "
+                f"grid dimensionality {self.grid.ndim}"
+            )
+        self.alloc.check_matches(self.grid.size)
+
+    @property
+    def instance_key(self) -> tuple:
+        """Hashable key of the evaluation instance (grid x stencil x alloc).
+
+        Requests sharing this key share communication edges and the
+        rank-to-node array; the engine groups batches by it.
+        """
+        return (self.grid, self.stencil, self.alloc)
+
+    def mapper_label(self) -> str:
+        """Display name of the requested mapper."""
+        return self.mapper if isinstance(self.mapper, str) else self.mapper.name
+
+
+@dataclass(frozen=True, eq=False)
+class MappingResult:
+    """Outcome of one :class:`MappingRequest`.
+
+    ``perm``/``cost`` are ``None`` when the mapper rejected the instance
+    (e.g. Nodecart on non-factorisable node counts); ``error`` then holds
+    the rejection message so sweeps can render "not applicable" cells.
+    Like requests, results compare and hash by object identity
+    (``eq=False``) because of their array payloads.
+    """
+
+    request: MappingRequest
+    perm: np.ndarray | None
+    cost: MappingCost | None = field(repr=False, default=None)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the instance was mapped and scored."""
+        return self.cost is not None
+
+    @property
+    def jsum(self) -> int | None:
+        """``Jsum`` of the mapping, or ``None`` on rejection."""
+        return None if self.cost is None else self.cost.jsum
+
+    @property
+    def jmax(self) -> int | None:
+        """``Jmax`` of the mapping, or ``None`` on rejection."""
+        return None if self.cost is None else self.cost.jmax

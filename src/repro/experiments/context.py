@@ -2,7 +2,11 @@
 
 The throughput experiments evaluate the same mappings on three machines
 and fourteen message sizes; mappings, edge lists and ``Jsum``/``Jmax``
-are machine- and size-independent, so the context computes them once.
+are machine- and size-independent.  The context is a thin instance-bound
+view over the batched :class:`~repro.engine.EvaluationEngine`, which
+memoizes those intermediates behind LRU caches — contexts sharing one
+engine (e.g. the scaling sweep, or the figure drivers run back to back)
+also share the cached work.
 """
 
 from __future__ import annotations
@@ -21,9 +25,8 @@ from ..core import (
     RandomMapper,
     StencilStripsMapper,
 )
-from ..exceptions import MappingError
+from ..engine import EvaluationEngine, MappingRequest
 from ..grid.dims import dims_create
-from ..grid.graph import communication_edges
 from ..grid.grid import CartesianGrid
 from ..grid.stencil import (
     Stencil,
@@ -32,9 +35,14 @@ from ..grid.stencil import (
     nearest_neighbor_with_hops,
 )
 from ..hardware.allocation import NodeAllocation
-from ..metrics.cost import MappingCost, evaluate_mapping
+from ..metrics.cost import MappingCost
 
-__all__ = ["EvaluationContext", "DEFAULT_MAPPERS", "STENCIL_FAMILIES"]
+__all__ = [
+    "EvaluationContext",
+    "DEFAULT_MAPPERS",
+    "DEFAULT_MAPPER_NAMES",
+    "STENCIL_FAMILIES",
+]
 
 #: Stencil factories keyed by the paper's names, applied to the grid
 #: dimensionality of the instance.
@@ -45,12 +53,22 @@ STENCIL_FAMILIES: dict[str, Callable[[int], Stencil]] = {
 }
 
 
-def DEFAULT_MAPPERS() -> dict[str, Mapper]:
-    """Fresh instances of the seven evaluated mappings, in paper order.
+#: Registry names of the seven evaluated mappings, in paper order.
+#: ``graphmap`` plays the role of VieM; ``blocked`` is the paper's
+#: "Standard".
+DEFAULT_MAPPER_NAMES: tuple[str, ...] = (
+    "blocked",
+    "hyperplane",
+    "kd_tree",
+    "stencil_strips",
+    "nodecart",
+    "graphmap",
+    "random",
+)
 
-    ``graphmap`` plays the role of VieM; ``blocked`` is the paper's
-    "Standard".
-    """
+
+def DEFAULT_MAPPERS() -> dict[str, Mapper]:
+    """Fresh instances of the seven evaluated mappings, in paper order."""
     return {
         "blocked": BlockedMapper(),
         "hyperplane": HyperplaneMapper(),
@@ -63,7 +81,7 @@ def DEFAULT_MAPPERS() -> dict[str, Mapper]:
 
 
 class EvaluationContext:
-    """One evaluation instance with cached per-mapper results.
+    """One evaluation instance with engine-cached per-mapper results.
 
     Parameters
     ----------
@@ -72,8 +90,15 @@ class EvaluationContext:
     ndims:
         Grid dimensionality; dimensions come from ``dims_create``.
     mappers:
-        Mapping from result name to mapper instance; defaults to the
-        seven algorithms of the evaluation.
+        Mapping from result name to mapper instance or registry name;
+        defaults to the seven algorithms of the evaluation as registry
+        names, which the engine memoizes by value — contexts sharing an
+        engine then also share permutations and costs.  Pass configured
+        instances to override (instances are memoized by identity).
+    engine:
+        Optional shared :class:`~repro.engine.EvaluationEngine`; a
+        private one is created when omitted.  Passing one engine to many
+        contexts shares the edge/permutation caches across them.
     """
 
     def __init__(
@@ -81,7 +106,8 @@ class EvaluationContext:
         num_nodes: int,
         processes_per_node: int = 48,
         ndims: int = 2,
-        mappers: Mapping[str, Mapper] | None = None,
+        mappers: Mapping[str, Mapper | str] | None = None,
+        engine: EvaluationEngine | None = None,
     ):
         self.num_nodes = int(num_nodes)
         self.processes_per_node = int(processes_per_node)
@@ -90,16 +116,16 @@ class EvaluationContext:
         self.alloc = NodeAllocation.homogeneous(
             self.num_nodes, self.processes_per_node
         )
-        self.mappers: dict[str, Mapper] = (
-            dict(mappers) if mappers is not None else DEFAULT_MAPPERS()
+        self.mappers: dict[str, Mapper | str] = (
+            dict(mappers)
+            if mappers is not None
+            else {name: name for name in DEFAULT_MAPPER_NAMES}
         )
+        self.engine = engine if engine is not None else EvaluationEngine()
         self._stencils: dict[str, Stencil] = {}
-        self._edges: dict[str, np.ndarray] = {}
-        self._perms: dict[tuple[str, str], np.ndarray | None] = {}
-        self._costs: dict[tuple[str, str], MappingCost | None] = {}
 
     # ------------------------------------------------------------------
-    # Cached pieces
+    # Cached pieces (all memoized in the engine's LRU caches)
     # ------------------------------------------------------------------
     def stencil(self, family: str) -> Stencil:
         """The stencil of *family* for this instance's dimensionality."""
@@ -115,55 +141,55 @@ class EvaluationContext:
         return self._stencils[family]
 
     def edges(self, family: str) -> np.ndarray:
-        """Cached directed edge list for *family*."""
-        if family not in self._edges:
-            self._edges[family] = communication_edges(
-                self.grid, self.stencil(family)
-            )
-        return self._edges[family]
+        """Cached directed edge list for *family*.
+
+        The array is read-only and shared by every consumer of the
+        engine's cache; copy before mutating.
+        """
+        return self.engine.edges(self.grid, self.stencil(family))
+
+    def request(self, family: str, mapper_name: str) -> MappingRequest:
+        """The engine request evaluating *mapper_name* on *family*."""
+        return MappingRequest(
+            grid=self.grid,
+            stencil=self.stencil(family),
+            alloc=self.alloc,
+            mapper=self.mappers[mapper_name],
+            tag=(family, mapper_name),
+        )
 
     def mapping(self, family: str, mapper_name: str) -> np.ndarray | None:
         """Cached permutation; ``None`` when the mapper rejects the instance.
 
         A rejection (for example Nodecart on non-factorisable node sizes)
         is recorded so the harness can render the paper's "not
-        applicable" cells instead of crashing a whole sweep.
+        applicable" cells instead of crashing a whole sweep.  Returned
+        permutations are read-only (shared cache buffers); copy before
+        mutating.
         """
-        key = (family, mapper_name)
-        if key not in self._perms:
-            mapper = self.mappers[mapper_name]
-            try:
-                self._perms[key] = mapper.map_ranks(
-                    self.grid, self.stencil(family), self.alloc
-                )
-            except MappingError:
-                self._perms[key] = None
-        return self._perms[key]
+        perm, _ = self.engine.permutation(
+            self.grid, self.stencil(family), self.alloc, self.mappers[mapper_name]
+        )
+        return perm
 
     def cost(self, family: str, mapper_name: str) -> MappingCost | None:
         """Cached ``Jsum``/``Jmax`` evaluation (``None`` if rejected)."""
-        key = (family, mapper_name)
-        if key not in self._costs:
-            perm = self.mapping(family, mapper_name)
-            if perm is None:
-                self._costs[key] = None
-            else:
-                self._costs[key] = evaluate_mapping(
-                    self.grid,
-                    self.stencil(family),
-                    perm,
-                    self.alloc,
-                    edges=self.edges(family),
-                )
-        return self._costs[key]
+        return self.engine.evaluate(self.request(family, mapper_name)).cost
 
     def scores(self, family: str) -> dict[str, tuple[int, int] | None]:
-        """``(Jsum, Jmax)`` per mapper for the Figure 6/7 score panels."""
-        out: dict[str, tuple[int, int] | None] = {}
-        for name in self.mappers:
-            cost = self.cost(family, name)
-            out[name] = None if cost is None else (cost.jsum, cost.jmax)
-        return out
+        """``(Jsum, Jmax)`` per mapper for the Figure 6/7 score panels.
+
+        All mappers of the family are scored as one engine batch.
+        """
+        results = self.engine.evaluate_batch(
+            self.request(family, name) for name in self.mappers
+        )
+        return {
+            result.request.tag[1]: (
+                None if result.cost is None else (result.jsum, result.jmax)
+            )
+            for result in results
+        }
 
     def mapper_names(self) -> Sequence[str]:
         """Result names in insertion (paper) order."""

@@ -19,11 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import Mapper
-from ..exceptions import MappingError
-from ..grid.graph import communication_edges
-from ..metrics.cost import evaluate_mapping
+from ..engine import EvaluationEngine, MappingRequest
 from ..metrics.stats import ConfidenceInterval, median_ci
-from .context import DEFAULT_MAPPERS, STENCIL_FAMILIES
+from .context import DEFAULT_MAPPER_NAMES, STENCIL_FAMILIES
 from .instances import Instance, instance_set
 
 __all__ = ["figure8_reductions", "summarize_reductions", "ReductionSummary"]
@@ -42,22 +40,60 @@ class ReductionSummary:
 def figure8_reductions(
     family: str,
     *,
-    mappers: Mapping[str, Mapper] | None = None,
+    mappers: Mapping[str, Mapper | str] | None = None,
     instances: Sequence[Instance] | None = None,
+    engine: EvaluationEngine | None = None,
 ) -> dict[str, dict[str, np.ndarray]]:
     """Reduction samples per mapper over the instance set.
 
     Returns ``{mapper: {"jsum": array, "jmax": array}}`` with one entry
     per instance the mapper accepted (NaN where it rejected, so arrays
     stay aligned with the instance list).
+
+    The whole sweep — every instance, the blocked baseline and every
+    mapper — is submitted as one engine batch: instances sharing a grid
+    and stencil share cached communication edges, each instance's
+    permutations are scored as one stacked kernel call, and independent
+    instances fan out over the engine's worker pool.
     """
     if family not in STENCIL_FAMILIES:
         raise KeyError(
             f"unknown stencil family {family!r}; available: {sorted(STENCIL_FAMILIES)}"
         )
-    mappers = dict(mappers) if mappers is not None else DEFAULT_MAPPERS()
+    if mappers is not None:
+        mappers = dict(mappers)
+    else:
+        # Registry names (not instances): the engine memoizes name-specced
+        # requests by value, so repeated sweeps sharing one engine reuse
+        # every permutation and cost.
+        mappers = {name: name for name in DEFAULT_MAPPER_NAMES}
     mappers.pop("blocked", None)  # the baseline itself is not plotted
     instances = list(instances) if instances is not None else instance_set()
+    engine = engine if engine is not None else EvaluationEngine()
+
+    factory = STENCIL_FAMILIES[family]
+    requests = []
+    for idx, inst in enumerate(instances):
+        stencil = factory(inst.grid.ndim)
+        requests.append(
+            MappingRequest(
+                grid=inst.grid,
+                stencil=stencil,
+                alloc=inst.allocation,
+                mapper="blocked",
+                tag=(idx, None),
+            )
+        )
+        for name, mapper in mappers.items():
+            requests.append(
+                MappingRequest(
+                    grid=inst.grid,
+                    stencil=stencil,
+                    alloc=inst.allocation,
+                    mapper=mapper,
+                    tag=(idx, name),
+                )
+            )
 
     out = {
         name: {
@@ -66,28 +102,23 @@ def figure8_reductions(
         }
         for name in mappers
     }
-    factory = STENCIL_FAMILIES[family]
-    for idx, inst in enumerate(instances):
-        stencil = factory(inst.grid.ndim)
-        edges = communication_edges(inst.grid, stencil)
-        blocked_perm = np.arange(inst.grid.size, dtype=np.int64)
-        blocked = evaluate_mapping(
-            inst.grid, stencil, blocked_perm, inst.allocation, edges=edges
+    results = engine.evaluate_batch(requests)
+    blocked = {
+        result.request.tag[0]: result.cost
+        for result in results
+        if result.request.tag[1] is None
+    }
+    for result in results:
+        idx, name = result.request.tag
+        if name is None or result.cost is None:
+            continue
+        base = blocked[idx]
+        out[name]["jsum"][idx] = (
+            result.cost.jsum / base.jsum if base.jsum else 1.0
         )
-        for name, mapper in mappers.items():
-            try:
-                perm = mapper.map_ranks(inst.grid, stencil, inst.allocation)
-            except MappingError:
-                continue
-            cost = evaluate_mapping(
-                inst.grid, stencil, perm, inst.allocation, edges=edges
-            )
-            out[name]["jsum"][idx] = (
-                cost.jsum / blocked.jsum if blocked.jsum else 1.0
-            )
-            out[name]["jmax"][idx] = (
-                cost.jmax / blocked.jmax if blocked.jmax else 1.0
-            )
+        out[name]["jmax"][idx] = (
+            result.cost.jmax / base.jmax if base.jmax else 1.0
+        )
     return out
 
 

@@ -14,9 +14,9 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..core import Mapper
-from ..exceptions import MappingError
+from ..engine import EvaluationEngine
 from ..hardware.machines import Machine
-from .context import EvaluationContext, DEFAULT_MAPPERS
+from .context import EvaluationContext, DEFAULT_MAPPER_NAMES
 from .throughput import resolve_machine
 
 __all__ = ["ScalingPoint", "scaling_sweep", "DEFAULT_NODE_COUNTS"]
@@ -44,19 +44,26 @@ def scaling_sweep(
     node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
     family: str = "nearest_neighbor",
     message_size: int = 262144,
-    mappers: dict[str, Mapper] | None = None,
+    mappers: dict[str, Mapper | str] | None = None,
     processes_per_node: int = 48,
+    engine: EvaluationEngine | None = None,
 ) -> dict[str, list[ScalingPoint]]:
-    """Sweep node counts; reductions and model speedups per mapper."""
+    """Sweep node counts; reductions and model speedups per mapper.
+
+    All per-node-count contexts share one engine, so repeated sweeps
+    (e.g. one per machine) reuse the cached mappings and edge lists.
+    """
     machine = resolve_machine(machine)
+    engine = engine if engine is not None else EvaluationEngine()
     if mappers is None:
-        mappers = DEFAULT_MAPPERS()
+        # registry names -> engine memoizes by value across sweeps
+        mappers = {name: name for name in DEFAULT_MAPPER_NAMES}
         mappers.pop("random", None)
         mappers.pop("graphmap", None)  # keep the sweep fast by default
     out: dict[str, list[ScalingPoint]] = {name: [] for name in mappers if name != "blocked"}
     for num_nodes in node_counts:
         context = EvaluationContext(
-            num_nodes, processes_per_node, 2, mappers=dict(mappers)
+            num_nodes, processes_per_node, 2, mappers=dict(mappers), engine=engine
         )
         model = machine.model(min(num_nodes, machine.total_nodes))
         edges = context.edges(family)
@@ -72,10 +79,7 @@ def scaling_sweep(
             edges=edges,
         )
         for name in out:
-            try:
-                perm = context.mapping(family, name)
-            except MappingError:  # pragma: no cover - mapping() catches
-                continue
+            perm = context.mapping(family, name)
             if perm is None:
                 continue
             cost = context.cost(family, name)

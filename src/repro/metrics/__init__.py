@@ -3,10 +3,13 @@
 from .cost import (
     MappingCost,
     evaluate_mapping,
+    evaluate_mappings_batch,
     jmax,
     jsum,
     node_of_vertex,
+    node_of_vertex_batch,
     per_node_cut,
+    per_node_cut_batch,
     reduction_over_blocked,
 )
 from .stats import (
@@ -19,10 +22,13 @@ from .stats import (
 __all__ = [
     "MappingCost",
     "evaluate_mapping",
+    "evaluate_mappings_batch",
     "jsum",
     "jmax",
     "node_of_vertex",
+    "node_of_vertex_batch",
     "per_node_cut",
+    "per_node_cut_batch",
     "reduction_over_blocked",
     "ConfidenceInterval",
     "mean_ci",

@@ -27,14 +27,21 @@ from ..hardware.allocation import NodeAllocation
 
 __all__ = [
     "node_of_vertex",
+    "node_of_vertex_batch",
     "jsum",
     "jmax",
     "per_node_cut",
+    "per_node_cut_batch",
     "MappingCost",
     "evaluate_mapping",
+    "evaluate_mappings_batch",
     "reduction_over_blocked",
     "weighted_cut_bytes",
 ]
+
+#: Largest ``batch x edges`` product materialised at once by the batched
+#: kernels; bigger batches are processed in slices to bound peak memory.
+_BATCH_CELL_LIMIT = 1 << 24
 
 
 def check_permutation(perm: np.ndarray, size: int) -> np.ndarray:
@@ -68,6 +75,44 @@ def node_of_vertex(perm: np.ndarray, alloc: NodeAllocation) -> np.ndarray:
     return nodes
 
 
+def check_permutations(perms: np.ndarray, size: int) -> np.ndarray:
+    """Validate a stacked ``(b, size)`` array of mapping permutations.
+
+    The batched analogue of :func:`check_permutation`: every row must be
+    a bijection on ``[0, size)``.
+    """
+    perms = np.asarray(perms, dtype=np.int64)
+    if perms.ndim != 2 or perms.shape[1] != size:
+        raise MappingError(
+            f"batched mapping has shape {perms.shape}, expected (b, {size})"
+        )
+    if perms.size:
+        if perms.min() < 0 or perms.max() >= size:
+            raise MappingError("mapping contains out-of-range ranks")
+        # O(b*p) boolean scatter, the row-wise analogue of check_permutation
+        seen = np.zeros(perms.shape, dtype=bool)
+        seen[np.arange(perms.shape[0])[:, None], perms] = True
+        if not seen.all():
+            raise MappingError("mapping is not a permutation (duplicate targets)")
+    return perms
+
+
+def node_of_vertex_batch(perms: np.ndarray, alloc: NodeAllocation) -> np.ndarray:
+    """Node index of each grid vertex for a stack of mappings.
+
+    ``perms`` has shape ``(b, p)``; the result has the same shape with
+    row ``i`` equal to ``node_of_vertex(perms[i], alloc)``.  One fancy
+    assignment replaces ``b`` separate scatters.
+    """
+    p = alloc.total_processes
+    perms = check_permutations(perms, p)
+    b = perms.shape[0]
+    nodes = np.empty((b, p), dtype=np.int64)
+    rows = np.arange(b, dtype=np.int64)[:, None]
+    nodes[rows, perms] = alloc.node_of_ranks()[None, :]
+    return nodes
+
+
 def jsum(edges: np.ndarray, vertex_nodes: np.ndarray) -> int:
     """Total inter-node communication ``Jsum`` over directed *edges*."""
     if edges.size == 0:
@@ -90,6 +135,41 @@ def per_node_cut(
     dst_nodes = vertex_nodes[edges[:, 1]]
     cut = src_nodes != dst_nodes
     return np.bincount(src_nodes[cut], minlength=num_nodes).astype(np.int64)
+
+
+def per_node_cut_batch(
+    edges: np.ndarray, vertex_nodes: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Outgoing inter-node edge counts for a stack of mappings.
+
+    ``vertex_nodes`` has shape ``(b, p)``; the result has shape
+    ``(b, num_nodes)`` with row ``i`` equal to
+    ``per_node_cut(edges, vertex_nodes[i], num_nodes)``.  The whole batch
+    is scored with one gather and one flat ``bincount`` per memory slice
+    instead of ``b`` separate passes.
+    """
+    vertex_nodes = np.asarray(vertex_nodes, dtype=np.int64)
+    if vertex_nodes.ndim != 2:
+        raise MappingError(
+            f"vertex_nodes must be 2-d (b, p), got shape {vertex_nodes.shape}"
+        )
+    b = vertex_nodes.shape[0]
+    if edges.size == 0 or b == 0:
+        return np.zeros((b, num_nodes), dtype=np.int64)
+    m = edges.shape[0]
+    out = np.empty((b, num_nodes), dtype=np.int64)
+    step = max(1, _BATCH_CELL_LIMIT // max(1, m))
+    for lo in range(0, b, step):
+        hi = min(lo + step, b)
+        chunk = vertex_nodes[lo:hi]
+        src_nodes = chunk[:, edges[:, 0]]  # (rows, m)
+        cut = src_nodes != chunk[:, edges[:, 1]]
+        rows = np.arange(hi - lo, dtype=np.int64)[:, None]
+        flat = (src_nodes + rows * num_nodes)[cut]
+        out[lo:hi] = np.bincount(
+            flat, minlength=(hi - lo) * num_nodes
+        ).reshape(hi - lo, num_nodes)
+    return out
 
 
 def jmax(edges: np.ndarray, vertex_nodes: np.ndarray, num_nodes: int) -> int:
@@ -150,6 +230,53 @@ def evaluate_mapping(
         per_node=cuts,
         bottleneck_node=bottleneck,
     )
+
+
+def _costs_from_cuts(cuts: np.ndarray, total_edges: int) -> list[MappingCost]:
+    """Wrap batched ``(b, N)`` cut rows into :class:`MappingCost` objects."""
+    jsums = cuts.sum(axis=1)
+    if cuts.shape[1]:
+        jmaxs = cuts.max(axis=1)
+        bottlenecks = cuts.argmax(axis=1)
+    else:  # pragma: no cover - allocations always have >= 1 node
+        jmaxs = np.zeros(cuts.shape[0], dtype=np.int64)
+        bottlenecks = np.zeros(cuts.shape[0], dtype=np.int64)
+    return [
+        MappingCost(
+            jsum=int(jsums[i]),
+            jmax=int(jmaxs[i]),
+            total_edges=total_edges,
+            # copy: a view would share one writable buffer across the whole
+            # batch and pin the full (b, N) array for each cost's lifetime
+            per_node=cuts[i].copy(),
+            bottleneck_node=int(bottlenecks[i]),
+        )
+        for i in range(cuts.shape[0])
+    ]
+
+
+def evaluate_mappings_batch(
+    grid: CartesianGrid,
+    stencil: Stencil,
+    perms: np.ndarray,
+    alloc: NodeAllocation,
+    *,
+    edges: np.ndarray | None = None,
+) -> list[MappingCost]:
+    """Evaluate a stack of ``(b, p)`` mapping permutations at once.
+
+    Equivalent to ``[evaluate_mapping(grid, stencil, p, alloc) for p in
+    perms]`` but scores the whole batch with the stacked kernels
+    (:func:`node_of_vertex_batch`, :func:`per_node_cut_batch`), sharing
+    one edge enumeration and one gather across all mappings.  ``edges``
+    accepts a cached edge array.
+    """
+    alloc.check_matches(grid.size)
+    if edges is None:
+        edges = communication_edges(grid, stencil)
+    nodes = node_of_vertex_batch(perms, alloc)
+    cuts = per_node_cut_batch(edges, nodes, alloc.num_nodes)
+    return _costs_from_cuts(cuts, int(edges.shape[0]))
 
 
 def weighted_cut_bytes(

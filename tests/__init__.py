@@ -1,0 +1,1 @@
+"""Marks the test suite as a package so ``from .conftest import ...`` works."""

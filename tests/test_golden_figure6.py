@@ -1,0 +1,68 @@
+"""Golden-value regression tests for the Figure 6 instance (50 x 48).
+
+These pin the exact ``Jsum``/``Jmax`` of the deterministic mappers on
+the paper's N=50 instance (grid 50 x 48, 48 processes per node) for all
+three stencil families.  The blocked nearest-neighbour pair
+``(4704, 96)`` is the paper's own calibration value; the rest were
+produced by the scalar (pre-batching) evaluation path, so any future
+vectorization or cache change that silently alters results fails here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CartesianGrid, EvaluationEngine, MappingRequest, NodeAllocation
+from repro.experiments.context import STENCIL_FAMILIES
+from repro.metrics.cost import evaluate_mapping
+
+#: {family: {mapper: (Jsum, Jmax)}} on the 50 x 48 grid, 50 nodes x 48.
+GOLDEN = {
+    "nearest_neighbor": {
+        "blocked": (4704, 96),
+        "nodecart": (2404, 50),
+        "stencil_strips": (1244, 28),
+    },
+    "nearest_neighbor_with_hops": {
+        "blocked": (13824, 288),
+        "nodecart": (11524, 242),
+        "stencil_strips": (3950, 102),
+    },
+    "component": {
+        "blocked": (4704, 96),
+        "nodecart": (2304, 48),
+        "stencil_strips": (96, 2),
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def figure6_instance():
+    return CartesianGrid([50, 48]), NodeAllocation.homogeneous(50, 48)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return EvaluationEngine()
+
+
+@pytest.mark.parametrize("family", sorted(GOLDEN))
+@pytest.mark.parametrize("mapper", sorted(GOLDEN["nearest_neighbor"]))
+def test_golden_scores_via_engine(figure6_instance, engine, family, mapper):
+    grid, alloc = figure6_instance
+    stencil = STENCIL_FAMILIES[family](2)
+    result = engine.evaluate(MappingRequest(grid, stencil, alloc, mapper))
+    assert result.ok
+    assert (result.jsum, result.jmax) == GOLDEN[family][mapper]
+
+
+@pytest.mark.parametrize("family", sorted(GOLDEN))
+@pytest.mark.parametrize("mapper", sorted(GOLDEN["nearest_neighbor"]))
+def test_golden_scores_via_scalar_path(figure6_instance, engine, family, mapper):
+    """The non-batched evaluation pins the same values."""
+    grid, alloc = figure6_instance
+    stencil = STENCIL_FAMILIES[family](2)
+    perm, error = engine.permutation(grid, stencil, alloc, mapper)
+    assert error is None
+    cost = evaluate_mapping(grid, stencil, perm, alloc)
+    assert (cost.jsum, cost.jmax) == GOLDEN[family][mapper]
