@@ -1,0 +1,104 @@
+"""Benchmark smoke: thread backend vs. process-sharded backend.
+
+The acceptance workload of the backends subsystem: a figure8-style
+multi-instance sweep executed through both backends.  The point being
+pinned is *correctness under sharding* — byte-identical costs no matter
+where the requests run — plus a timing report for the curious.  No
+relative-speed assertion is made: whether processes beat threads depends
+on core count (CI containers often expose a single CPU, where the
+process pool's pickling overhead dominates).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    CartesianGrid,
+    EvaluationEngine,
+    MappingRequest,
+    NodeAllocation,
+    ProcessBackend,
+    ThreadBackend,
+    nearest_neighbor,
+)
+from repro.grid.dims import dims_create
+
+#: 6 distinct grids x 4 deterministic mappers x 3 sweeps = 72 evaluations.
+NODE_COUNTS = (8, 10, 12, 15, 18, 20)
+PROCESSES_PER_NODE = 24
+MAPPERS = ("blocked", "hyperplane", "kd_tree", "stencil_strips")
+SWEEPS = 3
+
+
+def _workload() -> list[MappingRequest]:
+    stencil = nearest_neighbor(2)
+    requests = []
+    for sweep in range(SWEEPS):
+        for num_nodes in NODE_COUNTS:
+            p = num_nodes * PROCESSES_PER_NODE
+            grid = CartesianGrid(dims_create(p, 2))
+            alloc = NodeAllocation.homogeneous(num_nodes, PROCESSES_PER_NODE)
+            for name in MAPPERS:
+                requests.append(
+                    MappingRequest(grid, stencil, alloc, name, tag=(sweep, num_nodes, name))
+                )
+    return requests
+
+
+def _signature(result):
+    return (
+        result.request.tag,
+        result.jsum,
+        result.jmax,
+        None if result.cost is None else result.cost.per_node.tobytes(),
+    )
+
+
+def test_thread_and_process_backends_agree(tmp_path):
+    requests = _workload()
+    reference = [
+        _signature(r)
+        for r in EvaluationEngine(max_workers=1).evaluate_batch(requests)
+    ]
+
+    timings = {}
+    with ThreadBackend(max_workers=4) as thread_backend:
+        start = time.perf_counter()
+        thread_results = thread_backend.evaluate_batch(requests)
+        timings["thread"] = time.perf_counter() - start
+    assert [_signature(r) for r in thread_results] == reference
+
+    with ProcessBackend(2, disk_cache_dir=tmp_path) as process_backend:
+        start = time.perf_counter()
+        process_results = process_backend.evaluate_batch(requests)
+        timings["process"] = time.perf_counter() - start
+
+        # streaming yields the same multiset of results
+        streamed = sorted(
+            _signature(r) for r in process_backend.evaluate_stream(requests)
+        )
+    assert [_signature(r) for r in process_results] == reference
+    assert streamed == sorted(reference)
+
+    # the workers published every instance's edges to the shared disk cache
+    assert len(list(tmp_path.glob("edges-*.npy"))) == len(
+        {r.instance_key for r in requests}
+    )
+    print(
+        f"\nbackend timings on {len(requests)} requests: "
+        + ", ".join(f"{k}={v * 1e3:.1f} ms" for k, v in timings.items())
+    )
+
+
+def test_process_backend_warm_disk_cache_skips_edge_rebuild(tmp_path):
+    """A second backend pointed at the same cache dir reloads, not rebuilds."""
+    requests = _workload()[: len(NODE_COUNTS) * len(MAPPERS)]
+    with ProcessBackend(1, disk_cache_dir=tmp_path) as cold:
+        cold.evaluate_batch(requests)
+    stored = {p.name for p in tmp_path.glob("edges-*.npy")}
+    assert len(stored) == len({r.instance_key for r in requests})
+    with ProcessBackend(1, disk_cache_dir=tmp_path) as warm:
+        warm.evaluate_batch(requests)
+    # warm run added no new files (every instance was served from disk)
+    assert {p.name for p in tmp_path.glob("edges-*.npy")} == stored

@@ -93,6 +93,9 @@ from .engine import (
     EvaluationEngine,
     MappingRequest,
     MappingResult,
+    ProcessBackend,
+    ThreadBackend,
+    resolve_backend,
 )
 
 __version__ = "1.0.0"
@@ -154,5 +157,8 @@ __all__ = [
     "EvaluationEngine",
     "MappingRequest",
     "MappingResult",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
     "__version__",
 ]

@@ -11,11 +11,22 @@ The engine subsystem turns the repeated inner loop of every experiment
 ... ]                                                   # doctest: +SKIP
 >>> results = engine.evaluate_batch(requests)           # doctest: +SKIP
 
-See :mod:`repro.engine.engine` for the caching/batching/fan-out design
-and :mod:`repro.engine.registry` for name-based mapper discovery.
+Where those requests execute is pluggable (:mod:`repro.engine.backends`):
+
+>>> from repro.engine import ProcessBackend
+>>> with ProcessBackend(4, disk_cache_dir="/tmp/repro-cache") as backend:
+...     for result in backend.evaluate_stream(requests):
+...         consume(result)                             # doctest: +SKIP
+
+See :mod:`repro.engine.engine` for the caching/batching/fan-out design,
+:mod:`repro.engine.backends` for the thread/process execution backends,
+:mod:`repro.engine.diskcache` for the persistent edge cache, and
+:mod:`repro.engine.registry` for name-based mapper discovery.
 """
 
+from .backends import Backend, ProcessBackend, ThreadBackend, resolve_backend
 from .cache import CacheStats, LRUCache
+from .diskcache import CACHE_DIR_ENV, DiskCacheStats, DiskEdgeCache
 from .engine import EvaluationEngine
 from .registry import create_mapper, list_mappers, resolve_mapper
 from .request import MappingRequest, MappingResult
@@ -24,8 +35,15 @@ __all__ = [
     "EvaluationEngine",
     "MappingRequest",
     "MappingResult",
+    "Backend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
     "LRUCache",
     "CacheStats",
+    "DiskEdgeCache",
+    "DiskCacheStats",
+    "CACHE_DIR_ENV",
     "list_mappers",
     "create_mapper",
     "resolve_mapper",

@@ -1,0 +1,407 @@
+"""Pluggable execution backends for mapping-evaluation sweeps.
+
+The :class:`~repro.engine.EvaluationEngine` defines the unit of work —
+``MappingRequest -> MappingResult`` — and this module defines *where*
+those units run:
+
+* :class:`ThreadBackend` — one engine, one persistent thread pool; the
+  default and equivalent to calling the engine directly.  Cheapest for
+  warm-cache sweeps because every shard shares one set of in-memory
+  caches.
+* :class:`ProcessBackend` — shards the request list across worker
+  processes.  Requests and results cross the process boundary by value;
+  each worker owns a private engine whose caches warm independently, so
+  shards are grouped by evaluation instance before being dealt out
+  (requests sharing a grid and stencil land in one shard and hit one
+  worker's caches).  Pointing the backend at a ``disk_cache_dir`` lets
+  all workers share one persistent edge cache.
+
+Both backends implement the same protocol: ``evaluate_batch`` (results
+in input order), ``evaluate_stream`` (results yielded as shards
+complete), ``close`` and use as a context manager.  Experiment drivers
+accept a backend wherever they accept an engine, and the CLI exposes a
+compact spec syntax via :func:`resolve_backend` — ``"serial"``,
+``"thread"``, ``"thread:8"``, ``"process"``, ``"process:4"``.
+
+Caller payloads (``MappingRequest.tag``) never cross the process
+boundary: the parent rebuilds every result against its original request
+object, so tags may be arbitrary unpicklable values and result identity
+joins (``result.request is request``) keep working under every backend.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Iterable, Iterator, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..metrics.cost import MappingCost
+from .engine import EvaluationEngine
+from .request import MappingRequest, MappingResult
+
+__all__ = [
+    "Backend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Execution strategy honouring the request/result contract."""
+
+    def evaluate_batch(
+        self, requests: Iterable[MappingRequest]
+    ) -> list[MappingResult]:
+        """Evaluate a batch of requests, returned in input order."""
+        ...
+
+    def evaluate_stream(
+        self, requests: Iterable[MappingRequest]
+    ) -> Iterator[MappingResult]:
+        """Evaluate a batch, yielding results as shards complete."""
+        ...
+
+    def close(self) -> None:
+        """Release worker pools; the backend must not be used after."""
+        ...
+
+
+class ThreadBackend:
+    """The in-process backend: one engine, one persistent thread pool.
+
+    Parameters
+    ----------
+    engine:
+        The engine to execute on; a private one is created from
+        ``engine_options`` when omitted.  Passing a shared engine shares
+        its caches with every other consumer.
+    engine_options:
+        Keyword arguments for the private engine (``max_workers``,
+        cache capacities, ``disk_cache_dir``); rejected when *engine*
+        is also given.
+    """
+
+    def __init__(
+        self,
+        engine: EvaluationEngine | None = None,
+        **engine_options,
+    ):
+        if engine is not None and engine_options:
+            raise TypeError(
+                "pass either an engine or engine options, not both: "
+                f"{sorted(engine_options)}"
+            )
+        self._engine = engine if engine is not None else EvaluationEngine(**engine_options)
+
+    @property
+    def engine(self) -> EvaluationEngine:
+        """The engine executing this backend's requests."""
+        return self._engine
+
+    def evaluate_batch(
+        self, requests: Iterable[MappingRequest]
+    ) -> list[MappingResult]:
+        return self._engine.evaluate_batch(requests)
+
+    def evaluate_stream(
+        self, requests: Iterable[MappingRequest]
+    ) -> Iterator[MappingResult]:
+        return self._engine.evaluate_stream(requests)
+
+    def close(self) -> None:
+        self._engine.close()
+
+    def __enter__(self) -> "ThreadBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ThreadBackend(max_workers={self._engine.max_workers})"
+
+
+# ----------------------------------------------------------------------
+# Process backend: worker side
+# ----------------------------------------------------------------------
+# One engine per worker process, created by the pool initializer and
+# reused by every shard that lands on the worker — permutation/cost
+# caches warm across shards of one sweep and across sweeps sharing the
+# backend.
+_WORKER_ENGINE: EvaluationEngine | None = None
+
+
+def _init_worker(engine_options: dict) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = EvaluationEngine(**engine_options)
+
+
+def _run_shard(
+    shard: Sequence[tuple[int, MappingRequest]],
+) -> list[tuple[int, np.ndarray | None, MappingCost | None, str | None]]:
+    """Evaluate one shard in the worker; results travel back by value."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("process-backend worker was not initialised")
+    results = engine.evaluate_batch([request for _, request in shard])
+    return [
+        (index, result.perm, result.cost, result.error)
+        for (index, _), result in zip(shard, results)
+    ]
+
+
+class ProcessBackend:
+    """Shard request lists across worker processes.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker-process count; ``None`` picks ``min(8, cpu_count)``.
+    disk_cache_dir:
+        Optional persistent edge-cache directory shared by all workers
+        (and any other engine pointed at it); defaults to the
+        ``REPRO_CACHE_DIR`` environment variable.
+    shards_per_worker:
+        Target shards per worker per batch.  More shards smooth out
+        imbalanced instance sizes and tighten streaming latency at the
+        price of more pickling round-trips.
+    engine_options:
+        Extra keyword arguments for each worker's private engine.
+        Workers default to ``max_workers=1``: parallelism comes from the
+        process pool, not nested thread pools.
+
+    Notes
+    -----
+    Requests are serialized by value, so mapper specs must be picklable
+    — registry names always are, and so are the built-in mapper classes.
+    Worker caches dedupe by value for registry-name specs; a mapper
+    *instance* shared by several requests of one batch is pickled once
+    and stays shared within each shard.
+    """
+
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        *,
+        disk_cache_dir: str | os.PathLike | None = None,
+        shards_per_worker: int = 4,
+        **engine_options,
+    ):
+        if num_workers is None:
+            num_workers = min(8, os.cpu_count() or 1)
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if shards_per_worker < 1:
+            raise ValueError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker}"
+            )
+        self.num_workers = int(num_workers)
+        self.shards_per_worker = int(shards_per_worker)
+        engine_options.setdefault("max_workers", 1)
+        self.disk_cache_dir = (
+            None if disk_cache_dir is None else os.fspath(disk_cache_dir)
+        )
+        if self.disk_cache_dir is not None:
+            engine_options["disk_cache_dir"] = self.disk_cache_dir
+        self._engine_options = engine_options
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _pool_get(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers,
+                    initializer=_init_worker,
+                    initargs=(self._engine_options,),
+                )
+            return self._pool
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+    def _shards(
+        self, requests: Sequence[MappingRequest]
+    ) -> list[list[tuple[int, MappingRequest]]]:
+        """Deal the request list into instance-aligned shards.
+
+        Requests are grouped by evaluation instance first — splitting an
+        instance's requests across workers would recompute its edges and
+        forfeit the stacked-kernel batching — then groups are packed
+        onto shards largest-first (greedy LPT), so one huge instance
+        cannot straggle behind a shard also holding many small ones.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.instance_key, []).append(i)
+        num_shards = max(
+            1, min(len(groups), self.num_workers * self.shards_per_worker)
+        )
+        shards: list[list[tuple[int, MappingRequest]]] = [
+            [] for _ in range(num_shards)
+        ]
+        loads = [0] * num_shards
+        for indices in sorted(groups.values(), key=len, reverse=True):
+            target = loads.index(min(loads))
+            shards[target].extend((i, requests[i]) for i in indices)
+            loads[target] += len(indices)
+        return [shard for shard in shards if shard]
+
+    def _submit(
+        self, requests: Sequence[MappingRequest]
+    ) -> list[Future]:
+        pool = self._pool_get()
+        # Strip caller payloads: tags may be unpicklable and are never
+        # needed worker-side; the parent rejoins results by index.
+        return [
+            pool.submit(
+                _run_shard,
+                [
+                    (
+                        i,
+                        request
+                        if request.tag is None
+                        else MappingRequest(
+                            grid=request.grid,
+                            stencil=request.stencil,
+                            alloc=request.alloc,
+                            mapper=request.mapper,
+                            perm=request.perm,
+                        ),
+                    )
+                    for i, request in shard
+                ],
+            )
+            for shard in self._shards(requests)
+        ]
+
+    @staticmethod
+    def _rebuild(
+        request: MappingRequest,
+        perm: np.ndarray | None,
+        cost: MappingCost | None,
+        error: str | None,
+    ) -> MappingResult:
+        # Freeze the unpickled buffers so results are indistinguishable
+        # from the in-process engine's (which shares read-only caches).
+        if perm is not None:
+            perm.setflags(write=False)
+        if cost is not None:
+            cost.per_node.setflags(write=False)
+        return MappingResult(request=request, perm=perm, cost=cost, error=error)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_batch(
+        self, requests: Iterable[MappingRequest]
+    ) -> list[MappingResult]:
+        """Evaluate a batch across the worker pool, in input order."""
+        requests = list(requests)
+        results: list[MappingResult | None] = [None] * len(requests)
+        futures = self._submit(requests)
+        try:
+            for future in futures:
+                for index, perm, cost, error in future.result():
+                    results[index] = self._rebuild(
+                        requests[index], perm, cost, error
+                    )
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def evaluate_stream(
+        self, requests: Iterable[MappingRequest]
+    ) -> Iterator[MappingResult]:
+        """Evaluate a batch, yielding results as shards complete.
+
+        Within one shard results keep their relative request order;
+        across shards the order is completion order.  Closing the
+        generator early cancels shards that have not started.
+        """
+        requests = list(requests)
+        futures = self._submit(requests)
+        try:
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for index, perm, cost, error in future.result():
+                        yield self._rebuild(requests[index], perm, cost, error)
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def close(self) -> None:
+        """Shut down the worker processes."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessBackend(num_workers={self.num_workers}, "
+            f"shards_per_worker={self.shards_per_worker})"
+        )
+
+
+def resolve_backend(
+    spec: str | Backend | None,
+    *,
+    shards: int | None = None,
+    **options,
+) -> Backend:
+    """Turn a backend spec into a :class:`Backend` instance.
+
+    Accepted specs: an existing backend (returned unchanged, *shards*
+    and *options* must be absent), ``None``/``"thread"`` (thread
+    backend, default width), ``"serial"`` (thread backend, one worker),
+    ``"process"`` (process backend) — each optionally suffixed with a
+    worker count as ``"thread:8"`` / ``"process:4"``, which the
+    *shards* argument overrides.  Remaining *options* are forwarded to
+    the backend constructor (e.g. ``disk_cache_dir``).
+    """
+    if isinstance(spec, (ThreadBackend, ProcessBackend)) or (
+        not isinstance(spec, (str, type(None))) and isinstance(spec, Backend)
+    ):
+        if shards is not None or options:
+            raise TypeError(
+                "cannot combine an already constructed backend with "
+                "shards/options"
+            )
+        return spec
+    name, _, count_text = (spec or "thread").partition(":")
+    count: int | None = shards
+    if count_text:
+        try:
+            parsed = int(count_text)
+        except ValueError:
+            raise ValueError(f"invalid worker count in backend spec {spec!r}") from None
+        count = parsed if count is None else count
+    if name == "serial":
+        if count not in (None, 1):
+            raise ValueError("the serial backend has exactly one worker")
+        return ThreadBackend(max_workers=1, **options)
+    if name == "thread":
+        return ThreadBackend(max_workers=count, **options)
+    if name == "process":
+        return ProcessBackend(num_workers=count, **options)
+    raise ValueError(
+        f"unknown backend spec {spec!r}; expected 'serial', 'thread[:N]' "
+        f"or 'process[:N]'"
+    )

@@ -1,0 +1,149 @@
+"""Persistent on-disk cache for communication-edge arrays.
+
+The engine's in-memory edge cache dies with the process; sweeps sharded
+across worker processes (or restarted after a crash) would rebuild the
+same expensive ``O(k * p)`` edge arrays once per process.  This module
+stores them as ``.npy`` files keyed exactly like the in-memory cache —
+by the grid's dimensions and periodicity plus the stencil's offsets — so
+any process pointed at the same directory reads what another already
+computed.
+
+The cache directory is chosen per engine via the ``disk_cache_dir``
+argument, or globally via the ``REPRO_CACHE_DIR`` environment variable;
+with neither set the disk layer is disabled and the engine behaves as
+before.  Writes are atomic (tmp file + ``os.replace``), so concurrent
+writers on one POSIX filesystem can only ever publish complete arrays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..grid.grid import CartesianGrid
+from ..grid.stencil import Stencil
+
+__all__ = ["DiskCacheStats", "DiskEdgeCache", "CACHE_DIR_ENV", "resolve_cache_dir"]
+
+#: Environment variable naming the default on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_dir(spec: str | os.PathLike | None) -> Path | None:
+    """Turn a cache-dir spec into a concrete path, or ``None`` (disabled).
+
+    An explicit *spec* wins; otherwise the ``REPRO_CACHE_DIR`` environment
+    variable is consulted; an empty value in either place disables the
+    disk layer.
+    """
+    if spec is None:
+        spec = os.environ.get(CACHE_DIR_ENV) or None
+    if spec is None or str(spec) == "":
+        return None
+    return Path(spec)
+
+
+@dataclass(frozen=True)
+class DiskCacheStats:
+    """Point-in-time counters of one on-disk cache."""
+
+    hits: int
+    misses: int
+    stores: int
+
+
+class DiskEdgeCache:
+    """File-per-entry ``np.save``/``np.load`` store of edge arrays.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the ``edges-<sha256>.npy`` files; created on
+        first use.  Many processes may share one directory.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike):
+        self._dir = Path(cache_dir)
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+
+    @property
+    def cache_dir(self) -> Path:
+        """The directory backing this cache."""
+        return self._dir
+
+    @staticmethod
+    def key_for(grid: CartesianGrid, stencil: Stencil) -> str:
+        """Deterministic file-name key of ``(grid, stencil)``.
+
+        Mirrors the in-memory edge-cache key: structurally equal
+        instances — same dimensions, periodicity and offset set — map to
+        the same file in every process, today and after a restart.
+        Offsets are sorted because :class:`Stencil` equality is
+        set-based; permuted insertion orders must share one entry.
+        """
+        payload = repr((grid.dims, grid.periods, tuple(sorted(stencil.offsets))))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path_for(self, grid: CartesianGrid, stencil: Stencil) -> Path:
+        return self._dir / f"edges-{self.key_for(grid, stencil)}.npy"
+
+    def load(self, grid: CartesianGrid, stencil: Stencil) -> np.ndarray | None:
+        """Read the cached edge array, or ``None`` when absent/corrupt.
+
+        A truncated or unreadable file (e.g. from a pre-atomic-write
+        crash of an older layout) counts as a miss rather than an error.
+        """
+        path = self._path_for(grid, stencil)
+        try:
+            arr = np.load(path)
+        except (OSError, ValueError, EOFError):
+            # EOFError: np.load on a zero-byte/truncated-header file
+            self._misses += 1
+            return None
+        self._hits += 1
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        arr.setflags(write=False)
+        return arr
+
+    def store(self, grid: CartesianGrid, stencil: Stencil, edges: np.ndarray) -> None:
+        """Atomically publish the edge array of ``(grid, stencil)``.
+
+        Best-effort: an unwritable cache directory degrades to a no-op
+        (the sweep still has the in-memory copy).
+        """
+        path = self._path_for(grid, stencil)
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=path.stem + ".", suffix=".tmp", dir=self._dir
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.save(fh, np.asarray(edges, dtype=np.int64))
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return
+        self._stores += 1
+
+    def stats(self) -> DiskCacheStats:
+        """Hit/miss/store counters of this process's cache handle."""
+        return DiskCacheStats(
+            hits=self._hits, misses=self._misses, stores=self._stores
+        )
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"DiskEdgeCache({str(self._dir)!r}, hits={s.hits}, "
+            f"misses={s.misses}, stores={s.stores})"
+        )

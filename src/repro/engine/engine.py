@@ -12,21 +12,25 @@ that loop:
 * **batching** — all permutations of one instance are scored as a single
   stacked NumPy operation (:func:`repro.metrics.cost.evaluate_mappings_batch`)
   instead of one pass per mapping;
-* **fan-out** — independent instances of a batch are distributed over a
-  ``concurrent.futures`` thread pool (the scoring kernels release the
-  GIL inside NumPy; a process pool would re-pickle every mapper and
-  defeat cache sharing).
+* **fan-out** — independent instances of a batch are distributed over
+  one persistent ``concurrent.futures`` thread pool (the scoring kernels
+  release the GIL inside NumPy).
 
-The engine is the architectural seam for future scaling work: sharding a
-sweep means sharding its request list, and any alternative backend only
-has to honour the ``MappingRequest -> MappingResult`` contract.
+The engine is the architectural seam for scaling work: sharding a sweep
+means sharding its request list, and any alternative backend only has to
+honour the ``MappingRequest -> MappingResult`` contract.
+:mod:`repro.engine.backends` builds on that seam — ``ThreadBackend``
+wraps one engine, ``ProcessBackend`` shards request lists across worker
+processes, each running its own engine warmed through the shared
+on-disk edge cache (:mod:`repro.engine.diskcache`).
 """
 
 from __future__ import annotations
 
 import os
-from collections.abc import Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from collections.abc import Iterable, Iterator, Sequence
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 import numpy as np
 
@@ -42,6 +46,7 @@ from ..metrics.cost import (
     evaluate_mappings_batch,
 )
 from .cache import CacheStats, LRUCache
+from .diskcache import DiskCacheStats, DiskEdgeCache, resolve_cache_dir
 from .registry import list_mappers, resolve_mapper, spec_key
 from .request import MappingRequest, MappingResult
 
@@ -62,6 +67,18 @@ class EvaluationEngine:
         ones (``O(k * p)`` int64 per entry); permutations and costs are
         small but numerous.  (Rank-to-node arrays need no engine cache:
         :class:`NodeAllocation` precomputes them at construction.)
+    disk_cache_dir:
+        Directory of the persistent edge cache shared across processes
+        and restarts (see :mod:`repro.engine.diskcache`).  Defaults to
+        the ``REPRO_CACHE_DIR`` environment variable; with neither set
+        the disk layer is disabled.
+
+    The engine owns one persistent thread pool, created lazily on the
+    first parallel batch and reused by every later call; :meth:`close`
+    (or use as a context manager) releases it.  An unclosed engine's
+    idle threads are reaped when the engine is garbage-collected or at
+    interpreter exit; the experiment drivers close any engine they
+    create themselves.
     """
 
     def __init__(
@@ -71,6 +88,7 @@ class EvaluationEngine:
         edge_cache_entries: int = 128,
         perm_cache_entries: int = 2048,
         cost_cache_entries: int = 4096,
+        disk_cache_dir: str | os.PathLike | None = None,
     ):
         if max_workers is None:
             max_workers = min(8, os.cpu_count() or 1)
@@ -80,6 +98,36 @@ class EvaluationEngine:
         self._edge_cache = LRUCache(edge_cache_entries)
         self._perm_cache = LRUCache(perm_cache_entries)
         self._cost_cache = LRUCache(cost_cache_entries)
+        cache_dir = resolve_cache_dir(disk_cache_dir)
+        self._disk_cache = None if cache_dir is None else DiskEdgeCache(cache_dir)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Worker pool lifecycle
+    # ------------------------------------------------------------------
+    def _pool_get(self) -> ThreadPoolExecutor:
+        """The engine's persistent thread pool, created on first use."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-engine",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (caches stay usable)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Cached intermediates
@@ -91,11 +139,21 @@ class EvaluationEngine:
         stencil's offset set, so structurally equal instances share one
         entry regardless of object identity.  Returned arrays are
         read-only: every caller shares the cached buffer.
+
+        With a configured ``disk_cache_dir`` an in-memory miss falls
+        through to the on-disk cache (same key) before recomputing, and
+        fresh arrays are published there for other processes/restarts.
         """
 
         def compute() -> np.ndarray:
+            if self._disk_cache is not None:
+                cached = self._disk_cache.load(grid, stencil)
+                if cached is not None:
+                    return cached
             arr = communication_edges(grid, stencil)
             arr.setflags(write=False)
+            if self._disk_cache is not None:
+                self._disk_cache.store(grid, stencil, arr)
             return arr
 
         return self._edge_cache.get_or_compute((grid, stencil), compute)
@@ -159,13 +217,53 @@ class EvaluationEngine:
 
         group_indices = list(groups.values())
         if self.max_workers > 1 and len(group_indices) > 1:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                # list() propagates the first worker exception, if any.
-                list(pool.map(run_group, group_indices))
+            # list() propagates the first worker exception, if any.
+            list(self._pool_get().map(run_group, group_indices))
         else:
             for indices in group_indices:
                 run_group(indices)
         return results  # type: ignore[return-value]  # every slot is filled
+
+    def evaluate_stream(
+        self, requests: Iterable[MappingRequest]
+    ) -> Iterator[MappingResult]:
+        """Evaluate a batch, yielding results as instance groups finish.
+
+        The streaming counterpart of :meth:`evaluate_batch`: the same
+        grouping, caching and fan-out, but each instance group's results
+        are yielded as soon as that group is scored instead of
+        barriering on the whole batch.  Results of one group keep their
+        relative request order; across groups the order is completion
+        order.  Closing the generator early cancels groups that have not
+        started.
+        """
+        requests = list(requests)
+        groups: dict[tuple, list[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.instance_key, []).append(i)
+
+        def run_group(indices: Sequence[int]) -> list[MappingResult]:
+            return self._evaluate_group([requests[i] for i in indices])
+
+        group_indices = list(groups.values())
+        if self.max_workers > 1 and len(group_indices) > 1:
+            pool = self._pool_get()
+            futures = {
+                pool.submit(run_group, indices): indices
+                for indices in group_indices
+            }
+            try:
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield from future.result()
+            finally:
+                for future in futures:
+                    future.cancel()
+        else:
+            for indices in group_indices:
+                yield from run_group(indices)
 
     def _evaluate_group(
         self, requests: Sequence[MappingRequest]
@@ -258,6 +356,11 @@ class EvaluationEngine:
         """Registry names accepted as a request's ``mapper`` spec."""
         return list_mappers()
 
+    @property
+    def disk_cache(self) -> DiskEdgeCache | None:
+        """The persistent edge cache, or ``None`` when disabled."""
+        return self._disk_cache
+
     def cache_stats(self) -> dict[str, CacheStats]:
         """Hit/miss/occupancy counters of the three LRU caches."""
         return {
@@ -265,6 +368,10 @@ class EvaluationEngine:
             "permutations": self._perm_cache.stats(),
             "costs": self._cost_cache.stats(),
         }
+
+    def disk_cache_stats(self) -> DiskCacheStats | None:
+        """Counters of the on-disk edge cache (``None`` when disabled)."""
+        return None if self._disk_cache is None else self._disk_cache.stats()
 
     def clear_caches(self) -> None:
         """Drop every cached intermediate (counters are kept)."""

@@ -33,7 +33,7 @@ from .ablations import (
     ablation_strips_serpentine,
     ablation_topology_aware,
 )
-from .scaling import DEFAULT_NODE_COUNTS, ScalingPoint, scaling_sweep
+from .scaling import DEFAULT_NODE_COUNTS, ScalingPoint, scaling_sweep, speedup_ratio
 from .weighted import WeightedResult, weighted_hops_experiment
 
 __all__ = [
@@ -58,6 +58,7 @@ __all__ = [
     "ablation_topology_aware",
     "ScalingPoint",
     "scaling_sweep",
+    "speedup_ratio",
     "DEFAULT_NODE_COUNTS",
     "WeightedResult",
     "weighted_hops_experiment",

@@ -5,12 +5,16 @@ Usage::
     python -m repro.experiments figure6 [--machine VSC4] [--reps 50]
     python -m repro.experiments figure7 [--machine JUWELS]
     python -m repro.experiments figure8 [--family nearest_neighbor] [--fast]
+    python -m repro.experiments figure8 --backend process --shards 4
     python -m repro.experiments figure9
     python -m repro.experiments table II [--reps 50]
-    python -m repro.experiments ablations
+    python -m repro.experiments ablations [--backend thread:8]
 
 Repetition counts default to quick settings; pass ``--reps 200`` for the
-paper's sample sizes.
+paper's sample sizes.  ``--backend`` selects the execution backend of
+the batched sweeps (``serial``, ``thread[:N]``, ``process[:N]``),
+``--shards`` overrides its worker count and ``--cache-dir`` points the
+persistent edge cache at a directory (default: ``$REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..engine import Backend, resolve_backend
 from .ablations import (
     ablation_hyperplane_order,
     ablation_nodecart_stencil_aware,
@@ -53,13 +58,15 @@ def _figure(which: int, machine: str, reps: int) -> None:
         print()
 
 
-def _figure8(family: str, fast: bool) -> None:
+def _figure8(family: str, fast: bool, backend: Backend) -> None:
     mappers = DEFAULT_MAPPERS()
     instances = instance_set()
     if fast:
         mappers.pop("graphmap", None)
         instances = instances[::4]
-    reductions = figure8_reductions(family, mappers=mappers, instances=instances)
+    reductions = figure8_reductions(
+        family, mappers=mappers, instances=instances, backend=backend
+    )
     print(f"== Figure 8 ({family}), {len(instances)} instances ==")
     print(render_reduction_summaries(summarize_reductions(reductions)))
 
@@ -75,42 +82,71 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--family", default="nearest_neighbor")
     parser.add_argument("--reps", type=int, default=50)
     parser.add_argument("--fast", action="store_true")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend: serial, thread[:N] (default) or process[:N]",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker count of the backend (overrides a :N suffix)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent edge-cache directory (default: $REPRO_CACHE_DIR)",
+    )
     args = parser.parse_args(argv)
 
-    if args.target == "figure6":
-        _figure(6, args.machine, args.reps)
-    elif args.target == "figure7":
-        _figure(7, args.machine, args.reps)
-    elif args.target == "figure8":
-        _figure8(args.family, args.fast)
-    elif args.target == "figure9":
-        print(render_instantiation(figure9_instantiation_times()))
-    elif args.target == "table":
-        if args.table_id not in TABLE_INDEX:
-            parser.error(f"table_id must be one of {sorted(TABLE_INDEX)}")
-        machine, nodes = TABLE_INDEX[args.table_id]
-        print(render_appendix_table(
-            appendix_table(machine, nodes, repetitions=args.reps)
-        ))
-    elif args.target == "ablations":
-        for title, result in (
-            ("hyperplane dimension order", ablation_hyperplane_order()),
-            ("strips serpentine", ablation_strips_serpentine()),
-            ("strips distortion", ablation_strips_distortion()),
-            ("nodecart stencil-aware", ablation_nodecart_stencil_aware()),
-        ):
-            print(f"== {title} ==")
-            for family, res in result.items():
+    backend_options = {}
+    if args.cache_dir is not None:
+        backend_options["disk_cache_dir"] = args.cache_dir
+    try:
+        backend = resolve_backend(
+            args.backend, shards=args.shards, **backend_options
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    try:
+        if args.target == "figure6":
+            _figure(6, args.machine, args.reps)
+        elif args.target == "figure7":
+            _figure(7, args.machine, args.reps)
+        elif args.target == "figure8":
+            _figure8(args.family, args.fast, backend)
+        elif args.target == "figure9":
+            print(render_instantiation(figure9_instantiation_times()))
+        elif args.target == "table":
+            if args.table_id not in TABLE_INDEX:
+                parser.error(f"table_id must be one of {sorted(TABLE_INDEX)}")
+            machine, nodes = TABLE_INDEX[args.table_id]
+            print(render_appendix_table(
+                appendix_table(machine, nodes, repetitions=args.reps)
+            ))
+        elif args.target == "ablations":
+            for title, result in (
+                ("hyperplane dimension order", ablation_hyperplane_order(backend=backend)),
+                ("strips serpentine", ablation_strips_serpentine(backend=backend)),
+                ("strips distortion", ablation_strips_distortion(backend=backend)),
+                ("nodecart stencil-aware", ablation_nodecart_stencil_aware(backend=backend)),
+            ):
+                print(f"== {title} ==")
+                for family, res in result.items():
+                    print(
+                        f"  {family:<28} baseline={res.baseline}  variant={res.variant}  "
+                        f"Jsum x{res.jsum_ratio:.2f}  Jmax x{res.jmax_ratio:.2f}"
+                    )
+            print("== topology-aware cost model (VSC4, NN, 512 KiB) ==")
+            for mapper, times in ablation_topology_aware().items():
                 print(
-                    f"  {family:<28} baseline={res.baseline}  variant={res.variant}  "
-                    f"Jsum x{res.jsum_ratio:.2f}  Jmax x{res.jmax_ratio:.2f}"
+                    f"  {mapper:<12} flat={times['flat'] * 1e3:8.3f} ms   "
+                    f"aware={times['topology_aware'] * 1e3:8.3f} ms"
                 )
-        print("== topology-aware cost model (VSC4, NN, 512 KiB) ==")
-        for mapper, times in ablation_topology_aware().items():
-            print(
-                f"  {mapper:<12} flat={times['flat'] * 1e3:8.3f} ms   "
-                f"aware={times['topology_aware'] * 1e3:8.3f} ms"
-            )
+    finally:
+        backend.close()
     return 0
 
 

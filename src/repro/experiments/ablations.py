@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core import HyperplaneMapper, NodecartMapper, StencilStripsMapper
+from ..engine import Backend
 from ..hardware.machines import Machine
 from .context import EvaluationContext, STENCIL_FAMILIES
 from .throughput import resolve_machine
@@ -50,14 +51,30 @@ class AblationResult:
         return self.variant[1] / self.baseline[1] if self.baseline[1] else 1.0
 
 
-def _compare(num_nodes: int, baseline, variant) -> dict[str, AblationResult]:
+def _compare(
+    num_nodes: int, baseline, variant, backend: Backend | None = None
+) -> dict[str, AblationResult]:
     context = EvaluationContext(
         num_nodes, 48, 2, mappers={"baseline": baseline, "variant": variant}
     )
+    # One batch over all families and both variants; *backend* shards it
+    # across its workers, the default runs on the context's engine.
+    requests = [
+        context.request(family, name)
+        for family in STENCIL_FAMILIES
+        for name in ("baseline", "variant")
+    ]
+    try:
+        results = (backend or context.engine).evaluate_batch(requests)
+    finally:
+        # the context's private engine must not keep its pool alive
+        if backend is None:
+            context.engine.close()
+    costs = {result.request.tag: result.cost for result in results}
     out: dict[str, AblationResult] = {}
     for family in STENCIL_FAMILIES:
-        base_cost = context.cost(family, "baseline")
-        var_cost = context.cost(family, "variant")
+        base_cost = costs[(family, "baseline")]
+        var_cost = costs[(family, "variant")]
         if base_cost is None or var_cost is None:
             continue
         out[family] = AblationResult(
@@ -68,39 +85,51 @@ def _compare(num_nodes: int, baseline, variant) -> dict[str, AblationResult]:
     return out
 
 
-def ablation_hyperplane_order(num_nodes: int = 50) -> dict[str, AblationResult]:
+def ablation_hyperplane_order(
+    num_nodes: int = 50, *, backend: Backend | None = None
+) -> dict[str, AblationResult]:
     """Hyperplane with versus without the Equation 2 dimension ordering."""
     return _compare(
         num_nodes,
         HyperplaneMapper(),
         HyperplaneMapper(use_stencil_order=False),
+        backend,
     )
 
 
-def ablation_strips_serpentine(num_nodes: int = 50) -> dict[str, AblationResult]:
+def ablation_strips_serpentine(
+    num_nodes: int = 50, *, backend: Backend | None = None
+) -> dict[str, AblationResult]:
     """Stencil Strips with versus without serpentine direction flipping."""
     return _compare(
         num_nodes,
         StencilStripsMapper(),
         StencilStripsMapper(serpentine=False),
+        backend,
     )
 
 
-def ablation_strips_distortion(num_nodes: int = 50) -> dict[str, AblationResult]:
+def ablation_strips_distortion(
+    num_nodes: int = 50, *, backend: Backend | None = None
+) -> dict[str, AblationResult]:
     """Stencil Strips with versus without the distortion factors."""
     return _compare(
         num_nodes,
         StencilStripsMapper(),
         StencilStripsMapper(use_distortion=False),
+        backend,
     )
 
 
-def ablation_nodecart_stencil_aware(num_nodes: int = 50) -> dict[str, AblationResult]:
+def ablation_nodecart_stencil_aware(
+    num_nodes: int = 50, *, backend: Backend | None = None
+) -> dict[str, AblationResult]:
     """Faithful Nodecart versus the stencil-aware block-selection extension."""
     return _compare(
         num_nodes,
         NodecartMapper(),
         NodecartMapper(stencil_aware=True),
+        backend,
     )
 
 

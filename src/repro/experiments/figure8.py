@@ -13,13 +13,15 @@ CIs).  The paper's headline findings, which the reproduction checks:
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core import Mapper
-from ..engine import EvaluationEngine, MappingRequest
+from ..engine import Backend, EvaluationEngine, MappingRequest
+from ..metrics.cost import reduction_over_blocked
 from ..metrics.stats import ConfidenceInterval, median_ci
 from .context import DEFAULT_MAPPER_NAMES, STENCIL_FAMILIES
 from .instances import Instance, instance_set
@@ -43,18 +45,25 @@ def figure8_reductions(
     mappers: Mapping[str, Mapper | str] | None = None,
     instances: Sequence[Instance] | None = None,
     engine: EvaluationEngine | None = None,
+    backend: Backend | None = None,
 ) -> dict[str, dict[str, np.ndarray]]:
     """Reduction samples per mapper over the instance set.
 
     Returns ``{mapper: {"jsum": array, "jmax": array}}`` with one entry
-    per instance the mapper accepted (NaN where it rejected, so arrays
-    stay aligned with the instance list).
+    per instance the mapper accepted (NaN where it rejected or where the
+    blocked baseline itself failed, so arrays stay aligned with the
+    instance list).  Ratios follow
+    :func:`repro.metrics.cost.reduction_over_blocked`: a zero blocked
+    cost yields 1 when the compared cost is also zero and ``inf``
+    otherwise.
 
     The whole sweep — every instance, the blocked baseline and every
-    mapper — is submitted as one engine batch: instances sharing a grid
-    and stencil share cached communication edges, each instance's
+    mapper — is submitted as one batch: instances sharing a grid and
+    stencil share cached communication edges, each instance's
     permutations are scored as one stacked kernel call, and independent
-    instances fan out over the engine's worker pool.
+    instances fan out over the worker pool.  Passing *backend* (e.g. a
+    :class:`~repro.engine.ProcessBackend`) shards the batch across its
+    workers instead of the (per-call) engine's threads.
     """
     if family not in STENCIL_FAMILIES:
         raise KeyError(
@@ -69,7 +78,11 @@ def figure8_reductions(
         mappers = {name: name for name in DEFAULT_MAPPER_NAMES}
     mappers.pop("blocked", None)  # the baseline itself is not plotted
     instances = list(instances) if instances is not None else instance_set()
-    engine = engine if engine is not None else EvaluationEngine()
+    owned_engine = None
+    if backend is None:
+        if engine is None:
+            engine = owned_engine = EvaluationEngine()
+        backend = engine
 
     factory = STENCIL_FAMILIES[family]
     requests = []
@@ -102,22 +115,33 @@ def figure8_reductions(
         }
         for name in mappers
     }
-    results = engine.evaluate_batch(requests)
+    try:
+        results = backend.evaluate_batch(requests)
+    finally:
+        # a private engine's worker pool must not outlive the sweep
+        if owned_engine is not None:
+            owned_engine.close()
     blocked = {
         result.request.tag[0]: result.cost
         for result in results
         if result.request.tag[1] is None
     }
+    for idx, base in blocked.items():
+        # No baseline, no ratios: those cells stay NaN — one unmappable
+        # instance must not abort a 144-instance sweep.
+        if base is None:
+            warnings.warn(
+                f"blocked baseline failed on instance "
+                f"{instances[idx].label()}; skipping its reduction ratios",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     for result in results:
         idx, name = result.request.tag
-        if name is None or result.cost is None:
+        if name is None or result.cost is None or blocked[idx] is None:
             continue
-        base = blocked[idx]
-        out[name]["jsum"][idx] = (
-            result.cost.jsum / base.jsum if base.jsum else 1.0
-        )
-        out[name]["jmax"][idx] = (
-            result.cost.jmax / base.jmax if base.jmax else 1.0
+        out[name]["jsum"][idx], out[name]["jmax"][idx] = reduction_over_blocked(
+            result.cost, blocked[idx]
         )
     return out
 

@@ -14,12 +14,17 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..core import Mapper
-from ..engine import EvaluationEngine
+from ..engine import Backend, EvaluationEngine, MappingRequest
+from ..exceptions import AllocationError
+from ..grid.dims import dims_create
+from ..grid.grid import CartesianGrid
+from ..hardware.allocation import NodeAllocation
 from ..hardware.machines import Machine
-from .context import EvaluationContext, DEFAULT_MAPPER_NAMES
+from ..metrics.cost import reduction_over_blocked
+from .context import DEFAULT_MAPPER_NAMES, STENCIL_FAMILIES
 from .throughput import resolve_machine
 
-__all__ = ["ScalingPoint", "scaling_sweep", "DEFAULT_NODE_COUNTS"]
+__all__ = ["ScalingPoint", "scaling_sweep", "speedup_ratio", "DEFAULT_NODE_COUNTS"]
 
 #: Node counts of the sweep (the paper's 50 and 100 plus surroundings).
 DEFAULT_NODE_COUNTS: tuple[int, ...] = (10, 25, 50, 75, 100, 150)
@@ -38,6 +43,18 @@ class ScalingPoint:
     model_speedup: float
 
 
+def speedup_ratio(baseline_time: float, t: float) -> float:
+    """Model speedup ``baseline / t`` with explicit zero semantics.
+
+    A zero *t* means the mapping eliminated modelled communication
+    entirely: the speedup is ``inf`` unless the baseline is also zero
+    (no communication to speed up), which is a tie at 1.
+    """
+    if t == 0:
+        return 1.0 if baseline_time == 0 else float("inf")
+    return baseline_time / t
+
+
 def scaling_sweep(
     machine: str | Machine = "VSC4",
     *,
@@ -47,60 +64,106 @@ def scaling_sweep(
     mappers: dict[str, Mapper | str] | None = None,
     processes_per_node: int = 48,
     engine: EvaluationEngine | None = None,
+    backend: Backend | None = None,
 ) -> dict[str, list[ScalingPoint]]:
     """Sweep node counts; reductions and model speedups per mapper.
 
-    All per-node-count contexts share one engine, so repeated sweeps
-    (e.g. one per machine) reuse the cached mappings and edge lists.
+    Every node count must fit on *machine*: sweeping past
+    ``machine.total_nodes`` raises :class:`AllocationError` instead of
+    silently timing a model smaller than the evaluated grid.
+
+    The whole sweep is one request batch.  With the default in-process
+    *engine*, per-node-count instances share its caches across repeated
+    sweeps (e.g. one per machine); passing *backend* shards the batch
+    across its workers (e.g. a :class:`~repro.engine.ProcessBackend`).
     """
     machine = resolve_machine(machine)
-    engine = engine if engine is not None else EvaluationEngine()
+    if family not in STENCIL_FAMILIES:
+        raise KeyError(
+            f"unknown stencil family {family!r}; available: {sorted(STENCIL_FAMILIES)}"
+        )
+    oversized = [n for n in node_counts if n > machine.total_nodes]
+    if oversized:
+        raise AllocationError(
+            f"{machine.name} has {machine.total_nodes} nodes; cannot sweep "
+            f"node counts {oversized} (the model would cover fewer nodes "
+            f"than the evaluated grid)"
+        )
+    owned_engine = None
+    if engine is None:
+        # a ThreadBackend brings its own engine (shared caches); for any
+        # other backend, let the parent's edge lookups reuse the
+        # backend's disk cache instead of rebuilding every edge array
+        engine = getattr(backend, "engine", None)
+        if engine is None:
+            engine = owned_engine = EvaluationEngine(
+                disk_cache_dir=getattr(backend, "disk_cache_dir", None)
+            )
     if mappers is None:
         # registry names -> engine memoizes by value across sweeps
         mappers = {name: name for name in DEFAULT_MAPPER_NAMES}
         mappers.pop("random", None)
         mappers.pop("graphmap", None)  # keep the sweep fast by default
-    out: dict[str, list[ScalingPoint]] = {name: [] for name in mappers if name != "blocked"}
+    baseline_spec = mappers.get("blocked", "blocked")
+    out: dict[str, list[ScalingPoint]] = {
+        name: [] for name in mappers if name != "blocked"
+    }
+
+    stencil = STENCIL_FAMILIES[family](2)
+    instances: list[tuple[int, CartesianGrid, NodeAllocation]] = []
+    requests: list[MappingRequest] = []
     for num_nodes in node_counts:
-        context = EvaluationContext(
-            num_nodes, processes_per_node, 2, mappers=dict(mappers), engine=engine
-        )
-        model = machine.model(min(num_nodes, machine.total_nodes))
-        edges = context.edges(family)
-        stencil = context.stencil(family)
-        blocked_cost = context.cost(family, "blocked")
-        assert blocked_cost is not None
-        blocked_time = model.alltoall_time(
-            context.grid,
-            stencil,
-            context.mapping(family, "blocked"),
-            context.alloc,
-            message_size,
-            edges=edges,
+        grid = CartesianGrid(dims_create(num_nodes * processes_per_node, 2))
+        alloc = NodeAllocation.homogeneous(num_nodes, processes_per_node)
+        instances.append((num_nodes, grid, alloc))
+        requests.append(
+            MappingRequest(grid, stencil, alloc, baseline_spec, tag=(num_nodes, "blocked"))
         )
         for name in out:
-            perm = context.mapping(family, name)
-            if perm is None:
-                continue
-            cost = context.cost(family, name)
-            assert cost is not None
-            t = model.alltoall_time(
-                context.grid, stencil, perm, context.alloc, message_size,
-                edges=edges,
+            requests.append(
+                MappingRequest(grid, stencil, alloc, mappers[name], tag=(num_nodes, name))
             )
+
+    try:
+        results = (backend or engine).evaluate_batch(requests)
+    finally:
+        # a private engine's worker pool must not outlive the sweep;
+        # close() keeps the caches usable — the model-time loop below
+        # still reads this engine's warm edge cache
+        if owned_engine is not None:
+            owned_engine.close()
+    by_tag = {result.request.tag: result for result in results}
+
+    for num_nodes, grid, alloc in instances:
+        blocked = by_tag[(num_nodes, "blocked")]
+        if blocked.cost is None:
+            raise AllocationError(
+                f"blocked baseline failed on {num_nodes} nodes: {blocked.error}"
+            )
+        # The model times are machine-bound and cheap; they stay in the
+        # parent process on top of the batch-evaluated mappings.
+        model = machine.model(num_nodes)
+        edges = engine.edges(grid, stencil)
+        blocked_time = model.alltoall_time(
+            grid, stencil, blocked.perm, alloc, message_size, edges=edges
+        )
+        for name in out:
+            result = by_tag[(num_nodes, name)]
+            if result.cost is None:
+                continue
+            t = model.alltoall_time(
+                grid, stencil, result.perm, alloc, message_size, edges=edges
+            )
+            jsum_red, jmax_red = reduction_over_blocked(result.cost, blocked.cost)
             out[name].append(
                 ScalingPoint(
                     num_nodes=num_nodes,
                     mapper=name,
-                    jsum=cost.jsum,
-                    jmax=cost.jmax,
-                    jsum_reduction=cost.jsum / blocked_cost.jsum
-                    if blocked_cost.jsum
-                    else 1.0,
-                    jmax_reduction=cost.jmax / blocked_cost.jmax
-                    if blocked_cost.jmax
-                    else 1.0,
-                    model_speedup=blocked_time / t if t else 1.0,
+                    jsum=result.cost.jsum,
+                    jmax=result.cost.jmax,
+                    jsum_reduction=jsum_red,
+                    jmax_reduction=jmax_red,
+                    model_speedup=speedup_ratio(blocked_time, t),
                 )
             )
     return out

@@ -1,0 +1,425 @@
+"""Execution backends, streaming evaluation and the on-disk edge cache.
+
+Includes the regression tests of the figure8 reduction bugs: a failed
+blocked baseline must degrade to NaN cells plus a warning (not an
+``AttributeError``), and zero-baseline ratios must follow the single
+definition in :func:`repro.metrics.cost.reduction_over_blocked`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CartesianGrid,
+    EvaluationEngine,
+    MappingRequest,
+    NodeAllocation,
+    ProcessBackend,
+    ThreadBackend,
+    nearest_neighbor,
+    resolve_backend,
+)
+from repro.engine import Backend, DiskEdgeCache
+from repro.engine.diskcache import CACHE_DIR_ENV, resolve_cache_dir
+from repro.experiments import figure8_reductions, instance_set
+from repro.metrics.cost import MappingCost
+
+
+def _requests(tagger=lambda i, name: (i, name)) -> list[MappingRequest]:
+    """A small multi-instance workload (4 grids x 4 mappers)."""
+    stencil = nearest_neighbor(2)
+    requests = []
+    for i, (nodes, ppn) in enumerate([(4, 12), (6, 8), (5, 10), (3, 16)]):
+        grid = CartesianGrid([nodes, ppn])
+        alloc = NodeAllocation.homogeneous(nodes, ppn)
+        for name in ("blocked", "hyperplane", "stencil_strips", "nodecart"):
+            requests.append(
+                MappingRequest(grid, stencil, alloc, name, tag=tagger(i, name))
+            )
+    return requests
+
+
+def _signature(result):
+    """Everything a result carries, in comparable (byte-exact) form."""
+    if result.cost is None:
+        return (result.request.tag, None, result.error)
+    return (
+        result.request.tag,
+        (
+            result.cost.jsum,
+            result.cost.jmax,
+            result.cost.total_edges,
+            result.cost.bottleneck_node,
+            result.cost.per_node.tobytes(),
+            result.perm.tobytes(),
+        ),
+        result.error,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return EvaluationEngine(max_workers=1).evaluate_batch(_requests())
+
+
+class TestThreadBackend:
+    def test_wraps_given_engine(self):
+        engine = EvaluationEngine(max_workers=1)
+        backend = ThreadBackend(engine)
+        assert backend.engine is engine
+
+    def test_engine_and_options_are_exclusive(self):
+        with pytest.raises(TypeError, match="not both"):
+            ThreadBackend(EvaluationEngine(), max_workers=2)
+
+    def test_batch_matches_serial(self, serial_results):
+        with ThreadBackend(max_workers=4) as backend:
+            results = backend.evaluate_batch(_requests())
+        assert list(map(_signature, results)) == list(
+            map(_signature, serial_results)
+        )
+
+    def test_stream_matches_serial(self, serial_results):
+        with ThreadBackend(max_workers=4) as backend:
+            streamed = list(backend.evaluate_stream(_requests()))
+        assert sorted(map(_signature, streamed)) == sorted(
+            map(_signature, serial_results)
+        )
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ThreadBackend(max_workers=1), Backend)
+        assert isinstance(ProcessBackend(1), Backend)
+
+
+class TestEvaluateStream:
+    def test_serial_stream_matches_batch(self):
+        engine = EvaluationEngine(max_workers=1)
+        batch = engine.evaluate_batch(_requests())
+        stream = list(engine.evaluate_stream(_requests()))
+        assert sorted(map(_signature, stream)) == sorted(map(_signature, batch))
+
+    def test_parallel_stream_matches_batch(self):
+        engine = EvaluationEngine(max_workers=4)
+        batch = engine.evaluate_batch(_requests())
+        stream = list(engine.evaluate_stream(_requests()))
+        assert sorted(map(_signature, stream)) == sorted(map(_signature, batch))
+        engine.close()
+
+    def test_stream_is_lazy_group_order(self):
+        """Within one instance group, streaming keeps request order."""
+        engine = EvaluationEngine(max_workers=1)
+        grid = CartesianGrid([6, 8])
+        alloc = NodeAllocation.homogeneous(6, 8)
+        stencil = nearest_neighbor(2)
+        requests = [
+            MappingRequest(grid, stencil, alloc, name, tag=name)
+            for name in ("blocked", "hyperplane", "kd_tree")
+        ]
+        tags = [r.request.tag for r in engine.evaluate_stream(requests)]
+        assert tags == ["blocked", "hyperplane", "kd_tree"]
+
+    def test_closing_generator_early_is_clean(self):
+        engine = EvaluationEngine(max_workers=2)
+        stream = engine.evaluate_stream(_requests())
+        first = next(stream)
+        assert first.ok or first.error
+        stream.close()  # must not raise or leak
+        engine.close()
+
+
+class TestProcessBackend:
+    def test_batch_byte_identical_to_serial(self, serial_results):
+        with ProcessBackend(2) as backend:
+            results = backend.evaluate_batch(_requests())
+        assert list(map(_signature, results)) == list(
+            map(_signature, serial_results)
+        )
+
+    def test_stream_byte_identical_to_serial(self, serial_results):
+        with ProcessBackend(2) as backend:
+            streamed = list(backend.evaluate_stream(_requests()))
+        assert sorted(map(_signature, streamed)) == sorted(
+            map(_signature, serial_results)
+        )
+
+    def test_figure8_instances_match_serial(self):
+        """Acceptance: identical costs on Figure 8 instances."""
+        stencil2, stencil3 = nearest_neighbor(2), nearest_neighbor(3)
+        requests = [
+            MappingRequest(
+                inst.grid,
+                stencil2 if inst.ndims == 2 else stencil3,
+                inst.allocation,
+                name,
+                tag=(inst.label(), name),
+            )
+            for inst in instance_set()[::12]
+            for name in ("blocked", "hyperplane", "stencil_strips")
+        ]
+        serial = EvaluationEngine(max_workers=1).evaluate_batch(requests)
+        with ProcessBackend(2) as backend:
+            sharded = backend.evaluate_batch(requests)
+        assert list(map(_signature, sharded)) == list(map(_signature, serial))
+
+    def test_results_keep_original_request_objects(self):
+        requests = _requests()
+        with ProcessBackend(2) as backend:
+            results = backend.evaluate_batch(requests)
+        assert all(r.request is req for r, req in zip(results, requests))
+
+    def test_unpicklable_tags_survive(self):
+        """Tags never cross the process boundary."""
+        marker = object()
+        requests = _requests(tagger=lambda i, name: (i, name, marker))
+        with ProcessBackend(2) as backend:
+            results = backend.evaluate_batch(requests)
+        assert all(r.request.tag[2] is marker for r in results)
+
+    def test_rejections_propagate(self):
+        grid = CartesianGrid([8, 6])
+        hetero = NodeAllocation([11, 13, 12, 12])
+        request = MappingRequest(grid, nearest_neighbor(2), hetero, "nodecart")
+        with ProcessBackend(1) as backend:
+            (result,) = backend.evaluate_batch([request])
+        assert not result.ok
+        assert "homogeneous" in result.error
+
+    def test_explicit_perms_are_scored(self):
+        grid = CartesianGrid([8, 6])
+        alloc = NodeAllocation.homogeneous(4, 12)
+        perm = np.random.default_rng(7).permutation(grid.size)
+        request = MappingRequest(grid, nearest_neighbor(2), alloc, "blocked", perm=perm)
+        serial = EvaluationEngine(max_workers=1).evaluate(request)
+        with ProcessBackend(1) as backend:
+            (sharded,) = backend.evaluate_batch([request])
+        assert (sharded.jsum, sharded.jmax) == (serial.jsum, serial.jmax)
+
+    def test_result_buffers_are_read_only(self):
+        with ProcessBackend(1) as backend:
+            (result,) = backend.evaluate_batch(_requests()[:1])
+        for arr in (result.perm, result.cost.per_node):
+            with pytest.raises(ValueError):
+                arr[0] = -1
+
+    def test_shards_never_split_an_instance(self):
+        backend = ProcessBackend(2, shards_per_worker=8)
+        requests = _requests()
+        shards = backend._shards(requests)
+        assert sorted(i for shard in shards for i, _ in shard) == list(
+            range(len(requests))
+        )
+        seen: dict[tuple, int] = {}
+        for shard_id, shard in enumerate(shards):
+            for _, request in shard:
+                key = request.instance_key
+                assert seen.setdefault(key, shard_id) == shard_id
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(0)
+        with pytest.raises(ValueError):
+            ProcessBackend(1, shards_per_worker=0)
+
+
+class TestResolveBackend:
+    def test_default_is_thread(self):
+        backend = resolve_backend(None)
+        assert isinstance(backend, ThreadBackend)
+
+    def test_serial(self):
+        assert resolve_backend("serial").engine.max_workers == 1
+
+    def test_thread_with_count(self):
+        assert resolve_backend("thread:3").engine.max_workers == 3
+
+    def test_process_with_count(self):
+        backend = resolve_backend("process:2")
+        assert isinstance(backend, ProcessBackend)
+        assert backend.num_workers == 2
+
+    def test_shards_override(self):
+        assert resolve_backend("thread:3", shards=5).engine.max_workers == 5
+
+    def test_instance_passthrough(self):
+        backend = ThreadBackend(max_workers=1)
+        assert resolve_backend(backend) is backend
+        with pytest.raises(TypeError):
+            resolve_backend(backend, shards=2)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+        with pytest.raises(ValueError):
+            resolve_backend("thread:lots")
+        with pytest.raises(ValueError):
+            resolve_backend("serial", shards=4)
+
+
+class TestDiskEdgeCache:
+    def _instance(self):
+        return CartesianGrid([8, 6]), nearest_neighbor(2)
+
+    def test_engine_stores_then_second_engine_loads(self, tmp_path):
+        grid, stencil = self._instance()
+        first = EvaluationEngine(max_workers=1, disk_cache_dir=tmp_path)
+        edges = first.edges(grid, stencil)
+        assert first.disk_cache_stats().stores == 1
+        assert list(tmp_path.glob("edges-*.npy"))
+        second = EvaluationEngine(max_workers=1, disk_cache_dir=tmp_path)
+        loaded = second.edges(grid, stencil)
+        assert second.disk_cache_stats().hits == 1
+        assert np.array_equal(loaded, edges)
+        assert not loaded.flags.writeable
+
+    def test_corrupt_file_degrades_to_recompute(self, tmp_path):
+        grid, stencil = self._instance()
+        key = DiskEdgeCache.key_for(grid, stencil)
+        (tmp_path / f"edges-{key}.npy").write_bytes(b"not a numpy file")
+        engine = EvaluationEngine(max_workers=1, disk_cache_dir=tmp_path)
+        edges = engine.edges(grid, stencil)
+        assert edges.shape[1] == 2
+        stats = engine.disk_cache_stats()
+        assert stats.misses == 1 and stats.stores == 1
+        # the corrupt entry was replaced by a valid one
+        fresh = EvaluationEngine(max_workers=1, disk_cache_dir=tmp_path)
+        assert np.array_equal(fresh.edges(grid, stencil), edges)
+
+    def test_key_is_structural(self):
+        grid, stencil = self._instance()
+        same = DiskEdgeCache.key_for(CartesianGrid([8, 6]), nearest_neighbor(2))
+        assert DiskEdgeCache.key_for(grid, stencil) == same
+        periodic = CartesianGrid([8, 6], periods=[True, False])
+        assert DiskEdgeCache.key_for(periodic, stencil) != same
+
+    def test_key_ignores_offset_order(self):
+        """Stencil equality is set-based; permuted offset orders must
+        share one on-disk entry, like they share one in-memory entry."""
+        from repro import Stencil
+
+        grid, stencil = self._instance()
+        permuted = Stencil(list(reversed(stencil.offsets)))
+        assert permuted == stencil
+        assert DiskEdgeCache.key_for(grid, permuted) == DiskEdgeCache.key_for(
+            grid, stencil
+        )
+
+    def test_env_var_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        engine = EvaluationEngine(max_workers=1)
+        assert engine.disk_cache is not None
+        assert engine.disk_cache.cache_dir == tmp_path
+
+    def test_disabled_without_configuration(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        engine = EvaluationEngine(max_workers=1)
+        assert engine.disk_cache is None
+        assert engine.disk_cache_stats() is None
+
+    def test_resolve_cache_dir_empty_disables(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, "")
+        assert resolve_cache_dir(None) is None
+
+    def test_unwritable_directory_degrades_gracefully(self):
+        cache = DiskEdgeCache("/proc/definitely/not/writable")
+        grid, stencil = self._instance()
+        cache.store(grid, stencil, np.zeros((1, 2), dtype=np.int64))
+        assert cache.stats().stores == 0
+
+    def test_zero_byte_file_degrades_to_recompute(self, tmp_path):
+        """np.load raises EOFError (not OSError/ValueError) on an empty
+        file; it must count as a miss, not crash the sweep."""
+        grid, stencil = self._instance()
+        key = DiskEdgeCache.key_for(grid, stencil)
+        (tmp_path / f"edges-{key}.npy").write_bytes(b"")
+        engine = EvaluationEngine(max_workers=1, disk_cache_dir=tmp_path)
+        edges = engine.edges(grid, stencil)
+        assert edges.shape[1] == 2
+        assert engine.disk_cache_stats().misses == 1
+
+    def test_process_backend_workers_share_cache(self, tmp_path):
+        requests = _requests()
+        with ProcessBackend(2, disk_cache_dir=tmp_path) as backend:
+            backend.evaluate_batch(requests)
+        files = list(tmp_path.glob("edges-*.npy"))
+        assert len(files) == len({r.instance_key for r in requests})
+
+
+class TestDriverEngineLifecycle:
+    def test_figure8_closes_its_private_engine(self):
+        """A default-constructed engine's worker threads must not outlive
+        the sweep (the drivers close engines they create themselves)."""
+        import threading
+
+        before = set(threading.enumerate())
+        figure8_reductions(
+            "nearest_neighbor",
+            mappers={"hyperplane": "hyperplane", "kd_tree": "kd_tree"},
+            instances=instance_set()[:3],
+        )
+        leaked = [
+            t
+            for t in threading.enumerate()
+            if t not in before and t.name.startswith("repro-engine")
+        ]
+        assert not leaked
+
+
+class TestFigure8Regressions:
+    """The two reduction bugs: failed baseline and zero-baseline ratio."""
+
+    def _poisoned_engine(self, inst, *, perm, cost):
+        """Engine whose caches hold a synthetic 'blocked' entry for *inst*.
+
+        The blocked baseline never fails or scores zero naturally, so the
+        regressions seed the (white-box) engine caches with the failure
+        mode under test; keys mirror ``EvaluationEngine.permutation`` and
+        the cost-cache entries of ``_evaluate_group``.
+        """
+        engine = EvaluationEngine(max_workers=1)
+        stencil = nearest_neighbor(inst.grid.ndim)
+        key = (inst.grid, stencil, inst.allocation, "blocked")
+        engine._perm_cache.put(key, perm)
+        if cost is not None:
+            engine._cost_cache.put(key, cost)
+        return engine
+
+    def test_failed_blocked_baseline_yields_nan_and_warning(self):
+        inst = instance_set()[0]
+        engine = self._poisoned_engine(
+            inst, perm=(None, "synthetic baseline failure"), cost=None
+        )
+        with pytest.warns(RuntimeWarning, match="blocked baseline failed"):
+            red = figure8_reductions(
+                "nearest_neighbor",
+                mappers={"hyperplane": "hyperplane"},
+                instances=[inst],
+                engine=engine,
+            )
+        assert np.isnan(red["hyperplane"]["jsum"][0])
+        assert np.isnan(red["hyperplane"]["jmax"][0])
+
+    def test_zero_baseline_ratio_is_inf_not_one(self):
+        inst = instance_set()[0]
+        identity = np.arange(inst.grid.size, dtype=np.int64)
+        identity.setflags(write=False)
+        zero_cost = MappingCost(
+            jsum=0,
+            jmax=0,
+            total_edges=0,
+            per_node=np.zeros(inst.num_nodes, dtype=np.int64),
+            bottleneck_node=0,
+        )
+        engine = self._poisoned_engine(
+            inst, perm=(identity, None), cost=zero_cost
+        )
+        red = figure8_reductions(
+            "nearest_neighbor",
+            mappers={"hyperplane": "hyperplane"},
+            instances=[inst],
+            engine=engine,
+        )
+        # hyperplane has nonzero cost over a zero baseline: inf, not 1.0
+        assert np.isinf(red["hyperplane"]["jsum"][0])
+        assert np.isinf(red["hyperplane"]["jmax"][0])

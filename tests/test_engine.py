@@ -77,6 +77,42 @@ class TestLRUCache:
         cache.get("missing")
         assert cache.stats().hit_rate == 0.5
 
+    def test_concurrent_misses_on_same_key_both_compute(self):
+        """Pin the documented race semantics of ``get_or_compute``: two
+        concurrent misses on the *same* key may both run their compute
+        callback (it executes outside the lock), each call returns its
+        own computed value, and the later store wins."""
+        import threading
+
+        cache = LRUCache(4)
+        in_compute = threading.Barrier(2)
+        computed = []
+
+        def compute(value):
+            def inner():
+                # both threads reach this point -> both saw a miss
+                in_compute.wait(timeout=5)
+                computed.append(value)
+                return value
+
+            return inner
+
+        results = [None, None]
+
+        def run(i):
+            results[i] = cache.get_or_compute("key", compute(i))
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(computed) == [0, 1]  # duplicate compute, by contract
+        assert results == [0, 1]  # each call returns its own value
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 2, 1)
+        assert cache.get("key") in (0, 1)  # whichever store came later
+
 
 class TestRegistry:
     def test_all_builtin_mappers_listed(self):

@@ -3,7 +3,9 @@
 import pytest
 
 from repro import BlockedMapper, HyperplaneMapper, StencilStripsMapper
-from repro.experiments import scaling_sweep
+from repro.engine import ProcessBackend, ThreadBackend
+from repro.exceptions import AllocationError
+from repro.experiments import scaling_sweep, speedup_ratio
 from repro.experiments.__main__ import main as experiments_main
 
 
@@ -43,6 +45,42 @@ class TestScalingSweep:
         with pytest.raises(KeyError):
             scaling_sweep("Summit", node_counts=(4,))
 
+    def test_oversubscribed_node_count_raises(self):
+        """Regression: sweeping past the machine size must not silently
+        time a model smaller than the evaluated grid."""
+        with pytest.raises(AllocationError, match="790"):
+            scaling_sweep(
+                "VSC4",
+                node_counts=(800,),
+                mappers={
+                    "blocked": BlockedMapper(),
+                    "hyperplane": HyperplaneMapper(),
+                },
+                processes_per_node=1,
+            )
+
+    def test_speedup_ratio_zero_semantics(self):
+        """Regression: a zero mapped time is an infinite speedup, not 1."""
+        assert speedup_ratio(1.5, 0.0) == float("inf")
+        assert speedup_ratio(0.0, 0.0) == 1.0
+        assert speedup_ratio(3.0, 1.5) == 2.0
+
+    def test_backend_matches_default_path(self, tmp_path):
+        mappers = {
+            "blocked": BlockedMapper(),
+            "hyperplane": HyperplaneMapper(),
+        }
+        kwargs = dict(node_counts=(4, 9), processes_per_node=16)
+        default = scaling_sweep("VSC4", mappers=dict(mappers), **kwargs)
+        with ProcessBackend(2, disk_cache_dir=tmp_path) as backend:
+            sharded = scaling_sweep(
+                "VSC4", mappers=dict(mappers), backend=backend, **kwargs
+            )
+        assert default == sharded  # ScalingPoint dataclasses compare by value
+        # workers published one edge array per node count to the shared
+        # disk cache (which the parent's model-time loop reads back)
+        assert len(list(tmp_path.glob("edges-*.npy"))) == 2
+
 
 class TestCLI:
     def test_figure9(self, capsys):
@@ -54,6 +92,17 @@ class TestCLI:
         assert experiments_main(["figure8", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "Figure 8" in out and "median" in out
+
+    def test_figure8_backend_spec(self, capsys):
+        assert experiments_main(
+            ["figure8", "--fast", "--backend", "thread", "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+
+    def test_invalid_backend_spec(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["figure8", "--fast", "--backend", "gpu"])
 
     def test_table(self, capsys):
         assert experiments_main(["table", "II", "--reps", "5"]) == 0
