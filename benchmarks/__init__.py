@@ -1,0 +1,1 @@
+"""Benchmark suite package (package form keeps conftest helpers importable)."""

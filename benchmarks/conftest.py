@@ -14,8 +14,46 @@ from __future__ import annotations
 
 import pytest
 
+from repro import CartesianGrid, MappingRequest, NodeAllocation, nearest_neighbor
 from repro.experiments import EvaluationContext
 from repro.experiments.context import DEFAULT_MAPPERS
+from repro.grid.dims import dims_create
+
+#: Shared figure8-style backend workload: distinct grids x deterministic
+#: mappers, used by the sharding and cluster benchmark smokes.
+WORKLOAD_NODE_COUNTS = (8, 10, 12, 15, 18, 20)
+WORKLOAD_PROCESSES_PER_NODE = 24
+WORKLOAD_MAPPERS = ("blocked", "hyperplane", "kd_tree", "stencil_strips")
+
+
+def backend_workload(sweeps: int = 1) -> list[MappingRequest]:
+    """A multi-instance request list exercising every backend the same way."""
+    stencil = nearest_neighbor(2)
+    requests = []
+    for sweep in range(sweeps):
+        for num_nodes in WORKLOAD_NODE_COUNTS:
+            p = num_nodes * WORKLOAD_PROCESSES_PER_NODE
+            grid = CartesianGrid(dims_create(p, 2))
+            alloc = NodeAllocation.homogeneous(
+                num_nodes, WORKLOAD_PROCESSES_PER_NODE
+            )
+            for name in WORKLOAD_MAPPERS:
+                requests.append(
+                    MappingRequest(
+                        grid, stencil, alloc, name, tag=(sweep, num_nodes, name)
+                    )
+                )
+    return requests
+
+
+def result_signature(result):
+    """The byte-identity contract every backend must reproduce."""
+    return (
+        result.request.tag,
+        result.jsum,
+        result.jmax,
+        None if result.cost is None else result.cost.per_node.tobytes(),
+    )
 
 
 def _context(num_nodes: int) -> EvaluationContext:

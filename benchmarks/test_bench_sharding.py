@@ -13,46 +13,17 @@ from __future__ import annotations
 
 import time
 
-from repro import (
-    CartesianGrid,
-    EvaluationEngine,
-    MappingRequest,
-    NodeAllocation,
-    ProcessBackend,
-    ThreadBackend,
-    nearest_neighbor,
-)
-from repro.grid.dims import dims_create
+from repro import EvaluationEngine, ProcessBackend, ThreadBackend
+
+from .conftest import WORKLOAD_MAPPERS, WORKLOAD_NODE_COUNTS, backend_workload
+from .conftest import result_signature as _signature
 
 #: 6 distinct grids x 4 deterministic mappers x 3 sweeps = 72 evaluations.
-NODE_COUNTS = (8, 10, 12, 15, 18, 20)
-PROCESSES_PER_NODE = 24
-MAPPERS = ("blocked", "hyperplane", "kd_tree", "stencil_strips")
 SWEEPS = 3
 
 
-def _workload() -> list[MappingRequest]:
-    stencil = nearest_neighbor(2)
-    requests = []
-    for sweep in range(SWEEPS):
-        for num_nodes in NODE_COUNTS:
-            p = num_nodes * PROCESSES_PER_NODE
-            grid = CartesianGrid(dims_create(p, 2))
-            alloc = NodeAllocation.homogeneous(num_nodes, PROCESSES_PER_NODE)
-            for name in MAPPERS:
-                requests.append(
-                    MappingRequest(grid, stencil, alloc, name, tag=(sweep, num_nodes, name))
-                )
-    return requests
-
-
-def _signature(result):
-    return (
-        result.request.tag,
-        result.jsum,
-        result.jmax,
-        None if result.cost is None else result.cost.per_node.tobytes(),
-    )
+def _workload():
+    return backend_workload(sweeps=SWEEPS)
 
 
 def test_thread_and_process_backends_agree(tmp_path):
@@ -93,7 +64,7 @@ def test_thread_and_process_backends_agree(tmp_path):
 
 def test_process_backend_warm_disk_cache_skips_edge_rebuild(tmp_path):
     """A second backend pointed at the same cache dir reloads, not rebuilds."""
-    requests = _workload()[: len(NODE_COUNTS) * len(MAPPERS)]
+    requests = _workload()[: len(WORKLOAD_NODE_COUNTS) * len(WORKLOAD_MAPPERS)]
     with ProcessBackend(1, disk_cache_dir=tmp_path) as cold:
         cold.evaluate_batch(requests)
     stored = {p.name for p in tmp_path.glob("edges-*.npy")}

@@ -34,6 +34,7 @@ True
 
 from .exceptions import (
     AllocationError,
+    ClusterError,
     FactorizationError,
     InvalidGridError,
     InvalidStencilError,
@@ -90,6 +91,7 @@ from .metrics import (
     remove_outliers_iqr,
 )
 from .engine import (
+    ClusterBackend,
     EvaluationEngine,
     MappingRequest,
     MappingResult,
@@ -109,6 +111,7 @@ __all__ = [
     "MappingError",
     "FactorizationError",
     "SimulationError",
+    "ClusterError",
     # grid
     "CartesianGrid",
     "Stencil",
@@ -159,6 +162,7 @@ __all__ = [
     "MappingResult",
     "ThreadBackend",
     "ProcessBackend",
+    "ClusterBackend",
     "resolve_backend",
     "__version__",
 ]

@@ -147,8 +147,8 @@ class NodecartMapper(Mapper):
             coords[axis] = b * block[axis]
         rem = local
         for axis in range(grid.ndim - 1, -1, -1):
-            rem, l = divmod(rem, block[axis])
-            coords[axis] += l
+            rem, offset = divmod(rem, block[axis])
+            coords[axis] += offset
         return grid.rank_of(coords)
 
     # ------------------------------------------------------------------
@@ -174,8 +174,8 @@ class NodecartMapper(Mapper):
             coords[:, axis] = b * block[axis]
         rem = local
         for axis in range(grid.ndim - 1, -1, -1):
-            rem, l = np.divmod(rem, block[axis])
-            coords[:, axis] += l
+            rem, offset = np.divmod(rem, block[axis])
+            coords[:, axis] += offset
         perm = grid.ranks_array(coords, validate=False)
         return check_permutation(perm, grid.size)
 

@@ -26,6 +26,7 @@ See :mod:`repro.engine.engine` for the caching/batching/fan-out design,
 
 from .backends import Backend, ProcessBackend, ThreadBackend, resolve_backend
 from .cache import CacheStats, LRUCache
+from .cluster import ClusterBackend
 from .diskcache import CACHE_DIR_ENV, DiskCacheStats, DiskEdgeCache
 from .engine import EvaluationEngine
 from .registry import create_mapper, list_mappers, resolve_mapper
@@ -38,6 +39,7 @@ __all__ = [
     "Backend",
     "ThreadBackend",
     "ProcessBackend",
+    "ClusterBackend",
     "resolve_backend",
     "LRUCache",
     "CacheStats",

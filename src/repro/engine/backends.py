@@ -15,13 +15,18 @@ those units run:
   (requests sharing a grid and stencil land in one shard and hit one
   worker's caches).  Pointing the backend at a ``disk_cache_dir`` lets
   all workers share one persistent edge cache.
+* :class:`~repro.engine.cluster.ClusterBackend`
+  (:mod:`repro.engine.cluster`) — the multi-host tier: the same
+  instance-aligned shards travel over TCP sockets to remote workers
+  pulling from a work-stealing queue.
 
-Both backends implement the same protocol: ``evaluate_batch`` (results
+All backends implement the same protocol: ``evaluate_batch`` (results
 in input order), ``evaluate_stream`` (results yielded as shards
 complete), ``close`` and use as a context manager.  Experiment drivers
 accept a backend wherever they accept an engine, and the CLI exposes a
 compact spec syntax via :func:`resolve_backend` — ``"serial"``,
-``"thread"``, ``"thread:8"``, ``"process"``, ``"process:4"``.
+``"thread"``, ``"thread:8"``, ``"process"``, ``"process:4"``,
+``"cluster:host:port"``.
 
 Caller payloads (``MappingRequest.tag``) never cross the process
 boundary: the parent rebuilds every result against its original request
@@ -48,7 +53,76 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "resolve_backend",
+    "instance_aligned_shards",
+    "strip_request_tag",
+    "rebuild_result",
 ]
+
+
+def instance_aligned_shards(
+    requests: Sequence[MappingRequest], max_shards: int
+) -> list[list[tuple[int, MappingRequest]]]:
+    """Deal a request list into instance-aligned shards.
+
+    Requests are grouped by evaluation instance first — splitting an
+    instance's requests across workers would recompute its edges and
+    forfeit the stacked-kernel batching — then groups are packed onto
+    shards largest-first (greedy LPT), so one huge instance cannot
+    straggle behind a shard also holding many small ones.  At most
+    *max_shards* shards are produced; empty shards are dropped.  Each
+    shard entry is ``(original_index, request)``.
+    """
+    if max_shards < 1:
+        raise ValueError(f"max_shards must be >= 1, got {max_shards}")
+    groups: dict[tuple, list[int]] = {}
+    for i, request in enumerate(requests):
+        groups.setdefault(request.instance_key, []).append(i)
+    num_shards = max(1, min(len(groups), max_shards))
+    shards: list[list[tuple[int, MappingRequest]]] = [
+        [] for _ in range(num_shards)
+    ]
+    loads = [0] * num_shards
+    for indices in sorted(groups.values(), key=len, reverse=True):
+        target = loads.index(min(loads))
+        shards[target].extend((i, requests[i]) for i in indices)
+        loads[target] += len(indices)
+    return [shard for shard in shards if shard]
+
+
+def strip_request_tag(request: MappingRequest) -> MappingRequest:
+    """The request without its ``tag`` payload.
+
+    Tags may be arbitrary unpicklable values and are never needed on the
+    worker side of a process or socket boundary; the parent rejoins
+    results to the original (tagged) requests by index.
+    """
+    if request.tag is None:
+        return request
+    return MappingRequest(
+        grid=request.grid,
+        stencil=request.stencil,
+        alloc=request.alloc,
+        mapper=request.mapper,
+        perm=request.perm,
+    )
+
+
+def rebuild_result(
+    request: MappingRequest,
+    perm: np.ndarray | None,
+    cost: MappingCost | None,
+    error: str | None,
+) -> MappingResult:
+    """Rebuild a result that travelled by value against its original request.
+
+    The unpickled buffers are frozen so results are indistinguishable
+    from the in-process engine's (which shares read-only caches).
+    """
+    if perm is not None:
+        perm.setflags(write=False)
+    if cost is not None:
+        cost.per_node.setflags(write=False)
+    return MappingResult(request=request, perm=perm, cost=cost, error=error)
 
 
 @runtime_checkable
@@ -229,72 +303,24 @@ class ProcessBackend:
     def _shards(
         self, requests: Sequence[MappingRequest]
     ) -> list[list[tuple[int, MappingRequest]]]:
-        """Deal the request list into instance-aligned shards.
-
-        Requests are grouped by evaluation instance first — splitting an
-        instance's requests across workers would recompute its edges and
-        forfeit the stacked-kernel batching — then groups are packed
-        onto shards largest-first (greedy LPT), so one huge instance
-        cannot straggle behind a shard also holding many small ones.
-        """
-        groups: dict[tuple, list[int]] = {}
-        for i, request in enumerate(requests):
-            groups.setdefault(request.instance_key, []).append(i)
-        num_shards = max(
-            1, min(len(groups), self.num_workers * self.shards_per_worker)
+        """Instance-aligned shards of *requests* for this pool width."""
+        return instance_aligned_shards(
+            requests, self.num_workers * self.shards_per_worker
         )
-        shards: list[list[tuple[int, MappingRequest]]] = [
-            [] for _ in range(num_shards)
-        ]
-        loads = [0] * num_shards
-        for indices in sorted(groups.values(), key=len, reverse=True):
-            target = loads.index(min(loads))
-            shards[target].extend((i, requests[i]) for i in indices)
-            loads[target] += len(indices)
-        return [shard for shard in shards if shard]
 
     def _submit(
         self, requests: Sequence[MappingRequest]
     ) -> list[Future]:
         pool = self._pool_get()
-        # Strip caller payloads: tags may be unpicklable and are never
-        # needed worker-side; the parent rejoins results by index.
         return [
             pool.submit(
                 _run_shard,
-                [
-                    (
-                        i,
-                        request
-                        if request.tag is None
-                        else MappingRequest(
-                            grid=request.grid,
-                            stencil=request.stencil,
-                            alloc=request.alloc,
-                            mapper=request.mapper,
-                            perm=request.perm,
-                        ),
-                    )
-                    for i, request in shard
-                ],
+                [(i, strip_request_tag(request)) for i, request in shard],
             )
             for shard in self._shards(requests)
         ]
 
-    @staticmethod
-    def _rebuild(
-        request: MappingRequest,
-        perm: np.ndarray | None,
-        cost: MappingCost | None,
-        error: str | None,
-    ) -> MappingResult:
-        # Freeze the unpickled buffers so results are indistinguishable
-        # from the in-process engine's (which shares read-only caches).
-        if perm is not None:
-            perm.setflags(write=False)
-        if cost is not None:
-            cost.per_node.setflags(write=False)
-        return MappingResult(request=request, perm=perm, cost=cost, error=error)
+    _rebuild = staticmethod(rebuild_result)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -373,8 +399,12 @@ def resolve_backend(
     backend, default width), ``"serial"`` (thread backend, one worker),
     ``"process"`` (process backend) — each optionally suffixed with a
     worker count as ``"thread:8"`` / ``"process:4"``, which the
-    *shards* argument overrides.  Remaining *options* are forwarded to
-    the backend constructor (e.g. ``disk_cache_dir``).
+    *shards* argument overrides — and ``"cluster:[host:]port"``, which
+    binds a :class:`~repro.engine.cluster.ClusterBackend` coordinator at
+    that address (remote workers connect with ``python -m
+    repro.engine.cluster.worker --connect host:port``).  Remaining
+    *options* are forwarded to the backend constructor (e.g.
+    ``disk_cache_dir``).
     """
     if isinstance(spec, (ThreadBackend, ProcessBackend)) or (
         not isinstance(spec, (str, type(None))) and isinstance(spec, Backend)
@@ -386,6 +416,23 @@ def resolve_backend(
             )
         return spec
     name, _, count_text = (spec or "thread").partition(":")
+    if name == "cluster":
+        # Imported lazily: the cluster package builds on this module.
+        from .cluster import ClusterBackend
+        from .cluster.protocol import parse_address
+
+        if shards is not None:
+            raise ValueError(
+                "the cluster backend takes no --shards; worker width is "
+                "chosen per worker (python -m repro.engine.cluster.worker)"
+            )
+        try:
+            host, port = parse_address(count_text, default_host="")
+        except ValueError as exc:
+            raise ValueError(
+                f"invalid cluster backend spec {spec!r}: {exc}"
+            ) from None
+        return ClusterBackend(host, port, **options)
     count: int | None = shards
     if count_text:
         try:
@@ -402,6 +449,6 @@ def resolve_backend(
     if name == "process":
         return ProcessBackend(num_workers=count, **options)
     raise ValueError(
-        f"unknown backend spec {spec!r}; expected 'serial', 'thread[:N]' "
-        f"or 'process[:N]'"
+        f"unknown backend spec {spec!r}; expected 'serial', 'thread[:N]', "
+        f"'process[:N]' or 'cluster:[host:]port'"
     )

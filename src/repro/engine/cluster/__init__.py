@@ -1,0 +1,33 @@
+"""Distributed multi-host evaluation over TCP sockets.
+
+The third execution tier, above :class:`~repro.engine.ThreadBackend`
+(one process) and :class:`~repro.engine.ProcessBackend` (one machine):
+a :class:`ClusterBackend` hosts a work-stealing
+:class:`~repro.engine.cluster.coordinator.Coordinator`, and any host
+that can reach it contributes capacity by running::
+
+    python -m repro.engine.cluster.worker --connect head:7077
+
+Driver side::
+
+    from repro.engine.cluster import ClusterBackend
+
+    with ClusterBackend(port=7077) as backend:   # or resolve_backend("cluster:7077")
+        backend.wait_for_workers(2, timeout=60)
+        for result in backend.evaluate_stream(requests):
+            consume(result)                      # live, as shards complete
+
+Workers pull shards instead of being assigned them, so heterogeneous
+hosts balance themselves; a worker that dies mid-shard only costs
+throughput (its shard is requeued), and costs are byte-identical to the
+serial engine because the same requests evaluate through the same
+engine code, wherever they land.  See :mod:`repro.engine.cluster.
+protocol` for the wire format and :mod:`repro.engine.cluster.
+coordinator` for the failure semantics.
+"""
+
+from .backend import ClusterBackend
+from .coordinator import Coordinator
+from .protocol import PROTOCOL_VERSION, parse_address
+
+__all__ = ["ClusterBackend", "Coordinator", "PROTOCOL_VERSION", "parse_address"]

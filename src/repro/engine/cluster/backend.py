@@ -1,0 +1,240 @@
+"""The multi-host execution backend.
+
+:class:`ClusterBackend` implements the :class:`~repro.engine.backends.
+Backend` protocol — ``evaluate_batch``, ``evaluate_stream``, ``close``,
+context manager — on top of a :class:`~repro.engine.cluster.coordinator.
+Coordinator` hosted on a private background event loop.  The calling
+thread stays synchronous: shards are submitted through the loop, and
+completed shard payloads come back over a thread-safe queue.
+
+Requests are dealt into the same instance-aligned LPT shards as the
+process backend (:func:`~repro.engine.backends.instance_aligned_shards`)
+and travel by value with their ``tag`` payloads stripped, so results are
+byte-identical to the serial engine's and ``result.request is request``
+holds for every caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import queue
+import threading
+from collections.abc import Iterable, Iterator
+
+from ...exceptions import ClusterError
+from ..backends import instance_aligned_shards, rebuild_result, strip_request_tag
+from ..diskcache import resolve_cache_dir
+from ..request import MappingRequest, MappingResult
+from .coordinator import Coordinator
+from .protocol import FAIL, RESULT, SHUTDOWN
+
+__all__ = ["ClusterBackend"]
+
+
+class ClusterBackend:
+    """Distribute instance-aligned shards to socket workers.
+
+    Parameters
+    ----------
+    host, port:
+        Coordinator bind address.  The default binds every interface on
+        an ephemeral port; read :attr:`host`/:attr:`port` for the bound
+        values and hand them to workers (``python -m
+        repro.engine.cluster.worker --connect host:port``).
+    heartbeat_timeout:
+        Seconds of silence after which a worker is presumed dead and
+        its in-flight shards are requeued (workers ping every third of
+        this).  A dead worker therefore costs throughput, not the sweep.
+    target_shards:
+        Upper bound on shards per batch.  More shards mean finer
+        work-stealing granularity (better balance across uneven hosts,
+        earlier streamed results) at the price of more round-trips.
+    disk_cache_dir:
+        Edge-cache directory advertised to workers (``WELCOME``), for
+        hosts sharing a filesystem with the coordinator; defaults to
+        ``REPRO_CACHE_DIR``.  The coordinator itself never evaluates.
+    max_shard_requeues:
+        Worker deaths one shard may survive before the sweep fails with
+        :class:`~repro.exceptions.ClusterError` (a shard that OOM-kills
+        its workers must not cycle through the whole cluster).
+
+    Notes
+    -----
+    A batch submitted while no worker is connected simply waits in the
+    queue — the cluster is pull-based, so workers may join (and leave)
+    mid-sweep.  Use :meth:`wait_for_workers` to gate a sweep on a
+    minimum cluster size.
+    """
+
+    def __init__(
+        self,
+        host: str = "",
+        port: int = 0,
+        *,
+        heartbeat_timeout: float = 15.0,
+        target_shards: int = 32,
+        disk_cache_dir: str | os.PathLike | None = None,
+        max_shard_requeues: int = 3,
+    ):
+        if target_shards < 1:
+            raise ValueError(
+                f"target_shards must be >= 1, got {target_shards}",
+            )
+        self.target_shards = int(target_shards)
+        cache_dir = resolve_cache_dir(disk_cache_dir)
+        self.disk_cache_dir = None if cache_dir is None else str(cache_dir)
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-cluster-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        self._coordinator = Coordinator(
+            host,
+            port,
+            heartbeat_timeout=heartbeat_timeout,
+            cache_dir=self.disk_cache_dir,
+            max_shard_requeues=max_shard_requeues,
+        )
+        try:
+            self._run(self._coordinator.start())
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    # ------------------------------------------------------------------
+    # Event-loop plumbing
+    # ------------------------------------------------------------------
+    def _run(self, coro, timeout: float | None = 30.0):
+        """Run *coro* on the coordinator loop from this thread."""
+        if self._closed:
+            raise RuntimeError("cluster backend is closed")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        if not self._thread.is_alive():
+            self._loop.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The coordinator's bound host."""
+        return self._coordinator.address[0]
+
+    @property
+    def port(self) -> int:
+        """The coordinator's bound port (resolved when it was ``0``)."""
+        return self._coordinator.address[1]
+
+    @property
+    def num_workers(self) -> int:
+        """Currently connected worker count."""
+        return self._coordinator.num_workers
+
+    def wait_for_workers(self, count: int, timeout: float | None = None) -> None:
+        """Block until *count* workers are connected.
+
+        Raises :class:`~repro.exceptions.ClusterError` on timeout.
+        """
+        try:
+            self._run(
+                self._coordinator.wait_for_workers(count, timeout),
+                timeout=None,
+            )
+        except (TimeoutError, asyncio.TimeoutError):
+            raise ClusterError(
+                f"timed out after {timeout}s waiting for {count} worker(s); "
+                f"{self.num_workers} connected"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _completed_shards(self, requests: list[MappingRequest]) -> Iterator[list]:
+        """Submit *requests*, yielding each completed shard's payload."""
+        shards = instance_aligned_shards(requests, self.target_shards)
+        payloads = [
+            [(i, strip_request_tag(request)) for i, request in shard]
+            for shard in shards
+        ]
+        results: queue.Queue = queue.Queue()
+        job, shard_ids = self._run(self._coordinator.submit(payloads, results))
+        remaining = set(shard_ids)
+        try:
+            while remaining:
+                kind, shard_id, payload = results.get()
+                if kind == RESULT:
+                    remaining.discard(shard_id)
+                    yield payload
+                elif kind == FAIL:
+                    raise ClusterError(
+                        f"a worker failed evaluating shard {shard_id}: {payload}",
+                    )
+                elif kind == SHUTDOWN:
+                    raise ClusterError(
+                        f"coordinator closed with {len(remaining)} shard(s) "
+                        f"outstanding",
+                    )
+        finally:
+            if remaining and not self._closed and self._loop.is_running():
+                # Early exit (generator closed, FAIL raised): withdraw
+                # the job's queued shards so workers stop pulling them.
+                try:
+                    self._run(self._coordinator.cancel(job), timeout=5.0)
+                except (RuntimeError, TimeoutError):
+                    pass  # racing a concurrent close(); nothing to withdraw
+
+    def evaluate_batch(self, requests: Iterable[MappingRequest]) -> list[MappingResult]:
+        """Evaluate a batch across the cluster, in input order."""
+        requests = list(requests)
+        out: list[MappingResult | None] = [None] * len(requests)
+        for payload in self._completed_shards(requests):
+            for index, perm, cost, error in payload:
+                out[index] = rebuild_result(requests[index], perm, cost, error)
+        return out  # type: ignore[return-value]  # every slot is filled
+
+    def evaluate_stream(
+        self, requests: Iterable[MappingRequest]
+    ) -> Iterator[MappingResult]:
+        """Evaluate a batch, yielding results as shards complete.
+
+        Within one shard results keep their relative request order;
+        across shards the order is completion order.  Closing the
+        generator early withdraws shards that have not been handed out.
+        """
+        requests = list(requests)
+        for payload in self._completed_shards(requests):
+            for index, perm, cost, error in payload:
+                yield rebuild_result(requests[index], perm, cost, error)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the cluster down: workers are told to exit cleanly."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            try:
+                self._run(self._coordinator.aclose(), timeout=30.0)
+            finally:
+                self._closed = True
+                self._stop_loop()
+
+    def __enter__(self) -> "ClusterBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{self.num_workers} worker(s)"
+        return f"ClusterBackend({self.host}:{self.port}, {state})"

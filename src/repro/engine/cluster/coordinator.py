@@ -1,0 +1,419 @@
+"""The asyncio coordinator: a work-stealing shard queue over TCP.
+
+One :class:`Coordinator` runs inside the driver process (hosted by
+:class:`~repro.engine.cluster.ClusterBackend` on a background event
+loop).  Workers connect, handshake, and *pull*: each ``GET`` hands the
+worker the next queued shard, so fast workers naturally steal load from
+slow ones and a heterogeneous cluster stays busy without any static
+partitioning.
+
+Failure semantics:
+
+* **worker disconnect** (crash, ``kill -9``, network drop) — every
+  shard in flight on that connection is requeued at the *front* of the
+  queue and the sweep completes on the remaining workers;
+* **silent worker** — a connection that sends nothing (not even a
+  heartbeat ``PING``) for ``heartbeat_timeout`` seconds is closed by
+  the reaper, which triggers the same requeue path;
+* **stale worker build** — a ``HELLO`` carrying the wrong magic or
+  protocol version is answered with ``REJECT`` and closed before any
+  work is exchanged;
+* **poisoned shard** — a worker reporting ``FAIL`` (its engine raised)
+  fails the submitting job instead of requeueing, because a
+  deterministically crashing shard would requeue forever.
+
+Results cross back to the submitting (non-asyncio) thread through a
+plain :class:`queue.Queue` per job; shard completion is idempotent, so
+a shard that was requeued *and* completed twice is only delivered once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+from collections import deque
+from dataclasses import dataclass, field
+
+from .protocol import (
+    FAIL,
+    GET,
+    HELLO,
+    MAGIC,
+    PING,
+    PROTOCOL_VERSION,
+    REJECT,
+    RESULT,
+    SHARD,
+    SHUTDOWN,
+    WELCOME,
+    ProtocolError,
+    read_message,
+    write_message,
+)
+
+__all__ = ["Coordinator"]
+
+
+@dataclass(eq=False)
+class _Job:
+    """One submitted batch: shard ids still pending plus the result pipe."""
+
+    results: queue.Queue
+    pending: set[int] = field(default_factory=set)
+    cancelled: bool = False
+
+
+@dataclass(eq=False)
+class _Shard:
+    """One unit of distributable work: ``(index, request)`` pairs."""
+
+    id: int
+    items: list
+    job: _Job
+    requeues: int = 0
+
+
+class _WorkerConn:
+    """Coordinator-side state of one connected worker."""
+
+    def __init__(self, writer: asyncio.StreamWriter, name: str):
+        self.writer = writer
+        self.name = name
+        self.last_seen = 0.0
+        self.inflight: dict[int, _Shard] = {}
+        self.gets: asyncio.Queue = asyncio.Queue()
+        self.assigner: asyncio.Task | None = None
+        self.dropped = False
+
+
+class Coordinator:
+    """Asyncio server distributing shards to pulling workers.
+
+    All coroutines must run on one event loop; the only thread-safe
+    surfaces are the per-job result queues handed to :meth:`submit` and
+    the :attr:`num_workers` counter.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  An empty host binds all interfaces; port ``0``
+        picks an ephemeral port (see :attr:`address` after
+        :meth:`start`).
+    heartbeat_timeout:
+        Seconds of total silence after which a worker connection is
+        presumed dead, closed, and its in-flight shards requeued.
+        Workers are told to ping every third of this.
+    cache_dir:
+        Advertised to workers in ``WELCOME`` so hosts sharing the
+        coordinator's filesystem reuse its on-disk edge cache without
+        per-worker configuration.
+    max_shard_requeues:
+        How many worker deaths one shard may survive before it is
+        treated as poisoned (a shard that OOM-kills or segfaults its
+        worker dies without a ``FAIL`` message; without this cap it
+        would cycle through the whole cluster and then hang the sweep).
+    """
+
+    def __init__(
+        self,
+        host: str = "",
+        port: int = 0,
+        *,
+        heartbeat_timeout: float = 15.0,
+        cache_dir: str | None = None,
+        max_shard_requeues: int = 3,
+    ):
+        if heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}",
+            )
+        if max_shard_requeues < 0:
+            raise ValueError(
+                f"max_shard_requeues must be >= 0, got {max_shard_requeues}",
+            )
+        self._host = host
+        self._port = port
+        self._heartbeat_timeout = float(heartbeat_timeout)
+        self._cache_dir = cache_dir
+        self._max_shard_requeues = int(max_shard_requeues)
+        self._queue: deque[_Shard] = deque()
+        self._cond: asyncio.Condition = asyncio.Condition()
+        self._workers: set[_WorkerConn] = set()
+        self._jobs: set[_Job] = set()
+        self._server: asyncio.Server | None = None
+        self._reaper: asyncio.Task | None = None
+        self._next_shard_id = 0
+        self._closing = False
+        self._address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the server and start the heartbeat reaper."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host or None, self._port,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        self._reaper = asyncio.create_task(self._reap_loop())
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolved after :meth:`start`)."""
+        if self._address is None:
+            raise RuntimeError("coordinator has not been started")
+        return self._address
+
+    @property
+    def num_workers(self) -> int:
+        """Currently connected (handshaken) worker count."""
+        return len(self._workers)
+
+    async def aclose(self) -> None:
+        """Stop serving: shut workers down, fail outstanding jobs."""
+        self._closing = True
+        if self._reaper is not None:
+            self._reaper.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._workers):
+            try:
+                await write_message(conn.writer, (SHUTDOWN,))
+            except (ConnectionError, OSError):
+                pass
+            await self._drop(conn, requeue=False)
+        for job in list(self._jobs):
+            self._finish_job(job)
+            job.results.put((SHUTDOWN, None, None))
+
+    # ------------------------------------------------------------------
+    # Submission (driven from the backend thread via the event loop)
+    # ------------------------------------------------------------------
+    async def submit(
+        self, shard_items: list[list], results: queue.Queue
+    ) -> tuple[_Job, list[int]]:
+        """Queue one job of shards; results stream into *results*.
+
+        Each element of *shard_items* is one shard's ``(index,
+        request)`` list.  Completed shards arrive on *results* as
+        ``(RESULT, shard_id, payload)`` tuples; a worker-crashed shard
+        as ``(FAIL, shard_id, message)``; coordinator shutdown as
+        ``(SHUTDOWN, None, None)``.
+        """
+        if self._closing:
+            raise RuntimeError("coordinator is closed")
+        job = _Job(results=results)
+        shard_ids: list[int] = []
+        async with self._cond:
+            for items in shard_items:
+                shard = _Shard(self._next_shard_id, items, job)
+                self._next_shard_id += 1
+                job.pending.add(shard.id)
+                shard_ids.append(shard.id)
+                self._queue.append(shard)
+            if shard_ids:
+                self._jobs.add(job)
+            self._cond.notify_all()
+        return job, shard_ids
+
+    async def cancel(self, job: _Job) -> None:
+        """Drop a job's queued shards; in-flight results are discarded."""
+        job.cancelled = True
+        async with self._cond:
+            self._queue = deque(s for s in self._queue if s.job is not job)
+        self._finish_job(job)
+
+    async def wait_for_workers(self, count: int, timeout: float | None = None) -> None:
+        """Block until *count* workers are connected.
+
+        Raises :class:`TimeoutError` if *timeout* seconds elapse first.
+        """
+
+        async def enough() -> None:
+            async with self._cond:
+                await self._cond.wait_for(lambda: len(self._workers) >= count)
+
+        await asyncio.wait_for(enough(), timeout)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        name = f"{peer[0]}:{peer[1]}" if peer else "worker"
+        try:
+            message = await asyncio.wait_for(
+                read_message(reader), timeout=self._heartbeat_timeout,
+            )
+        except (ProtocolError, ConnectionError, OSError, asyncio.TimeoutError):
+            writer.close()
+            return
+        reject = self._handshake_error(message)
+        if reject is not None:
+            try:
+                await write_message(writer, (REJECT, reject))
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        try:
+            await write_message(
+                writer,
+                (
+                    WELCOME,
+                    {
+                        "heartbeat_interval": self._heartbeat_timeout / 3.0,
+                        "cache_dir": self._cache_dir,
+                    },
+                ),
+            )
+        except (ConnectionError, OSError):
+            writer.close()
+            return
+
+        conn = _WorkerConn(writer, name)
+        conn.last_seen = asyncio.get_running_loop().time()
+        async with self._cond:
+            self._workers.add(conn)
+            self._cond.notify_all()
+        conn.assigner = asyncio.create_task(self._assign_loop(conn))
+        try:
+            while True:
+                message = await read_message(reader)
+                if message is None or not isinstance(message, tuple) or not message:
+                    break
+                conn.last_seen = asyncio.get_running_loop().time()
+                kind = message[0]
+                if kind == GET:
+                    conn.gets.put_nowait(True)
+                elif kind == RESULT:
+                    self._complete(conn, message[1], message[2])
+                elif kind == FAIL:
+                    self._fail(conn, message[1], message[2])
+                elif kind == PING:
+                    pass
+                else:
+                    break
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+        finally:
+            await self._drop(conn, requeue=True)
+
+    @staticmethod
+    def _handshake_error(message: object) -> str | None:
+        """Why *message* is not an acceptable ``HELLO`` (``None`` if it is)."""
+        if (
+            not isinstance(message, tuple)
+            or len(message) != 4
+            or message[0] != HELLO
+        ):
+            return "expected a HELLO handshake"
+        if message[1] != MAGIC:
+            return f"unrecognised magic {message[1]!r}"
+        if message[2] != PROTOCOL_VERSION:
+            return (
+                f"protocol version mismatch: coordinator speaks "
+                f"{PROTOCOL_VERSION}, worker speaks {message[2]!r}; "
+                f"update the worker installation"
+            )
+        return None
+
+    async def _assign_loop(self, conn: _WorkerConn) -> None:
+        """Serve this worker's ``GET``s from the shared shard queue."""
+        try:
+            while True:
+                await conn.gets.get()
+                shard = await self._next_shard()
+                # No await between dequeue and registration: a
+                # cancellation cannot orphan the shard.
+                conn.inflight[shard.id] = shard
+                await write_message(conn.writer, (SHARD, shard.id, shard.items))
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            # The inbound loop observes the same broken pipe and runs
+            # _drop, which requeues conn.inflight (including the shard
+            # we just failed to send).
+            conn.writer.close()
+
+    async def _next_shard(self) -> _Shard:
+        async with self._cond:
+            while not self._queue:
+                await self._cond.wait()
+            return self._queue.popleft()
+
+    def _complete(self, conn: _WorkerConn, shard_id: int, payload: list) -> None:
+        shard = conn.inflight.pop(shard_id, None)
+        if shard is None:
+            return  # stale: shard was requeued away from this worker
+        job = shard.job
+        if job.cancelled or shard.id not in job.pending:
+            return  # duplicate completion after a requeue
+        job.pending.discard(shard.id)
+        if not job.pending:
+            self._finish_job(job)
+        job.results.put((RESULT, shard_id, payload))
+
+    def _fail(self, conn: _WorkerConn, shard_id: int, message: str) -> None:
+        shard = conn.inflight.pop(shard_id, None)
+        if shard is None:
+            return
+        job = shard.job
+        if job.cancelled or shard.id not in job.pending:
+            return
+        job.pending.discard(shard.id)
+        job.results.put((FAIL, shard_id, message))
+
+    def _finish_job(self, job: _Job) -> None:
+        self._jobs.discard(job)
+
+    async def _drop(self, conn: _WorkerConn, *, requeue: bool) -> None:
+        """Unregister a connection, requeueing its in-flight shards."""
+        if conn.dropped:
+            return
+        conn.dropped = True
+        if conn.assigner is not None:
+            conn.assigner.cancel()
+        conn.writer.close()
+        async with self._cond:
+            self._workers.discard(conn)
+            for shard in conn.inflight.values():
+                job = shard.job
+                if not requeue or job.cancelled or shard.id not in job.pending:
+                    continue
+                shard.requeues += 1
+                if shard.requeues > self._max_shard_requeues:
+                    # A shard that keeps killing its workers (OOM, native
+                    # segfault — death without a FAIL message) must not
+                    # cycle through the whole cluster: fail the job.
+                    job.pending.discard(shard.id)
+                    job.results.put(
+                        (
+                            FAIL,
+                            shard.id,
+                            f"shard requeued {shard.requeues} times after "
+                            f"worker deaths; treating it as poisoned",
+                        )
+                    )
+                    continue
+                # Front of the queue: interrupted work has already
+                # waited once.
+                self._queue.appendleft(shard)
+            conn.inflight.clear()
+            self._cond.notify_all()
+
+    async def _reap_loop(self) -> None:
+        """Close connections silent for longer than the heartbeat timeout."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self._heartbeat_timeout / 4.0)
+            deadline = loop.time() - self._heartbeat_timeout
+            for conn in list(self._workers):
+                if conn.last_seen < deadline:
+                    # Abort the transport; the connection's inbound loop
+                    # sees EOF and requeues via _drop.
+                    conn.writer.close()

@@ -1,0 +1,203 @@
+"""Wire protocol of the socket cluster.
+
+Frames are a 4-byte big-endian length prefix followed by a pickled
+message; messages are plain tuples whose first element is one of the
+kind constants below.  Pickle (not JSON/msgpack) because shards carry
+NumPy arrays, ``MappingCost`` records and configured ``Mapper``
+instances — the same values that already cross the
+:class:`~repro.engine.backends.ProcessBackend` boundary by value.
+
+The handshake pins compatibility: a worker opens with
+``(HELLO, MAGIC, PROTOCOL_VERSION, info)`` and the coordinator answers
+``(WELCOME, settings)`` or ``(REJECT, reason)``.  ``PROTOCOL_VERSION``
+must be bumped whenever a message shape changes, so a stale worker
+build is refused at connect time instead of corrupting a sweep.
+
+Security note: like ``multiprocessing`` pipes, the protocol
+deserializes pickled data from its peers.  Bind coordinators on trusted
+networks only (e.g. a cluster's private interconnect, or localhost
+through an SSH tunnel).
+
+Message catalogue (worker ``->`` coordinator unless noted):
+
+==========  ==========================================================
+``HELLO``   ``(HELLO, MAGIC, PROTOCOL_VERSION, info: dict)``
+``WELCOME`` coordinator: ``(WELCOME, settings: dict)`` — settings carry
+            ``heartbeat_interval`` (seconds between worker pings) and
+            ``cache_dir`` (the coordinator's edge-cache directory, for
+            workers sharing its filesystem)
+``REJECT``  coordinator: ``(REJECT, reason: str)``; the connection is
+            closed afterwards
+``GET``     ``(GET,)`` — the work-stealing pull: hand me the next shard
+``SHARD``   coordinator: ``(SHARD, shard_id, [(index, request), ...])``
+``RESULT``  ``(RESULT, shard_id, [(index, perm, cost, error), ...])``
+``FAIL``    ``(FAIL, shard_id, message)`` — the shard crashed the
+            worker's engine; requeueing would loop, so the sweep fails
+``PING``    ``(PING,)`` — heartbeat, sent while idle and mid-shard
+``SHUTDOWN`` coordinator: ``(SHUTDOWN,)`` — no more work, exit cleanly
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import socket
+import struct
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "HELLO",
+    "WELCOME",
+    "REJECT",
+    "GET",
+    "SHARD",
+    "RESULT",
+    "FAIL",
+    "PING",
+    "SHUTDOWN",
+    "ProtocolError",
+    "encode_message",
+    "hello",
+    "send_message",
+    "recv_message",
+    "read_message",
+    "write_message",
+    "parse_address",
+]
+
+#: Bumped on every incompatible message-shape change.
+PROTOCOL_VERSION = 1
+
+#: Sanity marker refusing non-cluster clients early.
+MAGIC = "repro-cluster"
+
+#: Upper bound on one frame; a mis-framed stream fails fast instead of
+#: attempting a gigantic allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+HELLO = "hello"
+WELCOME = "welcome"
+REJECT = "reject"
+GET = "get"
+SHARD = "shard"
+RESULT = "result"
+FAIL = "fail"
+PING = "ping"
+SHUTDOWN = "shutdown"
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ConnectionError):
+    """The peer sent something that is not a protocol frame."""
+
+
+def encode_message(message: tuple) -> bytes:
+    """One wire frame: length prefix plus pickled message."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit",
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def hello(info: dict | None = None) -> tuple:
+    """The opening handshake message of a current-version worker."""
+    return (HELLO, MAGIC, PROTOCOL_VERSION, dict(info or {}))
+
+
+def _decode_length(header: bytes) -> int:
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit (mis-framed stream?)",
+        )
+    return length
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket side (worker entrypoint, tests)
+# ----------------------------------------------------------------------
+def send_message(sock: socket.socket, message: tuple) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_message(message))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly *count* bytes; ``None`` on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> tuple | None:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    payload = _recv_exactly(sock, _decode_length(header))
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    return pickle.loads(payload)
+
+
+# ----------------------------------------------------------------------
+# Asyncio side (coordinator)
+# ----------------------------------------------------------------------
+async def read_message(reader: asyncio.StreamReader) -> tuple | None:
+    """Read one frame from a stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from None
+    try:
+        payload = await reader.readexactly(_decode_length(header))
+    except asyncio.IncompleteReadError:
+        raise ProtocolError(
+            "connection closed between header and payload"
+        ) from None
+    return pickle.loads(payload)
+
+
+async def write_message(writer: asyncio.StreamWriter, message: tuple) -> None:
+    """Write one frame to a stream and drain."""
+    writer.write(encode_message(message))
+    await writer.drain()
+
+
+def parse_address(text: str, *, default_host: str = "") -> tuple[str, int]:
+    """Parse ``"port"``, ``":port"`` or ``"host:port"`` into an address.
+
+    A missing host falls back to *default_host* (the empty string means
+    "all interfaces" when binding).  Ports must be integers in
+    ``[0, 65535]``; port ``0`` asks the OS for an ephemeral port when
+    binding.
+    """
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = default_host, text
+    elif not host:
+        host = default_host
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port in address {text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port {port} out of range in address {text!r}")
+    return host, port

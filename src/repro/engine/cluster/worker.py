@@ -1,0 +1,286 @@
+"""Cluster worker entrypoint: pull shards, evaluate, stream results.
+
+Run one per host (or several, one per NUMA domain)::
+
+    python -m repro.engine.cluster.worker --connect head-node:7077
+    python -m repro.engine.cluster.worker --connect head-node:7077 \\
+        --backend process:8 --cache-dir /shared/repro-cache
+
+The worker connects to a coordinator (retrying for ``--connect-timeout``
+seconds, so it may be launched before the sweep), handshakes, then
+loops: ``GET`` a shard, evaluate it on a local backend (thread by
+default; ``--backend process[:N]`` for multi-core hosts), send the
+``RESULT`` back.  A heartbeat thread pings throughout, including while
+a shard is being evaluated, so long shards are not mistaken for death.
+
+Edge-cache resolution order: ``--cache-dir``, then ``REPRO_CACHE_DIR``,
+then the directory the coordinator advertises in ``WELCOME`` (useful
+when worker hosts share the coordinator's filesystem).
+
+Exit codes: ``0`` after a coordinator ``SHUTDOWN`` (sweep over), ``1``
+on a lost/unreachable coordinator, ``2`` on a handshake rejection
+(e.g. stale protocol version).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+
+from ..diskcache import CACHE_DIR_ENV, resolve_cache_dir
+from .protocol import (
+    FAIL,
+    GET,
+    PING,
+    REJECT,
+    RESULT,
+    SHARD,
+    SHUTDOWN,
+    WELCOME,
+    ProtocolError,
+    hello,
+    parse_address,
+    recv_message,
+    send_message,
+)
+
+__all__ = ["run_worker", "main"]
+
+
+def _connect_with_retry(
+    host: str, port: int, timeout: float, log
+) -> socket.socket | None:
+    """Keep trying to connect for *timeout* seconds (coordinator may
+    not be up yet when workers are launched first)."""
+    deadline = time.monotonic() + timeout
+    delay = 0.1
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=max(timeout, 1.0))
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                log(f"worker: cannot reach coordinator {host}:{port}: {exc}")
+                return None
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+def _enable_keepalive(sock: socket.socket) -> None:
+    """Detect a silently-dead coordinator (power loss, partition).
+
+    The coordinator never pings workers, so without keepalive a worker
+    would block in ``recv`` forever when the head node vanishes without
+    a FIN/RST.  TCP keepalive makes the kernel probe the peer and fail
+    the blocked ``recv`` within a couple of minutes; the per-probe
+    options are best-effort (platform-dependent).
+    """
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for option, value in (
+        ("TCP_KEEPIDLE", 30),
+        ("TCP_KEEPINTVL", 10),
+        ("TCP_KEEPCNT", 6),
+    ):
+        if hasattr(socket, option):
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, option), value)
+            except OSError:  # pragma: no cover - platform quirk
+                pass
+
+
+def _heartbeat_loop(
+    sock: socket.socket,
+    write_lock: threading.Lock,
+    interval: float,
+    stop: threading.Event,
+) -> None:
+    while not stop.wait(interval):
+        try:
+            with write_lock:
+                send_message(sock, (PING,))
+        except OSError:
+            return
+
+
+def run_worker(
+    connect: str,
+    *,
+    backend_spec: str | None = None,
+    shards: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    connect_timeout: float = 10.0,
+    log=print,
+) -> int:
+    """Serve one coordinator until it shuts the cluster down.
+
+    *backend_spec*/*shards* choose the local execution backend
+    (``resolve_backend`` syntax; ``cluster`` itself is refused).
+    Returns a process exit code (see module docstring).
+    """
+    # Imported here, not at module top: resolve_backend lazily imports
+    # this package, and the worker is also run as a script via -m.
+    from ..backends import resolve_backend
+
+    if backend_spec is not None and backend_spec.partition(":")[0] == "cluster":
+        raise ValueError("a cluster worker cannot itself execute on a cluster")
+    # Validate the local backend spec *before* connecting: a worker that
+    # would die on a bad spec must not first satisfy a serve quorum and
+    # then leave the sweep hung with zero workers.  (The real backend is
+    # built after WELCOME, which may add the advertised cache dir.)
+    resolve_backend(backend_spec, shards=shards).close()
+
+    host, port = parse_address(connect, default_host="127.0.0.1")
+    sock = _connect_with_retry(host, port, connect_timeout, log)
+    if sock is None:
+        return 1
+    sock.settimeout(None)
+    _enable_keepalive(sock)
+
+    try:
+        send_message(sock, hello({"pid": os.getpid(), "host": socket.gethostname()}))
+        reply = recv_message(sock)
+    except (ProtocolError, OSError) as exc:
+        log(f"worker: handshake failed: {exc}")
+        sock.close()
+        return 1
+    if reply is None or not isinstance(reply, tuple) or not reply:
+        log("worker: coordinator closed the connection during handshake")
+        sock.close()
+        return 1
+    if reply[0] == REJECT:
+        log(f"worker: rejected by coordinator: {reply[1]}")
+        sock.close()
+        return 2
+    if reply[0] != WELCOME:
+        log(f"worker: unexpected handshake reply {reply[0]!r}")
+        sock.close()
+        return 2
+
+    settings = reply[1] if len(reply) > 1 and isinstance(reply[1], dict) else {}
+    interval = float(settings.get("heartbeat_interval") or 5.0)
+    # --cache-dir, then REPRO_CACHE_DIR, then the coordinator's
+    # advertised directory — but an *explicitly empty* flag or variable
+    # means "disable the disk layer" and must not fall through to the
+    # advertised path (the worker may not share that filesystem).
+    if cache_dir is not None or CACHE_DIR_ENV in os.environ:
+        effective_cache = resolve_cache_dir(cache_dir)
+    else:
+        effective_cache = settings.get("cache_dir")
+    options = {}
+    if effective_cache:
+        options["disk_cache_dir"] = str(effective_cache)
+    backend = resolve_backend(backend_spec, shards=shards, **options)
+
+    write_lock = threading.Lock()
+    stop = threading.Event()
+    heartbeat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(sock, write_lock, interval, stop),
+        name="repro-cluster-heartbeat",
+        daemon=True,
+    )
+    heartbeat.start()
+    log(f"worker: serving coordinator {host}:{port} on {backend!r}")
+
+    try:
+        while True:
+            try:
+                with write_lock:
+                    send_message(sock, (GET,))
+            except OSError as exc:
+                log(f"worker: connection lost: {exc}")
+                return 1
+            while True:
+                try:
+                    message = recv_message(sock)
+                except (ProtocolError, OSError) as exc:
+                    log(f"worker: connection lost: {exc}")
+                    return 1
+                if message is None:
+                    log("worker: coordinator went away")
+                    return 1
+                kind = message[0]
+                if kind in (SHARD, SHUTDOWN):
+                    break
+                # tolerate benign messages from newer coordinators
+            if kind == SHUTDOWN:
+                log("worker: coordinator shut the cluster down")
+                return 0
+            shard_id, items = message[1], message[2]
+            try:
+                results = backend.evaluate_batch([request for _, request in items])
+                reply_message = (
+                    RESULT,
+                    shard_id,
+                    [
+                        (index, result.perm, result.cost, result.error)
+                        for (index, _), result in zip(items, results)
+                    ],
+                )
+            except Exception as exc:  # engine bug: report, do not requeue
+                reply_message = (FAIL, shard_id, f"{type(exc).__name__}: {exc}")
+            try:
+                with write_lock:
+                    send_message(sock, reply_message)
+            except OSError as exc:
+                log(f"worker: connection lost sending results: {exc}")
+                return 1
+    finally:
+        stop.set()
+        backend.close()
+        sock.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.engine.cluster.worker",
+        description="Evaluation worker of a repro socket cluster.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (as printed by the serving driver)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="local execution backend: serial, thread[:N] (default) or "
+        "process[:N]",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker count of the local backend (overrides a :N suffix)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent edge-cache directory (default: $REPRO_CACHE_DIR, "
+        "then the coordinator's advertised directory)",
+    )
+    parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to keep retrying the initial connection",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return run_worker(
+            args.connect,
+            backend_spec=args.backend,
+            shards=args.shards,
+            cache_dir=args.cache_dir,
+            connect_timeout=args.connect_timeout,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ __all__ = [
     "MappingError",
     "FactorizationError",
     "SimulationError",
+    "ClusterError",
 ]
 
 
@@ -61,3 +62,15 @@ class FactorizationError(MappingError):
 
 class SimulationError(ReproError, RuntimeError):
     """Misuse of the simulated MPI layer (mismatched buffers, bad ranks)."""
+
+
+class ClusterError(ReproError, RuntimeError):
+    """The distributed evaluation cluster cannot complete a sweep.
+
+    Raised when the coordinator is closed with shards outstanding, a
+    worker reports that a shard crashed its engine (requeueing a
+    deterministically crashing shard would loop forever), or a wait for
+    workers times out.  Transient worker failures — disconnects, missed
+    heartbeats — do *not* raise: their shards are requeued and the sweep
+    degrades in throughput only.
+    """

@@ -10,11 +10,22 @@ Usage::
     python -m repro.experiments table II [--reps 50]
     python -m repro.experiments ablations [--backend thread:8]
 
+Multi-host sweeps pair the ``serve`` and ``work`` targets::
+
+    # head node: host the coordinator, wait for 2 workers, run the sweep
+    python -m repro.experiments serve figure8 --bind 0.0.0.0:7077 \
+        --min-workers 2 --fast
+
+    # every other host
+    python -m repro.experiments work --connect head-node:7077 --backend process:8
+
 Repetition counts default to quick settings; pass ``--reps 200`` for the
 paper's sample sizes.  ``--backend`` selects the execution backend of
-the batched sweeps (``serial``, ``thread[:N]``, ``process[:N]``),
-``--shards`` overrides its worker count and ``--cache-dir`` points the
-persistent edge cache at a directory (default: ``$REPRO_CACHE_DIR``).
+the batched sweeps (``serial``, ``thread[:N]``, ``process[:N]``, or
+``cluster:[host:]port`` to bind a coordinator without waiting for a
+worker quorum), ``--shards`` overrides its worker count and
+``--cache-dir`` points the persistent edge cache at a directory
+(default: ``$REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -71,13 +82,87 @@ def _figure8(family: str, fast: bool, backend: Backend) -> None:
     print(render_reduction_summaries(summarize_reductions(reductions)))
 
 
+#: Sweep targets the ``serve`` mode can distribute (the backend-aware ones).
+SERVE_TARGETS = ("figure8", "ablations")
+
+
+def _serve(args, parser) -> int:
+    """Host a cluster coordinator, wait for workers, run one sweep."""
+    from ..engine.cluster import ClusterBackend, parse_address
+
+    sweep = args.table_id or "figure8"
+    if sweep not in SERVE_TARGETS:
+        parser.error(
+            f"serve target must be one of {', '.join(SERVE_TARGETS)}, got {sweep!r}"
+        )
+    if args.backend is not None or args.shards is not None:
+        parser.error(
+            "serve always runs on its own cluster backend; --backend/--shards "
+            "belong on the work side (each worker picks its local backend)"
+        )
+    try:
+        host, port = parse_address(args.bind, default_host="")
+    except ValueError as exc:
+        parser.error(str(exc))
+    backend = ClusterBackend(host, port, disk_cache_dir=args.cache_dir)
+    try:
+        print(
+            f"cluster coordinator listening on {backend.host}:{backend.port}; "
+            f"waiting for {args.min_workers} worker(s) "
+            f"(python -m repro.experiments work --connect HOST:{backend.port})"
+        )
+        backend.wait_for_workers(args.min_workers)
+        print(f"{backend.num_workers} worker(s) connected; starting {sweep}")
+        if sweep == "figure8":
+            _figure8(args.family, args.fast, backend)
+        else:
+            _ablations(backend)
+    finally:
+        backend.close()
+    return 0
+
+
+def _ablations(backend: Backend) -> None:
+    for title, result in (
+        ("hyperplane dimension order", ablation_hyperplane_order(backend=backend)),
+        ("strips serpentine", ablation_strips_serpentine(backend=backend)),
+        ("strips distortion", ablation_strips_distortion(backend=backend)),
+        ("nodecart stencil-aware", ablation_nodecart_stencil_aware(backend=backend)),
+    ):
+        print(f"== {title} ==")
+        for family, res in result.items():
+            print(
+                f"  {family:<28} baseline={res.baseline}  variant={res.variant}  "
+                f"Jsum x{res.jsum_ratio:.2f}  Jmax x{res.jmax_ratio:.2f}"
+            )
+    print("== topology-aware cost model (VSC4, NN, 512 KiB) ==")
+    for mapper, times in ablation_topology_aware().items():
+        print(
+            f"  {mapper:<12} flat={times['flat'] * 1e3:8.3f} ms   "
+            f"aware={times['topology_aware'] * 1e3:8.3f} ms"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument(
         "target",
-        choices=["figure6", "figure7", "figure8", "figure9", "table", "ablations"],
+        choices=[
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "table",
+            "ablations",
+            "serve",
+            "work",
+        ],
     )
-    parser.add_argument("table_id", nargs="?", help="II..VII for the table target")
+    parser.add_argument(
+        "table_id",
+        nargs="?",
+        help="II..VII for the table target; figure8/ablations for serve",
+    )
     parser.add_argument("--machine", default="VSC4")
     parser.add_argument("--family", default="nearest_neighbor")
     parser.add_argument("--reps", type=int, default=50)
@@ -85,7 +170,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--backend",
         default=None,
-        help="execution backend: serial, thread[:N] (default) or process[:N]",
+        help="execution backend: serial, thread[:N] (default), process[:N] "
+        "or cluster:[host:]port; for the work target, the worker's local "
+        "backend",
     )
     parser.add_argument(
         "--shards",
@@ -98,7 +185,49 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="persistent edge-cache directory (default: $REPRO_CACHE_DIR)",
     )
+    parser.add_argument(
+        "--bind",
+        default=":7077",
+        metavar="[HOST:]PORT",
+        help="serve: coordinator bind address (default: all interfaces, 7077)",
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        help="serve: wait for this many workers before starting the sweep",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="work: coordinator address to serve",
+    )
+    parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="work: seconds to keep retrying the initial connection",
+    )
     args = parser.parse_args(argv)
+
+    if args.target == "work":
+        if not args.connect:
+            parser.error("the work target requires --connect HOST:PORT")
+        from ..engine.cluster.worker import run_worker
+
+        try:
+            return run_worker(
+                args.connect,
+                backend_spec=args.backend,
+                shards=args.shards,
+                cache_dir=args.cache_dir,
+                connect_timeout=args.connect_timeout,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.target == "serve":
+        return _serve(args, parser)
 
     backend_options = {}
     if args.cache_dir is not None:
@@ -127,24 +256,7 @@ def main(argv: list[str] | None = None) -> int:
                 appendix_table(machine, nodes, repetitions=args.reps)
             ))
         elif args.target == "ablations":
-            for title, result in (
-                ("hyperplane dimension order", ablation_hyperplane_order(backend=backend)),
-                ("strips serpentine", ablation_strips_serpentine(backend=backend)),
-                ("strips distortion", ablation_strips_distortion(backend=backend)),
-                ("nodecart stencil-aware", ablation_nodecart_stencil_aware(backend=backend)),
-            ):
-                print(f"== {title} ==")
-                for family, res in result.items():
-                    print(
-                        f"  {family:<28} baseline={res.baseline}  variant={res.variant}  "
-                        f"Jsum x{res.jsum_ratio:.2f}  Jmax x{res.jmax_ratio:.2f}"
-                    )
-            print("== topology-aware cost model (VSC4, NN, 512 KiB) ==")
-            for mapper, times in ablation_topology_aware().items():
-                print(
-                    f"  {mapper:<12} flat={times['flat'] * 1e3:8.3f} ms   "
-                    f"aware={times['topology_aware'] * 1e3:8.3f} ms"
-                )
+            _ablations(backend)
     finally:
         backend.close()
     return 0

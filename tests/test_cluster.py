@@ -1,0 +1,549 @@
+"""The distributed (socket-cluster) backend, over localhost sockets.
+
+Covers the acceptance criteria of the cluster tier: byte-identical
+costs to the serial engine with real worker subprocesses, shard requeue
+when a worker dies mid-shard (abrupt disconnect, ``SIGKILL``, and the
+silent-worker heartbeat timeout), stale-protocol rejection at
+handshake, and the ``serve``/``work`` CLI pair.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    CartesianGrid,
+    ClusterBackend,
+    ClusterError,
+    EvaluationEngine,
+    MappingRequest,
+    NodeAllocation,
+    nearest_neighbor,
+    resolve_backend,
+)
+from repro.engine import Backend
+from repro.engine.cluster import parse_address
+from repro.engine.cluster.protocol import (
+    FAIL,
+    GET,
+    HELLO,
+    MAGIC,
+    PROTOCOL_VERSION,
+    REJECT,
+    SHARD,
+    WELCOME,
+    ProtocolError,
+    encode_message,
+    hello,
+    recv_message,
+    send_message,
+)
+from repro.engine.cluster.worker import run_worker
+
+from .test_backends import _requests, _signature
+
+#: src/ directory of this checkout, for worker subprocess PYTHONPATH.
+_SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _worker_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_worker(port: int, *extra: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.engine.cluster.worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--backend",
+            "serial",
+            "--connect-timeout",
+            "30",
+            *extra,
+        ],
+        env=_worker_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class _FakeWorker:
+    """A hand-driven protocol client for exercising failure paths."""
+
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+
+    def handshake(self) -> tuple:
+        send_message(self.sock, hello({"fake": True}))
+        reply = recv_message(self.sock)
+        assert reply is not None and reply[0] == WELCOME
+        return reply
+
+    def pull_shard(self) -> tuple:
+        """Request work and block until a shard arrives."""
+        send_message(self.sock, (GET,))
+        message = recv_message(self.sock)
+        assert message is not None and message[0] == SHARD
+        return message
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return EvaluationEngine(max_workers=1).evaluate_batch(_requests())
+
+
+@pytest.fixture
+def backend():
+    cluster = ClusterBackend("127.0.0.1", 0, heartbeat_timeout=6.0)
+    try:
+        yield cluster
+    finally:
+        cluster.close()
+
+
+class TestClusterBackend:
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, Backend)
+
+    def test_batch_byte_identical_to_serial(self, backend, serial_results):
+        workers = [_spawn_worker(backend.port) for _ in range(2)]
+        try:
+            backend.wait_for_workers(2, timeout=60)
+            results = backend.evaluate_batch(_requests())
+        finally:
+            backend.close()
+        assert list(map(_signature, results)) == list(
+            map(_signature, serial_results)
+        )
+        assert [w.wait(timeout=30) for w in workers] == [0, 0]
+
+    def test_stream_byte_identical_to_serial(self, backend, serial_results):
+        worker = _spawn_worker(backend.port)
+        try:
+            streamed = list(backend.evaluate_stream(_requests()))
+        finally:
+            backend.close()
+        assert sorted(map(_signature, streamed)) == sorted(
+            map(_signature, serial_results)
+        )
+        assert worker.wait(timeout=30) == 0
+
+    def test_results_keep_original_requests_and_tags(self, backend):
+        marker = object()  # unpicklable payloads must never cross the wire
+        requests = _requests(tagger=lambda i, name: (i, name, marker))
+        worker = _spawn_worker(backend.port)
+        try:
+            results = backend.evaluate_batch(requests)
+        finally:
+            backend.close()
+        assert all(r.request is req for r, req in zip(results, requests))
+        assert all(r.request.tag[2] is marker for r in results)
+        assert worker.wait(timeout=30) == 0
+
+    def test_result_buffers_are_read_only(self, backend):
+        worker = _spawn_worker(backend.port)
+        try:
+            (result,) = backend.evaluate_batch(_requests()[:1])
+        finally:
+            backend.close()
+        for arr in (result.perm, result.cost.per_node):
+            with pytest.raises(ValueError):
+                arr[0] = -1
+        worker.wait(timeout=30)
+
+    def test_empty_batch(self, backend):
+        assert backend.evaluate_batch([]) == []
+
+    def test_wait_for_workers_timeout(self, backend):
+        with pytest.raises(ClusterError, match="timed out"):
+            backend.wait_for_workers(1, timeout=0.2)
+
+
+class TestWorkerFailure:
+    def test_disconnect_mid_shard_requeues(self, serial_results):
+        """A worker that takes a shard and dies loses only throughput:
+        the shard is requeued and another worker completes the sweep."""
+        with ClusterBackend("127.0.0.1", 0, heartbeat_timeout=6.0) as backend:
+            saboteur = _FakeWorker(backend.port)
+            saboteur.handshake()
+            send_message(saboteur.sock, (GET,))  # parked: first in line
+
+            box: dict = {}
+
+            def sweep():
+                box["results"] = backend.evaluate_batch(_requests())
+
+            runner = threading.Thread(target=sweep)
+            runner.start()
+            # The parked GET is served as soon as shards are queued.
+            message = recv_message(saboteur.sock)
+            assert message[0] == SHARD
+            saboteur.close()  # dies holding the shard
+
+            survivor = _spawn_worker(backend.port)
+            runner.join(timeout=120)
+            assert not runner.is_alive()
+        assert list(map(_signature, box["results"])) == list(
+            map(_signature, serial_results)
+        )
+        assert survivor.wait(timeout=30) == 0
+
+    def test_sigkill_mid_sweep_completes(self):
+        """Acceptance: kill -9 one of two real workers mid-sweep; the
+        sweep still completes with byte-identical costs."""
+        stencil = nearest_neighbor(2)
+        requests = []
+        for nodes in (8, 10, 12, 15, 18, 20):
+            grid = CartesianGrid([nodes, 24])
+            alloc = NodeAllocation.homogeneous(nodes, 24)
+            for name in ("blocked", "hyperplane", "kd_tree", "stencil_strips"):
+                requests.append(
+                    MappingRequest(grid, stencil, alloc, name, tag=(nodes, name))
+                )
+        serial = EvaluationEngine(max_workers=1).evaluate_batch(requests)
+
+        with ClusterBackend("127.0.0.1", 0, heartbeat_timeout=6.0) as backend:
+            victim = _spawn_worker(backend.port)
+            survivor = _spawn_worker(backend.port)
+            backend.wait_for_workers(2, timeout=60)
+            streamed = []
+            stream = backend.evaluate_stream(requests)
+            streamed.append(next(stream))
+            victim.send_signal(signal.SIGKILL)
+            streamed.extend(stream)
+        assert sorted(map(_signature, streamed)) == sorted(
+            map(_signature, serial)
+        )
+        victim.wait(timeout=30)
+        assert survivor.wait(timeout=30) == 0
+
+    def test_heartbeat_timeout_reaps_silent_worker(self, serial_results):
+        """A connected-but-silent worker is reaped after the heartbeat
+        timeout and its shard is requeued, instead of hanging the sweep."""
+        with ClusterBackend("127.0.0.1", 0, heartbeat_timeout=1.5) as backend:
+            mute = _FakeWorker(backend.port)
+            mute.handshake()
+            send_message(mute.sock, (GET,))
+
+            box: dict = {}
+
+            def sweep():
+                box["results"] = backend.evaluate_batch(_requests())
+
+            runner = threading.Thread(target=sweep)
+            runner.start()
+            message = recv_message(mute.sock)
+            assert message[0] == SHARD
+            # ... and now say nothing: no result, no pings.
+            survivor = _spawn_worker(backend.port)
+            runner.join(timeout=120)
+            assert not runner.is_alive()
+            # the coordinator closed the mute connection
+            assert recv_message(mute.sock) is None
+            mute.close()
+        assert list(map(_signature, box["results"])) == list(
+            map(_signature, serial_results)
+        )
+        assert survivor.wait(timeout=30) == 0
+
+    def test_repeated_worker_deaths_fail_the_shard(self):
+        """A shard that keeps killing its workers (OOM-style death, no
+        FAIL message) must not cycle through the cluster forever: after
+        max_shard_requeues worker deaths the sweep fails."""
+        with ClusterBackend(
+            "127.0.0.1", 0, heartbeat_timeout=6.0, max_shard_requeues=1
+        ) as backend:
+            first = _FakeWorker(backend.port)
+            first.handshake()
+            send_message(first.sock, (GET,))
+
+            box: dict = {}
+
+            def sweep():
+                try:
+                    backend.evaluate_batch(_requests())
+                except ClusterError as exc:
+                    box["error"] = str(exc)
+
+            runner = threading.Thread(target=sweep)
+            runner.start()
+            assert recv_message(first.sock)[0] == SHARD
+            first.close()  # death #1: requeued (1 <= max_shard_requeues)
+
+            second = _FakeWorker(backend.port)
+            second.handshake()
+            send_message(second.sock, (GET,))
+            assert recv_message(second.sock)[0] == SHARD  # the requeued shard
+            second.close()  # death #2: over the cap -> poisoned
+
+            runner.join(timeout=60)
+            assert not runner.is_alive()
+        assert "poisoned" in box["error"]
+
+    def test_explicitly_empty_cache_dir_is_not_overridden(self, tmp_path):
+        """REPRO_CACHE_DIR= (explicitly empty) disables the worker's
+        disk layer even when the coordinator advertises a directory."""
+        advertised = tmp_path / "advertised"
+        with ClusterBackend(
+            "127.0.0.1", 0, heartbeat_timeout=6.0, disk_cache_dir=advertised
+        ) as backend:
+            env = _worker_env()
+            env["REPRO_CACHE_DIR"] = ""
+            worker = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.engine.cluster.worker",
+                    "--connect",
+                    f"127.0.0.1:{backend.port}",
+                    "--backend",
+                    "serial",
+                    "--connect-timeout",
+                    "30",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            results = backend.evaluate_batch(_requests())
+        assert all(r.ok or r.error for r in results)
+        assert not list(advertised.glob("edges-*.npy"))  # disk layer stayed off
+        assert worker.wait(timeout=30) == 0
+
+    def test_poisoned_shard_fails_the_sweep(self, backend):
+        """A worker-reported crash (FAIL) must fail the sweep rather
+        than requeue a deterministically crashing shard forever."""
+
+        def sabotage():
+            fake = _FakeWorker(backend.port)
+            fake.handshake()
+            message = fake.pull_shard()
+            send_message(fake.sock, (FAIL, message[1], "synthetic engine crash"))
+            fake.close()
+
+        saboteur = threading.Thread(target=sabotage)
+        saboteur.start()
+        with pytest.raises(ClusterError, match="synthetic engine crash"):
+            backend.evaluate_batch(_requests())
+        saboteur.join(timeout=30)
+
+
+class TestHandshake:
+    def test_stale_protocol_version_refused(self, backend):
+        with socket.create_connection(("127.0.0.1", backend.port), timeout=30) as sock:
+            send_message(sock, (HELLO, MAGIC, PROTOCOL_VERSION + 1, {}))
+            reply = recv_message(sock)
+        assert reply[0] == REJECT
+        assert "protocol version" in reply[1]
+        # the coordinator survives and still welcomes a current worker
+        fresh = _FakeWorker(backend.port)
+        assert fresh.handshake()[0] == WELCOME
+        fresh.close()
+
+    def test_wrong_magic_refused(self, backend):
+        with socket.create_connection(("127.0.0.1", backend.port), timeout=30) as sock:
+            send_message(sock, (HELLO, "other-protocol", PROTOCOL_VERSION, {}))
+            reply = recv_message(sock)
+        assert reply[0] == REJECT
+        assert "magic" in reply[1]
+
+    def test_non_hello_refused(self, backend):
+        with socket.create_connection(("127.0.0.1", backend.port), timeout=30) as sock:
+            send_message(sock, (GET,))
+            reply = recv_message(sock)
+        assert reply[0] == REJECT
+
+    def test_welcome_advertises_cache_dir(self, tmp_path):
+        with ClusterBackend(
+            "127.0.0.1", 0, disk_cache_dir=tmp_path
+        ) as backend:
+            fake = _FakeWorker(backend.port)
+            welcome = fake.handshake()
+            fake.close()
+        assert welcome[1]["cache_dir"] == str(tmp_path)
+        assert welcome[1]["heartbeat_interval"] > 0
+
+    def test_rejected_worker_exits_with_code_2(self):
+        """The worker entrypoint surfaces a handshake REJECT as exit 2."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def refuse():
+            conn, _ = listener.accept()
+            recv_message(conn)
+            send_message(conn, (REJECT, "stale protocol (synthetic)"))
+            conn.close()
+
+        refuser = threading.Thread(target=refuse)
+        refuser.start()
+        logged: list[str] = []
+        code = run_worker(f"127.0.0.1:{port}", log=logged.append)
+        refuser.join(timeout=30)
+        listener.close()
+        assert code == 2
+        assert any("stale protocol" in line for line in logged)
+
+    def test_unreachable_coordinator_exits_with_code_1(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        free_port = sock.getsockname()[1]
+        sock.close()  # nothing listens here any more
+        code = run_worker(
+            f"127.0.0.1:{free_port}", connect_timeout=0.3, log=lambda *_: None
+        )
+        assert code == 1
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        import pickle
+        import struct
+
+        frame = encode_message((SHARD, 7, ["payload"]))
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert pickle.loads(frame[4:]) == (SHARD, 7, ["payload"])
+
+    def test_mid_frame_eof_raises(self):
+        a, b = socket.socketpair()
+        with a, b:
+            frame = encode_message((GET,))
+            a.sendall(frame[: len(frame) - 1])
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame|payload"):
+                recv_message(b)
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.close()
+            assert recv_message(b) is None
+
+    def test_parse_address(self):
+        assert parse_address("7077") == ("", 7077)
+        assert parse_address(":7077") == ("", 7077)
+        assert parse_address("node1:7077") == ("node1", 7077)
+        assert parse_address("8000", default_host="127.0.0.1") == (
+            "127.0.0.1",
+            8000,
+        )
+        with pytest.raises(ValueError):
+            parse_address("host:notaport")
+        with pytest.raises(ValueError):
+            parse_address("host:70777")
+
+
+class TestResolveClusterSpec:
+    def test_spec_binds_a_coordinator(self):
+        backend = resolve_backend("cluster:127.0.0.1:0")
+        try:
+            assert isinstance(backend, ClusterBackend)
+            assert backend.port != 0  # ephemeral port was resolved
+        finally:
+            backend.close()
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError, match="cluster"):
+            resolve_backend("cluster:nota:port")
+        with pytest.raises(ValueError, match="shards"):
+            resolve_backend("cluster:127.0.0.1:0", shards=4)
+
+    def test_worker_refuses_cluster_backend(self):
+        with pytest.raises(ValueError, match="cannot itself"):
+            run_worker("127.0.0.1:1", backend_spec="cluster:0")
+
+    def test_worker_validates_spec_before_connecting(self, backend):
+        """A typo'd local spec must fail before the worker handshakes
+        (and would otherwise satisfy a serve --min-workers quorum)."""
+        with pytest.raises(ValueError, match="unknown backend spec"):
+            run_worker(
+                f"127.0.0.1:{backend.port}",
+                backend_spec="proces:8",
+                log=lambda *_: None,
+            )
+        assert backend.num_workers == 0  # it never even connected
+
+
+class TestClusterCLI:
+    def test_serve_and_work_roundtrip(self, capsys):
+        """The documented two-command quickstart, on one machine."""
+        from repro.experiments.__main__ import main as experiments_main
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        worker = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "work",
+                "--connect",
+                f"127.0.0.1:{port}",
+                "--connect-timeout",
+                "60",
+                "--backend",
+                "serial",
+            ],
+            env=_worker_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        code = 1
+        try:
+            code = experiments_main(
+                [
+                    "serve",
+                    "figure8",
+                    "--bind",
+                    f"127.0.0.1:{port}",
+                    "--fast",
+                    "--min-workers",
+                    "1",
+                ]
+            )
+        finally:
+            if worker.poll() is None and code != 0:  # pragma: no cover
+                worker.kill()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coordinator listening" in out
+        assert "Figure 8" in out
+        assert worker.wait(timeout=30) == 0
+
+    def test_work_requires_connect(self):
+        from repro.experiments.__main__ import main as experiments_main
+
+        with pytest.raises(SystemExit):
+            experiments_main(["work"])
+
+    def test_serve_rejects_unknown_sweep(self):
+        from repro.experiments.__main__ import main as experiments_main
+
+        with pytest.raises(SystemExit):
+            experiments_main(["serve", "figure6"])
+
+    def test_cli_rejects_bad_cluster_spec(self):
+        from repro.experiments.__main__ import main as experiments_main
+
+        with pytest.raises(SystemExit):
+            experiments_main(["figure8", "--fast", "--backend", "cluster:nope"])

@@ -77,41 +77,93 @@ class TestLRUCache:
         cache.get("missing")
         assert cache.stats().hit_rate == 0.5
 
-    def test_concurrent_misses_on_same_key_both_compute(self):
-        """Pin the documented race semantics of ``get_or_compute``: two
-        concurrent misses on the *same* key may both run their compute
-        callback (it executes outside the lock), each call returns its
-        own computed value, and the later store wins."""
+    def test_concurrent_misses_on_same_key_compute_once(self):
+        """Single-flight: concurrent misses on one key elect one leader;
+        the waiters block and share the leader's value instead of
+        duplicating the (expensive) computation."""
         import threading
 
         cache = LRUCache(4)
-        in_compute = threading.Barrier(2)
+        leader_entered = threading.Event()
+        release_leader = threading.Event()
         computed = []
 
-        def compute(value):
-            def inner():
-                # both threads reach this point -> both saw a miss
-                in_compute.wait(timeout=5)
-                computed.append(value)
-                return value
+        def compute():
+            leader_entered.set()
+            assert release_leader.wait(timeout=10)
+            computed.append(threading.get_ident())
+            return 42
 
-            return inner
+        results = []
 
-        results = [None, None]
+        def run():
+            results.append(cache.get_or_compute("key", compute))
 
-        def run(i):
-            results[i] = cache.get_or_compute("key", compute(i))
-
-        threads = [threading.Thread(target=run, args=(i,)) for i in (0, 1)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=10)
-        assert sorted(computed) == [0, 1]  # duplicate compute, by contract
-        assert results == [0, 1]  # each call returns its own value
+        leader = threading.Thread(target=run)
+        leader.start()
+        assert leader_entered.wait(timeout=10)
+        # The leader is inside compute(); this thread must now wait on
+        # the same flight, not start a second computation.
+        waiter = threading.Thread(target=run)
+        waiter.start()
+        release_leader.set()
+        leader.join(timeout=10)
+        waiter.join(timeout=10)
+        assert len(computed) == 1  # exactly one compute ran
+        assert results == [42, 42]  # both calls share the value
         stats = cache.stats()
-        assert (stats.hits, stats.misses, stats.size) == (0, 2, 1)
-        assert cache.get("key") in (0, 1)  # whichever store came later
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+
+    def test_reentrant_same_key_compute_does_not_deadlock(self):
+        """A compute callback that calls back into the cache for the
+        same key degrades to duplicate compute instead of waiting on
+        its own flight forever."""
+        cache = LRUCache(4)
+        calls = []
+
+        def outer():
+            calls.append("outer")
+            return cache.get_or_compute("key", lambda: calls.append("inner") or 7)
+
+        assert cache.get_or_compute("key", outer) == 7
+        assert calls == ["outer", "inner"]
+        assert cache.get("key") == 7
+
+    def test_failed_leader_promotes_a_waiter(self):
+        """If the leader's compute raises, the exception reaches the
+        leader and a waiting thread retries the computation."""
+        import threading
+
+        cache = LRUCache(4)
+        leader_entered = threading.Event()
+        release_leader = threading.Event()
+        outcomes: dict[str, object] = {}
+
+        def failing():
+            leader_entered.set()
+            assert release_leader.wait(timeout=10)
+            raise RuntimeError("synthetic compute failure")
+
+        def lead():
+            try:
+                cache.get_or_compute("key", failing)
+            except RuntimeError as exc:
+                outcomes["leader"] = str(exc)
+
+        def wait_then_retry():
+            outcomes["waiter"] = cache.get_or_compute("key", lambda: 99)
+
+        leader = threading.Thread(target=lead)
+        leader.start()
+        assert leader_entered.wait(timeout=10)
+        waiter = threading.Thread(target=wait_then_retry)
+        waiter.start()
+        release_leader.set()
+        leader.join(timeout=10)
+        waiter.join(timeout=10)
+        assert outcomes["leader"] == "synthetic compute failure"
+        assert outcomes["waiter"] == 99
+        assert cache.get("key") == 99
 
 
 class TestRegistry:

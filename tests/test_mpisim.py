@@ -11,7 +11,6 @@ from repro import (
     vsc4,
 )
 from repro.mpisim import (
-    CartComm,
     SimMPI,
     cart_create,
     cart_stencil_comm,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import BlockedMapper, HyperplaneMapper, StencilStripsMapper
-from repro.engine import ProcessBackend, ThreadBackend
+from repro.engine import ProcessBackend
 from repro.exceptions import AllocationError
 from repro.experiments import scaling_sweep, speedup_ratio
 from repro.experiments.__main__ import main as experiments_main
