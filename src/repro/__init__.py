@@ -95,12 +95,26 @@ from .engine import (
     EvaluationEngine,
     MappingRequest,
     MappingResult,
+    MetricSpec,
     ProcessBackend,
     ThreadBackend,
+    list_metrics,
+    register_metric,
     resolve_backend,
+    weighted_bytes_metric,
+)
+from . import sweep  # noqa: F401  - the `repro.sweep` namespace is public API
+from .sweep import (
+    CellOverride,
+    InstanceSpec,
+    ResultSet,
+    SweepRow,
+    SweepSpec,
+    run,
+    run_stream,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # exceptions
@@ -164,5 +178,18 @@ __all__ = [
     "ProcessBackend",
     "ClusterBackend",
     "resolve_backend",
+    "MetricSpec",
+    "register_metric",
+    "list_metrics",
+    "weighted_bytes_metric",
+    # sweep
+    "sweep",
+    "SweepSpec",
+    "InstanceSpec",
+    "CellOverride",
+    "SweepRow",
+    "ResultSet",
+    "run",
+    "run_stream",
     "__version__",
 ]

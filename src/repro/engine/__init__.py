@@ -29,6 +29,12 @@ from .cache import CacheStats, LRUCache
 from .cluster import ClusterBackend
 from .diskcache import CACHE_DIR_ENV, DiskCacheStats, DiskEdgeCache
 from .engine import EvaluationEngine
+from .metrics import (
+    MetricSpec,
+    list_metrics,
+    register_metric,
+    weighted_bytes_metric,
+)
 from .registry import create_mapper, list_mappers, resolve_mapper
 from .request import MappingRequest, MappingResult
 
@@ -36,6 +42,10 @@ __all__ = [
     "EvaluationEngine",
     "MappingRequest",
     "MappingResult",
+    "MetricSpec",
+    "register_metric",
+    "list_metrics",
+    "weighted_bytes_metric",
     "Backend",
     "ThreadBackend",
     "ProcessBackend",

@@ -104,6 +104,7 @@ def strip_request_tag(request: MappingRequest) -> MappingRequest:
         alloc=request.alloc,
         mapper=request.mapper,
         perm=request.perm,
+        metrics=request.metrics,
     )
 
 
@@ -112,6 +113,7 @@ def rebuild_result(
     perm: np.ndarray | None,
     cost: MappingCost | None,
     error: str | None,
+    metrics: dict | None = None,
 ) -> MappingResult:
     """Rebuild a result that travelled by value against its original request.
 
@@ -122,7 +124,13 @@ def rebuild_result(
         perm.setflags(write=False)
     if cost is not None:
         cost.per_node.setflags(write=False)
-    return MappingResult(request=request, perm=perm, cost=cost, error=error)
+    return MappingResult(
+        request=request,
+        perm=perm,
+        cost=cost,
+        error=error,
+        metrics=dict(metrics or {}),
+    )
 
 
 @runtime_checkable
@@ -218,14 +226,16 @@ def _init_worker(engine_options: dict) -> None:
 
 def _run_shard(
     shard: Sequence[tuple[int, MappingRequest]],
-) -> list[tuple[int, np.ndarray | None, MappingCost | None, str | None]]:
+) -> list[
+    tuple[int, np.ndarray | None, MappingCost | None, str | None, dict]
+]:
     """Evaluate one shard in the worker; results travel back by value."""
     engine = _WORKER_ENGINE
     if engine is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("process-backend worker was not initialised")
     results = engine.evaluate_batch([request for _, request in shard])
     return [
-        (index, result.perm, result.cost, result.error)
+        (index, result.perm, result.cost, result.error, result.metrics)
         for (index, _), result in zip(shard, results)
     ]
 
@@ -334,9 +344,9 @@ class ProcessBackend:
         futures = self._submit(requests)
         try:
             for future in futures:
-                for index, perm, cost, error in future.result():
+                for index, perm, cost, error, metrics in future.result():
                     results[index] = self._rebuild(
-                        requests[index], perm, cost, error
+                        requests[index], perm, cost, error, metrics
                     )
         except BaseException:
             for future in futures:
@@ -360,8 +370,10 @@ class ProcessBackend:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    for index, perm, cost, error in future.result():
-                        yield self._rebuild(requests[index], perm, cost, error)
+                    for index, perm, cost, error, metrics in future.result():
+                        yield self._rebuild(
+                            requests[index], perm, cost, error, metrics
+                        )
         finally:
             for future in futures:
                 future.cancel()

@@ -197,8 +197,10 @@ class ClusterBackend:
         requests = list(requests)
         out: list[MappingResult | None] = [None] * len(requests)
         for payload in self._completed_shards(requests):
-            for index, perm, cost, error in payload:
-                out[index] = rebuild_result(requests[index], perm, cost, error)
+            for index, perm, cost, error, metrics in payload:
+                out[index] = rebuild_result(
+                    requests[index], perm, cost, error, metrics
+                )
         return out  # type: ignore[return-value]  # every slot is filled
 
     def evaluate_stream(
@@ -212,8 +214,8 @@ class ClusterBackend:
         """
         requests = list(requests)
         for payload in self._completed_shards(requests):
-            for index, perm, cost, error in payload:
-                yield rebuild_result(requests[index], perm, cost, error)
+            for index, perm, cost, error, metrics in payload:
+                yield rebuild_result(requests[index], perm, cost, error, metrics)
 
     # ------------------------------------------------------------------
     # Lifecycle

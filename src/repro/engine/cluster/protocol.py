@@ -30,7 +30,8 @@ Message catalogue (worker ``->`` coordinator unless noted):
             closed afterwards
 ``GET``     ``(GET,)`` — the work-stealing pull: hand me the next shard
 ``SHARD``   coordinator: ``(SHARD, shard_id, [(index, request), ...])``
-``RESULT``  ``(RESULT, shard_id, [(index, perm, cost, error), ...])``
+``RESULT``  ``(RESULT, shard_id,
+            [(index, perm, cost, error, metrics), ...])``
 ``FAIL``    ``(FAIL, shard_id, message)`` — the shard crashed the
             worker's engine; requeueing would loop, so the sweep fails
 ``PING``    ``(PING,)`` — heartbeat, sent while idle and mid-shard
@@ -69,7 +70,9 @@ __all__ = [
 ]
 
 #: Bumped on every incompatible message-shape change.
-PROTOCOL_VERSION = 1
+#: v2: RESULT rows carry a fifth ``metrics`` element (pluggable
+#: batch-level metric columns).
+PROTOCOL_VERSION = 2
 
 #: Sanity marker refusing non-cluster clients early.
 MAGIC = "repro-cluster"

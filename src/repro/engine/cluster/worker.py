@@ -216,7 +216,13 @@ def run_worker(
                     RESULT,
                     shard_id,
                     [
-                        (index, result.perm, result.cost, result.error)
+                        (
+                            index,
+                            result.perm,
+                            result.cost,
+                            result.error,
+                            result.metrics,
+                        )
                         for (index, _), result in zip(items, results)
                     ],
                 )

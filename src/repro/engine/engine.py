@@ -36,7 +36,7 @@ import numpy as np
 
 from ..core import Mapper
 from ..exceptions import MappingError
-from ..grid.graph import communication_edges
+from ..grid.graph import communication_edges, communication_edges_by_offset
 from ..grid.grid import CartesianGrid
 from ..grid.stencil import Stencil
 from ..hardware.allocation import NodeAllocation
@@ -47,6 +47,7 @@ from ..metrics.cost import (
 )
 from .cache import CacheStats, LRUCache
 from .diskcache import DiskCacheStats, DiskEdgeCache, resolve_cache_dir
+from .metrics import MetricContext, MetricSpec, resolve_metric
 from .registry import list_mappers, resolve_mapper, spec_key
 from .request import MappingRequest, MappingResult
 
@@ -98,6 +99,7 @@ class EvaluationEngine:
         self._edge_cache = LRUCache(edge_cache_entries)
         self._perm_cache = LRUCache(perm_cache_entries)
         self._cost_cache = LRUCache(cost_cache_entries)
+        self._metric_cache = LRUCache(cost_cache_entries)
         cache_dir = resolve_cache_dir(disk_cache_dir)
         self._disk_cache = None if cache_dir is None else DiskEdgeCache(cache_dir)
         self._pool: ThreadPoolExecutor | None = None
@@ -157,6 +159,26 @@ class EvaluationEngine:
             return arr
 
         return self._edge_cache.get_or_compute((grid, stencil), compute)
+
+    def edges_by_offset(
+        self, grid: CartesianGrid, stencil: Stencil
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(edges, offset_index)`` pair for offset-weighted metrics.
+
+        Memoized in the edge cache under a distinct key; both arrays are
+        read-only shared buffers.  (The per-offset enumeration is not
+        mirrored to the disk cache, which stores single arrays.)
+        """
+
+        def compute() -> tuple[np.ndarray, np.ndarray]:
+            edges, offset_index = communication_edges_by_offset(grid, stencil)
+            edges.setflags(write=False)
+            offset_index.setflags(write=False)
+            return edges, offset_index
+
+        return self._edge_cache.get_or_compute(
+            (grid, stencil, "by_offset"), compute
+        )
 
     def permutation(
         self,
@@ -332,21 +354,105 @@ class EvaluationEngine:
                 costs[key] = cost
                 if requests[slots[key][0]].perm is None:
                     self._cost_cache.put((grid, stencil, alloc, key), cost)
+        metric_values, metric_errors = self._group_metrics(
+            requests,
+            slots,
+            failures,
+            perm_by_key,
+            MetricContext(self, grid, stencil, alloc, edges),
+        )
         results: list[MappingResult] = []
         for request, key in zip(requests, keys):
             if key in failures:
                 results.append(
                     MappingResult(request=request, perm=None, error=failures[key])
                 )
-            else:
-                results.append(
-                    MappingResult(
-                        request=request,
-                        perm=perm_by_key[key],
-                        cost=costs[key],
-                    )
+                continue
+            metrics: dict[str, float] = {}
+            failed: list[str] = []
+            for spec in request.metrics:
+                # a cached value beats a same-spec failure elsewhere in
+                # the group: only cells whose own computation failed err
+                value = metric_values.get((key, spec))
+                if value is not None:
+                    metrics.update(value)
+                else:
+                    failed.append(metric_errors[spec])
+            error: str | None = "; ".join(failed) if failed else None
+            results.append(
+                MappingResult(
+                    request=request,
+                    perm=perm_by_key[key],
+                    cost=costs[key],
+                    error=error,
+                    metrics=metrics,
                 )
+            )
         return results
+
+    def _group_metrics(
+        self,
+        requests: Sequence[MappingRequest],
+        slots: dict[object, list[int]],
+        failures: dict[object, str],
+        perm_by_key: dict[object, np.ndarray],
+        ctx: MetricContext,
+    ) -> tuple[dict[tuple, dict[str, float]], dict[MetricSpec, str]]:
+        """Compute the group's extra metrics, batch-level per spec.
+
+        Every distinct permutation wanting a metric is stacked into one
+        call of the metric implementation; mapper-spec permutations are
+        memoized like costs (explicit perms are identity-keyed and not
+        cached).  A failing metric poisons only the cells that requested
+        it — the failure message lands on those results' ``error`` — so
+        one bad metric spec cannot crash a whole sweep.
+        """
+        wanted: dict[MetricSpec, dict[object, None]] = {}
+        for key, indices in slots.items():
+            if key in failures:
+                continue
+            for i in indices:
+                for spec in requests[i].metrics:
+                    wanted.setdefault(spec, {})[key] = None
+
+        values: dict[tuple, dict[str, float]] = {}
+        errors: dict[MetricSpec, str] = {}
+        for spec, keyset in wanted.items():
+            to_compute: list[object] = []
+            for key in keyset:
+                if requests[slots[key][0]].perm is None:
+                    cached = self._metric_cache.get(
+                        (ctx.grid, ctx.stencil, ctx.alloc, key, spec)
+                    )
+                    if cached is not None:
+                        values[(key, spec)] = cached
+                        continue
+                to_compute.append(key)
+            if not to_compute:
+                continue
+            try:
+                rows = resolve_metric(spec.name)(
+                    ctx, np.stack([perm_by_key[k] for k in to_compute]), spec
+                )
+                if len(rows) != len(to_compute):
+                    raise MappingError(
+                        f"returned {len(rows)} rows for "
+                        f"{len(to_compute)} permutations"
+                    )
+                # normalise inside the try: a malformed row (not a
+                # mapping of columns) is this metric's failure, not a
+                # batch abort
+                rows = [dict(row) for row in rows]
+            except Exception as exc:  # noqa: BLE001 - becomes a cell error
+                errors[spec] = f"metric {spec.name!r} failed: {exc}"
+                continue
+            for key, row in zip(to_compute, rows):
+                values[(key, spec)] = row
+                if requests[slots[key][0]].perm is None:
+                    self._metric_cache.put(
+                        (ctx.grid, ctx.stencil, ctx.alloc, key, spec), row
+                    )
+        return values, errors
 
     # ------------------------------------------------------------------
     # Introspection
@@ -362,11 +468,12 @@ class EvaluationEngine:
         return self._disk_cache
 
     def cache_stats(self) -> dict[str, CacheStats]:
-        """Hit/miss/occupancy counters of the three LRU caches."""
+        """Hit/miss/occupancy counters of the engine's LRU caches."""
         return {
             "edges": self._edge_cache.stats(),
             "permutations": self._perm_cache.stats(),
             "costs": self._cost_cache.stats(),
+            "metrics": self._metric_cache.stats(),
         }
 
     def disk_cache_stats(self) -> DiskCacheStats | None:
@@ -378,6 +485,7 @@ class EvaluationEngine:
         self._edge_cache.clear()
         self._perm_cache.clear()
         self._cost_cache.clear()
+        self._metric_cache.clear()
 
     def __repr__(self) -> str:
         stats = self.cache_stats()

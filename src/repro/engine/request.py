@@ -8,11 +8,12 @@ from typing import Any
 import numpy as np
 
 from ..core import Mapper
-from ..exceptions import InvalidStencilError
+from ..exceptions import InvalidStencilError, MappingError
 from ..grid.grid import CartesianGrid
 from ..grid.stencil import Stencil
 from ..hardware.allocation import NodeAllocation
 from ..metrics.cost import MappingCost
+from .metrics import MetricSpec, as_metric_spec, list_metrics
 
 __all__ = ["MappingRequest", "MappingResult"]
 
@@ -35,6 +36,18 @@ class MappingRequest:
         Optional pre-computed permutation; when given the mapper is not
         run and only the ``Jsum``/``Jmax`` scoring happens (used to score
         externally produced mappings through the same cached pipeline).
+        Must have exactly ``grid.size`` entries; a mismatched length is
+        rejected here with a clear message instead of failing inside the
+        batch kernel.
+    metrics:
+        Extra batch-level metrics to compute alongside the always-on
+        ``Jsum``/``Jmax`` cost: a tuple of
+        :class:`~repro.engine.metrics.MetricSpec` objects or plain
+        registry names (e.g. the spec built by
+        :func:`repro.engine.metrics.weighted_bytes_metric`).  Values
+        arrive on :attr:`MappingResult.metrics`, one ``{column: value}``
+        entry per metric column.  Unknown metric names are rejected at
+        construction time.
     tag:
         Opaque caller payload carried through to the result, handy for
         joining batch output back to driver state (instance labels,
@@ -46,6 +59,7 @@ class MappingRequest:
     alloc: NodeAllocation
     mapper: str | Mapper
     perm: np.ndarray | None = None
+    metrics: tuple[MetricSpec, ...] = ()
     tag: Any = None
 
     def __post_init__(self):
@@ -57,6 +71,22 @@ class MappingRequest:
                 f"grid dimensionality {self.grid.ndim}"
             )
         self.alloc.check_matches(self.grid.size)
+        if self.perm is not None:
+            shape = np.shape(self.perm)
+            if shape != (self.grid.size,):
+                raise MappingError(
+                    f"explicit perm has shape {shape}, expected "
+                    f"({self.grid.size},) to match grid.size — the mapping "
+                    f"must place every grid position exactly once"
+                )
+        specs = tuple(as_metric_spec(m) for m in self.metrics)
+        known = set(list_metrics())
+        unknown = [spec.name for spec in specs if spec.name not in known]
+        if unknown:
+            raise KeyError(
+                f"unknown metric(s) {unknown}; registered: {sorted(known)}"
+            )
+        object.__setattr__(self, "metrics", specs)
 
     @property
     def instance_key(self) -> tuple:
@@ -79,19 +109,24 @@ class MappingResult:
     ``perm``/``cost`` are ``None`` when the mapper rejected the instance
     (e.g. Nodecart on non-factorisable node counts); ``error`` then holds
     the rejection message so sweeps can render "not applicable" cells.
-    Like requests, results compare and hash by object identity
-    (``eq=False``) because of their array payloads.
+    ``metrics`` carries the columns of every extra metric the request
+    asked for; a metric that failed leaves its columns absent and puts
+    the failure message in ``error`` while ``perm``/``cost`` stay
+    available.  Like requests, results compare and hash by object
+    identity (``eq=False``) because of their array payloads.
     """
 
     request: MappingRequest
     perm: np.ndarray | None
     cost: MappingCost | None = field(repr=False, default=None)
     error: str | None = None
+    metrics: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        """``True`` when the instance was mapped and scored."""
-        return self.cost is not None
+        """``True`` when the instance was mapped, scored, and every
+        requested metric computed."""
+        return self.cost is not None and self.error is None
 
     @property
     def jsum(self) -> int | None:

@@ -21,11 +21,13 @@ machine-independent work.
 
 from .context import DEFAULT_MAPPERS, EvaluationContext, STENCIL_FAMILIES
 from .instances import Instance, instance_set
-from .figure6 import figure6_scores, figure6_speedups
-from .figure7 import figure7_scores, figure7_speedups
-from .figure8 import figure8_reductions, summarize_reductions
-from .figure9 import figure9_instantiation_times
+from .figure6 import figure6_scores, figure6_speedups, figure6_sweep
+from .figure7 import figure7_scores, figure7_speedups, figure7_sweep
+from .figure8 import figure8_reductions, figure8_sweep, summarize_reductions
+from .figure9 import figure9_instantiation_times, figure9_sweep
 from .tables import TABLE_MESSAGE_SIZES, appendix_table
+from .throughput import mapping_results, measure_times, speedup_series
+from .weighted import weighted_sweep
 from .ablations import (
     ablation_hyperplane_order,
     ablation_nodecart_stencil_aware,
@@ -44,13 +46,21 @@ __all__ = [
     "instance_set",
     "figure6_scores",
     "figure6_speedups",
+    "figure6_sweep",
     "figure7_scores",
     "figure7_speedups",
+    "figure7_sweep",
     "figure8_reductions",
+    "figure8_sweep",
     "summarize_reductions",
     "figure9_instantiation_times",
+    "figure9_sweep",
     "appendix_table",
     "TABLE_MESSAGE_SIZES",
+    "mapping_results",
+    "measure_times",
+    "speedup_series",
+    "weighted_sweep",
     "ablation_hyperplane_order",
     "ablation_strips_serpentine",
     "ablation_strips_distortion",

@@ -1,7 +1,8 @@
-"""Command-line entry point: regenerate any figure or table.
+"""Command-line entry point: regenerate any figure, table or sweep.
 
 Usage::
 
+    python -m repro.experiments                       # README example sweep
     python -m repro.experiments figure6 [--machine VSC4] [--reps 50]
     python -m repro.experiments figure7 [--machine JUWELS]
     python -m repro.experiments figure8 [--family nearest_neighbor] [--fast]
@@ -9,6 +10,13 @@ Usage::
     python -m repro.experiments figure9
     python -m repro.experiments table II [--reps 50]
     python -m repro.experiments ablations [--backend thread:8]
+    python -m repro.experiments scaling [--machine VSC4]
+    python -m repro.experiments weighted [--machine VSC4]
+
+Every subcommand renders a human-readable table by default; ``--format
+json`` / ``--format csv`` emit the run's :class:`~repro.sweep.ResultSet`
+serialization instead, and ``--output PATH`` writes to a file rather
+than stdout.
 
 Multi-host sweeps pair the ``serve`` and ``work`` targets::
 
@@ -31,9 +39,12 @@ worker quorum), ``--shards`` overrides its worker count and
 from __future__ import annotations
 
 import argparse
+import io
+import math
 import sys
 
 from ..engine import Backend, resolve_backend
+from ..sweep import InstanceSpec, ResultSet, SweepRow, SweepSpec, run
 from .ablations import (
     ablation_hyperplane_order,
     ablation_nodecart_stencil_aware,
@@ -54,22 +65,86 @@ from .report import (
     render_scores,
     render_speedups,
 )
+from .scaling import scaling_sweep
 from .tables import TABLE_INDEX, appendix_table
+from .weighted import weighted_hops_experiment
 
 
-def _figure(which: int, machine: str, reps: int) -> None:
+def _row(
+    instance: str,
+    stencil: str,
+    mapper: str,
+    *,
+    tags=None,
+    ok: bool = True,
+    error: str | None = None,
+    jsum: int | None = None,
+    jmax: int | None = None,
+    **metrics,
+) -> SweepRow:
+    """A derived result row for CLI serialization of post-processed data.
+
+    ``jsum``/``jmax`` land in the row's canonical score columns (the
+    ones ``SweepRow.get``/``pivot`` resolve first); everything else
+    becomes a ``metrics.*`` column.
+    """
+    return SweepRow(
+        instance=instance,
+        stencil=stencil,
+        mapper=mapper,
+        ok=ok,
+        error=error,
+        jsum=jsum,
+        jmax=jmax,
+        metrics=metrics,
+        tags=dict(tags or {}),
+    )
+
+
+def _figure(which: int, machine: str, reps: int) -> tuple[str, ResultSet]:
     context = figure6_context() if which == 6 else figure7_context()
     scores = figure6_scores(context) if which == 6 else figure7_scores(context)
-    print(render_scores(scores))
+    text = io.StringIO()
+    print(render_scores(scores), file=text)
+    rows = [
+        _row(
+            f"figure{which}",
+            family,
+            mapper,
+            tags={"kind": "scores"},
+            ok=pair is not None,
+            error=None if pair is not None else "mapper rejected the instance",
+            jsum_score=None if pair is None else pair[0],
+            jmax_score=None if pair is None else pair[1],
+        )
+        for family, per_mapper in scores.items()
+        for mapper, pair in per_mapper.items()
+    ]
     for family in STENCIL_FAMILIES:
         fn = figure6_speedups if which == 6 else figure7_speedups
         series = fn(machine, family, context=context, repetitions=reps)
-        print(f"== speedups on {machine}, {family} ==")
-        print(render_speedups(series))
-        print()
+        print(f"== speedups on {machine}, {family} ==", file=text)
+        print(render_speedups(series), file=text)
+        print(file=text)
+        rows.extend(
+            _row(
+                f"figure{which}",
+                family,
+                mapper,
+                tags={"kind": "speedup", "machine": machine},
+                message_size=cell.message_size,
+                mean_time=cell.mean_time.value,
+                ci_low=cell.mean_time.low,
+                ci_high=cell.mean_time.high,
+                speedup_over_blocked=cell.speedup_over_blocked,
+            )
+            for mapper, cells in series.items()
+            for cell in cells
+        )
+    return text.getvalue(), ResultSet(rows)
 
 
-def _figure8(family: str, fast: bool, backend: Backend) -> None:
+def _figure8(family: str, fast: bool, backend: Backend) -> tuple[str, ResultSet]:
     mappers = DEFAULT_MAPPERS()
     instances = instance_set()
     if fast:
@@ -78,12 +153,211 @@ def _figure8(family: str, fast: bool, backend: Backend) -> None:
     reductions = figure8_reductions(
         family, mappers=mappers, instances=instances, backend=backend
     )
-    print(f"== Figure 8 ({family}), {len(instances)} instances ==")
-    print(render_reduction_summaries(summarize_reductions(reductions)))
+    summaries = summarize_reductions(reductions)
+    text = (
+        f"== Figure 8 ({family}), {len(instances)} instances ==\n"
+        + render_reduction_summaries(summaries)
+    )
+    rows = [
+        _row(
+            inst.label(),
+            family,
+            mapper,
+            tags={"kind": "reduction"},
+            ok=not math.isnan(series["jsum"][idx]),
+            error=None
+            if not math.isnan(series["jsum"][idx])
+            else "mapper or blocked baseline failed on this instance",
+            jsum_reduction=float(series["jsum"][idx]),
+            jmax_reduction=float(series["jmax"][idx]),
+        )
+        for mapper, series in reductions.items()
+        for idx, inst in enumerate(instances)
+    ]
+    rows.extend(
+        _row(
+            "summary",
+            family,
+            s.mapper,
+            tags={"kind": "summary"},
+            jsum_median=s.jsum_median.value,
+            jmax_median=s.jmax_median.value,
+            samples=s.samples,
+        )
+        for s in summaries
+    )
+    return text, ResultSet(rows)
+
+
+def _figure9() -> tuple[str, ResultSet]:
+    timings = figure9_instantiation_times()
+    rows = [
+        _row(
+            "figure9",
+            "nearest_neighbor",
+            name,
+            tags={"kind": "instantiation"},
+            full_mean=t.full.value,
+            full_ci_low=t.full.low,
+            full_ci_high=t.full.high,
+            per_rank_mean=None if t.per_rank is None else t.per_rank.value,
+            distributed=t.distributed,
+        )
+        for name, t in timings.items()
+    ]
+    return render_instantiation(timings), ResultSet(rows)
+
+
+def _table(table_id: str, reps: int) -> tuple[str, ResultSet]:
+    machine, nodes = TABLE_INDEX[table_id]
+    table = appendix_table(machine, nodes, repetitions=reps)
+    rows = [
+        _row(
+            f"N{nodes}",
+            family,
+            mapper,
+            tags={"kind": "table", "table": table_id, "machine": machine},
+            ok=ci is not None,
+            error=None if ci is not None else "mapper rejected the instance",
+            message_size=size,
+            mean_time=None if ci is None else ci.value,
+            ci_low=None if ci is None else ci.low,
+            ci_high=None if ci is None else ci.high,
+        )
+        for family, per_mapper in table.times.items()
+        for mapper, per_size in per_mapper.items()
+        for size, ci in per_size.items()
+    ]
+    return render_appendix_table(table), ResultSet(rows)
+
+
+def _ablations(backend: Backend) -> tuple[str, ResultSet]:
+    text = io.StringIO()
+    rows: list[SweepRow] = []
+    for key, title, result in (
+        ("hyperplane_order", "hyperplane dimension order", ablation_hyperplane_order(backend=backend)),
+        ("strips_serpentine", "strips serpentine", ablation_strips_serpentine(backend=backend)),
+        ("strips_distortion", "strips distortion", ablation_strips_distortion(backend=backend)),
+        ("nodecart_stencil_aware", "nodecart stencil-aware", ablation_nodecart_stencil_aware(backend=backend)),
+    ):
+        print(f"== {title} ==", file=text)
+        for family, res in result.items():
+            print(
+                f"  {family:<28} baseline={res.baseline}  variant={res.variant}  "
+                f"Jsum x{res.jsum_ratio:.2f}  Jmax x{res.jmax_ratio:.2f}",
+                file=text,
+            )
+            rows.append(
+                _row(
+                    "N50_n48_2d",
+                    family,
+                    key,
+                    tags={"kind": "ablation"},
+                    baseline_jsum=res.baseline[0],
+                    baseline_jmax=res.baseline[1],
+                    variant_jsum=res.variant[0],
+                    variant_jmax=res.variant[1],
+                    jsum_ratio=res.jsum_ratio,
+                    jmax_ratio=res.jmax_ratio,
+                )
+            )
+    print("== topology-aware cost model (VSC4, NN, 512 KiB) ==", file=text)
+    for mapper, times in ablation_topology_aware().items():
+        print(
+            f"  {mapper:<12} flat={times['flat'] * 1e3:8.3f} ms   "
+            f"aware={times['topology_aware'] * 1e3:8.3f} ms",
+            file=text,
+        )
+        rows.append(
+            _row(
+                "N50_n48_2d",
+                "nearest_neighbor",
+                mapper,
+                tags={"kind": "topology_ablation"},
+                flat_time=times["flat"],
+                topology_aware_time=times["topology_aware"],
+            )
+        )
+    return text.getvalue(), ResultSet(rows)
+
+
+def _scaling(machine: str, family: str, backend: Backend) -> tuple[str, ResultSet]:
+    points = scaling_sweep(machine, family=family, backend=backend)
+    rows = [
+        _row(
+            f"N{p.num_nodes}",
+            family,
+            mapper,
+            tags={"kind": "scaling", "machine": machine},
+            jsum=p.jsum,
+            jmax=p.jmax,
+            jsum_reduction=p.jsum_reduction,
+            jmax_reduction=p.jmax_reduction,
+            model_speedup=p.model_speedup,
+        )
+        for mapper, pts in points.items()
+        for p in pts
+    ]
+    results = ResultSet(rows)
+    return f"== scaling on {machine}, {family} ==\n" + results.to_table(), results
+
+
+def _weighted(machine: str, backend: Backend) -> tuple[str, ResultSet]:
+    outcome = weighted_hops_experiment(machine, backend=backend)
+    rows = [
+        _row(
+            "N50_n48_2d",
+            "nearest_neighbor_with_hops",
+            name,
+            tags={"kind": "weighted", "machine": machine},
+            cut_bytes=r.cut_bytes,
+            bottleneck_bytes=r.bottleneck_bytes,
+            model_time=r.model_time,
+            speedup_over_blocked=r.speedup_over_blocked,
+        )
+        for name, r in outcome.items()
+    ]
+    results = ResultSet(rows)
+    return (
+        f"== weighted hops exchange on {machine} ==\n" + results.to_table(),
+        results,
+    )
+
+
+def example_sweep() -> SweepSpec:
+    """The README "Declaring your own sweep" example (CI smoke target)."""
+    return SweepSpec(
+        instances=[InstanceSpec.from_nodes(n, 8) for n in (4, 8)],
+        stencils=["nearest_neighbor", "component"],
+        mappers=["blocked", "hyperplane", "stencil_strips"],
+        tags={"experiment": "example"},
+    )
+
+
+def _sweep(backend: Backend) -> tuple[str, ResultSet]:
+    results = run(example_sweep(), backend=backend)
+    return results.to_table(), results
 
 
 #: Sweep targets the ``serve`` mode can distribute (the backend-aware ones).
 SERVE_TARGETS = ("figure8", "ablations")
+
+
+def _emit(args, text: str, results: ResultSet | None) -> None:
+    """Render one subcommand's outcome per ``--format``/``--output``."""
+    if args.format == "table":
+        payload = text
+    elif results is None:  # pragma: no cover - all targets build a ResultSet
+        raise SystemExit(f"--format {args.format} is not supported here")
+    elif args.format == "json":
+        payload = results.to_json()
+    else:
+        payload = results.to_csv()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload if payload.endswith("\n") else payload + "\n")
+    else:
+        print(payload)
 
 
 def _serve(args, parser) -> int:
@@ -114,49 +388,35 @@ def _serve(args, parser) -> int:
         backend.wait_for_workers(args.min_workers)
         print(f"{backend.num_workers} worker(s) connected; starting {sweep}")
         if sweep == "figure8":
-            _figure8(args.family, args.fast, backend)
+            text, results = _figure8(args.family, args.fast, backend)
         else:
-            _ablations(backend)
+            text, results = _ablations(backend)
+        _emit(args, text, results)
     finally:
         backend.close()
     return 0
-
-
-def _ablations(backend: Backend) -> None:
-    for title, result in (
-        ("hyperplane dimension order", ablation_hyperplane_order(backend=backend)),
-        ("strips serpentine", ablation_strips_serpentine(backend=backend)),
-        ("strips distortion", ablation_strips_distortion(backend=backend)),
-        ("nodecart stencil-aware", ablation_nodecart_stencil_aware(backend=backend)),
-    ):
-        print(f"== {title} ==")
-        for family, res in result.items():
-            print(
-                f"  {family:<28} baseline={res.baseline}  variant={res.variant}  "
-                f"Jsum x{res.jsum_ratio:.2f}  Jmax x{res.jmax_ratio:.2f}"
-            )
-    print("== topology-aware cost model (VSC4, NN, 512 KiB) ==")
-    for mapper, times in ablation_topology_aware().items():
-        print(
-            f"  {mapper:<12} flat={times['flat'] * 1e3:8.3f} ms   "
-            f"aware={times['topology_aware'] * 1e3:8.3f} ms"
-        )
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument(
         "target",
+        nargs="?",
+        default="sweep",
         choices=[
+            "sweep",
             "figure6",
             "figure7",
             "figure8",
             "figure9",
             "table",
             "ablations",
+            "scaling",
+            "weighted",
             "serve",
             "work",
         ],
+        help="what to run (default: the README example sweep)",
     )
     parser.add_argument(
         "table_id",
@@ -167,6 +427,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--family", default="nearest_neighbor")
     parser.add_argument("--reps", type=int, default=50)
     parser.add_argument("--fast", action="store_true")
+    parser.add_argument(
+        "--format",
+        choices=["table", "json", "csv"],
+        default="table",
+        help="output format: human-readable table (default), or the "
+        "ResultSet as JSON/CSV",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the rendered output to a file instead of stdout",
+    )
     parser.add_argument(
         "--backend",
         default=None,
@@ -240,23 +513,27 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(exc))
 
     try:
-        if args.target == "figure6":
-            _figure(6, args.machine, args.reps)
+        if args.target == "sweep":
+            text, results = _sweep(backend)
+        elif args.target == "figure6":
+            text, results = _figure(6, args.machine, args.reps)
         elif args.target == "figure7":
-            _figure(7, args.machine, args.reps)
+            text, results = _figure(7, args.machine, args.reps)
         elif args.target == "figure8":
-            _figure8(args.family, args.fast, backend)
+            text, results = _figure8(args.family, args.fast, backend)
         elif args.target == "figure9":
-            print(render_instantiation(figure9_instantiation_times()))
+            text, results = _figure9()
         elif args.target == "table":
             if args.table_id not in TABLE_INDEX:
                 parser.error(f"table_id must be one of {sorted(TABLE_INDEX)}")
-            machine, nodes = TABLE_INDEX[args.table_id]
-            print(render_appendix_table(
-                appendix_table(machine, nodes, repetitions=args.reps)
-            ))
-        elif args.target == "ablations":
-            _ablations(backend)
+            text, results = _table(args.table_id, args.reps)
+        elif args.target == "scaling":
+            text, results = _scaling(args.machine, args.family, backend)
+        elif args.target == "weighted":
+            text, results = _weighted(args.machine, backend)
+        else:  # args.target == "ablations"
+            text, results = _ablations(backend)
+        _emit(args, text, results)
     finally:
         backend.close()
     return 0

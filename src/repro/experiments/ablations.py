@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from ..core import HyperplaneMapper, NodecartMapper, StencilStripsMapper
 from ..engine import Backend
 from ..hardware.machines import Machine
+from ..sweep import InstanceSpec, SweepSpec, run
 from .context import EvaluationContext, STENCIL_FAMILIES
 from .throughput import resolve_machine
 
@@ -54,34 +55,24 @@ class AblationResult:
 def _compare(
     num_nodes: int, baseline, variant, backend: Backend | None = None
 ) -> dict[str, AblationResult]:
-    context = EvaluationContext(
-        num_nodes, 48, 2, mappers={"baseline": baseline, "variant": variant}
+    # One sweep over all families and both variants; *backend* shards it
+    # across its workers, the default runs on a private (auto-closed)
+    # engine inside repro.sweep.run.
+    spec = SweepSpec(
+        instances=[InstanceSpec.from_nodes(num_nodes, 48, 2)],
+        stencils=list(STENCIL_FAMILIES),
+        mappers=[("baseline", baseline), ("variant", variant)],
     )
-    # One batch over all families and both variants; *backend* shards it
-    # across its workers, the default runs on the context's engine.
-    requests = [
-        context.request(family, name)
-        for family in STENCIL_FAMILIES
-        for name in ("baseline", "variant")
-    ]
-    try:
-        results = (backend or context.engine).evaluate_batch(requests)
-    finally:
-        # the context's private engine must not keep its pool alive
-        if backend is None:
-            context.engine.close()
-    costs = {result.request.tag: result.cost for result in results}
+    results = run(spec, backend=backend)
+    scores = results.pivot(index="stencil", columns="mapper", values="jsum")
+    maxes = results.pivot(index="stencil", columns="mapper", values="jmax")
     out: dict[str, AblationResult] = {}
     for family in STENCIL_FAMILIES:
-        base_cost = costs[(family, "baseline")]
-        var_cost = costs[(family, "variant")]
-        if base_cost is None or var_cost is None:
+        base = (scores[family]["baseline"], maxes[family]["baseline"])
+        var = (scores[family]["variant"], maxes[family]["variant"])
+        if None in base or None in var:
             continue
-        out[family] = AblationResult(
-            family=family,
-            baseline=(base_cost.jsum, base_cost.jmax),
-            variant=(var_cost.jsum, var_cost.jmax),
-        )
+        out[family] = AblationResult(family=family, baseline=base, variant=var)
     return out
 
 

@@ -11,7 +11,7 @@ also share the cached work.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -28,14 +28,19 @@ from ..core import (
 from ..engine import EvaluationEngine, MappingRequest
 from ..grid.dims import dims_create
 from ..grid.grid import CartesianGrid
-from ..grid.stencil import (
-    Stencil,
-    component,
-    nearest_neighbor,
-    nearest_neighbor_with_hops,
-)
+from ..grid.stencil import Stencil
 from ..hardware.allocation import NodeAllocation
 from ..metrics.cost import MappingCost
+
+# The family/mapper axes are owned by the sweep layer now; re-exported
+# here because every driver historically imported them from the context.
+from ..sweep import (  # noqa: F401  - re-exported public names
+    DEFAULT_MAPPER_NAMES,
+    STENCIL_FAMILIES,
+    InstanceSpec,
+    SweepSpec,
+    run as run_sweep,
+)
 
 __all__ = [
     "EvaluationContext",
@@ -43,28 +48,6 @@ __all__ = [
     "DEFAULT_MAPPER_NAMES",
     "STENCIL_FAMILIES",
 ]
-
-#: Stencil factories keyed by the paper's names, applied to the grid
-#: dimensionality of the instance.
-STENCIL_FAMILIES: dict[str, Callable[[int], Stencil]] = {
-    "nearest_neighbor": nearest_neighbor,
-    "nearest_neighbor_with_hops": nearest_neighbor_with_hops,
-    "component": component,
-}
-
-
-#: Registry names of the seven evaluated mappings, in paper order.
-#: ``graphmap`` plays the role of VieM; ``blocked`` is the paper's
-#: "Standard".
-DEFAULT_MAPPER_NAMES: tuple[str, ...] = (
-    "blocked",
-    "hyperplane",
-    "kd_tree",
-    "stencil_strips",
-    "nodecart",
-    "graphmap",
-    "random",
-)
 
 
 def DEFAULT_MAPPERS() -> dict[str, Mapper]:
@@ -124,6 +107,35 @@ class EvaluationContext:
         self.engine = engine if engine is not None else EvaluationEngine()
         self._stencils: dict[str, Stencil] = {}
 
+    def instance_spec(self) -> InstanceSpec:
+        """This context's instance as a sweep axis entry."""
+        return InstanceSpec(
+            grid=self.grid,
+            alloc=self.alloc,
+            label=f"N{self.num_nodes}_n{self.processes_per_node}_{self.grid.ndim}d",
+            params=(
+                ("num_nodes", self.num_nodes),
+                ("processes_per_node", self.processes_per_node),
+                ("ndims", self.grid.ndim),
+            ),
+        )
+
+    def sweep_spec(self, families: Sequence[str] | None = None, **kwargs) -> SweepSpec:
+        """A sweep over this instance: *families* x the context's mappers.
+
+        Extra keyword arguments (``metrics``, ``tags``, ``overrides``)
+        pass through to :class:`~repro.sweep.SweepSpec`.
+        """
+        families = (
+            tuple(families) if families is not None else tuple(STENCIL_FAMILIES)
+        )
+        return SweepSpec(
+            instances=[self.instance_spec()],
+            stencils=[(family, self.stencil(family)) for family in families],
+            mappers=self.mappers,
+            **kwargs,
+        )
+
     # ------------------------------------------------------------------
     # Cached pieces (all memoized in the engine's LRU caches)
     # ------------------------------------------------------------------
@@ -179,16 +191,13 @@ class EvaluationContext:
     def scores(self, family: str) -> dict[str, tuple[int, int] | None]:
         """``(Jsum, Jmax)`` per mapper for the Figure 6/7 score panels.
 
-        All mappers of the family are scored as one engine batch.
+        All mappers of the family are scored as one sweep on the
+        context's engine (so repeated panels share the cached work).
         """
-        results = self.engine.evaluate_batch(
-            self.request(family, name) for name in self.mappers
-        )
+        results = run_sweep(self.sweep_spec([family]), backend=self.engine)
         return {
-            result.request.tag[1]: (
-                None if result.cost is None else (result.jsum, result.jmax)
-            )
-            for result in results
+            row.mapper: None if not row.ok else (row.jsum, row.jmax)
+            for row in results
         }
 
     def mapper_names(self) -> Sequence[str]:

@@ -10,10 +10,17 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..hardware.machines import Machine
+from ..sweep import ResultSet, SweepSpec, run
 from .context import EvaluationContext, STENCIL_FAMILIES
 from .throughput import FIGURE_MESSAGE_SIZES, SpeedupCell, speedup_series
 
-__all__ = ["figure6_context", "figure6_scores", "figure6_speedups", "FIGURE6_NODES"]
+__all__ = [
+    "figure6_context",
+    "figure6_sweep",
+    "figure6_scores",
+    "figure6_speedups",
+    "FIGURE6_NODES",
+]
 
 #: Node count of Figure 6 (48 processes per node, grid 50 x 48).
 FIGURE6_NODES = 50
@@ -24,12 +31,29 @@ def figure6_context(**kwargs) -> EvaluationContext:
     return EvaluationContext(FIGURE6_NODES, 48, 2, **kwargs)
 
 
+def figure6_sweep(context: EvaluationContext | None = None) -> SweepSpec:
+    """The declarative Figure 6 sweep: one instance x families x mappers."""
+    context = context if context is not None else figure6_context()
+    return context.sweep_spec()
+
+
 def figure6_scores(
     context: EvaluationContext | None = None,
 ) -> dict[str, dict[str, tuple[int, int] | None]]:
-    """Score panels: ``{family: {mapper: (Jsum, Jmax)}}``."""
+    """Score panels: ``{family: {mapper: (Jsum, Jmax)}}``.
+
+    The whole figure is one sweep on the context's engine, grouped back
+    into the paper's per-family panels.
+    """
     context = context if context is not None else figure6_context()
-    return {family: context.scores(family) for family in STENCIL_FAMILIES}
+    results: ResultSet = run(figure6_sweep(context), backend=context.engine)
+    return {
+        family: {
+            row.mapper: (row.jsum, row.jmax) if row.ok else None
+            for row in results.filter(stencil=family)
+        }
+        for family in STENCIL_FAMILIES
+    }
 
 
 def figure6_speedups(

@@ -9,10 +9,17 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..hardware.machines import Machine
+from ..sweep import ResultSet, SweepSpec, run
 from .context import EvaluationContext, STENCIL_FAMILIES
 from .throughput import FIGURE_MESSAGE_SIZES, SpeedupCell, speedup_series
 
-__all__ = ["figure7_context", "figure7_scores", "figure7_speedups", "FIGURE7_NODES"]
+__all__ = [
+    "figure7_context",
+    "figure7_sweep",
+    "figure7_scores",
+    "figure7_speedups",
+    "FIGURE7_NODES",
+]
 
 #: Node count of Figure 7 (48 processes per node, grid 75 x 64).
 FIGURE7_NODES = 100
@@ -23,12 +30,29 @@ def figure7_context(**kwargs) -> EvaluationContext:
     return EvaluationContext(FIGURE7_NODES, 48, 2, **kwargs)
 
 
+def figure7_sweep(context: EvaluationContext | None = None) -> SweepSpec:
+    """The declarative Figure 7 sweep: one instance x families x mappers."""
+    context = context if context is not None else figure7_context()
+    return context.sweep_spec()
+
+
 def figure7_scores(
     context: EvaluationContext | None = None,
 ) -> dict[str, dict[str, tuple[int, int] | None]]:
-    """Score panels: ``{family: {mapper: (Jsum, Jmax)}}``."""
+    """Score panels: ``{family: {mapper: (Jsum, Jmax)}}``.
+
+    The whole figure is one sweep on the context's engine, grouped back
+    into the paper's per-family panels.
+    """
     context = context if context is not None else figure7_context()
-    return {family: context.scores(family) for family in STENCIL_FAMILIES}
+    results: ResultSet = run(figure7_sweep(context), backend=context.engine)
+    return {
+        family: {
+            row.mapper: (row.jsum, row.jmax) if row.ok else None
+            for row in results.filter(stencil=family)
+        }
+        for family in STENCIL_FAMILIES
+    }
 
 
 def figure7_speedups(

@@ -20,13 +20,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import Mapper
-from ..engine import Backend, EvaluationEngine, MappingRequest
+from ..engine import Backend, EvaluationEngine
 from ..metrics.cost import reduction_over_blocked
 from ..metrics.stats import ConfidenceInterval, median_ci
+from ..sweep import SweepSpec, run
 from .context import DEFAULT_MAPPER_NAMES, STENCIL_FAMILIES
 from .instances import Instance, instance_set
 
-__all__ = ["figure8_reductions", "summarize_reductions", "ReductionSummary"]
+__all__ = [
+    "figure8_sweep",
+    "figure8_reductions",
+    "summarize_reductions",
+    "ReductionSummary",
+]
 
 
 @dataclass(frozen=True)
@@ -37,6 +43,37 @@ class ReductionSummary:
     jsum_median: ConfidenceInterval
     jmax_median: ConfidenceInterval
     samples: int
+
+
+def figure8_sweep(
+    family: str,
+    *,
+    mappers: Mapping[str, Mapper | str] | None = None,
+    instances: Sequence[Instance] | None = None,
+) -> SweepSpec:
+    """The declarative Figure 8 sweep: instance set x blocked + mappers.
+
+    The blocked baseline rides along as the first mapper of every
+    instance so reductions can be computed from the one batch.
+    """
+    if family not in STENCIL_FAMILIES:
+        raise KeyError(
+            f"unknown stencil family {family!r}; available: {sorted(STENCIL_FAMILIES)}"
+        )
+    if mappers is not None:
+        mappers = dict(mappers)
+    else:
+        # Registry names (not instances): the engine memoizes name-specced
+        # requests by value, so repeated sweeps sharing one engine reuse
+        # every permutation and cost.
+        mappers = {name: name for name in DEFAULT_MAPPER_NAMES}
+    mappers.pop("blocked", None)  # the baseline itself is not plotted
+    instances = list(instances) if instances is not None else instance_set()
+    return SweepSpec(
+        instances=instances,
+        stencils=[family],
+        mappers=[("blocked", "blocked")] + list(mappers.items()),
+    )
 
 
 def figure8_reductions(
@@ -58,91 +95,51 @@ def figure8_reductions(
     otherwise.
 
     The whole sweep — every instance, the blocked baseline and every
-    mapper — is submitted as one batch: instances sharing a grid and
-    stencil share cached communication edges, each instance's
+    mapper — is one :func:`repro.sweep.run` batch: instances sharing a
+    grid and stencil share cached communication edges, each instance's
     permutations are scored as one stacked kernel call, and independent
     instances fan out over the worker pool.  Passing *backend* (e.g. a
-    :class:`~repro.engine.ProcessBackend`) shards the batch across its
-    workers instead of the (per-call) engine's threads.
+    :class:`~repro.engine.ProcessBackend`, or a spec string like
+    ``"process:4"``) shards the batch across its workers instead of the
+    (per-call) engine's threads.
     """
-    if family not in STENCIL_FAMILIES:
-        raise KeyError(
-            f"unknown stencil family {family!r}; available: {sorted(STENCIL_FAMILIES)}"
-        )
-    if mappers is not None:
-        mappers = dict(mappers)
-    else:
-        # Registry names (not instances): the engine memoizes name-specced
-        # requests by value, so repeated sweeps sharing one engine reuse
-        # every permutation and cost.
-        mappers = {name: name for name in DEFAULT_MAPPER_NAMES}
-    mappers.pop("blocked", None)  # the baseline itself is not plotted
-    instances = list(instances) if instances is not None else instance_set()
-    owned_engine = None
-    if backend is None:
-        if engine is None:
-            engine = owned_engine = EvaluationEngine()
-        backend = engine
-
-    factory = STENCIL_FAMILIES[family]
-    requests = []
-    for idx, inst in enumerate(instances):
-        stencil = factory(inst.grid.ndim)
-        requests.append(
-            MappingRequest(
-                grid=inst.grid,
-                stencil=stencil,
-                alloc=inst.allocation,
-                mapper="blocked",
-                tag=(idx, None),
-            )
-        )
-        for name, mapper in mappers.items():
-            requests.append(
-                MappingRequest(
-                    grid=inst.grid,
-                    stencil=stencil,
-                    alloc=inst.allocation,
-                    mapper=mapper,
-                    tag=(idx, name),
-                )
-            )
+    spec = figure8_sweep(family, mappers=mappers, instances=instances)
+    instances = [inst.label for inst in spec.instances]
+    names = [name for name, _ in spec.mappers if name != "blocked"]
+    results = run(spec, backend=backend if backend is not None else engine)
 
     out = {
         name: {
             "jsum": np.full(len(instances), np.nan),
             "jmax": np.full(len(instances), np.nan),
         }
-        for name in mappers
+        for name in names
     }
-    try:
-        results = backend.evaluate_batch(requests)
-    finally:
-        # a private engine's worker pool must not outlive the sweep
-        if owned_engine is not None:
-            owned_engine.close()
-    blocked = {
-        result.request.tag[0]: result.cost
-        for result in results
-        if result.request.tag[1] is None
-    }
-    for idx, base in blocked.items():
-        # No baseline, no ratios: those cells stay NaN — one unmappable
-        # instance must not abort a 144-instance sweep.
-        if base is None:
+    # Instance labels are unique by SweepSpec contract, so rows join
+    # back to the instance list by label rather than index arithmetic.
+    per_instance = results.group_by("instance")
+    for idx, label in enumerate(instances):
+        rows = per_instance[label].rows
+        blocked = next(row for row in rows if row.mapper == "blocked")
+        base_cost = blocked.result.cost if blocked.result is not None else None
+        if base_cost is None:
+            # No baseline, no ratios: those cells stay NaN — one
+            # unmappable instance must not abort a 144-instance sweep.
             warnings.warn(
                 f"blocked baseline failed on instance "
-                f"{instances[idx].label()}; skipping its reduction ratios",
+                f"{label}; skipping its reduction ratios",
                 RuntimeWarning,
                 stacklevel=2,
             )
-    for result in results:
-        idx, name = result.request.tag
-        if name is None or result.cost is None or blocked[idx] is None:
             continue
-        out[name]["jsum"][idx], out[name]["jmax"][idx] = reduction_over_blocked(
-            result.cost, blocked[idx]
-        )
+        for row in rows:
+            if row.mapper == "blocked":
+                continue
+            if row.result is None or row.result.cost is None:
+                continue
+            out[row.mapper]["jsum"][idx], out[row.mapper]["jmax"][idx] = (
+                reduction_over_blocked(row.result.cost, base_cost)
+            )
     return out
 
 

@@ -14,13 +14,11 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..core import Mapper
-from ..engine import Backend, EvaluationEngine, MappingRequest
+from ..engine import Backend, EvaluationEngine
 from ..exceptions import AllocationError
-from ..grid.dims import dims_create
-from ..grid.grid import CartesianGrid
-from ..hardware.allocation import NodeAllocation
 from ..hardware.machines import Machine
 from ..metrics.cost import reduction_over_blocked
+from ..sweep import InstanceSpec, SweepSpec, run
 from .context import DEFAULT_MAPPER_NAMES, STENCIL_FAMILIES
 from .throughput import resolve_machine
 
@@ -110,33 +108,33 @@ def scaling_sweep(
     }
 
     stencil = STENCIL_FAMILIES[family](2)
-    instances: list[tuple[int, CartesianGrid, NodeAllocation]] = []
-    requests: list[MappingRequest] = []
-    for num_nodes in node_counts:
-        grid = CartesianGrid(dims_create(num_nodes * processes_per_node, 2))
-        alloc = NodeAllocation.homogeneous(num_nodes, processes_per_node)
-        instances.append((num_nodes, grid, alloc))
-        requests.append(
-            MappingRequest(grid, stencil, alloc, baseline_spec, tag=(num_nodes, "blocked"))
-        )
-        for name in out:
-            requests.append(
-                MappingRequest(grid, stencil, alloc, mappers[name], tag=(num_nodes, name))
-            )
-
+    spec = SweepSpec(
+        instances=[
+            InstanceSpec.from_nodes(num_nodes, processes_per_node)
+            for num_nodes in node_counts
+        ],
+        stencils=[(family, stencil)],
+        mappers=[("blocked", baseline_spec)]
+        + [(name, mappers[name]) for name in out],
+    )
     try:
-        results = (backend or engine).evaluate_batch(requests)
+        results = run(spec, backend=backend if backend is not None else engine)
     finally:
         # a private engine's worker pool must not outlive the sweep;
         # close() keeps the caches usable — the model-time loop below
         # still reads this engine's warm edge cache
         if owned_engine is not None:
             owned_engine.close()
-    by_tag = {result.request.tag: result for result in results}
 
-    for num_nodes, grid, alloc in instances:
-        blocked = by_tag[(num_nodes, "blocked")]
-        if blocked.cost is None:
+    # Instance labels are unique by SweepSpec contract, so rows join
+    # back to the node counts by label rather than index arithmetic.
+    per_instance = results.group_by("instance")
+    for instance in spec.instances:
+        num_nodes = dict(instance.params)["num_nodes"]
+        grid, alloc = instance.grid, instance.alloc
+        rows = per_instance[instance.label].rows
+        blocked = next(row for row in rows if row.mapper == "blocked")
+        if not blocked.ok:
             raise AllocationError(
                 f"blocked baseline failed on {num_nodes} nodes: {blocked.error}"
             )
@@ -145,20 +143,22 @@ def scaling_sweep(
         model = machine.model(num_nodes)
         edges = engine.edges(grid, stencil)
         blocked_time = model.alltoall_time(
-            grid, stencil, blocked.perm, alloc, message_size, edges=edges
+            grid, stencil, blocked.result.perm, alloc, message_size, edges=edges
         )
-        for name in out:
-            result = by_tag[(num_nodes, name)]
-            if result.cost is None:
+        for row in rows:
+            if row.mapper == "blocked" or not row.ok:
                 continue
+            result = row.result
             t = model.alltoall_time(
                 grid, stencil, result.perm, alloc, message_size, edges=edges
             )
-            jsum_red, jmax_red = reduction_over_blocked(result.cost, blocked.cost)
-            out[name].append(
+            jsum_red, jmax_red = reduction_over_blocked(
+                result.cost, blocked.result.cost
+            )
+            out[row.mapper].append(
                 ScalingPoint(
                     num_nodes=num_nodes,
-                    mapper=name,
+                    mapper=row.mapper,
                     jsum=result.cost.jsum,
                     jmax=result.cost.jmax,
                     jsum_reduction=jsum_red,

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from ..hardware.machines import Machine
 from ..metrics.stats import ConfidenceInterval
 from .context import EvaluationContext, STENCIL_FAMILIES
-from .throughput import measure_times, resolve_machine
+from .throughput import mapping_results, measure_times, resolve_machine
 
 __all__ = ["TABLE_MESSAGE_SIZES", "AppendixTable", "appendix_table", "TABLE_INDEX"]
 
@@ -65,7 +65,9 @@ def appendix_table(
     """Regenerate one appendix table on the machine model.
 
     Passing a pre-built *context* (for example shared with the figure
-    drivers) reuses the cached mappings.
+    drivers) reuses the cached mappings.  The machine-independent half —
+    every family x mapper evaluation — runs as one sweep shared by the
+    three per-family blocks.
     """
     machine = resolve_machine(machine)
     context = (
@@ -76,6 +78,7 @@ def appendix_table(
         num_nodes=num_nodes,
         message_sizes=tuple(message_sizes),
     )
+    mappings = mapping_results(context)
     for family in STENCIL_FAMILIES:
         table.times[family] = measure_times(
             context,
@@ -84,5 +87,6 @@ def appendix_table(
             message_sizes,
             repetitions=repetitions,
             seed=seed,
+            mappings=mappings,
         )
     return table

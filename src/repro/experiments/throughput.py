@@ -15,12 +15,14 @@ import numpy as np
 
 from ..hardware.machines import MACHINES, Machine
 from ..metrics.stats import ConfidenceInterval, mean_ci
+from ..sweep import ResultSet, run
 from .context import EvaluationContext
 
 __all__ = [
     "FIGURE_MESSAGE_SIZES",
     "SpeedupCell",
     "resolve_machine",
+    "mapping_results",
     "measure_times",
     "speedup_series",
 ]
@@ -54,6 +56,24 @@ def resolve_machine(machine: str | Machine) -> Machine:
         ) from None
 
 
+def mapping_results(
+    context: EvaluationContext,
+    families: Sequence[str] | None = None,
+    *,
+    backend=None,
+) -> ResultSet:
+    """Evaluate the context's mappers on *families* as one sweep.
+
+    The machine-independent half of every throughput experiment: the
+    returned rows carry the permutations and scores the model sampling
+    below consumes.  Runs on the context's engine by default (warm
+    caches across machines and repeated panels); pass *backend* to
+    shard it instead.
+    """
+    spec = context.sweep_spec(families)
+    return run(spec, backend=backend if backend is not None else context.engine)
+
+
 def measure_times(
     context: EvaluationContext,
     machine: str | Machine,
@@ -63,20 +83,38 @@ def measure_times(
     repetitions: int = 200,
     seed: int = 0,
     topology_aware: bool = False,
+    mappings: ResultSet | None = None,
 ) -> dict[str, dict[int, ConfidenceInterval | None]]:
     """Mean exchange time (with CI) per mapper and message size.
 
     ``None`` cells mark mappers that rejected the instance.  Sampling is
     deterministic: the RNG stream is derived from *seed*, the machine
-    name, the family, the mapper and the size.
+    name, the family, the mapper and the size.  *mappings* accepts a
+    pre-computed :func:`mapping_results` set (e.g. shared across the six
+    appendix tables); by default the family's sweep runs here.
     """
     machine = resolve_machine(machine)
     model = machine.model(context.num_nodes, topology_aware=topology_aware)
     edges = context.edges(family)
     stencil = context.stencil(family)
+    rows = (
+        mappings if mappings is not None else mapping_results(context, [family])
+    ).filter(stencil=family)
+    if not len(rows):
+        raise KeyError(
+            f"the provided mapping sweep has no rows for family {family!r}"
+        )
     results: dict[str, dict[int, ConfidenceInterval | None]] = {}
-    for mapper_name in context.mapper_names():
-        perm = context.mapping(family, mapper_name)
+    for row in rows:
+        mapper_name = row.mapper
+        if row.ok and row.result is None:
+            raise ValueError(
+                "the provided mappings ResultSet carries no live "
+                "MappingResults (e.g. it was deserialized); model sampling "
+                "needs the permutations — pass the ResultSet returned by "
+                "mapping_results()/repro.run()"
+            )
+        perm = row.result.perm if row.ok else None
         per_size: dict[int, ConfidenceInterval | None] = {}
         for size in message_sizes:
             if perm is None:

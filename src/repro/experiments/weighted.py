@@ -14,13 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine import weighted_bytes_metric
 from ..hardware.machines import Machine
-from ..metrics.cost import weighted_cut_bytes
+from ..sweep import SweepSpec, run
 from ..workloads import halo_exchange_volume
 from .context import EvaluationContext
 from .throughput import resolve_machine
 
-__all__ = ["WeightedResult", "weighted_hops_experiment"]
+__all__ = ["WeightedResult", "weighted_sweep", "weighted_hops_experiment"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,15 @@ class WeightedResult:
     speedup_over_blocked: float
 
 
+def weighted_sweep(context: EvaluationContext, volumes) -> SweepSpec:
+    """The declarative E18 sweep: hops instance x mappers, with the
+    ``weighted_cut_bytes`` metric computed batch-level in the engine."""
+    family = "nearest_neighbor_with_hops"
+    return context.sweep_spec(
+        [family], metrics=[weighted_bytes_metric(volumes)]
+    )
+
+
 def weighted_hops_experiment(
     machine: str | Machine = "VSC4",
     *,
@@ -41,8 +51,17 @@ def weighted_hops_experiment(
     tile: tuple[int, ...] = (128, 128),
     element_bytes: int = 8,
     context: EvaluationContext | None = None,
+    backend=None,
 ) -> dict[str, WeightedResult]:
-    """Run E18; returns per-mapper weighted costs and model times."""
+    """Run E18; returns per-mapper weighted costs and model times.
+
+    The weighted cut runs as a batch-level engine metric through the
+    shared cached pipeline, so the sweep can execute on any backend
+    (*backend* accepts a :class:`~repro.engine.Backend` or a spec string
+    like ``"process:4"``) with bit-identical results to the serial
+    :func:`repro.metrics.cost.weighted_cut_bytes` path.  Only the cheap
+    machine-bound model times stay in the parent process.
+    """
     machine = resolve_machine(machine)
     context = (
         context if context is not None else EvaluationContext(num_nodes, 48, 2)
@@ -52,24 +71,24 @@ def weighted_hops_experiment(
     volumes = halo_exchange_volume(context.grid, stencil, tile, element_bytes)
     model = machine.model(num_nodes)
 
+    rows = run(
+        weighted_sweep(context, volumes),
+        backend=backend if backend is not None else context.engine,
+    )
     results: dict[str, WeightedResult] = {}
     blocked_time = None
-    for name in context.mapper_names():
-        perm = context.mapping(family, name)
-        if perm is None:
+    for row in rows:
+        if not row.ok:
             continue
-        cut, bottleneck = weighted_cut_bytes(
-            context.grid, stencil, perm, context.alloc, volumes
-        )
         t = model.weighted_alltoall_time(
-            context.grid, stencil, perm, context.alloc, volumes
+            context.grid, stencil, row.result.perm, context.alloc, volumes
         )
-        if name == "blocked":
+        if row.mapper == "blocked":
             blocked_time = t
-        results[name] = WeightedResult(
-            mapper=name,
-            cut_bytes=cut,
-            bottleneck_bytes=bottleneck,
+        results[row.mapper] = WeightedResult(
+            mapper=row.mapper,
+            cut_bytes=row.metrics["weighted_cut_bytes"],
+            bottleneck_bytes=row.metrics["weighted_bottleneck_bytes"],
             model_time=t,
             speedup_over_blocked=1.0,
         )

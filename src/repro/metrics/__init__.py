@@ -11,6 +11,8 @@ from .cost import (
     per_node_cut,
     per_node_cut_batch,
     reduction_over_blocked,
+    weighted_cut_bytes,
+    weighted_cut_bytes_batch,
 )
 from .stats import (
     ConfidenceInterval,
@@ -30,6 +32,8 @@ __all__ = [
     "per_node_cut",
     "per_node_cut_batch",
     "reduction_over_blocked",
+    "weighted_cut_bytes",
+    "weighted_cut_bytes_batch",
     "ConfidenceInterval",
     "mean_ci",
     "median_ci",

@@ -37,6 +37,7 @@ __all__ = [
     "evaluate_mappings_batch",
     "reduction_over_blocked",
     "weighted_cut_bytes",
+    "weighted_cut_bytes_batch",
 ]
 
 #: Largest ``batch x edges`` product materialised at once by the batched
@@ -291,24 +292,69 @@ def weighted_cut_bytes(
     The weighted analogue of ``(Jsum, Jmax)`` when each stencil offset
     carries a different payload (``offset_bytes``: offset tuple ->
     bytes, e.g. from :func:`repro.workloads.halo_exchange_volume`).
+    A batch of one of :func:`weighted_cut_bytes_batch`, so the serial
+    and batched paths are bit-identical by construction.
+    """
+    perm = check_permutation(perm, alloc.total_processes)
+    return weighted_cut_bytes_batch(
+        grid, stencil, perm[None, :], alloc, offset_bytes
+    )[0]
+
+
+def weighted_cut_bytes_batch(
+    grid: CartesianGrid,
+    stencil: Stencil,
+    perms: np.ndarray,
+    alloc: NodeAllocation,
+    offset_bytes,
+    *,
+    edges: np.ndarray | None = None,
+    offset_index: np.ndarray | None = None,
+) -> list[tuple[float, float]]:
+    """Volume-weighted cuts for a stack of ``(b, p)`` mapping permutations.
+
+    Returns one ``(total inter-node bytes, bottleneck bytes)`` pair per
+    row of *perms*.  The per-offset edge enumeration and the weight
+    gather are shared across the whole batch; each row's weighted
+    ``bincount`` accumulates its edge bytes in the same order as the
+    scalar path, so results are bit-identical to calling
+    :func:`weighted_cut_bytes` row by row.  ``edges``/``offset_index``
+    accept the cached output of
+    :func:`~repro.grid.graph.communication_edges_by_offset`.
     """
     from ..grid.graph import communication_edges_by_offset
 
     missing = [off for off in stencil.offsets if off not in offset_bytes]
     if missing:
         raise MappingError(f"offset_bytes missing entries for {missing}")
-    edges, offset_index = communication_edges_by_offset(grid, stencil)
-    if edges.shape[0] == 0:
-        return 0.0, 0.0
+    if edges is None or offset_index is None:
+        edges, offset_index = communication_edges_by_offset(grid, stencil)
+    nodes = node_of_vertex_batch(perms, alloc)
+    b = nodes.shape[0]
+    if edges.shape[0] == 0 or b == 0:
+        return [(0.0, 0.0)] * b
     weights = np.array([float(offset_bytes[off]) for off in stencil.offsets])
     edge_bytes = weights[offset_index]
-    nodes = node_of_vertex(perm, alloc)
-    src_nodes = nodes[edges[:, 0]]
-    cut = src_nodes != nodes[edges[:, 1]]
-    per_node = np.bincount(
-        src_nodes[cut], weights=edge_bytes[cut], minlength=alloc.num_nodes
-    )
-    return float(per_node.sum()), float(per_node.max())
+    num_nodes = alloc.num_nodes
+    m = edges.shape[0]
+    out: list[tuple[float, float]] = []
+    step = max(1, _BATCH_CELL_LIMIT // max(1, m))
+    for lo in range(0, b, step):
+        hi = min(lo + step, b)
+        chunk = nodes[lo:hi]
+        src_nodes = chunk[:, edges[:, 0]]  # (rows, m)
+        cut = src_nodes != chunk[:, edges[:, 1]]
+        rows = np.arange(hi - lo, dtype=np.int64)[:, None]
+        flat = (src_nodes + rows * num_nodes)[cut]
+        flat_bytes = np.broadcast_to(edge_bytes, cut.shape)[cut]
+        per_node = np.bincount(
+            flat, weights=flat_bytes, minlength=(hi - lo) * num_nodes
+        ).reshape(hi - lo, num_nodes)
+        out.extend(
+            (float(per_node[i].sum()), float(per_node[i].max()))
+            for i in range(hi - lo)
+        )
+    return out
 
 
 def reduction_over_blocked(cost: MappingCost, blocked_cost: MappingCost) -> tuple[float, float]:

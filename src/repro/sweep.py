@@ -1,0 +1,961 @@
+"""Declarative mapping sweeps: ``SweepSpec`` -> engine batch -> ``ResultSet``.
+
+Every experiment of the paper is one shape — *instances x stencils x
+mappers* evaluated on a machine model, with some metric columns per cell
+— yet each driver used to hand-roll its own loop.  This module is the
+shared seam: declare the cross-product once, compile it to
+:class:`~repro.engine.MappingRequest` batches, execute on any
+:class:`~repro.engine.Backend` (thread, process, or cluster), and get a
+columnar :class:`ResultSet` back with deterministic ordering and
+partial-failure cells carried as errors instead of crashes.
+
+>>> import repro
+>>> spec = repro.SweepSpec(
+...     instances=[repro.InstanceSpec.from_nodes(n, 8) for n in (4, 8)],
+...     stencils=["nearest_neighbor"],
+...     mappers=["blocked", "hyperplane", "stencil_strips"],
+... )
+>>> results = repro.run(spec, backend="process:2")      # doctest: +SKIP
+>>> results.pivot(values="jmax")                        # doctest: +SKIP
+{'N4_n8_2d': {'blocked': 24, 'hyperplane': 16, ...}, ...}
+
+Extra quantities plug in through the engine's metric registry
+(:mod:`repro.engine.metrics`); ``metrics=[weighted_bytes_metric(vol)]``
+runs the volume-weighted cut batch-level through the same cached
+pipeline on every backend.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .core import Mapper
+from .engine import (
+    Backend,
+    EvaluationEngine,
+    MappingRequest,
+    MappingResult,
+    resolve_backend,
+)
+from .engine.metrics import MetricSpec, as_metric_spec
+from .exceptions import ReproError
+from .grid.dims import dims_create
+from .grid.grid import CartesianGrid
+from .grid.stencil import (
+    Stencil,
+    component,
+    nearest_neighbor,
+    nearest_neighbor_with_hops,
+)
+from .hardware.allocation import NodeAllocation
+
+__all__ = [
+    "STENCIL_FAMILIES",
+    "DEFAULT_MAPPER_NAMES",
+    "InstanceSpec",
+    "CellOverride",
+    "SweepCell",
+    "SweepSpec",
+    "SweepRow",
+    "ResultSet",
+    "run",
+    "run_stream",
+]
+
+#: Stencil factories keyed by the paper's names, applied to the grid
+#: dimensionality of each instance.
+STENCIL_FAMILIES: dict[str, Callable[[int], Stencil]] = {
+    "nearest_neighbor": nearest_neighbor,
+    "nearest_neighbor_with_hops": nearest_neighbor_with_hops,
+    "component": component,
+}
+
+#: Registry names of the seven evaluated mappings, in paper order.
+#: ``graphmap`` plays the role of VieM; ``blocked`` is the paper's
+#: "Standard".
+DEFAULT_MAPPER_NAMES: tuple[str, ...] = (
+    "blocked",
+    "hyperplane",
+    "kd_tree",
+    "stencil_strips",
+    "nodecart",
+    "graphmap",
+    "random",
+)
+
+
+# ----------------------------------------------------------------------
+# Axes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One evaluation instance of a sweep: a grid plus its allocation.
+
+    ``params`` is a tuple of ``(key, value)`` pairs surfaced on every
+    result row (e.g. ``num_nodes``) so post-processing can group and
+    pivot without re-parsing labels.
+    """
+
+    grid: CartesianGrid
+    alloc: NodeAllocation
+    label: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def from_nodes(
+        cls,
+        num_nodes: int,
+        processes_per_node: int = 48,
+        ndims: int = 2,
+        *,
+        label: str | None = None,
+    ) -> "InstanceSpec":
+        """The paper's canonical instance shape: ``dims_create`` grid of
+        ``N x n`` processes on a homogeneous allocation."""
+        num_nodes = int(num_nodes)
+        processes_per_node = int(processes_per_node)
+        grid = CartesianGrid(
+            dims_create(num_nodes * processes_per_node, int(ndims))
+        )
+        alloc = NodeAllocation.homogeneous(num_nodes, processes_per_node)
+        return cls(
+            grid=grid,
+            alloc=alloc,
+            label=label or f"N{num_nodes}_n{processes_per_node}_{int(ndims)}d",
+            params=(
+                ("num_nodes", num_nodes),
+                ("processes_per_node", processes_per_node),
+                ("ndims", int(ndims)),
+            ),
+        )
+
+    @classmethod
+    def coerce(cls, value) -> "InstanceSpec":
+        """Accept the shapes drivers naturally hold.
+
+        * an :class:`InstanceSpec` (returned unchanged),
+        * an :class:`~repro.experiments.instances.Instance`-like object
+          (``grid``/``allocation`` attributes plus a ``label()``),
+        * a ``(grid, alloc)`` pair,
+        * an ``int`` node count (48 processes per node, 2-d).
+        """
+        if isinstance(value, cls):
+            return value
+        if hasattr(value, "grid") and hasattr(value, "allocation"):
+            params = []
+            for key in ("num_nodes", "processes_per_node", "ndims"):
+                if hasattr(value, key):
+                    params.append((key, int(getattr(value, key))))
+            label = value.label() if callable(getattr(value, "label", None)) else None
+            return cls(
+                grid=value.grid,
+                alloc=value.allocation,
+                label=label or f"p{value.grid.size}",
+                params=tuple(params),
+            )
+        if isinstance(value, int):
+            return cls.from_nodes(value)
+        if isinstance(value, tuple) and len(value) == 2:
+            grid, alloc = value
+            return cls(
+                grid=grid,
+                alloc=alloc,
+                label=f"grid{'x'.join(map(str, grid.dims))}",
+                params=(("num_nodes", alloc.num_nodes),),
+            )
+        raise TypeError(
+            f"cannot interpret {value!r} as a sweep instance; pass an "
+            f"InstanceSpec, an Instance, a (grid, alloc) pair or a node count"
+        )
+
+
+def _stencil_axis(value) -> tuple[str, Callable[[int], Stencil] | Stencil]:
+    """Normalise one stencil-axis entry to ``(name, factory-or-stencil)``."""
+    if isinstance(value, str):
+        try:
+            return value, STENCIL_FAMILIES[value]
+        except KeyError:
+            raise KeyError(
+                f"unknown stencil family {value!r}; "
+                f"available: {sorted(STENCIL_FAMILIES)}"
+            ) from None
+    if isinstance(value, Stencil):
+        return f"stencil{len(value.offsets)}", value
+    if isinstance(value, tuple) and len(value) == 2:
+        name, stencil = value
+        return str(name), stencil
+    raise TypeError(
+        f"cannot interpret {value!r} as a stencil axis entry; pass a family "
+        f"name, a Stencil, or a (name, stencil_or_factory) pair"
+    )
+
+
+def _mapper_axis(value) -> tuple[str, str | Mapper]:
+    """Normalise one mapper-axis entry to ``(name, registry-name-or-instance)``."""
+    if isinstance(value, str):
+        return value, value
+    if isinstance(value, Mapper):
+        return value.name, value
+    if isinstance(value, tuple) and len(value) == 2:
+        name, mapper = value
+        return str(name), mapper
+    raise TypeError(
+        f"cannot interpret {value!r} as a mapper axis entry; pass a registry "
+        f"name, a Mapper instance, or a (name, mapper) pair"
+    )
+
+
+@dataclass(frozen=True)
+class CellOverride:
+    """Per-cell override matched by (instance, stencil, mapper) labels.
+
+    ``None`` patterns match everything, so one override can blanket a
+    whole axis slice — e.g. give every ``graphmap`` cell an extra tag,
+    or skip a mapper on one instance.  ``metrics`` *replaces* the cell's
+    metric tuple; ``tags`` merge over the spec-level tags.
+    """
+
+    instance: str | None = None
+    stencil: str | None = None
+    mapper: str | None = None
+    metrics: tuple | None = None
+    tags: Mapping[str, Any] | None = None
+    skip: bool = False
+
+    def matches(self, instance: str, stencil: str, mapper: str) -> bool:
+        """``True`` when every non-``None`` pattern equals its label."""
+        return (
+            (self.instance is None or self.instance == instance)
+            and (self.stencil is None or self.stencil == stencil)
+            and (self.mapper is None or self.mapper == mapper)
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class SweepCell:
+    """One compiled cell of a sweep's cross-product.
+
+    ``request`` is ``None`` when the cell failed to compile (mismatched
+    allocation, stencil/grid dimensionality clash, ...); ``error`` then
+    explains why and the cell surfaces as a failed :class:`SweepRow`
+    instead of aborting the sweep.
+    """
+
+    index: int
+    instance: InstanceSpec
+    stencil: str
+    mapper: str
+    mapper_spec: str | Mapper = field(repr=False)
+    metrics: tuple[MetricSpec, ...] = ()
+    tags: dict = field(default_factory=dict)
+    request: MappingRequest | None = field(repr=False, default=None)
+    error: str | None = None
+
+
+class SweepSpec:
+    """A declarative sweep: instances x allocations x stencils x mappers.
+
+    Parameters
+    ----------
+    instances:
+        Anything :meth:`InstanceSpec.coerce` accepts — prebuilt specs,
+        :class:`~repro.experiments.instances.Instance` objects,
+        ``(grid, alloc)`` pairs, or bare node counts.
+    stencils:
+        Stencil-axis entries: family names from :data:`STENCIL_FAMILIES`
+        (resolved against each instance's dimensionality), concrete
+        :class:`~repro.grid.stencil.Stencil` objects, or ``(name,
+        stencil_or_factory)`` pairs.
+    mappers:
+        Mapper-axis entries: registry names, configured
+        :class:`~repro.core.Mapper` instances, ``(name, mapper)`` pairs,
+        or a ``{name: mapper}`` mapping.  Defaults to the paper's seven
+        algorithms.
+    allocations:
+        Optional extra axis of ``(label, NodeAllocation)`` pairs (or
+        bare allocations) crossed with every instance; an allocation
+        whose process count mismatches an instance's grid becomes an
+        error cell, not a crash.  Without it each instance uses its own
+        allocation.
+    metrics:
+        Extra engine metrics for every cell (names or
+        :class:`~repro.engine.MetricSpec`); see
+        :mod:`repro.engine.metrics`.
+    tags:
+        Constant key/value payload stamped on every result row.
+    overrides:
+        :class:`CellOverride` entries, applied in order to matching
+        cells.
+
+    The spec is immutable after construction; :meth:`cells` compiles the
+    cross-product exactly once (deterministic cell order: instance-major,
+    then allocation, stencil, mapper) and :func:`run` turns it into a
+    :class:`ResultSet`.
+    """
+
+    def __init__(
+        self,
+        instances: Iterable,
+        stencils: Iterable = ("nearest_neighbor",),
+        mappers: Iterable | Mapping[str, str | Mapper] = DEFAULT_MAPPER_NAMES,
+        *,
+        allocations: Iterable | None = None,
+        metrics: Iterable = (),
+        tags: Mapping[str, Any] | None = None,
+        overrides: Iterable[CellOverride] = (),
+    ):
+        self.instances: tuple[InstanceSpec, ...] = tuple(
+            InstanceSpec.coerce(i) for i in instances
+        )
+        self.stencils = tuple(_stencil_axis(s) for s in stencils)
+        if isinstance(mappers, Mapping):
+            self.mappers = tuple(
+                (str(name), mapper) for name, mapper in mappers.items()
+            )
+        else:
+            self.mappers = tuple(_mapper_axis(m) for m in mappers)
+        if allocations is None:
+            self.allocations: tuple[tuple[str, NodeAllocation], ...] | None = None
+        else:
+            entries = []
+            for entry in allocations:
+                if isinstance(entry, NodeAllocation):
+                    entries.append((f"nodes{entry.num_nodes}", entry))
+                else:
+                    label, alloc = entry
+                    entries.append((str(label), alloc))
+            self.allocations = tuple(entries)
+        self.metrics: tuple[MetricSpec, ...] = tuple(
+            as_metric_spec(m) for m in metrics
+        )
+        self.tags: dict[str, Any] = dict(tags or {})
+        self.overrides: tuple[CellOverride, ...] = tuple(overrides)
+        if not self.instances:
+            raise ValueError("a sweep needs at least one instance")
+        if not self.stencils:
+            raise ValueError("a sweep needs at least one stencil")
+        if not self.mappers:
+            raise ValueError("a sweep needs at least one mapper")
+        # Rows join back to cells by label: a duplicated label would make
+        # two axis entries indistinguishable in every filter/group/pivot
+        # (and silently overwrite pivot cells), so refuse it up front.
+        for axis, labels in (
+            ("instance", [inst.label for inst in self.instances]),
+            ("stencil", [name for name, _ in self.stencils]),
+            ("mapper", [name for name, _ in self.mappers]),
+            ("allocation", [name for name, _ in self.allocations or ()]),
+        ):
+            duplicates = {x for x in labels if labels.count(x) > 1}
+            if duplicates:
+                raise ValueError(
+                    f"duplicate {axis} label(s) {sorted(duplicates)}; give "
+                    f"each axis entry a distinct label (e.g. pass (name, "
+                    f"{axis}) pairs or set explicit labels)"
+                )
+        self._cells: tuple[SweepCell, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _resolve_stencil(
+        self, axis_index: int, ndim: int, cache: dict
+    ) -> Stencil:
+        """Resolve one stencil-axis entry for *ndim*, memoized per compile.
+
+        Family factories build a fresh (but value-equal) Stencil per
+        call; resolving once per (axis entry, dimensionality) instead of
+        per cell keeps spec compilation O(instances) rather than
+        O(cells) on the stencil axis.  Resolution failures are memoized
+        too and re-raised for each affected cell.
+        """
+        key = (axis_index, ndim)
+        if key not in cache:
+            _, stencil_or_factory = self.stencils[axis_index]
+            try:
+                cache[key] = (
+                    stencil_or_factory
+                    if isinstance(stencil_or_factory, Stencil)
+                    else stencil_or_factory(ndim)
+                )
+            except (ReproError, KeyError, TypeError, ValueError) as exc:
+                cache[key] = exc
+        resolved = cache[key]
+        if isinstance(resolved, Exception):
+            raise resolved
+        return resolved
+
+    def _compile_cell(
+        self,
+        index: int,
+        instance: InstanceSpec,
+        alloc_label: str | None,
+        alloc: NodeAllocation,
+        stencil_name: str,
+        resolve_stencil,
+        mapper_name: str,
+        mapper_spec,
+    ) -> SweepCell:
+        metrics = self.metrics
+        tags = dict(self.tags)
+        if alloc_label is not None:
+            tags.setdefault("allocation", alloc_label)
+        skip = False
+        for override in self.overrides:
+            if override.matches(instance.label, stencil_name, mapper_name):
+                if override.metrics is not None:
+                    metrics = tuple(as_metric_spec(m) for m in override.metrics)
+                if override.tags:
+                    tags.update(override.tags)
+                skip = skip or override.skip
+        if skip:
+            return SweepCell(
+                index=index,
+                instance=instance,
+                stencil=stencil_name,
+                mapper=mapper_name,
+                mapper_spec=mapper_spec,
+                metrics=metrics,
+                tags=tags,
+                error="skipped by override",
+            )
+        try:
+            stencil = resolve_stencil()
+            request = MappingRequest(
+                grid=instance.grid,
+                stencil=stencil,
+                alloc=alloc,
+                mapper=mapper_spec,
+                metrics=metrics,
+                tag=index,
+            )
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            # a malformed cell must not abort the other cells of the sweep
+            return SweepCell(
+                index=index,
+                instance=instance,
+                stencil=stencil_name,
+                mapper=mapper_name,
+                mapper_spec=mapper_spec,
+                metrics=metrics,
+                tags=tags,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return SweepCell(
+            index=index,
+            instance=instance,
+            stencil=stencil_name,
+            mapper=mapper_name,
+            mapper_spec=mapper_spec,
+            metrics=metrics,
+            tags=tags,
+            request=request,
+        )
+
+    def cells(self) -> tuple[SweepCell, ...]:
+        """The compiled cross-product, in deterministic cell order."""
+        if self._cells is None:
+            cells: list[SweepCell] = []
+            stencil_cache: dict = {}
+            for instance in self.instances:
+                alloc_axis = (
+                    [(None, instance.alloc)]
+                    if self.allocations is None
+                    else list(self.allocations)
+                )
+                ndim = instance.grid.ndim
+                for alloc_label, alloc in alloc_axis:
+                    for axis_index, (stencil_name, _) in enumerate(self.stencils):
+                        def resolve_stencil(i=axis_index, d=ndim):
+                            return self._resolve_stencil(i, d, stencil_cache)
+
+                        for mapper_name, mapper_spec in self.mappers:
+                            cells.append(
+                                self._compile_cell(
+                                    len(cells),
+                                    instance,
+                                    alloc_label,
+                                    alloc,
+                                    stencil_name,
+                                    resolve_stencil,
+                                    mapper_name,
+                                    mapper_spec,
+                                )
+                            )
+            self._cells = tuple(cells)
+        return self._cells
+
+    def compile(self) -> list[MappingRequest]:
+        """The executable requests of the sweep (error cells excluded)."""
+        return [cell.request for cell in self.cells() if cell.request is not None]
+
+    def __len__(self) -> int:
+        return len(self.cells())
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepSpec({len(self.instances)} instance(s) x "
+            f"{len(self.stencils)} stencil(s) x {len(self.mappers)} "
+            f"mapper(s){' x ' + str(len(self.allocations)) + ' alloc(s)' if self.allocations else ''}, "
+            f"metrics={[m.name for m in self.metrics]})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class SweepRow:
+    """One cell's outcome, flattened for columnar post-processing.
+
+    ``metrics`` holds the extra metric columns (and any derived columns
+    added by :meth:`ResultSet.with_columns`); ``params`` the instance
+    parameters; ``tags`` the caller payload.  ``result`` keeps the live
+    :class:`~repro.engine.MappingResult` (permutation access for model
+    evaluation) and is dropped by serialization — a deserialized row has
+    ``result=None``.
+    """
+
+    instance: str
+    stencil: str
+    mapper: str
+    ok: bool
+    error: str | None
+    jsum: int | None
+    jmax: int | None
+    metrics: dict[str, Any] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
+    tags: dict[str, Any] = field(default_factory=dict)
+    result: MappingResult | None = field(default=None, repr=False)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Column lookup: row attribute, then metrics, params, tags."""
+        if name in ("instance", "stencil", "mapper", "ok", "error", "jsum", "jmax"):
+            return getattr(self, name)
+        for source in (self.metrics, self.params, self.tags):
+            if name in source:
+                return source[name]
+        return default
+
+
+def _json_safe(value):
+    """Strict-JSON conversion of row payload values.
+
+    Non-finite floats have no RFC 8259 representation: NaN (the sweep's
+    "no value" marker, e.g. failed reduction cells) becomes ``null``,
+    and infinities become the tagged object ``{"$float": "Infinity"}`` /
+    ``{"$float": "-Infinity"}`` that :func:`_json_restore` maps back to
+    floats (a tag that cannot collide with ordinary string payloads).
+    """
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        value = float(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return None
+        return {"$float": "Infinity" if value > 0 else "-Infinity"}
+    if isinstance(value, np.ndarray):
+        return _json_safe(value.tolist())
+    if isinstance(value, (tuple, list)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return value
+
+
+def _json_restore(value):
+    """Inverse of :func:`_json_safe`'s infinity encoding."""
+    if isinstance(value, dict):
+        if set(value) == {"$float"} and value["$float"] in (
+            "Infinity",
+            "-Infinity",
+        ):
+            return float("inf") if value["$float"] == "Infinity" else float("-inf")
+        return {k: _json_restore(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_json_restore(v) for v in value]
+    return value
+
+
+def _row_from_cell(cell: SweepCell, result: MappingResult | None) -> SweepRow:
+    if result is None:
+        return SweepRow(
+            instance=cell.instance.label,
+            stencil=cell.stencil,
+            mapper=cell.mapper,
+            ok=False,
+            error=cell.error or "cell did not compile",
+            jsum=None,
+            jmax=None,
+            params=dict(cell.instance.params),
+            tags=dict(cell.tags),
+        )
+    return SweepRow(
+        instance=cell.instance.label,
+        stencil=cell.stencil,
+        mapper=cell.mapper,
+        ok=result.ok,
+        error=result.error,
+        jsum=result.jsum,
+        jmax=result.jmax,
+        metrics=dict(result.metrics),
+        params=dict(cell.instance.params),
+        tags=dict(cell.tags),
+        result=result,
+    )
+
+
+class ResultSet:
+    """Columnar sweep results: deterministic order, filter/group/pivot.
+
+    Rows arrive in the spec's cell order from :func:`run` (regardless of
+    which backend or shard produced them) and keep that order through
+    every transformation, so serialized output is reproducible.
+
+    Sets built by :func:`run` materialize their :class:`SweepRow`
+    objects lazily on first access: executing a compiled sweep then
+    costs only the engine batch, and row construction is paid by the
+    consumer that actually reads them.
+    """
+
+    def __init__(self, rows: Iterable[SweepRow] = ()):
+        self._rows: tuple[SweepRow, ...] | None = tuple(rows)
+        self._pending: list[tuple[SweepCell, MappingResult | None]] | None = None
+
+    @classmethod
+    def _deferred(
+        cls, pairs: list[tuple[SweepCell, MappingResult | None]]
+    ) -> "ResultSet":
+        """A set whose rows are built on first access (used by run())."""
+        result_set = cls.__new__(cls)
+        result_set._rows = None
+        result_set._pending = pairs
+        return result_set
+
+    # -- container protocol -------------------------------------------
+    @property
+    def rows(self) -> tuple[SweepRow, ...]:
+        """The rows, in deterministic sweep order."""
+        if self._rows is None:
+            self._rows = tuple(
+                _row_from_cell(cell, result) for cell, result in self._pending
+            )
+            self._pending = None
+        return self._rows
+
+    def __len__(self) -> int:
+        if self._rows is None:
+            return len(self._pending)
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[SweepRow]:
+        return iter(self.rows)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self.rows[index])
+        return self.rows[index]
+
+    def __add__(self, other: "ResultSet") -> "ResultSet":
+        return ResultSet(self.rows + tuple(other))
+
+    def __repr__(self) -> str:
+        failed = sum(1 for row in self.rows if not row.ok)
+        return f"ResultSet({len(self.rows)} rows, {failed} failed)"
+
+    # -- relational operations ----------------------------------------
+    def filter(self, predicate=None, /, **eq) -> "ResultSet":
+        """Rows matching a predicate and/or column equality constraints.
+
+        ``eq`` keys resolve like :meth:`SweepRow.get`: row attributes
+        first, then metric, param and tag columns.
+        """
+        rows = self.rows
+        if predicate is not None:
+            rows = tuple(row for row in rows if predicate(row))
+        for key, value in eq.items():
+            rows = tuple(row for row in rows if row.get(key) == value)
+        return ResultSet(rows)
+
+    def ok(self) -> "ResultSet":
+        """Only the successfully evaluated rows."""
+        return self.filter(lambda row: row.ok)
+
+    def failed(self) -> "ResultSet":
+        """Only the error rows (rejections, compile failures, ...)."""
+        return self.filter(lambda row: not row.ok)
+
+    def column(self, name: str) -> list:
+        """One column as a list, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def group_by(self, *keys: str) -> dict:
+        """Split into sub-results by one or more columns.
+
+        Returns ``{value: ResultSet}`` for a single key and
+        ``{(v1, v2, ...): ResultSet}`` for several; group order follows
+        first appearance.
+        """
+        if not keys:
+            raise ValueError("group_by needs at least one key")
+        groups: dict[Any, list[SweepRow]] = {}
+        for row in self.rows:
+            key = (
+                row.get(keys[0])
+                if len(keys) == 1
+                else tuple(row.get(k) for k in keys)
+            )
+            groups.setdefault(key, []).append(row)
+        return {key: ResultSet(rows) for key, rows in groups.items()}
+
+    def pivot(
+        self,
+        index: str = "instance",
+        columns: str = "mapper",
+        values: str = "jsum",
+    ) -> dict:
+        """A two-level ``{index: {column: value}}`` table of one column.
+
+        Cells a sweep never produced are absent; failed cells surface as
+        ``None``.  Later duplicates (if any) overwrite earlier ones.
+        """
+        table: dict[Any, dict[Any, Any]] = {}
+        for row in self.rows:
+            table.setdefault(row.get(index), {})[row.get(columns)] = row.get(
+                values
+            )
+        return table
+
+    def with_columns(
+        self, fn: Callable[[SweepRow], Mapping[str, Any] | None]
+    ) -> "ResultSet":
+        """Derive extra metric columns row-by-row (post-processing seam).
+
+        *fn* maps each row to a ``{column: value}`` mapping (or ``None``
+        to leave the row unchanged); the returned set carries the merged
+        metrics, keeping order and every other field.
+        """
+        rows = []
+        for row in self.rows:
+            extra = fn(row)
+            if not extra:
+                rows.append(row)
+                continue
+            metrics = dict(row.metrics)
+            metrics.update(extra)
+            rows.append(
+                SweepRow(
+                    instance=row.instance,
+                    stencil=row.stencil,
+                    mapper=row.mapper,
+                    ok=row.ok,
+                    error=row.error,
+                    jsum=row.jsum,
+                    jmax=row.jmax,
+                    metrics=metrics,
+                    params=dict(row.params),
+                    tags=dict(row.tags),
+                    result=row.result,
+                )
+            )
+        return ResultSet(rows)
+
+    # -- serialization ------------------------------------------------
+    def to_rows(self) -> list[dict]:
+        """Plain-data rows (JSON-safe, ``result`` dropped)."""
+        return [
+            {
+                "instance": row.instance,
+                "stencil": row.stencil,
+                "mapper": row.mapper,
+                "ok": bool(row.ok),
+                "error": row.error,
+                "jsum": None if row.jsum is None else int(row.jsum),
+                "jmax": None if row.jmax is None else int(row.jmax),
+                "metrics": _json_safe(row.metrics),
+                "params": _json_safe(row.params),
+                "tags": _json_safe(row.tags),
+            }
+            for row in self.rows
+        ]
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Mapping]) -> "ResultSet":
+        """Rebuild a set from :meth:`to_rows` output (``result=None``)."""
+        return cls(
+            SweepRow(
+                instance=row["instance"],
+                stencil=row["stencil"],
+                mapper=row["mapper"],
+                ok=bool(row["ok"]),
+                error=row.get("error"),
+                jsum=row.get("jsum"),
+                jmax=row.get("jmax"),
+                metrics=_json_restore(dict(row.get("metrics") or {})),
+                params=_json_restore(dict(row.get("params") or {})),
+                tags=_json_restore(dict(row.get("tags") or {})),
+            )
+            for row in rows
+        )
+
+    def to_json(self, path=None, *, indent: int | None = 2) -> str:
+        """JSON document ``{"schema": ..., "rows": [...]}``.
+
+        With *path* the document is also written to that file.
+        """
+        text = json.dumps(
+            {"schema": "repro.sweep/v1", "rows": self.to_rows()},
+            indent=indent,
+            allow_nan=False,  # to_rows output is strict-JSON by contract
+        )
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        """Inverse of :meth:`to_json` (also accepts a bare row list)."""
+        data = json.loads(text)
+        rows = data["rows"] if isinstance(data, dict) else data
+        return cls.from_rows(rows)
+
+    _BASE_COLUMNS = ("instance", "stencil", "mapper", "ok", "error", "jsum", "jmax")
+
+    def _flat_columns(self) -> list[str]:
+        extra: dict[str, None] = {}
+        for kind in ("metrics", "params", "tags"):
+            for row in self.rows:
+                for key in sorted(getattr(row, kind)):
+                    extra.setdefault(f"{kind}.{key}", None)
+        return list(self._BASE_COLUMNS) + list(extra)
+
+    def _flat_rows(self) -> list[dict]:
+        """to_rows with ``metrics.*``/``params.*``/``tags.*`` flattened —
+        the single source for the CSV and text-table serializers."""
+        flattened = []
+        for row in self.to_rows():
+            flat = {key: row[key] for key in self._BASE_COLUMNS}
+            for kind in ("metrics", "params", "tags"):
+                for key, value in row[kind].items():
+                    flat[f"{kind}.{key}"] = value
+            flattened.append(flat)
+        return flattened
+
+    def to_csv(self, path=None) -> str:
+        """Flat CSV with ``metrics.*``/``params.*``/``tags.*`` columns."""
+        columns = self._flat_columns()
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(self._flat_rows())
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(buffer.getvalue())
+        return buffer.getvalue()
+
+    def to_table(self) -> str:
+        """Aligned plain-text table of the flattened columns."""
+        columns = self._flat_columns()
+        rows = []
+        for flat in self._flat_rows():
+            rows.append(
+                [
+                    ""
+                    if flat.get(c) is None
+                    else (f"{flat[c]:.6g}" if isinstance(flat[c], float) and math.isfinite(flat[c]) else str(flat[c]))
+                    for c in columns
+                ]
+            )
+        widths = [
+            max(len(column), *(len(r[i]) for r in rows)) if rows else len(column)
+            for i, column in enumerate(columns)
+        ]
+        lines = [
+            "  ".join(c.ljust(w) for c, w in zip(columns, widths)).rstrip()
+        ]
+        for r in rows:
+            lines.append(
+                "  ".join(v.ljust(w) for v, w in zip(r, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _acquire_backend(backend) -> tuple[Backend, Backend | None]:
+    """Resolve *backend*; the second element is what :func:`run` owns."""
+    if backend is None:
+        engine = EvaluationEngine()
+        return engine, engine
+    if isinstance(backend, str):
+        resolved = resolve_backend(backend)
+        return resolved, resolved
+    return backend, None
+
+
+def run(spec: SweepSpec, backend=None) -> ResultSet:
+    """Execute a sweep and return its :class:`ResultSet`.
+
+    *backend* accepts a :class:`~repro.engine.Backend` (or a bare
+    :class:`~repro.engine.EvaluationEngine`), a CLI-style spec string
+    (``"serial"``, ``"thread:8"``, ``"process:4"``,
+    ``"cluster:port"``), or ``None`` for a private engine that is closed
+    when the sweep finishes.  Passed-in backends stay open (and keep
+    their warm caches) for the caller.
+
+    Rows come back in the spec's deterministic cell order; cells that
+    failed to compile or whose mapper/metric rejected the instance are
+    error rows, never exceptions.
+    """
+    cells = spec.cells()
+    backend, owned = _acquire_backend(backend)
+    requests = [cell.request for cell in cells if cell.request is not None]
+    try:
+        results = iter(backend.evaluate_batch(requests))
+    finally:
+        if owned is not None:
+            owned.close()
+    # Deferred row construction: executing a compiled sweep costs only
+    # the engine batch; SweepRow objects materialize on first read.
+    return ResultSet._deferred(
+        [
+            (cell, None if cell.request is None else next(results))
+            for cell in cells
+        ]
+    )
+
+
+def run_stream(spec: SweepSpec, backend=None) -> Iterator[SweepRow]:
+    """Execute a sweep, yielding rows as the backend completes them.
+
+    Compile-failure rows are yielded first; evaluated rows follow in
+    the backend's completion order (async consumers render results as
+    they land instead of barriering on the batch).  Closing the
+    generator early cancels work that has not started.
+    """
+    cells = spec.cells()
+    backend, owned = _acquire_backend(backend)
+    try:
+        by_index = {}
+        pending = []
+        for cell in cells:
+            if cell.request is None:
+                yield _row_from_cell(cell, None)
+            else:
+                by_index[cell.index] = cell
+                pending.append(cell.request)
+        for result in backend.evaluate_stream(pending):
+            yield _row_from_cell(by_index[result.request.tag], result)
+    finally:
+        if owned is not None:
+            owned.close()

@@ -41,6 +41,34 @@ def _requests(tagger=lambda i, name: (i, name)) -> list[MappingRequest]:
     return requests
 
 
+def _weighted_requests(tagger=lambda i, name: (i, name)) -> list[MappingRequest]:
+    """The same workload with the batch-level weighted-bytes metric."""
+    from repro.engine import weighted_bytes_metric
+    from repro.grid.stencil import nearest_neighbor_with_hops
+    from repro.workloads import halo_exchange_volume
+
+    stencil = nearest_neighbor_with_hops(2)
+    requests = []
+    for i, (nodes, ppn) in enumerate([(4, 12), (6, 8), (5, 10), (3, 16)]):
+        grid = CartesianGrid([nodes, ppn])
+        alloc = NodeAllocation.homogeneous(nodes, ppn)
+        metric = weighted_bytes_metric(
+            halo_exchange_volume(grid, stencil, (8, 8), 4)
+        )
+        for name in ("blocked", "hyperplane", "stencil_strips", "nodecart"):
+            requests.append(
+                MappingRequest(
+                    grid,
+                    stencil,
+                    alloc,
+                    name,
+                    metrics=(metric,),
+                    tag=tagger(i, name),
+                )
+            )
+    return requests
+
+
 def _signature(result):
     """Everything a result carries, in comparable (byte-exact) form."""
     if result.cost is None:
@@ -56,6 +84,7 @@ def _signature(result):
             result.perm.tobytes(),
         ),
         result.error,
+        tuple(sorted(result.metrics.items())),
     )
 
 
@@ -91,6 +120,48 @@ class TestThreadBackend:
     def test_satisfies_protocol(self):
         assert isinstance(ThreadBackend(max_workers=1), Backend)
         assert isinstance(ProcessBackend(1), Backend)
+
+
+class TestWeightedMetricAcrossBackends:
+    """`weighted_cut_bytes` as a batch metric is backend-independent."""
+
+    @pytest.fixture(scope="class")
+    def serial_weighted(self):
+        with EvaluationEngine(max_workers=1) as engine:
+            results = engine.evaluate_batch(_weighted_requests())
+        assert all(r.metrics for r in results if r.cost is not None)
+        return results
+
+    def test_thread_backend_byte_identical(self, serial_weighted):
+        with ThreadBackend(max_workers=4) as backend:
+            results = backend.evaluate_batch(_weighted_requests())
+        assert list(map(_signature, results)) == list(
+            map(_signature, serial_weighted)
+        )
+
+    def test_process_backend_byte_identical(self, serial_weighted):
+        with ProcessBackend(2) as backend:
+            results = backend.evaluate_batch(_weighted_requests())
+        assert list(map(_signature, results)) == list(
+            map(_signature, serial_weighted)
+        )
+
+    def test_matches_serial_weighted_cut_bytes(self, serial_weighted):
+        from repro.grid.stencil import nearest_neighbor_with_hops
+        from repro.metrics.cost import weighted_cut_bytes
+        from repro.workloads import halo_exchange_volume
+
+        stencil = nearest_neighbor_with_hops(2)
+        for result in serial_weighted:
+            if result.cost is None:
+                continue
+            request = result.request
+            volumes = halo_exchange_volume(request.grid, stencil, (8, 8), 4)
+            cut, bottleneck = weighted_cut_bytes(
+                request.grid, stencil, result.perm, request.alloc, volumes
+            )
+            assert result.metrics["weighted_cut_bytes"] == cut
+            assert result.metrics["weighted_bottleneck_bytes"] == bottleneck
 
 
 class TestEvaluateStream:

@@ -170,6 +170,21 @@ class TestClusterBackend:
     def test_empty_batch(self, backend):
         assert backend.evaluate_batch([]) == []
 
+    def test_weighted_metric_byte_identical_to_serial(self, backend):
+        """Batch-level metrics travel the wire and match the serial path."""
+        from .test_backends import _weighted_requests
+
+        with EvaluationEngine(max_workers=1) as engine:
+            serial = engine.evaluate_batch(_weighted_requests())
+        worker = _spawn_worker(backend.port)
+        try:
+            results = backend.evaluate_batch(_weighted_requests())
+        finally:
+            backend.close()
+        assert list(map(_signature, results)) == list(map(_signature, serial))
+        assert any(r.metrics for r in results)
+        assert worker.wait(timeout=30) == 0
+
     def test_wait_for_workers_timeout(self, backend):
         with pytest.raises(ClusterError, match="timed out"):
             backend.wait_for_workers(1, timeout=0.2)

@@ -343,17 +343,22 @@ class TestEvaluationEngine:
         grid, stencil, alloc = instance
         engine = EvaluationEngine()
         bad = np.zeros(grid.size, dtype=np.int64)  # duplicates
-        short = np.arange(grid.size - 1, dtype=np.int64)  # wrong length
-        good, dup, trunc = engine.evaluate_batch(
+        good, dup = engine.evaluate_batch(
             [
                 MappingRequest(grid, stencil, alloc, "blocked"),
                 MappingRequest(grid, stencil, alloc, "blocked", perm=bad),
-                MappingRequest(grid, stencil, alloc, "blocked", perm=short),
             ]
         )
         assert good.ok
         assert not dup.ok and "permutation" in dup.error
-        assert not trunc.ok and "shape" in trunc.error
+
+    def test_wrong_length_perm_rejected_at_construction(self, instance):
+        """A length-mismatched perm fails the constructor with a clear
+        message instead of surfacing from inside the batch kernel."""
+        grid, stencil, alloc = instance
+        short = np.arange(grid.size - 1, dtype=np.int64)
+        with pytest.raises(MappingError, match="grid.size"):
+            MappingRequest(grid, stencil, alloc, "blocked", perm=short)
 
     def test_results_hash_by_identity(self, instance):
         grid, stencil, alloc = instance

@@ -1,0 +1,538 @@
+"""The declarative sweep API: SweepSpec compilation, execution, ResultSet."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    CellOverride,
+    InstanceSpec,
+    MetricSpec,
+    NodeAllocation,
+    ResultSet,
+    SweepSpec,
+    run,
+    run_stream,
+)
+from repro.engine import EvaluationEngine, ThreadBackend, weighted_bytes_metric
+from repro.engine.metrics import as_metric_spec, register_metric
+from repro.experiments.instances import Instance
+from repro.metrics.cost import weighted_cut_bytes
+from repro.workloads import halo_exchange_volume
+
+
+def small_spec(**kwargs) -> SweepSpec:
+    return SweepSpec(
+        instances=[InstanceSpec.from_nodes(n, 8) for n in (4, 6)],
+        stencils=["nearest_neighbor"],
+        mappers=["blocked", "hyperplane", "stencil_strips"],
+        **kwargs,
+    )
+
+
+class TestInstanceSpec:
+    def test_from_nodes_labels_and_params(self):
+        spec = InstanceSpec.from_nodes(4, 8, 2)
+        assert spec.label == "N4_n8_2d"
+        assert dict(spec.params) == {
+            "num_nodes": 4,
+            "processes_per_node": 8,
+            "ndims": 2,
+        }
+        assert spec.grid.size == 32
+        assert spec.alloc.num_nodes == 4
+
+    def test_coerce_instance_object(self):
+        inst = Instance(10, 10, 2)
+        spec = InstanceSpec.coerce(inst)
+        assert spec.label == inst.label()
+        assert spec.grid is inst.grid
+        assert spec.alloc is inst.allocation
+
+    def test_coerce_pair_and_int(self):
+        by_count = InstanceSpec.coerce(4)
+        assert dict(by_count.params)["processes_per_node"] == 48
+        grid = repro.CartesianGrid([6, 4])
+        alloc = NodeAllocation.homogeneous(4, 6)
+        pair = InstanceSpec.coerce((grid, alloc))
+        assert pair.grid is grid and pair.alloc is alloc
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            InstanceSpec.coerce(object())
+
+
+class TestSweepSpec:
+    def test_cell_order_is_deterministic(self):
+        spec = small_spec()
+        cells = spec.cells()
+        assert [c.instance.label for c in cells[:3]] == ["N4_n8_2d"] * 3
+        assert [c.mapper for c in cells[:3]] == [
+            "blocked",
+            "hyperplane",
+            "stencil_strips",
+        ]
+        assert cells is spec.cells()  # compiled once
+        assert len(spec) == 6
+
+    def test_compile_skips_error_cells(self):
+        # component stencils need >= 2 dimensions: a 1-d instance cannot
+        # compile those cells but must not kill the others
+        one_d = InstanceSpec.from_nodes(4, 4, 1)
+        spec = SweepSpec(
+            instances=[one_d, InstanceSpec.from_nodes(4, 4, 2)],
+            stencils=["component"],
+            mappers=["blocked"],
+        )
+        cells = spec.cells()
+        assert cells[0].request is None and cells[0].error
+        assert cells[1].request is not None
+        assert len(spec.compile()) == 1
+
+    def test_mapper_axis_accepts_instances_and_mappings(self):
+        spec = SweepSpec(
+            instances=[4],
+            stencils=["nearest_neighbor"],
+            mappers={"base": "blocked", "tuned": repro.HyperplaneMapper()},
+        )
+        assert [name for name, _ in spec.mappers] == ["base", "tuned"]
+        bare = SweepSpec(
+            instances=[4],
+            stencils=["nearest_neighbor"],
+            mappers=[repro.HyperplaneMapper()],
+        )
+        assert bare.mappers[0][0] == "hyperplane"
+
+    def test_duplicate_axis_labels_rejected(self):
+        nn = repro.nearest_neighbor(2)
+        hops = repro.nearest_neighbor_with_hops(2)  # also auto-named by size?
+        with pytest.raises(ValueError, match="duplicate stencil"):
+            SweepSpec(
+                instances=[4],
+                stencils=[("s", nn), ("s", hops)],
+                mappers=["blocked"],
+            )
+        with pytest.raises(ValueError, match="duplicate mapper"):
+            SweepSpec(
+                instances=[4],
+                stencils=["nearest_neighbor"],
+                mappers=[("m", "blocked"), ("m", "hyperplane")],
+            )
+        with pytest.raises(ValueError, match="duplicate instance"):
+            SweepSpec(
+                instances=[4, 4],
+                stencils=["nearest_neighbor"],
+                mappers=["blocked"],
+            )
+
+    def test_duplicate_allocation_labels_rejected(self):
+        inst = InstanceSpec.from_nodes(4, 8)
+        alloc = NodeAllocation.homogeneous(4, 8)
+        with pytest.raises(ValueError, match="duplicate allocation"):
+            SweepSpec(
+                instances=[inst],
+                stencils=["nearest_neighbor"],
+                mappers=["blocked"],
+                allocations=[alloc, alloc],  # both auto-labelled "nodes4"
+            )
+
+    def test_multiple_metric_failures_all_reported(self):
+        def boom_a(ctx, perms, spec):
+            raise RuntimeError("boom-a")
+
+        def boom_b(ctx, perms, spec):
+            raise RuntimeError("boom-b")
+
+        register_metric("test_boom_a", boom_a, replace=True)
+        register_metric("test_boom_b", boom_b, replace=True)
+        spec = SweepSpec(
+            instances=[4],
+            stencils=["nearest_neighbor"],
+            mappers=["blocked"],
+            metrics=["test_boom_a", "test_boom_b"],
+        )
+        row = run(spec)[0]
+        assert not row.ok
+        assert "boom-a" in row.error and "boom-b" in row.error
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="unknown stencil family"):
+            SweepSpec(instances=[4], stencils=["moebius"], mappers=["blocked"])
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(instances=[], stencils=["nearest_neighbor"])
+        with pytest.raises(ValueError):
+            SweepSpec(instances=[4], stencils=[])
+        with pytest.raises(ValueError):
+            SweepSpec(instances=[4], mappers=[])
+
+    def test_allocations_axis_mismatch_is_error_cell(self):
+        inst = InstanceSpec.from_nodes(4, 8)
+        good = NodeAllocation.homogeneous(8, 4)  # 32 processes, matches
+        bad = NodeAllocation.homogeneous(3, 5)  # 15 processes, mismatch
+        spec = SweepSpec(
+            instances=[inst],
+            stencils=["nearest_neighbor"],
+            mappers=["blocked"],
+            allocations=[("regular", good), ("broken", bad)],
+        )
+        results = run(spec)
+        assert len(results) == 2
+        ok_row, bad_row = results.rows
+        assert ok_row.ok and ok_row.tags["allocation"] == "regular"
+        assert not bad_row.ok and "AllocationError" in bad_row.error
+
+    def test_overrides_skip_metrics_and_tags(self):
+        vol_spec = MetricSpec("weighted_cut_bytes")
+        spec = small_spec(
+            tags={"suite": "unit"},
+            overrides=[
+                CellOverride(mapper="stencil_strips", skip=True),
+                CellOverride(
+                    instance="N4_n8_2d", tags={"marked": True}
+                ),
+                CellOverride(mapper="hyperplane", metrics=[vol_spec]),
+            ],
+        )
+        cells = spec.cells()
+        skipped = [c for c in cells if c.mapper == "stencil_strips"]
+        assert all(c.request is None and "skipped" in c.error for c in skipped)
+        marked = [c for c in cells if c.instance.label == "N4_n8_2d"]
+        assert all(c.tags == {"suite": "unit", "marked": True} for c in marked)
+        hyper = [c for c in cells if c.mapper == "hyperplane"]
+        assert all(c.metrics == (vol_spec,) for c in hyper)
+
+
+class TestRun:
+    def test_rows_in_cell_order_and_values_match_engine(self):
+        spec = small_spec()
+        results = run(spec)
+        assert [(r.instance, r.mapper) for r in results] == [
+            (c.instance.label, c.mapper) for c in spec.cells()
+        ]
+        # cross-check one cell against the one-off evaluation API
+        row = results.filter(instance="N6_n8_2d", mapper="hyperplane")[0]
+        grid = repro.CartesianGrid(repro.dims_create(48, 2))
+        perm = repro.HyperplaneMapper().map_ranks(
+            grid, repro.nearest_neighbor(2), NodeAllocation.homogeneous(6, 8)
+        )
+        cost = repro.evaluate_mapping(
+            grid, repro.nearest_neighbor(2), perm, NodeAllocation.homogeneous(6, 8)
+        )
+        assert (row.jsum, row.jmax) == (cost.jsum, cost.jmax)
+
+    def test_backend_spec_string_and_shared_engine(self):
+        spec = small_spec()
+        serial = run(spec, backend="serial")
+        with EvaluationEngine() as engine:
+            shared = run(spec, backend=engine)
+            again = run(spec, backend=engine)  # warm-cache second pass
+        assert serial.to_rows() == shared.to_rows() == again.to_rows()
+
+    def test_backend_instances_match_serial(self):
+        spec = small_spec()
+        expected = run(spec).to_rows()
+        with ThreadBackend(max_workers=2) as backend:
+            assert run(spec, backend=backend).to_rows() == expected
+
+    def test_partial_failure_rows(self):
+        # nodecart rejects non-factorisable node counts; the sweep keeps
+        # going and carries the rejection as an error row
+        spec = SweepSpec(
+            instances=[InstanceSpec.from_nodes(7, 7)],
+            stencils=["nearest_neighbor"],
+            mappers=["blocked", "nodecart"],
+        )
+        results = run(spec)
+        per_mapper = {row.mapper: row for row in results}
+        assert per_mapper["blocked"].ok
+        nodecart = per_mapper["nodecart"]
+        assert nodecart.ok or nodecart.error is None  # may legitimately map
+        assert len(results.failed()) + len(results.ok()) == len(results)
+
+    def test_run_stream_yields_all_rows(self):
+        spec = small_spec()
+        streamed = sorted(
+            ((r.instance, r.mapper, r.jsum) for r in run_stream(spec)),
+        )
+        batch = sorted((r.instance, r.mapper, r.jsum) for r in run(spec))
+        assert streamed == batch
+
+    def test_metric_through_sweep_matches_serial(self):
+        inst = InstanceSpec.from_nodes(4, 8)
+        stencil = repro.nearest_neighbor_with_hops(2)
+        volumes = halo_exchange_volume(inst.grid, stencil, (8, 8), 4)
+        spec = SweepSpec(
+            instances=[inst],
+            stencils=["nearest_neighbor_with_hops"],
+            mappers=["blocked", "hyperplane"],
+            metrics=[weighted_bytes_metric(volumes)],
+        )
+        for backend in (None, "process:2"):
+            results = run(spec, backend=backend)
+            for row in results:
+                assert row.ok
+                expected = weighted_cut_bytes(
+                    inst.grid, stencil, row.result.perm, inst.alloc, volumes
+                )
+                got = (
+                    row.metrics["weighted_cut_bytes"],
+                    row.metrics["weighted_bottleneck_bytes"],
+                )
+                assert got == expected
+
+    def test_custom_registered_metric(self):
+        def cut_fraction(ctx, perms, spec):
+            costs = repro.evaluate_mappings_batch(
+                ctx.grid, ctx.stencil, perms, ctx.alloc, edges=ctx.edges
+            )
+            return [{"cut_fraction": c.cut_fraction} for c in costs]
+
+        register_metric("test_cut_fraction", cut_fraction, replace=True)
+        spec = SweepSpec(
+            instances=[4],
+            stencils=["nearest_neighbor"],
+            mappers=["blocked"],
+            metrics=["test_cut_fraction"],
+        )
+        row = run(spec)[0]
+        assert row.ok and 0.0 <= row.metrics["cut_fraction"] <= 1.0
+
+    def test_malformed_metric_rows_are_cell_error_not_crash(self):
+        def malformed(ctx, perms, spec):
+            return [(1.0, 2.0)] * perms.shape[0]  # tuples, not mappings
+
+        register_metric("test_malformed", malformed, replace=True)
+        spec = SweepSpec(
+            instances=[4],
+            stencils=["nearest_neighbor"],
+            mappers=["blocked"],
+            metrics=["test_malformed"],
+        )
+        row = run(spec)[0]  # must not raise
+        assert not row.ok and "test_malformed" in row.error
+        assert row.jsum is not None
+
+    def test_value_error_stencil_factory_is_cell_error(self):
+        def broken_factory(ndim):
+            raise ValueError("no stencil for you")
+
+        spec = SweepSpec(
+            instances=[4],
+            stencils=[("broken", broken_factory), "nearest_neighbor"],
+            mappers=["blocked"],
+        )
+        results = run(spec)  # must not abort the healthy cell
+        per_stencil = {row.stencil: row for row in results}
+        assert not per_stencil["broken"].ok
+        assert "no stencil for you" in per_stencil["broken"].error
+        assert per_stencil["nearest_neighbor"].ok
+
+    def test_cached_metric_survives_group_failure(self):
+        calls = {"n": 0}
+
+        def flaky(ctx, perms, spec):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("flaked")
+            return [{"flaky": 1.0}] * perms.shape[0]
+
+        register_metric("test_flaky", flaky, replace=True)
+        spec_one = SweepSpec(
+            instances=[4], stencils=["nearest_neighbor"],
+            mappers=["blocked"], metrics=["test_flaky"],
+        )
+        spec_two = SweepSpec(
+            instances=[4], stencils=["nearest_neighbor"],
+            mappers=["blocked", "hyperplane"], metrics=["test_flaky"],
+        )
+        with EvaluationEngine(max_workers=1) as engine:
+            first = run(spec_one, backend=engine)
+            assert first[0].ok and first[0].metrics == {"flaky": 1.0}
+            second = run(spec_two, backend=engine)
+        rows = {row.mapper: row for row in second}
+        # blocked's value was cached in the first sweep: it must survive
+        # the same spec failing for hyperplane's fresh permutation
+        assert rows["blocked"].ok and rows["blocked"].metrics == {"flaky": 1.0}
+        assert not rows["hyperplane"].ok and "flaked" in rows["hyperplane"].error
+
+    def test_failing_metric_is_cell_error_not_crash(self):
+        def broken(ctx, perms, spec):
+            raise RuntimeError("boom")
+
+        register_metric("test_broken", broken, replace=True)
+        spec = SweepSpec(
+            instances=[4],
+            stencils=["nearest_neighbor"],
+            mappers=["blocked"],
+            metrics=["test_broken"],
+        )
+        row = run(spec)[0]
+        assert not row.ok
+        assert "boom" in row.error
+        assert row.jsum is not None  # the cost still computed
+
+
+class TestResultSet:
+    def test_filter_group_pivot_column(self):
+        results = run(small_spec(tags={"suite": "unit"}))
+        assert len(results.filter(mapper="blocked")) == 2
+        assert len(results.filter(suite="unit")) == len(results)
+        assert len(results.filter(lambda r: r.jsum > 0)) == len(results)
+        groups = results.group_by("instance")
+        assert list(groups) == ["N4_n8_2d", "N6_n8_2d"]
+        assert all(len(g) == 3 for g in groups.values())
+        pair_groups = results.group_by("instance", "mapper")
+        assert len(pair_groups) == 6
+        pivot = results.pivot(values="jsum")
+        assert set(pivot) == {"N4_n8_2d", "N6_n8_2d"}
+        assert set(pivot["N4_n8_2d"]) == {"blocked", "hyperplane", "stencil_strips"}
+        assert results.column("num_nodes") == [4, 4, 4, 6, 6, 6]
+
+    def test_rows_to_json_and_back(self):
+        results = run(small_spec(tags={"suite": "unit"}))
+        round_tripped = ResultSet.from_rows(results.to_rows())
+        assert round_tripped.to_rows() == results.to_rows()
+        via_json = ResultSet.from_json(results.to_json(indent=None))
+        assert via_json.to_rows() == results.to_rows()
+        assert via_json[0].result is None  # live payloads do not survive
+
+    def test_json_file_output(self, tmp_path):
+        results = run(small_spec())
+        path = tmp_path / "out.json"
+        results.to_json(path)
+        assert ResultSet.from_json(path.read_text()).to_rows() == results.to_rows()
+
+    def test_csv_and_table_have_all_columns(self):
+        results = run(small_spec(tags={"suite": "unit"}))
+        csv_text = results.to_csv()
+        header = csv_text.splitlines()[0].split(",")
+        assert "jsum" in header and "tags.suite" in header
+        assert len(csv_text.splitlines()) == len(results) + 1
+        table = results.to_table()
+        assert "hyperplane" in table
+
+    def test_error_rows_serialize(self):
+        spec = SweepSpec(
+            instances=[InstanceSpec.from_nodes(4, 4, 1)],
+            stencils=["component"],
+            mappers=["blocked"],
+        )
+        results = run(spec)
+        (row,) = results.to_rows()
+        assert row["ok"] is False and row["error"]
+        assert ResultSet.from_rows([row])[0].ok is False
+
+    def test_with_columns_and_concat(self):
+        results = run(small_spec())
+        derived = results.with_columns(lambda r: {"double_jsum": 2 * r.jsum})
+        assert derived.column("double_jsum") == [2 * v for v in results.column("jsum")]
+        combined = results + derived
+        assert len(combined) == 2 * len(results)
+
+    def test_getitem_slice(self):
+        results = run(small_spec())
+        assert isinstance(results[1:3], ResultSet)
+        assert len(results[1:3]) == 2
+
+
+class TestMetricSpecs:
+    def test_as_metric_spec(self):
+        assert as_metric_spec("weighted_cut_bytes") == MetricSpec(
+            "weighted_cut_bytes"
+        )
+        with pytest.raises(TypeError):
+            as_metric_spec(42)
+
+    def test_weighted_bytes_metric_is_hashable_and_picklable(self):
+        import pickle
+
+        spec = weighted_bytes_metric({(0, 1): 8, (1, 0): 16})
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+    def test_unknown_metric_rejected_on_request(self):
+        grid = repro.CartesianGrid([4, 4])
+        alloc = NodeAllocation.homogeneous(4, 4)
+        with pytest.raises(KeyError, match="unknown metric"):
+            repro.MappingRequest(
+                grid, repro.nearest_neighbor(2), alloc, "blocked",
+                metrics=("no_such_metric",),
+            )
+
+    def test_request_normalises_metric_names(self):
+        grid = repro.CartesianGrid([4, 4])
+        alloc = NodeAllocation.homogeneous(4, 4)
+        request = repro.MappingRequest(
+            grid, repro.nearest_neighbor(2), alloc, "blocked",
+            metrics=("weighted_cut_bytes",),
+        )
+        assert request.metrics == (MetricSpec("weighted_cut_bytes"),)
+
+
+class TestPublicSurface:
+    def test_top_level_exports(self):
+        for name in (
+            "sweep",
+            "run",
+            "run_stream",
+            "SweepSpec",
+            "InstanceSpec",
+            "CellOverride",
+            "SweepRow",
+            "ResultSet",
+            "MetricSpec",
+            "register_metric",
+            "list_metrics",
+            "weighted_bytes_metric",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_module_docstring_example(self):
+        spec = repro.SweepSpec(
+            instances=[repro.InstanceSpec.from_nodes(n, 8) for n in (4, 8)],
+            stencils=["nearest_neighbor"],
+            mappers=["blocked", "hyperplane", "stencil_strips"],
+        )
+        results = repro.run(spec)
+        pivot = results.pivot(values="jmax")
+        assert set(pivot) == {"N4_n8_2d", "N8_n8_2d"}
+
+
+def test_json_output_is_strict_rfc_json():
+    """NaN/inf payloads must serialize to parseable strict JSON."""
+    results = run(small_spec()).with_columns(
+        lambda r: {"nanval": float("nan"), "infval": float("inf")}
+    )
+    text = results.to_json(indent=None)
+    assert "NaN" not in text.replace('"NaN"', "")  # no bare NaN tokens
+    parsed = json.loads(text)  # and json stdlib round-trips it
+    row = parsed["rows"][0]["metrics"]
+    assert row["nanval"] is None
+    assert row["infval"] == {"$float": "Infinity"}
+    restored = ResultSet.from_json(text)
+    assert restored[0].metrics["infval"] == float("inf")
+    assert restored[0].metrics["nanval"] is None
+
+
+def test_string_infinity_payload_survives_round_trip():
+    """A literal 'Infinity' string tag must not be coerced to a float."""
+    results = run(small_spec(tags={"note": "Infinity"}))
+    restored = ResultSet.from_json(results.to_json(indent=None))
+    assert restored[0].tags["note"] == "Infinity"
+    assert restored.to_rows() == results.to_rows()
+
+
+def test_numpy_payloads_serialize_json_safe():
+    results = run(small_spec()).with_columns(
+        lambda r: {"np_val": np.int64(7), "np_f": np.float64(0.5)}
+    )
+    rows = results.to_rows()
+    assert rows[0]["metrics"]["np_val"] == 7
+    assert isinstance(rows[0]["metrics"]["np_val"], int)
+    assert isinstance(rows[0]["metrics"]["np_f"], float)

@@ -1,0 +1,224 @@
+"""Equivalence: the sweep-routed drivers reproduce the pre-redesign numbers.
+
+``tests/data/golden_predesign.json`` was captured from the drivers
+*before* they were rerouted through ``repro.sweep.run``; every entry
+here is deterministic across processes (integer scores, exact ratio
+arithmetic, rng-free model times).  The hash-seeded sampling paths
+(``measure_times`` and the appendix tables) are instead checked against
+an inline re-derivation of the pre-redesign loop, which proves
+byte-identity without fixing ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import ProcessBackend
+from repro.experiments.context import DEFAULT_MAPPERS, EvaluationContext
+from repro.experiments.figure6 import figure6_context, figure6_scores
+from repro.experiments.figure7 import figure7_context, figure7_scores
+from repro.experiments.figure8 import figure8_reductions
+from repro.experiments.figure9 import figure9_instantiation_times
+from repro.experiments.instances import instance_set
+from repro.experiments.scaling import scaling_sweep
+from repro.experiments.ablations import ablation_hyperplane_order
+from repro.experiments.tables import appendix_table
+from repro.experiments.throughput import measure_times, resolve_machine
+from repro.experiments.weighted import weighted_hops_experiment
+from repro.metrics.stats import mean_ci
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "golden_predesign.json").read_text()
+)
+
+
+def normalize_scores(scores):
+    return {
+        family: {
+            mapper: None if pair is None else list(pair)
+            for mapper, pair in per_mapper.items()
+        }
+        for family, per_mapper in scores.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def context50():
+    return figure6_context()
+
+
+class TestGoldenEquivalence:
+    def test_figure6_scores(self, context50):
+        assert normalize_scores(figure6_scores(context50)) == GOLDEN["figure6_scores"]
+
+    def test_figure7_scores(self):
+        assert (
+            normalize_scores(figure7_scores(figure7_context()))
+            == GOLDEN["figure7_scores"]
+        )
+
+    def test_weighted(self, context50):
+        outcome = weighted_hops_experiment("VSC4", context=context50)
+        got = {
+            name: [
+                r.cut_bytes,
+                r.bottleneck_bytes,
+                r.model_time,
+                r.speedup_over_blocked,
+            ]
+            for name, r in outcome.items()
+        }
+        assert got == GOLDEN["weighted"]
+
+    def test_weighted_through_process_backend(self, context50):
+        """The batch-level weighted metric is backend-independent."""
+        with ProcessBackend(2) as backend:
+            outcome = weighted_hops_experiment(
+                "VSC4", context=context50, backend=backend
+            )
+        got = {
+            name: [
+                r.cut_bytes,
+                r.bottleneck_bytes,
+                r.model_time,
+                r.speedup_over_blocked,
+            ]
+            for name, r in outcome.items()
+        }
+        assert got == GOLDEN["weighted"]
+
+    def test_scaling(self):
+        points = scaling_sweep(
+            "VSC4", node_counts=(10, 25), family="nearest_neighbor"
+        )
+        got = {
+            mapper: [
+                [
+                    p.num_nodes,
+                    p.jsum,
+                    p.jmax,
+                    p.jsum_reduction,
+                    p.jmax_reduction,
+                    p.model_speedup,
+                ]
+                for p in pts
+            ]
+            for mapper, pts in points.items()
+        }
+        assert got == GOLDEN["scaling"]
+
+    def test_ablation_hyperplane(self):
+        result = ablation_hyperplane_order(50)
+        got = {
+            family: [list(r.baseline), list(r.variant)]
+            for family, r in result.items()
+        }
+        assert got == GOLDEN["ablation_hyperplane"]
+
+    def test_figure8(self):
+        mappers = DEFAULT_MAPPERS()
+        mappers.pop("graphmap", None)
+        mappers.pop("random", None)
+        reductions = figure8_reductions(
+            "nearest_neighbor", mappers=mappers, instances=instance_set()[::12]
+        )
+        got = {
+            mapper: {
+                "jsum": [float(v) for v in series["jsum"]],
+                "jmax": [float(v) for v in series["jmax"]],
+            }
+            for mapper, series in reductions.items()
+        }
+        # NaN != NaN: compare with explicit NaN handling
+        assert set(got) == set(GOLDEN["figure8"])
+        for mapper in got:
+            for key in ("jsum", "jmax"):
+                for a, b in zip(got[mapper][key], GOLDEN["figure8"][mapper][key]):
+                    assert (
+                        a == b
+                        or (math.isnan(a) and (b is None or math.isnan(b)))
+                    ), (mapper, key, a, b)
+
+
+class TestInlineEquivalence:
+    """Sampling paths re-derived with the pre-redesign loop, in-process."""
+
+    def test_measure_times_matches_predesign_loop(self, context50):
+        machine = resolve_machine("VSC4")
+        family = "nearest_neighbor"
+        sizes = (128, 32768)
+        reps, seed = 20, 0
+        new = measure_times(
+            context50, machine, family, sizes, repetitions=reps, seed=seed
+        )
+        # the pre-redesign loop, verbatim
+        model = machine.model(context50.num_nodes, topology_aware=False)
+        edges = context50.edges(family)
+        stencil = context50.stencil(family)
+        expected = {}
+        for mapper_name in context50.mapper_names():
+            perm = context50.mapping(family, mapper_name)
+            per_size = {}
+            for size in sizes:
+                if perm is None:
+                    per_size[size] = None
+                    continue
+                rng = np.random.default_rng(
+                    abs(hash((seed, machine.name, family, mapper_name, size)))
+                    % 2**32
+                )
+                samples = model.sample_times(
+                    context50.grid,
+                    stencil,
+                    perm,
+                    context50.alloc,
+                    size,
+                    repetitions=reps,
+                    rng=rng,
+                    edges=edges,
+                )
+                per_size[size] = mean_ci(samples)
+            expected[mapper_name] = per_size
+        assert new == expected
+
+    def test_appendix_table_matches_predesign_loop(self, context50):
+        sizes = (64, 1024)
+        table = appendix_table(
+            "VSC4", 50, context=context50, message_sizes=sizes, repetitions=10
+        )
+        for family in table.times:
+            expected = measure_times(
+                context50, "VSC4", family, sizes, repetitions=10, seed=0
+            )
+            assert table.times[family] == expected
+
+    def test_measure_times_rejects_deserialized_mappings(self, context50):
+        from repro.sweep import ResultSet
+        from repro.experiments.throughput import mapping_results
+
+        live = mapping_results(context50, ["nearest_neighbor"])
+        dead = ResultSet.from_json(live.to_json())
+        with pytest.raises(ValueError, match="no live"):
+            measure_times(
+                context50, "VSC4", "nearest_neighbor", (128,),
+                repetitions=2, mappings=dead,
+            )
+
+    def test_figure9_structure(self):
+        context = EvaluationContext(4, 4, 2)
+        mappers = DEFAULT_MAPPERS()
+        mappers.pop("graphmap")  # keep the timing loop fast
+        timings = figure9_instantiation_times(
+            context=context, mappers=mappers, repetitions=2, slow_repetitions=1
+        )
+        assert set(timings) == set(mappers)
+        for name, timing in timings.items():
+            assert timing.mapper == name
+            assert timing.full.value >= 0
+            assert timing.distributed == mappers[name].distributed
+            assert (timing.per_rank is not None) == timing.distributed
