@@ -17,6 +17,8 @@ The library provides:
 * the NP-hardness reduction of Theorem IV.3 (:mod:`repro.nphard`),
 * a batched, cached, parallel evaluation engine shared by every
   experiment driver (:mod:`repro.engine`),
+* a standing sweep service — one daemon, persistent workers, many
+  concurrent prioritised driver jobs (:mod:`repro.service`),
 * drivers regenerating every figure and table of the evaluation
   (:mod:`repro.experiments`).
 
@@ -40,6 +42,7 @@ from .exceptions import (
     InvalidStencilError,
     MappingError,
     ReproError,
+    ServiceError,
     SimulationError,
 )
 from .grid import (
@@ -103,6 +106,12 @@ from .engine import (
     resolve_backend,
     weighted_bytes_metric,
 )
+from .service import (
+    JobHandle,
+    ServiceBackend,
+    ServiceClient,
+    ServiceDaemon,
+)
 from . import sweep  # noqa: F401  - the `repro.sweep` namespace is public API
 from .sweep import (
     CellOverride,
@@ -114,7 +123,7 @@ from .sweep import (
     run_stream,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # exceptions
@@ -126,6 +135,7 @@ __all__ = [
     "FactorizationError",
     "SimulationError",
     "ClusterError",
+    "ServiceError",
     # grid
     "CartesianGrid",
     "Stencil",
@@ -182,6 +192,11 @@ __all__ = [
     "register_metric",
     "list_metrics",
     "weighted_bytes_metric",
+    # service
+    "ServiceDaemon",
+    "ServiceClient",
+    "ServiceBackend",
+    "JobHandle",
     # sweep
     "sweep",
     "SweepSpec",

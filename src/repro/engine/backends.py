@@ -54,8 +54,11 @@ __all__ = [
     "ProcessBackend",
     "resolve_backend",
     "instance_aligned_shards",
+    "shard_payloads",
     "strip_request_tag",
     "rebuild_result",
+    "rebuild_batch",
+    "rebuild_stream",
 ]
 
 
@@ -108,6 +111,16 @@ def strip_request_tag(request: MappingRequest) -> MappingRequest:
     )
 
 
+def shard_payloads(
+    requests: Sequence[MappingRequest], max_shards: int
+) -> list[list[tuple[int, MappingRequest]]]:
+    """Instance-aligned shards of *requests*, tags stripped for the wire."""
+    return [
+        [(i, strip_request_tag(request)) for i, request in shard]
+        for shard in instance_aligned_shards(requests, max_shards)
+    ]
+
+
 def rebuild_result(
     request: MappingRequest,
     perm: np.ndarray | None,
@@ -131,6 +144,40 @@ def rebuild_result(
         error=error,
         metrics=dict(metrics or {}),
     )
+
+
+def rebuild_batch(
+    requests: Sequence[MappingRequest], payloads: Iterable[list]
+) -> list[MappingResult]:
+    """Rebuild completed shard payloads into input-order results.
+
+    Each payload is one shard's ``(index, perm, cost, error, metrics)``
+    rows; together they must cover every request index exactly once
+    (the wire tiers' contract).
+    """
+    out: list[MappingResult | None] = [None] * len(requests)
+    for payload in payloads:
+        for index, perm, cost, error, metrics in payload:
+            out[index] = rebuild_result(requests[index], perm, cost, error, metrics)
+    return out  # type: ignore[return-value]  # every slot is filled
+
+
+def rebuild_stream(
+    requests: Sequence[MappingRequest], payloads: Iterable[list]
+) -> Iterator[MappingResult]:
+    """Rebuild shard payloads into results as they complete.
+
+    Closing the generator early closes *payloads* (the wire tiers'
+    shard iterators withdraw their job's remaining work on close).
+    """
+    try:
+        for payload in payloads:
+            for index, perm, cost, error, metrics in payload:
+                yield rebuild_result(requests[index], perm, cost, error, metrics)
+    finally:
+        close = getattr(payloads, "close", None)
+        if close is not None:
+            close()
 
 
 @runtime_checkable
@@ -414,9 +461,12 @@ def resolve_backend(
     *shards* argument overrides — and ``"cluster:[host:]port"``, which
     binds a :class:`~repro.engine.cluster.ClusterBackend` coordinator at
     that address (remote workers connect with ``python -m
-    repro.engine.cluster.worker --connect host:port``).  Remaining
-    *options* are forwarded to the backend constructor (e.g.
-    ``disk_cache_dir``).
+    repro.engine.cluster.worker --connect host:port``), or
+    ``"service:[host:]port[:priority]"``, which submits jobs to an
+    already-running standing service daemon
+    (:class:`~repro.service.ServiceBackend`; start one with ``python -m
+    repro.experiments serve-jobs``).  Remaining *options* are forwarded
+    to the backend constructor (e.g. ``disk_cache_dir``).
     """
     if isinstance(spec, (ThreadBackend, ProcessBackend)) or (
         not isinstance(spec, (str, type(None))) and isinstance(spec, Backend)
@@ -445,6 +495,22 @@ def resolve_backend(
                 f"invalid cluster backend spec {spec!r}: {exc}"
             ) from None
         return ClusterBackend(host, port, **options)
+    if name == "service":
+        # Imported lazily: the service package builds on this module.
+        from ..service import ServiceBackend, parse_service_spec
+
+        if shards is not None:
+            raise ValueError(
+                "the service backend takes no --shards; worker width is "
+                "chosen per worker (python -m repro.engine.cluster.worker)"
+            )
+        try:
+            host, port, priority = parse_service_spec(count_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"invalid service backend spec {spec!r}: {exc}"
+            ) from None
+        return ServiceBackend(host, port, priority=priority, **options)
     count: int | None = shards
     if count_text:
         try:
@@ -462,5 +528,6 @@ def resolve_backend(
         return ProcessBackend(num_workers=count, **options)
     raise ValueError(
         f"unknown backend spec {spec!r}; expected 'serial', 'thread[:N]', "
-        f"'process[:N]' or 'cluster:[host:]port'"
+        f"'process[:N]', 'cluster:[host:]port' or "
+        f"'service:[host:]port[:priority]'"
     )

@@ -28,6 +28,18 @@ coordinator` for the failure semantics.
 
 from .backend import ClusterBackend
 from .coordinator import Coordinator
-from .protocol import PROTOCOL_VERSION, parse_address
+from .protocol import (
+    PROTOCOL_VERSION,
+    SECRET_ENV,
+    parse_address,
+    resolve_secret,
+)
 
-__all__ = ["ClusterBackend", "Coordinator", "PROTOCOL_VERSION", "parse_address"]
+__all__ = [
+    "ClusterBackend",
+    "Coordinator",
+    "PROTOCOL_VERSION",
+    "SECRET_ENV",
+    "parse_address",
+    "resolve_secret",
+]

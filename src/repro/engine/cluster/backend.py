@@ -23,11 +23,11 @@ import threading
 from collections.abc import Iterable, Iterator
 
 from ...exceptions import ClusterError
-from ..backends import instance_aligned_shards, rebuild_result, strip_request_tag
+from ..backends import rebuild_batch, rebuild_stream, shard_payloads
 from ..diskcache import resolve_cache_dir
 from ..request import MappingRequest, MappingResult
 from .coordinator import Coordinator
-from .protocol import FAIL, RESULT, SHUTDOWN
+from .protocol import FAIL, RESULT, SHUTDOWN, resolve_secret
 
 __all__ = ["ClusterBackend"]
 
@@ -58,6 +58,11 @@ class ClusterBackend:
         Worker deaths one shard may survive before the sweep fails with
         :class:`~repro.exceptions.ClusterError` (a shard that OOM-kills
         its workers must not cycle through the whole cluster).
+    secret:
+        Shared authentication secret; workers must present the same
+        value (``--secret`` / ``REPRO_CLUSTER_SECRET``).  Defaults to
+        the coordinator process's own ``REPRO_CLUSTER_SECRET``; an
+        empty value disables authentication.
 
     Notes
     -----
@@ -76,6 +81,7 @@ class ClusterBackend:
         target_shards: int = 32,
         disk_cache_dir: str | os.PathLike | None = None,
         max_shard_requeues: int = 3,
+        secret: str | None = None,
     ):
         if target_shards < 1:
             raise ValueError(
@@ -99,6 +105,7 @@ class ClusterBackend:
             heartbeat_timeout=heartbeat_timeout,
             cache_dir=self.disk_cache_dir,
             max_shard_requeues=max_shard_requeues,
+            secret=resolve_secret(secret),
         )
         try:
             self._run(self._coordinator.start())
@@ -160,11 +167,7 @@ class ClusterBackend:
     # ------------------------------------------------------------------
     def _completed_shards(self, requests: list[MappingRequest]) -> Iterator[list]:
         """Submit *requests*, yielding each completed shard's payload."""
-        shards = instance_aligned_shards(requests, self.target_shards)
-        payloads = [
-            [(i, strip_request_tag(request)) for i, request in shard]
-            for shard in shards
-        ]
+        payloads = shard_payloads(requests, self.target_shards)
         results: queue.Queue = queue.Queue()
         job, shard_ids = self._run(self._coordinator.submit(payloads, results))
         remaining = set(shard_ids)
@@ -195,13 +198,7 @@ class ClusterBackend:
     def evaluate_batch(self, requests: Iterable[MappingRequest]) -> list[MappingResult]:
         """Evaluate a batch across the cluster, in input order."""
         requests = list(requests)
-        out: list[MappingResult | None] = [None] * len(requests)
-        for payload in self._completed_shards(requests):
-            for index, perm, cost, error, metrics in payload:
-                out[index] = rebuild_result(
-                    requests[index], perm, cost, error, metrics
-                )
-        return out  # type: ignore[return-value]  # every slot is filled
+        return rebuild_batch(requests, self._completed_shards(requests))
 
     def evaluate_stream(
         self, requests: Iterable[MappingRequest]
@@ -213,9 +210,7 @@ class ClusterBackend:
         generator early withdraws shards that have not been handed out.
         """
         requests = list(requests)
-        for payload in self._completed_shards(requests):
-            for index, perm, cost, error, metrics in payload:
-                yield rebuild_result(requests[index], perm, cost, error, metrics)
+        return rebuild_stream(requests, self._completed_shards(requests))
 
     # ------------------------------------------------------------------
     # Lifecycle

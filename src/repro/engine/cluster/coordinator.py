@@ -1,40 +1,65 @@
-"""The asyncio coordinator: a work-stealing shard queue over TCP.
+"""The asyncio coordinator: a priority work-stealing shard queue over TCP.
 
 One :class:`Coordinator` runs inside the driver process (hosted by
 :class:`~repro.engine.cluster.ClusterBackend` on a background event
-loop).  Workers connect, handshake, and *pull*: each ``GET`` hands the
-worker the next queued shard, so fast workers naturally steal load from
-slow ones and a heterogeneous cluster stays busy without any static
+loop, or standing inside a :class:`~repro.service.ServiceDaemon`).
+Workers connect, handshake, and *pull*: each ``GET`` hands the worker
+the next queued shard, so fast workers naturally steal load from slow
+ones and a heterogeneous cluster stays busy without any static
 partitioning.
+
+Work is organised in *jobs*: one :meth:`submit` call queues one job's
+shards and assigns it an id, a priority and a status record.  The shard
+queue is ordered by ``(priority desc, submission order, shard order)``
+— a higher-priority job's shards are handed out before a lower-priority
+job's remaining shards, jobs of equal priority drain FIFO, and within a
+job shards keep their submission order.  Many jobs may be in flight at
+once; they share the worker pool but fail, finish and cancel
+independently.
+
+When a shared secret is configured the handshake adds an HMAC
+challenge–response leg (see :mod:`repro.engine.cluster.protocol`);
+peers that cannot answer are rejected before any work or pickled
+payload is exchanged.
 
 Failure semantics:
 
 * **worker disconnect** (crash, ``kill -9``, network drop) — every
-  shard in flight on that connection is requeued at the *front* of the
-  queue and the sweep completes on the remaining workers;
+  shard in flight on that connection is requeued ahead of its job's
+  remaining shards and the sweep completes on the remaining workers;
 * **silent worker** — a connection that sends nothing (not even a
   heartbeat ``PING``) for ``heartbeat_timeout`` seconds is closed by
   the reaper, which triggers the same requeue path;
-* **stale worker build** — a ``HELLO`` carrying the wrong magic or
+* **stale peer build** — a ``HELLO`` carrying the wrong magic or
   protocol version is answered with ``REJECT`` and closed before any
   work is exchanged;
 * **poisoned shard** — a worker reporting ``FAIL`` (its engine raised)
   fails the submitting job instead of requeueing, because a
   deterministically crashing shard would requeue forever.
 
-Results cross back to the submitting (non-asyncio) thread through a
-plain :class:`queue.Queue` per job; shard completion is idempotent, so
-a shard that was requeued *and* completed twice is only delivered once.
+Results cross back to the submitting side through a per-job queue
+(thread-safe :class:`queue.Queue` for the cluster backend,
+:class:`asyncio.Queue` for the service daemon — anything with
+``put_nowait``); shard completion is idempotent, so a shard that was
+requeued *and* completed twice is only delivered once.  Cancelling a
+job posts a ``(CANCEL, None, None)`` notice on its queue so a consumer
+streaming results learns about a cancellation made from elsewhere.
 """
 
 from __future__ import annotations
 
 import asyncio
-import queue
-from collections import deque
+import heapq
+import hmac
+import secrets
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from .protocol import (
+    AUTH,
+    CANCEL,
+    CHALLENGE,
     FAIL,
     GET,
     HELLO,
@@ -47,20 +72,37 @@ from .protocol import (
     SHUTDOWN,
     WELCOME,
     ProtocolError,
+    auth_digest,
     read_message,
     write_message,
 )
 
 __all__ = ["Coordinator"]
 
+#: Compared with :func:`hmac.compare_digest` against the peer's AUTH reply.
+_AUTH_MISMATCH = (
+    "authentication failed: shared-secret mismatch (pass --secret or set "
+    "REPRO_CLUSTER_SECRET to the coordinator's secret)"
+)
+
 
 @dataclass(eq=False)
 class _Job:
     """One submitted batch: shard ids still pending plus the result pipe."""
 
-    results: queue.Queue
+    id: str
+    results: object  # anything with put_nowait: queue.Queue or asyncio.Queue
+    priority: int = 0
+    seq: int = 0
+    label: str = ""
     pending: set[int] = field(default_factory=set)
+    total: int = 0
+    completed: int = 0
+    dispatched: int = 0
     cancelled: bool = False
+    failed: str | None = None
+    finished: bool = False
+    submitted_at: float = 0.0
 
 
 @dataclass(eq=False)
@@ -87,7 +129,7 @@ class _WorkerConn:
 
 
 class Coordinator:
-    """Asyncio server distributing shards to pulling workers.
+    """Asyncio server distributing job shards to pulling workers.
 
     All coroutines must run on one event loop; the only thread-safe
     surfaces are the per-job result queues handed to :meth:`submit` and
@@ -112,6 +154,13 @@ class Coordinator:
         treated as poisoned (a shard that OOM-kills or segfaults its
         worker dies without a ``FAIL`` message; without this cap it
         would cycle through the whole cluster and then hang the sweep).
+    secret:
+        Shared authentication secret; when set, every connecting peer
+        must answer the HMAC challenge (see the module docstring of
+        :mod:`repro.engine.cluster.protocol`).  ``None`` disables the
+        challenge leg entirely.
+    history_limit:
+        Finished jobs kept for status queries (oldest evicted first).
     """
 
     def __init__(
@@ -122,6 +171,8 @@ class Coordinator:
         heartbeat_timeout: float = 15.0,
         cache_dir: str | None = None,
         max_shard_requeues: int = 3,
+        secret: str | None = None,
+        history_limit: int = 256,
     ):
         if heartbeat_timeout <= 0:
             raise ValueError(
@@ -131,18 +182,30 @@ class Coordinator:
             raise ValueError(
                 f"max_shard_requeues must be >= 0, got {max_shard_requeues}",
             )
+        if history_limit < 0:
+            raise ValueError(
+                f"history_limit must be >= 0, got {history_limit}",
+            )
         self._host = host
         self._port = port
         self._heartbeat_timeout = float(heartbeat_timeout)
         self._cache_dir = cache_dir
         self._max_shard_requeues = int(max_shard_requeues)
-        self._queue: deque[_Shard] = deque()
+        self._secret = secret or None
+        self._history_limit = int(history_limit)
+        # Heap of (-priority, job seq, shard id, shard): highest priority
+        # first, then job submission order, then shard submission order.
+        # Requeued shards re-enter under their original key, which sorts
+        # them ahead of their job's not-yet-started shards.
+        self._queue: list[tuple[int, int, int, _Shard]] = []
         self._cond: asyncio.Condition = asyncio.Condition()
         self._workers: set[_WorkerConn] = set()
-        self._jobs: set[_Job] = set()
+        self._jobs: dict[str, _Job] = {}
+        self._history: OrderedDict[str, dict] = OrderedDict()
         self._server: asyncio.Server | None = None
         self._reaper: asyncio.Task | None = None
         self._next_shard_id = 0
+        self._next_job_seq = 0
         self._closing = False
         self._address: tuple[str, int] | None = None
 
@@ -184,27 +247,43 @@ class Coordinator:
             except (ConnectionError, OSError):
                 pass
             await self._drop(conn, requeue=False)
-        for job in list(self._jobs):
+        for job in list(self._jobs.values()):
+            job.failed = job.failed or "coordinator closed"
             self._finish_job(job)
-            job.results.put((SHUTDOWN, None, None))
+            job.results.put_nowait((SHUTDOWN, None, None))
 
     # ------------------------------------------------------------------
     # Submission (driven from the backend thread via the event loop)
     # ------------------------------------------------------------------
     async def submit(
-        self, shard_items: list[list], results: queue.Queue
+        self,
+        shard_items: list[list],
+        results,
+        *,
+        priority: int = 0,
+        label: str = "",
     ) -> tuple[_Job, list[int]]:
         """Queue one job of shards; results stream into *results*.
 
         Each element of *shard_items* is one shard's ``(index,
-        request)`` list.  Completed shards arrive on *results* as
-        ``(RESULT, shard_id, payload)`` tuples; a worker-crashed shard
-        as ``(FAIL, shard_id, message)``; coordinator shutdown as
-        ``(SHUTDOWN, None, None)``.
+        request)`` list; *results* is any object with ``put_nowait``.
+        Completed shards arrive on *results* as ``(RESULT, shard_id,
+        payload)`` tuples; a worker-crashed shard as ``(FAIL, shard_id,
+        message)``; a cancellation as ``(CANCEL, None, None)``;
+        coordinator shutdown as ``(SHUTDOWN, None, None)``.  Larger
+        *priority* values are scheduled first.
         """
         if self._closing:
             raise RuntimeError("coordinator is closed")
-        job = _Job(results=results)
+        job = _Job(
+            id=f"job-{self._next_job_seq:06d}",
+            results=results,
+            priority=int(priority),
+            seq=self._next_job_seq,
+            label=label,
+            submitted_at=time.time(),
+        )
+        self._next_job_seq += 1
         shard_ids: list[int] = []
         async with self._cond:
             for items in shard_items:
@@ -212,18 +291,52 @@ class Coordinator:
                 self._next_shard_id += 1
                 job.pending.add(shard.id)
                 shard_ids.append(shard.id)
-                self._queue.append(shard)
+                self._push(shard)
+            job.total = len(shard_ids)
             if shard_ids:
-                self._jobs.add(job)
+                self._jobs[job.id] = job
+            else:
+                self._finish_job(job)
             self._cond.notify_all()
         return job, shard_ids
 
     async def cancel(self, job: _Job) -> None:
-        """Drop a job's queued shards; in-flight results are discarded."""
+        """Drop a job's queued shards; in-flight results are discarded.
+
+        The job's result queue receives a ``(CANCEL, None, None)``
+        notice so a consumer streaming its results (possibly on another
+        connection than the canceller) observes the cancellation.
+        """
+        if job.finished or job.cancelled:
+            return
         job.cancelled = True
         async with self._cond:
-            self._queue = deque(s for s in self._queue if s.job is not job)
+            survivors = [e for e in self._queue if e[3].job is not job]
+            if len(survivors) != len(self._queue):
+                self._queue = survivors
+                heapq.heapify(self._queue)
         self._finish_job(job)
+        job.results.put_nowait((CANCEL, None, None))
+
+    def find_job(self, job_id: str) -> _Job | None:
+        """The live (unfinished) job with this id, if any."""
+        return self._jobs.get(job_id)
+
+    def jobs_snapshot(self, job_id: str | None = None) -> list[dict]:
+        """Status records of live and recently finished jobs.
+
+        Records are dicts with ``job``, ``state`` (``queued`` /
+        ``running`` / ``done`` / ``failed`` / ``cancelled``),
+        ``priority``, ``label``, ``shards``, ``completed`` and
+        ``submitted_at`` keys, in submission order.  Passing *job_id*
+        filters to that job (empty list when unknown).
+        """
+        records = list(self._history.values())
+        records.extend(self._job_record(job) for job in self._jobs.values())
+        records.sort(key=lambda r: r["job"])
+        if job_id is not None:
+            records = [r for r in records if r["job"] == job_id]
+        return records
 
     async def wait_for_workers(self, count: int, timeout: float | None = None) -> None:
         """Block until *count* workers are connected.
@@ -238,13 +351,53 @@ class Coordinator:
         await asyncio.wait_for(enough(), timeout)
 
     # ------------------------------------------------------------------
+    # Job bookkeeping
+    # ------------------------------------------------------------------
+    def _push(self, shard: _Shard) -> None:
+        heapq.heappush(
+            self._queue, (-shard.job.priority, shard.job.seq, shard.id, shard)
+        )
+
+    @staticmethod
+    def _job_record(job: _Job) -> dict:
+        if job.failed is not None:
+            state = "failed"
+        elif job.cancelled:
+            state = "cancelled"
+        elif not job.pending:
+            state = "done"
+        elif job.dispatched or job.completed:
+            state = "running"
+        else:
+            state = "queued"
+        return {
+            "job": job.id,
+            "state": state,
+            "priority": job.priority,
+            "label": job.label,
+            "shards": job.total,
+            "completed": job.completed,
+            "submitted_at": job.submitted_at,
+        }
+
+    def _finish_job(self, job: _Job) -> None:
+        self._jobs.pop(job.id, None)
+        if job.finished:
+            return
+        job.finished = True
+        if self._history_limit:
+            self._history[job.id] = self._job_record(job)
+            while len(self._history) > self._history_limit:
+                self._history.popitem(last=False)
+
+    # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         peer = writer.get_extra_info("peername")
-        name = f"{peer[0]}:{peer[1]}" if peer else "worker"
+        name = f"{peer[0]}:{peer[1]}" if peer else "peer"
         try:
             message = await asyncio.wait_for(
                 read_message(reader), timeout=self._heartbeat_timeout,
@@ -253,6 +406,8 @@ class Coordinator:
             writer.close()
             return
         reject = self._handshake_error(message)
+        if reject is None and self._secret is not None:
+            reject = await self._challenge(reader, writer)
         if reject is not None:
             try:
                 await write_message(writer, (REJECT, reject))
@@ -260,6 +415,56 @@ class Coordinator:
                 pass
             writer.close()
             return
+        info = message[3] if isinstance(message[3], dict) else {}
+        role = info.get("role", "worker")
+        if role == "worker":
+            await self._serve_worker(reader, writer, name)
+        elif role == "client":
+            await self._serve_client(reader, writer, name, info)
+        else:
+            try:
+                await write_message(
+                    writer, (REJECT, f"unknown peer role {role!r}")
+                )
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+
+    async def _challenge(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> str | None:
+        """Run the HMAC leg; the rejection reason, or ``None`` on success."""
+        nonce = secrets.token_hex(32)
+        try:
+            await write_message(writer, (CHALLENGE, nonce))
+            reply = await asyncio.wait_for(
+                read_message(reader), timeout=self._heartbeat_timeout,
+            )
+        except (
+            ProtocolError,
+            ConnectionError,
+            OSError,
+            asyncio.TimeoutError,
+        ):
+            return _AUTH_MISMATCH
+        if (
+            not isinstance(reply, tuple)
+            or len(reply) != 2
+            or reply[0] != AUTH
+            or not isinstance(reply[1], str)
+        ):
+            return _AUTH_MISMATCH
+        expected = auth_digest(self._secret, nonce)
+        if not hmac.compare_digest(expected, reply[1]):
+            return _AUTH_MISMATCH
+        return None
+
+    async def _serve_worker(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        name: str,
+    ) -> None:
         try:
             await write_message(
                 writer,
@@ -303,6 +508,33 @@ class Coordinator:
         finally:
             await self._drop(conn, requeue=True)
 
+    async def _serve_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        name: str,
+        info: dict,
+    ) -> None:
+        """Serve a job-submitting client; the base coordinator has none.
+
+        Overridden by the service daemon's coordinator
+        (:mod:`repro.service.daemon`); a plain cluster coordinator
+        points clients at the service entry point instead.
+        """
+        try:
+            await write_message(
+                writer,
+                (
+                    REJECT,
+                    "this coordinator does not accept job clients; start a "
+                    "standing service daemon instead (python -m "
+                    "repro.experiments serve-jobs)",
+                ),
+            )
+        except (ConnectionError, OSError):
+            pass
+        writer.close()
+
     @staticmethod
     def _handshake_error(message: object) -> str | None:
         """Why *message* is not an acceptable ``HELLO`` (``None`` if it is)."""
@@ -317,8 +549,8 @@ class Coordinator:
         if message[2] != PROTOCOL_VERSION:
             return (
                 f"protocol version mismatch: coordinator speaks "
-                f"{PROTOCOL_VERSION}, worker speaks {message[2]!r}; "
-                f"update the worker installation"
+                f"{PROTOCOL_VERSION}, peer speaks {message[2]!r}; "
+                f"update the peer installation"
             )
         return None
 
@@ -331,6 +563,7 @@ class Coordinator:
                 # No await between dequeue and registration: a
                 # cancellation cannot orphan the shard.
                 conn.inflight[shard.id] = shard
+                shard.job.dispatched += 1
                 await write_message(conn.writer, (SHARD, shard.id, shard.items))
         except asyncio.CancelledError:
             raise
@@ -344,7 +577,7 @@ class Coordinator:
         async with self._cond:
             while not self._queue:
                 await self._cond.wait()
-            return self._queue.popleft()
+            return heapq.heappop(self._queue)[3]
 
     def _complete(self, conn: _WorkerConn, shard_id: int, payload: list) -> None:
         shard = conn.inflight.pop(shard_id, None)
@@ -354,9 +587,10 @@ class Coordinator:
         if job.cancelled or shard.id not in job.pending:
             return  # duplicate completion after a requeue
         job.pending.discard(shard.id)
+        job.completed += 1
         if not job.pending:
             self._finish_job(job)
-        job.results.put((RESULT, shard_id, payload))
+        job.results.put_nowait((RESULT, shard_id, payload))
 
     def _fail(self, conn: _WorkerConn, shard_id: int, message: str) -> None:
         shard = conn.inflight.pop(shard_id, None)
@@ -366,10 +600,10 @@ class Coordinator:
         if job.cancelled or shard.id not in job.pending:
             return
         job.pending.discard(shard.id)
-        job.results.put((FAIL, shard_id, message))
-
-    def _finish_job(self, job: _Job) -> None:
-        self._jobs.discard(job)
+        job.failed = str(message)
+        if not job.pending:
+            self._finish_job(job)
+        job.results.put_nowait((FAIL, shard_id, message))
 
     async def _drop(self, conn: _WorkerConn, *, requeue: bool) -> None:
         """Unregister a connection, requeueing its in-flight shards."""
@@ -391,18 +625,17 @@ class Coordinator:
                     # segfault — death without a FAIL message) must not
                     # cycle through the whole cluster: fail the job.
                     job.pending.discard(shard.id)
-                    job.results.put(
-                        (
-                            FAIL,
-                            shard.id,
-                            f"shard requeued {shard.requeues} times after "
-                            f"worker deaths; treating it as poisoned",
-                        )
+                    job.failed = (
+                        f"shard requeued {shard.requeues} times after "
+                        f"worker deaths; treating it as poisoned"
                     )
+                    if not job.pending:
+                        self._finish_job(job)
+                    job.results.put_nowait((FAIL, shard.id, job.failed))
                     continue
-                # Front of the queue: interrupted work has already
-                # waited once.
-                self._queue.appendleft(shard)
+                # Ahead of the job's remaining shards: interrupted work
+                # has already waited once.
+                self._push(shard)
             conn.inflight.clear()
             self._cond.notify_all()
 

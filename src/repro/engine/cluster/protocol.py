@@ -7,23 +7,39 @@ NumPy arrays, ``MappingCost`` records and configured ``Mapper``
 instances — the same values that already cross the
 :class:`~repro.engine.backends.ProcessBackend` boundary by value.
 
-The handshake pins compatibility: a worker opens with
+The handshake pins compatibility: a peer opens with
 ``(HELLO, MAGIC, PROTOCOL_VERSION, info)`` and the coordinator answers
-``(WELCOME, settings)`` or ``(REJECT, reason)``.  ``PROTOCOL_VERSION``
-must be bumped whenever a message shape changes, so a stale worker
-build is refused at connect time instead of corrupting a sweep.
+``(WELCOME, settings)`` or ``(REJECT, reason)``.  ``info["role"]``
+declares the peer's side of the protocol — ``"worker"`` (the default)
+pulls shards, ``"client"`` submits jobs to a standing service daemon
+(:mod:`repro.service`).  ``PROTOCOL_VERSION`` must be bumped whenever a
+message shape changes, so a stale peer build is refused at connect time
+instead of corrupting a sweep.
+
+When the coordinator is configured with a shared secret (``--secret``
+or the ``REPRO_CLUSTER_SECRET`` environment variable), the HELLO is
+answered with ``(CHALLENGE, nonce)`` and the peer must reply
+``(AUTH, hmac_sha256(secret, nonce))`` before any work is exchanged; a
+missing or mismatched digest is rejected with a clear message.  The
+secret authenticates, it does not encrypt.
 
 Security note: like ``multiprocessing`` pipes, the protocol
 deserializes pickled data from its peers.  Bind coordinators on trusted
 networks only (e.g. a cluster's private interconnect, or localhost
-through an SSH tunnel).
+through an SSH tunnel); the shared secret keeps stray or mistaken
+peers out, it is not a substitute for network-level isolation.
 
 Message catalogue (worker ``->`` coordinator unless noted):
 
 ==========  ==========================================================
-``HELLO``   ``(HELLO, MAGIC, PROTOCOL_VERSION, info: dict)``
+``HELLO``   ``(HELLO, MAGIC, PROTOCOL_VERSION, info: dict)`` — info
+            carries ``role`` (``"worker"``/``"client"``)
+``CHALLENGE`` coordinator: ``(CHALLENGE, nonce: str)`` — sent instead
+            of WELCOME when a shared secret is required
+``AUTH``    ``(AUTH, digest: str)`` — the HMAC-SHA256 response to a
+            CHALLENGE (see :func:`auth_digest`)
 ``WELCOME`` coordinator: ``(WELCOME, settings: dict)`` — settings carry
-            ``heartbeat_interval`` (seconds between worker pings) and
+            ``heartbeat_interval`` (seconds between peer pings) and
             ``cache_dir`` (the coordinator's edge-cache directory, for
             workers sharing its filesystem)
 ``REJECT``  coordinator: ``(REJECT, reason: str)``; the connection is
@@ -37,20 +53,47 @@ Message catalogue (worker ``->`` coordinator unless noted):
 ``PING``    ``(PING,)`` — heartbeat, sent while idle and mid-shard
 ``SHUTDOWN`` coordinator: ``(SHUTDOWN,)`` — no more work, exit cleanly
 ==========  ==========================================================
+
+Client message set (client ``->`` service daemon unless noted; see
+:mod:`repro.service` for the session semantics):
+
+=============== =====================================================
+``SUBMIT``      ``(SUBMIT, [shard_items, ...], options: dict)`` —
+                options carry ``priority`` (int, larger is more
+                urgent) and ``label`` (str, for status listings)
+``SUBMITTED``   daemon: ``(SUBMITTED, job_id, [shard_id, ...])``
+``JOB_RESULT``  daemon: ``(JOB_RESULT, job_id, shard_id, payload)``
+``JOB_FAIL``    daemon: ``(JOB_FAIL, job_id, shard_id, message)`` —
+                the job failed; its remaining shards are withdrawn
+``JOB_DONE``    daemon: ``(JOB_DONE, job_id)`` — every shard streamed
+``JOB_CANCELLED`` daemon: ``(JOB_CANCELLED, job_id)`` — cancelled (by
+                this client or any other connection)
+``STATUS``      ``(STATUS, job_id | None)`` — one job, or all jobs
+``STATUS_REPLY`` daemon: ``(STATUS_REPLY, [record: dict, ...])``
+``CANCEL``      ``(CANCEL, job_id)``
+``CANCEL_REPLY`` daemon: ``(CANCEL_REPLY, job_id, ok: bool)``
+=============== =====================================================
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import hmac
+import os
 import pickle
 import socket
 import struct
+import time
 
 __all__ = [
     "PROTOCOL_VERSION",
     "MAGIC",
     "MAX_FRAME_BYTES",
+    "SECRET_ENV",
     "HELLO",
+    "CHALLENGE",
+    "AUTH",
     "WELCOME",
     "REJECT",
     "GET",
@@ -59,9 +102,23 @@ __all__ = [
     "FAIL",
     "PING",
     "SHUTDOWN",
+    "SUBMIT",
+    "SUBMITTED",
+    "JOB_RESULT",
+    "JOB_FAIL",
+    "JOB_DONE",
+    "JOB_CANCELLED",
+    "STATUS",
+    "STATUS_REPLY",
+    "CANCEL",
+    "CANCEL_REPLY",
     "ProtocolError",
     "encode_message",
     "hello",
+    "auth_digest",
+    "resolve_secret",
+    "connect_with_retry",
+    "enable_keepalive",
     "send_message",
     "recv_message",
     "read_message",
@@ -72,7 +129,12 @@ __all__ = [
 #: Bumped on every incompatible message-shape change.
 #: v2: RESULT rows carry a fifth ``metrics`` element (pluggable
 #: batch-level metric columns).
-PROTOCOL_VERSION = 2
+#: v3: shared-secret CHALLENGE/AUTH handshake leg, ``role`` in HELLO
+#: info, and the client-side job message set (SUBMIT .. CANCEL_REPLY).
+PROTOCOL_VERSION = 3
+
+#: Environment variable naming the default shared cluster secret.
+SECRET_ENV = "REPRO_CLUSTER_SECRET"
 
 #: Sanity marker refusing non-cluster clients early.
 MAGIC = "repro-cluster"
@@ -82,6 +144,8 @@ MAGIC = "repro-cluster"
 MAX_FRAME_BYTES = 1 << 30
 
 HELLO = "hello"
+CHALLENGE = "challenge"
+AUTH = "auth"
 WELCOME = "welcome"
 REJECT = "reject"
 GET = "get"
@@ -90,6 +154,16 @@ RESULT = "result"
 FAIL = "fail"
 PING = "ping"
 SHUTDOWN = "shutdown"
+SUBMIT = "submit"
+SUBMITTED = "submitted"
+JOB_RESULT = "job_result"
+JOB_FAIL = "job_fail"
+JOB_DONE = "job_done"
+JOB_CANCELLED = "job_cancelled"
+STATUS = "status"
+STATUS_REPLY = "status_reply"
+CANCEL = "cancel"
+CANCEL_REPLY = "cancel_reply"
 
 _HEADER = struct.Struct(">I")
 
@@ -110,8 +184,32 @@ def encode_message(message: tuple) -> bytes:
 
 
 def hello(info: dict | None = None) -> tuple:
-    """The opening handshake message of a current-version worker."""
+    """The opening handshake message of a current-version peer."""
     return (HELLO, MAGIC, PROTOCOL_VERSION, dict(info or {}))
+
+
+def auth_digest(secret: str, nonce: str) -> str:
+    """The HMAC-SHA256 response to a ``CHALLENGE`` nonce.
+
+    Both sides derive it from the shared secret; the secret itself never
+    crosses the wire, and a recorded response is useless against a fresh
+    nonce.
+    """
+    return hmac.new(
+        secret.encode("utf-8"), nonce.encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+
+
+def resolve_secret(spec: str | None) -> str | None:
+    """Turn a secret spec into the effective shared secret.
+
+    An explicit *spec* wins; otherwise the ``REPRO_CLUSTER_SECRET``
+    environment variable is consulted.  An empty value in either place
+    means "no authentication" (``None``).
+    """
+    if spec is None:
+        spec = os.environ.get(SECRET_ENV)
+    return spec or None
 
 
 def _decode_length(header: bytes) -> int:
@@ -125,8 +223,56 @@ def _decode_length(header: bytes) -> int:
 
 
 # ----------------------------------------------------------------------
-# Blocking-socket side (worker entrypoint, tests)
+# Blocking-socket side (worker entrypoint, service client, tests)
 # ----------------------------------------------------------------------
+def connect_with_retry(
+    host: str,
+    port: int,
+    timeout: float,
+    *,
+    max_delay: float = 1.0,
+    log=None,
+) -> socket.socket | None:
+    """Keep trying to connect for *timeout* seconds, with capped
+    exponential backoff (the coordinator may not be up yet when its
+    peers launch first, or may be mid-restart).  ``None`` on timeout.
+    """
+    deadline = time.monotonic() + timeout
+    delay = 0.1
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=max(timeout, 1.0))
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                if log is not None:
+                    log(f"cannot reach coordinator {host}:{port}: {exc}")
+                return None
+            time.sleep(min(delay, max(deadline - time.monotonic(), 0.0)))
+            delay = min(delay * 2, max_delay)
+
+
+def enable_keepalive(sock: socket.socket) -> None:
+    """Detect a silently-dead peer (power loss, network partition).
+
+    The coordinator never pings its peers, so without keepalive a
+    blocked ``recv`` would wait forever when the head node vanishes
+    without a FIN/RST.  TCP keepalive makes the kernel probe the peer
+    and fail the blocked ``recv`` within a couple of minutes; the
+    per-probe options are best-effort (platform-dependent).
+    """
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for option, value in (
+        ("TCP_KEEPIDLE", 30),
+        ("TCP_KEEPINTVL", 10),
+        ("TCP_KEEPCNT", 6),
+    ):
+        if hasattr(socket, option):
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, option), value)
+            except OSError:  # pragma: no cover - platform quirk
+                pass
+
+
 def send_message(sock: socket.socket, message: tuple) -> None:
     """Write one frame to a blocking socket."""
     sock.sendall(encode_message(message))

@@ -13,13 +13,25 @@ default; ``--backend process[:N]`` for multi-core hosts), send the
 ``RESULT`` back.  A heartbeat thread pings throughout, including while
 a shard is being evaluated, so long shards are not mistaken for death.
 
+Losing an *established* coordinator (a standing service daemon that
+restarted, a network blip) does not kill the worker: it reconnects with
+capped exponential backoff for up to ``--reconnect-timeout`` seconds
+(default 60; ``0`` restores the old exit-on-loss behaviour).  The
+budget resets on every successful reconnect, so a worker survives any
+number of coordinator restarts as long as each outage is shorter than
+the budget.
+
+If the coordinator requires a shared secret, pass the same value via
+``--secret`` or the ``REPRO_CLUSTER_SECRET`` environment variable; the
+worker answers the HMAC challenge during the handshake.
+
 Edge-cache resolution order: ``--cache-dir``, then ``REPRO_CACHE_DIR``,
 then the directory the coordinator advertises in ``WELCOME`` (useful
 when worker hosts share the coordinator's filesystem).
 
 Exit codes: ``0`` after a coordinator ``SHUTDOWN`` (sweep over), ``1``
-on a lost/unreachable coordinator, ``2`` on a handshake rejection
-(e.g. stale protocol version).
+on a lost/unreachable coordinator (after the reconnect budget), ``2``
+on a handshake rejection (e.g. stale protocol version, bad secret).
 """
 
 from __future__ import annotations
@@ -29,10 +41,11 @@ import os
 import socket
 import sys
 import threading
-import time
 
 from ..diskcache import CACHE_DIR_ENV, resolve_cache_dir
 from .protocol import (
+    AUTH,
+    CHALLENGE,
     FAIL,
     GET,
     PING,
@@ -42,53 +55,22 @@ from .protocol import (
     SHUTDOWN,
     WELCOME,
     ProtocolError,
+    auth_digest,
+    connect_with_retry,
+    enable_keepalive,
     hello,
     parse_address,
     recv_message,
+    resolve_secret,
     send_message,
 )
 
 __all__ = ["run_worker", "main"]
 
-
-def _connect_with_retry(
-    host: str, port: int, timeout: float, log
-) -> socket.socket | None:
-    """Keep trying to connect for *timeout* seconds (coordinator may
-    not be up yet when workers are launched first)."""
-    deadline = time.monotonic() + timeout
-    delay = 0.1
-    while True:
-        try:
-            return socket.create_connection((host, port), timeout=max(timeout, 1.0))
-        except OSError as exc:
-            if time.monotonic() >= deadline:
-                log(f"worker: cannot reach coordinator {host}:{port}: {exc}")
-                return None
-            time.sleep(delay)
-            delay = min(delay * 2, 1.0)
-
-
-def _enable_keepalive(sock: socket.socket) -> None:
-    """Detect a silently-dead coordinator (power loss, partition).
-
-    The coordinator never pings workers, so without keepalive a worker
-    would block in ``recv`` forever when the head node vanishes without
-    a FIN/RST.  TCP keepalive makes the kernel probe the peer and fail
-    the blocked ``recv`` within a couple of minutes; the per-probe
-    options are best-effort (platform-dependent).
-    """
-    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
-    for option, value in (
-        ("TCP_KEEPIDLE", 30),
-        ("TCP_KEEPINTVL", 10),
-        ("TCP_KEEPCNT", 6),
-    ):
-        if hasattr(socket, option):
-            try:
-                sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, option), value)
-            except OSError:  # pragma: no cover - platform quirk
-                pass
+#: _serve_connection outcomes driving the run_worker reconnect loop.
+_SHUTDOWN = "shutdown"
+_LOST = "lost"
+_REJECTED = "rejected"
 
 
 def _heartbeat_loop(
@@ -105,61 +87,69 @@ def _heartbeat_loop(
             return
 
 
-def run_worker(
-    connect: str,
-    *,
-    backend_spec: str | None = None,
-    shards: int | None = None,
-    cache_dir: str | os.PathLike | None = None,
-    connect_timeout: float = 10.0,
-    log=print,
-) -> int:
-    """Serve one coordinator until it shuts the cluster down.
-
-    *backend_spec*/*shards* choose the local execution backend
-    (``resolve_backend`` syntax; ``cluster`` itself is refused).
-    Returns a process exit code (see module docstring).
-    """
-    # Imported here, not at module top: resolve_backend lazily imports
-    # this package, and the worker is also run as a script via -m.
-    from ..backends import resolve_backend
-
-    if backend_spec is not None and backend_spec.partition(":")[0] == "cluster":
-        raise ValueError("a cluster worker cannot itself execute on a cluster")
-    # Validate the local backend spec *before* connecting: a worker that
-    # would die on a bad spec must not first satisfy a serve quorum and
-    # then leave the sweep hung with zero workers.  (The real backend is
-    # built after WELCOME, which may add the advertised cache dir.)
-    resolve_backend(backend_spec, shards=shards).close()
-
-    host, port = parse_address(connect, default_host="127.0.0.1")
-    sock = _connect_with_retry(host, port, connect_timeout, log)
-    if sock is None:
-        return 1
-    sock.settimeout(None)
-    _enable_keepalive(sock)
-
+def _handshake(sock: socket.socket, secret: str | None, log) -> tuple[str, dict]:
+    """HELLO (and answer a secret challenge); ``(outcome, settings)``."""
     try:
-        send_message(sock, hello({"pid": os.getpid(), "host": socket.gethostname()}))
+        send_message(
+            sock, hello({"pid": os.getpid(), "host": socket.gethostname()})
+        )
         reply = recv_message(sock)
+        if (
+            reply is not None
+            and isinstance(reply, tuple)
+            and len(reply) == 2
+            and reply[0] == CHALLENGE
+        ):
+            if secret is None:
+                log(
+                    "worker: coordinator requires a shared secret; pass "
+                    "--secret or set REPRO_CLUSTER_SECRET"
+                )
+                return _REJECTED, {}
+            send_message(sock, (AUTH, auth_digest(secret, reply[1])))
+            reply = recv_message(sock)
     except (ProtocolError, OSError) as exc:
         log(f"worker: handshake failed: {exc}")
-        sock.close()
-        return 1
+        return _LOST, {}
     if reply is None or not isinstance(reply, tuple) or not reply:
         log("worker: coordinator closed the connection during handshake")
-        sock.close()
-        return 1
+        return _LOST, {}
     if reply[0] == REJECT:
         log(f"worker: rejected by coordinator: {reply[1]}")
-        sock.close()
-        return 2
+        return _REJECTED, {}
     if reply[0] != WELCOME:
         log(f"worker: unexpected handshake reply {reply[0]!r}")
-        sock.close()
-        return 2
-
+        return _REJECTED, {}
     settings = reply[1] if len(reply) > 1 and isinstance(reply[1], dict) else {}
+    return "ok", settings
+
+
+def _serve_connection(
+    sock: socket.socket,
+    host: str,
+    port: int,
+    *,
+    backend_spec: str | None,
+    shards: int | None,
+    cache_dir: str | os.PathLike | None,
+    secret: str | None,
+    log,
+) -> str:
+    """Handshake and serve one coordinator connection to its end.
+
+    Returns one of the outcome constants: ``_SHUTDOWN`` (clean cluster
+    shutdown), ``_LOST`` (connection died; the caller may reconnect) or
+    ``_REJECTED`` (handshake refused; retrying would loop).
+    """
+    from ..backends import resolve_backend
+
+    sock.settimeout(None)
+    enable_keepalive(sock)
+    outcome, settings = _handshake(sock, secret, log)
+    if outcome != "ok":
+        sock.close()
+        return outcome
+
     interval = float(settings.get("heartbeat_interval") or 5.0)
     # --cache-dir, then REPRO_CACHE_DIR, then the coordinator's
     # advertised directory — but an *explicitly empty* flag or variable
@@ -192,23 +182,23 @@ def run_worker(
                     send_message(sock, (GET,))
             except OSError as exc:
                 log(f"worker: connection lost: {exc}")
-                return 1
+                return _LOST
             while True:
                 try:
                     message = recv_message(sock)
                 except (ProtocolError, OSError) as exc:
                     log(f"worker: connection lost: {exc}")
-                    return 1
+                    return _LOST
                 if message is None:
                     log("worker: coordinator went away")
-                    return 1
+                    return _LOST
                 kind = message[0]
                 if kind in (SHARD, SHUTDOWN):
                     break
                 # tolerate benign messages from newer coordinators
             if kind == SHUTDOWN:
                 log("worker: coordinator shut the cluster down")
-                return 0
+                return _SHUTDOWN
             shard_id, items = message[1], message[2]
             try:
                 results = backend.evaluate_batch([request for _, request in items])
@@ -233,11 +223,82 @@ def run_worker(
                     send_message(sock, reply_message)
             except OSError as exc:
                 log(f"worker: connection lost sending results: {exc}")
-                return 1
+                return _LOST
     finally:
         stop.set()
         backend.close()
         sock.close()
+
+
+def run_worker(
+    connect: str,
+    *,
+    backend_spec: str | None = None,
+    shards: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    connect_timeout: float = 10.0,
+    reconnect_timeout: float = 60.0,
+    secret: str | None = None,
+    log=print,
+) -> int:
+    """Serve one coordinator until it shuts the cluster down.
+
+    *backend_spec*/*shards* choose the local execution backend
+    (``resolve_backend`` syntax; ``cluster`` itself is refused).  After
+    losing an *established* coordinator, the worker reconnects with
+    capped exponential backoff for up to *reconnect_timeout* seconds
+    (``0`` exits immediately, the pre-service behaviour); the budget
+    resets on every successful reconnect.  Returns a process exit code
+    (see the module docstring).
+    """
+    # Imported here, not at module top: resolve_backend lazily imports
+    # this package, and the worker is also run as a script via -m.
+    from ..backends import resolve_backend
+
+    if backend_spec is not None and backend_spec.partition(":")[0] in (
+        "cluster",
+        "service",
+    ):
+        raise ValueError(
+            "a cluster worker cannot itself execute on a cluster or service"
+        )
+    # Validate the local backend spec *before* connecting: a worker that
+    # would die on a bad spec must not first satisfy a serve quorum and
+    # then leave the sweep hung with zero workers.  (The real backend is
+    # built after WELCOME, which may add the advertised cache dir.)
+    resolve_backend(backend_spec, shards=shards).close()
+
+    secret = resolve_secret(secret)
+    host, port = parse_address(connect, default_host="127.0.0.1")
+    sock = connect_with_retry(host, port, connect_timeout, log=log)
+    if sock is None:
+        return 1
+    while True:
+        outcome = _serve_connection(
+            sock,
+            host,
+            port,
+            backend_spec=backend_spec,
+            shards=shards,
+            cache_dir=cache_dir,
+            secret=secret,
+            log=log,
+        )
+        if outcome == _SHUTDOWN:
+            return 0
+        if outcome == _REJECTED:
+            return 2
+        if reconnect_timeout <= 0:
+            return 1
+        log(
+            f"worker: reconnecting to {host}:{port} for up to "
+            f"{reconnect_timeout:g}s"
+        )
+        sock = connect_with_retry(
+            host, port, reconnect_timeout, max_delay=5.0, log=log
+        )
+        if sock is None:
+            return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -275,6 +336,18 @@ def main(argv: list[str] | None = None) -> int:
         default=10.0,
         help="seconds to keep retrying the initial connection",
     )
+    parser.add_argument(
+        "--reconnect-timeout",
+        type=float,
+        default=60.0,
+        help="seconds to keep retrying after losing an established "
+        "coordinator (0 exits immediately instead)",
+    )
+    parser.add_argument(
+        "--secret",
+        default=None,
+        help="shared cluster secret (default: $REPRO_CLUSTER_SECRET)",
+    )
     args = parser.parse_args(argv)
     try:
         return run_worker(
@@ -283,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
             shards=args.shards,
             cache_dir=args.cache_dir,
             connect_timeout=args.connect_timeout,
+            reconnect_timeout=args.reconnect_timeout,
+            secret=args.secret,
         )
     except ValueError as exc:
         parser.error(str(exc))

@@ -50,11 +50,18 @@ def resolve_cache_dir(spec: str | os.PathLike | None) -> Path | None:
 
 @dataclass(frozen=True)
 class DiskCacheStats:
-    """Point-in-time counters of one on-disk cache."""
+    """Point-in-time counters of one on-disk cache.
+
+    ``hits``/``misses``/``stores`` are this process's handle counters;
+    ``entries``/``total_bytes`` are a directory scan at call time, so
+    they reflect every process sharing the cache.
+    """
 
     hits: int
     misses: int
     stores: int
+    entries: int = 0
+    total_bytes: int = 0
 
 
 class DiskEdgeCache:
@@ -135,11 +142,44 @@ class DiskEdgeCache:
             return
         self._stores += 1
 
+    def _entries(self):
+        try:
+            yield from self._dir.glob("edges-*.npy")
+        except OSError:  # pragma: no cover - unreadable directory
+            return
+
     def stats(self) -> DiskCacheStats:
-        """Hit/miss/store counters of this process's cache handle."""
+        """This handle's hit/miss/store counters plus a directory scan."""
+        entries = 0
+        total_bytes = 0
+        for path in self._entries():
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue  # racing a concurrent clear()
+            entries += 1
         return DiskCacheStats(
-            hits=self._hits, misses=self._misses, stores=self._stores
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            entries=entries,
+            total_bytes=total_bytes,
         )
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed.
+
+        Only the cache's own ``edges-*.npy`` files are touched, so a
+        directory shared with other data is safe to clear.
+        """
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+            except OSError:
+                continue  # racing another clear(), or permissions
+            removed += 1
+        return removed
 
     def __repr__(self) -> str:
         s = self.stats()

@@ -17,6 +17,7 @@ __all__ = [
     "FactorizationError",
     "SimulationError",
     "ClusterError",
+    "ServiceError",
 ]
 
 
@@ -73,4 +74,16 @@ class ClusterError(ReproError, RuntimeError):
     workers times out.  Transient worker failures — disconnects, missed
     heartbeats — do *not* raise: their shards are requeued and the sweep
     degrades in throughput only.
+    """
+
+
+class ServiceError(ClusterError):
+    """A standing sweep service cannot complete a submitted job.
+
+    Raised when the daemon is unreachable or rejects the handshake
+    (stale protocol, missing/mismatched shared secret), when a job
+    fails or is cancelled while its results are being streamed, or when
+    the daemon shuts down mid-job.  Subclasses :class:`ClusterError`,
+    so callers treating the cluster and service tiers alike need one
+    ``except``.
     """

@@ -27,11 +27,27 @@ Multi-host sweeps pair the ``serve`` and ``work`` targets::
     # every other host
     python -m repro.experiments work --connect head-node:7077 --backend process:8
 
+A *standing* service — workers stay attached across many jobs from many
+concurrent drivers — pairs ``serve-jobs`` with ``submit``/``status``/
+``cancel`` (or any driver run with ``--backend service:host:port``)::
+
+    python -m repro.experiments serve-jobs --bind 0.0.0.0:7077    # head node
+    python -m repro.experiments work --connect head-node:7077     # worker hosts
+    python -m repro.experiments submit sweep --connect head-node:7077
+    python -m repro.experiments status --connect head-node:7077
+    python -m repro.experiments cancel --connect head-node:7077 --job job-000003
+
+``--secret`` (or ``REPRO_CLUSTER_SECRET``) arms the shared-secret
+handshake on every cluster/service connection.  ``cache`` reports the
+persistent edge cache (entries, bytes, directory; ``--clear`` empties
+it).
+
 Repetition counts default to quick settings; pass ``--reps 200`` for the
 paper's sample sizes.  ``--backend`` selects the execution backend of
-the batched sweeps (``serial``, ``thread[:N]``, ``process[:N]``, or
+the batched sweeps (``serial``, ``thread[:N]``, ``process[:N]``,
 ``cluster:[host:]port`` to bind a coordinator without waiting for a
-worker quorum), ``--shards`` overrides its worker count and
+worker quorum, or ``service:[host:]port[:priority]`` to submit to a
+standing daemon), ``--shards`` overrides its worker count and
 ``--cache-dir`` points the persistent edge cache at a directory
 (default: ``$REPRO_CACHE_DIR``).
 """
@@ -39,9 +55,12 @@ worker quorum), ``--shards`` overrides its worker count and
 from __future__ import annotations
 
 import argparse
+import csv
 import io
+import json
 import math
 import sys
+import time
 
 from ..engine import Backend, resolve_backend
 from ..sweep import InstanceSpec, ResultSet, SweepRow, SweepSpec, run
@@ -378,7 +397,9 @@ def _serve(args, parser) -> int:
         host, port = parse_address(args.bind, default_host="")
     except ValueError as exc:
         parser.error(str(exc))
-    backend = ClusterBackend(host, port, disk_cache_dir=args.cache_dir)
+    backend = ClusterBackend(
+        host, port, disk_cache_dir=args.cache_dir, secret=args.secret
+    )
     try:
         print(
             f"cluster coordinator listening on {backend.host}:{backend.port}; "
@@ -394,6 +415,202 @@ def _serve(args, parser) -> int:
         _emit(args, text, results)
     finally:
         backend.close()
+    return 0
+
+
+def _write_payload(args, payload: str) -> None:
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload if payload.endswith("\n") else payload + "\n")
+    else:
+        print(payload)
+
+
+def _emit_records(args, records: list[dict], columns: list[str]) -> None:
+    """Render plain (non-sweep) records per ``--format``/``--output``."""
+    if args.format == "json":
+        payload = json.dumps(records, indent=2)
+    elif args.format == "csv":
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        for record in records:
+            writer.writerow({c: record.get(c) for c in columns})
+        payload = buffer.getvalue().rstrip("\n")
+    else:
+        cells = [
+            ["" if r.get(c) is None else str(r.get(c)) for c in columns]
+            for r in records
+        ]
+        widths = [
+            max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+            for i, c in enumerate(columns)
+        ]
+        lines = ["  ".join(c.ljust(w) for c, w in zip(columns, widths)).rstrip()]
+        lines += [
+            "  ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip()
+            for row in cells
+        ]
+        payload = "\n".join(lines)
+    _write_payload(args, payload)
+
+
+#: Sweep targets `submit` can run against a standing service daemon.
+SUBMIT_TARGETS = ("sweep", "figure8", "ablations", "scaling", "weighted")
+
+#: Columns of the `status` listing.
+_STATUS_COLUMNS = [
+    "job",
+    "state",
+    "priority",
+    "shards",
+    "completed",
+    "label",
+    "submitted",
+]
+
+
+def _serve_jobs(args, parser) -> int:
+    """Host a standing sweep service until interrupted."""
+    from ..engine.cluster import parse_address
+    from ..service import ServiceDaemon
+
+    try:
+        host, port = parse_address(args.bind, default_host="")
+    except ValueError as exc:
+        parser.error(str(exc))
+    daemon = ServiceDaemon(
+        host, port, secret=args.secret, disk_cache_dir=args.cache_dir
+    )
+    try:
+        print(
+            f"service daemon listening on {daemon.host}:{daemon.port}",
+            flush=True,
+        )
+        print(
+            f"  workers: python -m repro.experiments work "
+            f"--connect HOST:{daemon.port}",
+            flush=True,
+        )
+        print(
+            f"  drivers: python -m repro.experiments submit sweep "
+            f"--connect HOST:{daemon.port}  (or any run with "
+            f"--backend service:HOST:{daemon.port})",
+            flush=True,
+        )
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("service daemon interrupted; shutting down", flush=True)
+    finally:
+        daemon.close()
+    return 0
+
+
+def _submit(args, parser) -> int:
+    """Run one sweep target as a job on a standing service daemon."""
+    from ..engine.cluster import parse_address
+    from ..service import ServiceBackend
+
+    target = args.table_id or "sweep"
+    if target not in SUBMIT_TARGETS:
+        parser.error(
+            f"submit target must be one of {', '.join(SUBMIT_TARGETS)}, "
+            f"got {target!r}"
+        )
+    if not args.connect:
+        parser.error("the submit target requires --connect HOST:PORT")
+    if args.backend is not None or args.shards is not None:
+        parser.error(
+            "submit always runs on the service backend; --backend/--shards "
+            "belong on the work side (each worker picks its local backend)"
+        )
+    try:
+        host, port = parse_address(args.connect, default_host="127.0.0.1")
+    except ValueError as exc:
+        parser.error(str(exc))
+    backend = ServiceBackend(
+        host, port, priority=args.priority, secret=args.secret
+    )
+    try:
+        if target == "sweep":
+            text, results = _sweep(backend)
+        elif target == "figure8":
+            text, results = _figure8(args.family, args.fast, backend)
+        elif target == "scaling":
+            text, results = _scaling(args.machine, args.family, backend)
+        elif target == "weighted":
+            text, results = _weighted(args.machine, backend)
+        else:  # ablations
+            text, results = _ablations(backend)
+        _emit(args, text, results)
+    finally:
+        backend.close()
+    return 0
+
+
+def _client(args, parser):
+    from ..engine.cluster import parse_address
+    from ..service import ServiceClient
+
+    if not args.connect:
+        parser.error(f"the {args.target} target requires --connect HOST:PORT")
+    try:
+        host, port = parse_address(args.connect, default_host="127.0.0.1")
+    except ValueError as exc:
+        parser.error(str(exc))
+    return ServiceClient(host, port, secret=args.secret)
+
+
+def _status(args, parser) -> int:
+    """List a standing service daemon's jobs."""
+    records = [dict(r) for r in _client(args, parser).status(args.job)]
+    for record in records:
+        stamp = record.pop("submitted_at", None)
+        record["submitted"] = (
+            None
+            if stamp is None
+            else time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
+        )
+    _emit_records(args, records, _STATUS_COLUMNS)
+    if args.job is not None and not records:
+        print(f"no such job: {args.job}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cancel(args, parser) -> int:
+    """Cancel one job on a standing service daemon."""
+    if not args.job:
+        parser.error("the cancel target requires --job JOB_ID")
+    if _client(args, parser).cancel(args.job):
+        print(f"cancelled {args.job}")
+        return 0
+    print(f"{args.job} is unknown or already finished", file=sys.stderr)
+    return 1
+
+
+def _cache(args) -> int:
+    """Report (and optionally clear) the persistent edge cache."""
+    from ..engine.diskcache import DiskEdgeCache, resolve_cache_dir
+
+    directory = resolve_cache_dir(args.cache_dir)
+    if directory is None:
+        raise SystemExit(
+            "no cache directory configured; pass --cache-dir or set "
+            "REPRO_CACHE_DIR"
+        )
+    cache = DiskEdgeCache(directory)
+    columns = ["dir", "entries", "bytes"]
+    record: dict = {}
+    if args.clear:
+        record["removed"] = cache.clear()
+        columns.append("removed")
+    stats = cache.stats()
+    record.update(
+        dir=str(directory), entries=stats.entries, bytes=stats.total_bytes
+    )
+    _emit_records(args, [record], columns)
     return 0
 
 
@@ -415,13 +632,19 @@ def main(argv: list[str] | None = None) -> int:
             "weighted",
             "serve",
             "work",
+            "serve-jobs",
+            "submit",
+            "status",
+            "cancel",
+            "cache",
         ],
         help="what to run (default: the README example sweep)",
     )
     parser.add_argument(
         "table_id",
         nargs="?",
-        help="II..VII for the table target; figure8/ablations for serve",
+        help="II..VII for the table target; figure8/ablations for serve; "
+        "any of sweep/figure8/ablations/scaling/weighted for submit",
     )
     parser.add_argument("--machine", default="VSC4")
     parser.add_argument("--family", default="nearest_neighbor")
@@ -482,6 +705,36 @@ def main(argv: list[str] | None = None) -> int:
         default=10.0,
         help="work: seconds to keep retrying the initial connection",
     )
+    parser.add_argument(
+        "--reconnect-timeout",
+        type=float,
+        default=60.0,
+        help="work: seconds to keep retrying after losing an established "
+        "coordinator (0 exits immediately instead)",
+    )
+    parser.add_argument(
+        "--secret",
+        default=None,
+        help="shared cluster/service secret armoring every connection "
+        "(default: $REPRO_CLUSTER_SECRET; empty disables)",
+    )
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="submit: job priority (larger values are scheduled first)",
+    )
+    parser.add_argument(
+        "--job",
+        default=None,
+        metavar="JOB_ID",
+        help="status/cancel: the job to inspect or cancel",
+    )
+    parser.add_argument(
+        "--clear",
+        action="store_true",
+        help="cache: delete every cached entry after reporting",
+    )
     args = parser.parse_args(argv)
 
     if args.target == "work":
@@ -496,11 +749,23 @@ def main(argv: list[str] | None = None) -> int:
                 shards=args.shards,
                 cache_dir=args.cache_dir,
                 connect_timeout=args.connect_timeout,
+                reconnect_timeout=args.reconnect_timeout,
+                secret=args.secret,
             )
         except ValueError as exc:
             parser.error(str(exc))
     if args.target == "serve":
         return _serve(args, parser)
+    if args.target == "serve-jobs":
+        return _serve_jobs(args, parser)
+    if args.target == "submit":
+        return _submit(args, parser)
+    if args.target == "status":
+        return _status(args, parser)
+    if args.target == "cancel":
+        return _cancel(args, parser)
+    if args.target == "cache":
+        return _cache(args)
 
     backend_options = {}
     if args.cache_dir is not None:

@@ -1,0 +1,52 @@
+"""Standing sweep service: one daemon, many workers, many driver jobs.
+
+The fourth execution tier.  Where :class:`~repro.engine.cluster.
+ClusterBackend` spins a coordinator up per driver run — workers attach,
+one sweep executes, everything tears down — the service keeps the
+cluster *standing*: a :class:`ServiceDaemon` hosts one persistent
+coordinator, workers attach once and keep their engine and edge caches
+warm across jobs, and any number of concurrent drivers submit compiled
+sweeps as prioritised jobs over the same socket protocol.  That is the
+seam the repeated mapping decisions of the source paper's setting need:
+the per-query cost of a sweep drops to the shards themselves, because
+the service amortises worker start-up, cache warm-up and connection
+churn across every job it serves.
+
+Daemon host::
+
+    python -m repro.experiments serve-jobs --bind 0.0.0.0:7077
+
+Worker hosts (attach once, serve every job, reconnect on daemon
+restart)::
+
+    python -m repro.experiments work --connect head:7077 --backend process:8
+
+Any driver, concurrently with any other::
+
+    from repro import run, resolve_backend
+
+    results = run(spec, backend="service:head:7077")      # priority 0
+    urgent = run(spec2, backend="service:head:7077:5")    # ahead of it
+
+plus ``python -m repro.experiments submit/status/cancel`` for the CLI
+side.  Set ``REPRO_CLUSTER_SECRET`` (or pass ``--secret``) on daemon,
+workers and clients to require the HMAC handshake on every connection.
+
+:class:`ServiceBackend` implements the standard
+:class:`~repro.engine.backends.Backend` protocol, so everything that
+takes a backend — the sweep API, every experiment driver, the CLI —
+gains the service tier unchanged; :class:`ServiceClient` is the lower
+level job API (submit/status/cancel, streamed shard payloads).
+"""
+
+from .backend import ServiceBackend, parse_service_spec
+from .client import JobHandle, ServiceClient
+from .daemon import ServiceDaemon
+
+__all__ = [
+    "ServiceBackend",
+    "ServiceClient",
+    "JobHandle",
+    "ServiceDaemon",
+    "parse_service_spec",
+]

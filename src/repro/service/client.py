@@ -1,0 +1,325 @@
+"""Blocking-socket client of a standing sweep service.
+
+A :class:`ServiceClient` talks to a :class:`~repro.service.daemon.
+ServiceDaemon` over the cluster wire protocol's client message set.
+Connections are per-operation: :meth:`ServiceClient.submit` opens one
+and keeps it for the life of the job (results stream back on it, a
+heartbeat thread keeps it audible, closing it early cancels the job);
+:meth:`status` and :meth:`cancel` open a short-lived one each, so a
+monitoring client never interleaves with a result stream.
+
+>>> client = ServiceClient("head-node", 7077)
+>>> with client.submit(shards, priority=5) as handle:   # doctest: +SKIP
+...     for shard_id, payload in handle.results():
+...         consume(payload)
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+from ..engine.cluster.protocol import (
+    AUTH,
+    CANCEL,
+    CANCEL_REPLY,
+    CHALLENGE,
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAIL,
+    JOB_RESULT,
+    PING,
+    REJECT,
+    SHUTDOWN,
+    STATUS,
+    STATUS_REPLY,
+    SUBMIT,
+    SUBMITTED,
+    WELCOME,
+    ProtocolError,
+    auth_digest,
+    connect_with_retry,
+    enable_keepalive,
+    hello,
+    recv_message,
+    resolve_secret,
+    send_message,
+)
+from ..exceptions import ServiceError
+
+__all__ = ["ServiceClient", "JobHandle"]
+
+
+def _heartbeat_loop(
+    sock: socket.socket,
+    write_lock: threading.Lock,
+    interval: float,
+    stop: threading.Event,
+) -> None:
+    while not stop.wait(interval):
+        try:
+            with write_lock:
+                send_message(sock, (PING,))
+        except OSError:
+            return
+
+
+class JobHandle:
+    """One submitted job: its id and the connection streaming results.
+
+    Iterate :meth:`results` to drain the stream; :meth:`close` (or the
+    context manager) releases the connection — early, before the stream
+    is drained, the daemon cancels the job's remaining shards.  A
+    heartbeat thread pings the daemon while the consumer is busy
+    between frames, so slow consumption is not mistaken for death.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        job_id: str,
+        shard_ids: list[int],
+        heartbeat_interval: float,
+    ):
+        self.job_id = job_id
+        self.shard_ids = list(shard_ids)
+        self._sock = sock
+        self._write_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._closed = False
+        self._heartbeat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(sock, self._write_lock, heartbeat_interval, self._stop),
+            name="repro-service-heartbeat",
+            daemon=True,
+        )
+        self._heartbeat.start()
+
+    def results(self):
+        """Yield ``(shard_id, payload)`` per completed shard, then stop.
+
+        Raises :class:`~repro.exceptions.ServiceError` when the job
+        fails, is cancelled (possibly by another connection), or the
+        daemon shuts down mid-job.
+        """
+        remaining = set(self.shard_ids)
+        while remaining:
+            try:
+                message = recv_message(self._sock)
+            except (ProtocolError, OSError) as exc:
+                raise ServiceError(
+                    f"lost the service connection mid-job: {exc}"
+                ) from None
+            if message is None:
+                raise ServiceError(
+                    "the service daemon closed the connection mid-job"
+                )
+            kind = message[0]
+            if kind == JOB_RESULT:
+                remaining.discard(message[2])
+                yield message[2], message[3]
+            elif kind == JOB_FAIL:
+                raise ServiceError(
+                    f"job {self.job_id} failed on shard {message[2]}: "
+                    f"{message[3]}"
+                )
+            elif kind == JOB_CANCELLED:
+                raise ServiceError(f"job {self.job_id} was cancelled")
+            elif kind == SHUTDOWN:
+                raise ServiceError(
+                    f"the service daemon shut down with job {self.job_id} "
+                    f"unfinished"
+                )
+            elif kind == JOB_DONE:
+                return
+
+    def close(self) -> None:
+        """Release the connection; an undrained job is cancelled."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def __enter__(self) -> "JobHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"JobHandle({self.job_id}, {len(self.shard_ids)} shard(s))"
+
+
+class ServiceClient:
+    """Submit, watch and cancel jobs on a standing sweep service.
+
+    Parameters
+    ----------
+    host, port:
+        The service daemon's address.
+    secret:
+        Shared authentication secret (default:
+        ``REPRO_CLUSTER_SECRET``; required when the daemon has one).
+    connect_timeout:
+        Seconds to wait for the TCP connect and each handshake reply.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        secret: str | None = None,
+        connect_timeout: float = 10.0,
+    ):
+        self.host = host or "127.0.0.1"
+        self.port = int(port)
+        self._secret = resolve_secret(secret)
+        self._connect_timeout = float(connect_timeout)
+
+    # ------------------------------------------------------------------
+    # Connection handshake
+    # ------------------------------------------------------------------
+    def _connect(self) -> tuple[socket.socket, dict]:
+        # Retry with capped backoff for the whole budget: the daemon may
+        # still be binding (scripted start-ups) or mid-restart.
+        sock = connect_with_retry(self.host, self.port, self._connect_timeout)
+        if sock is None:
+            raise ServiceError(
+                f"cannot reach service daemon {self.host}:{self.port} "
+                f"within {self._connect_timeout:g}s"
+            )
+        # A daemon host that dies without a FIN must not hang the
+        # driver forever in a result read.
+        enable_keepalive(sock)
+        try:
+            send_message(
+                sock,
+                hello(
+                    {
+                        "role": "client",
+                        "pid": os.getpid(),
+                        "host": socket.gethostname(),
+                    }
+                ),
+            )
+            reply = recv_message(sock)
+            if (
+                isinstance(reply, tuple)
+                and len(reply) == 2
+                and reply[0] == CHALLENGE
+            ):
+                if self._secret is None:
+                    raise ServiceError(
+                        "the service daemon requires a shared secret; pass "
+                        "secret= or set REPRO_CLUSTER_SECRET"
+                    )
+                send_message(sock, (AUTH, auth_digest(self._secret, reply[1])))
+                reply = recv_message(sock)
+        except (ProtocolError, OSError) as exc:
+            sock.close()
+            raise ServiceError(f"service handshake failed: {exc}") from None
+        except ServiceError:
+            sock.close()
+            raise
+        if reply is None or not isinstance(reply, tuple) or not reply:
+            sock.close()
+            raise ServiceError(
+                "the service daemon closed the connection during the handshake"
+            )
+        if reply[0] == REJECT:
+            sock.close()
+            raise ServiceError(f"rejected by the service daemon: {reply[1]}")
+        if reply[0] != WELCOME:
+            sock.close()
+            raise ServiceError(f"unexpected handshake reply {reply[0]!r}")
+        settings = reply[1] if len(reply) > 1 and isinstance(reply[1], dict) else {}
+        # Result frames may be minutes apart; the heartbeat thread keeps
+        # the connection audible instead of a per-frame socket timeout.
+        sock.settimeout(None)
+        return sock, settings
+
+    def _roundtrip(self, request: tuple, reply_kind: str) -> tuple:
+        sock, _ = self._connect()
+        try:
+            send_message(sock, request)
+            reply = recv_message(sock)
+        except (ProtocolError, OSError) as exc:
+            raise ServiceError(f"service request failed: {exc}") from None
+        finally:
+            sock.close()
+        if (
+            reply is None
+            or not isinstance(reply, tuple)
+            or not reply
+            or reply[0] != reply_kind
+        ):
+            raise ServiceError(
+                f"unexpected service reply {reply!r} (wanted {reply_kind})"
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        shard_payloads: list[list],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> JobHandle:
+        """Queue one job of shards; returns the streaming handle.
+
+        Each element of *shard_payloads* is one shard's ``(index,
+        request)`` list, exactly as the cluster tier shards them
+        (:func:`~repro.engine.backends.instance_aligned_shards`).
+        Larger *priority* values are scheduled ahead of smaller ones.
+        """
+        sock, settings = self._connect()
+        try:
+            send_message(
+                sock,
+                (
+                    SUBMIT,
+                    shard_payloads,
+                    {"priority": int(priority), "label": label},
+                ),
+            )
+            reply = recv_message(sock)
+        except (ProtocolError, OSError) as exc:
+            sock.close()
+            raise ServiceError(f"job submission failed: {exc}") from None
+        if (
+            reply is None
+            or not isinstance(reply, tuple)
+            or len(reply) != 3
+            or reply[0] != SUBMITTED
+        ):
+            sock.close()
+            raise ServiceError(f"unexpected submission reply {reply!r}")
+        interval = float(settings.get("heartbeat_interval") or 5.0)
+        return JobHandle(sock, reply[1], reply[2], interval)
+
+    def status(self, job_id: str | None = None) -> list[dict]:
+        """Status records of the daemon's jobs (one, or all).
+
+        Records carry ``job``, ``state``, ``priority``, ``label``,
+        ``shards``, ``completed`` and ``submitted_at``; an unknown
+        *job_id* yields an empty list.
+        """
+        reply = self._roundtrip((STATUS, job_id), STATUS_REPLY)
+        return reply[1] if isinstance(reply[1], list) else []
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a live job; ``False`` when unknown or already finished."""
+        reply = self._roundtrip((CANCEL, job_id), CANCEL_REPLY)
+        return bool(reply[2])
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.host}:{self.port})"

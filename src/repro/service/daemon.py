@@ -1,0 +1,373 @@
+"""The standing sweep service: a multi-job coordinator daemon.
+
+A :class:`ServiceDaemon` hosts one persistent
+:class:`~repro.engine.cluster.coordinator.Coordinator` — workers attach
+once (``python -m repro.experiments work --connect host:port``) and
+stay across any number of jobs, keeping their engine caches warm — and
+additionally accepts *client* connections on the same port.  Clients
+submit compiled sweeps as jobs (a list of shard payloads), get a job id
+back, and receive their results streamed per shard; many jobs from many
+clients multiplex onto the shared work-stealing queue with priority +
+FIFO scheduling, per-job cancellation, and status queries.
+
+Session semantics (one client connection):
+
+* ``SUBMIT`` queues a job and answers ``SUBMITTED`` with its id; the
+  daemon then streams ``JOB_RESULT`` frames as shards complete,
+  terminated by exactly one of ``JOB_DONE`` (all shards delivered),
+  ``JOB_FAIL`` (a shard crashed a worker's engine — the job's
+  remaining shards are withdrawn), ``JOB_CANCELLED`` (cancelled by
+  this or any other connection) or ``SHUTDOWN`` (daemon closing).
+* ``STATUS`` / ``CANCEL`` may be sent on any client connection — also
+  one that never submitted — and answer ``STATUS_REPLY`` /
+  ``CANCEL_REPLY``.  Cancelling another connection's job notifies that
+  connection with ``JOB_CANCELLED``.
+* A client that disconnects (or falls silent past the heartbeat
+  timeout — stream consumers must ping, see
+  :class:`~repro.service.client.JobHandle`) has its unfinished jobs
+  cancelled: abandoned work must not occupy the worker pool.
+
+The daemon owns a private background event loop, like
+:class:`~repro.engine.cluster.ClusterBackend`; construction binds the
+port and :meth:`close` shuts workers down and fails outstanding jobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+
+from ..engine.cluster.coordinator import Coordinator
+from ..engine.cluster.protocol import (
+    CANCEL,
+    CANCEL_REPLY,
+    FAIL,
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAIL,
+    JOB_RESULT,
+    PING,
+    RESULT,
+    SHUTDOWN,
+    STATUS,
+    STATUS_REPLY,
+    SUBMIT,
+    SUBMITTED,
+    WELCOME,
+    ProtocolError,
+    read_message,
+    resolve_secret,
+    write_message,
+)
+from ..engine.diskcache import resolve_cache_dir
+
+__all__ = ["ServiceDaemon"]
+
+
+class _ClientConn:
+    """Daemon-side state of one connected client."""
+
+    def __init__(self, writer: asyncio.StreamWriter, name: str):
+        self.writer = writer
+        self.name = name
+        self.task: asyncio.Task | None = None
+        self.jobs: dict[str, tuple[object, asyncio.Task]] = {}
+        # Session replies and job forwarders share one writer; without
+        # the lock, two tasks awaiting drain() during a flow-control
+        # pause trip asyncio's single-waiter assertion.
+        self.write_lock = asyncio.Lock()
+
+
+class _JobCoordinator(Coordinator):
+    """A coordinator whose client connections are job sessions."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._clients: set[_ClientConn] = set()
+
+    async def aclose(self) -> None:
+        await super().aclose()
+        # Job queues got SHUTDOWN above; closing the transports EOFs the
+        # session read loops, which then unwind on their own.  They are
+        # awaited (not cancelled: cancelling a start_server connection
+        # task trips asyncio's stream callback on 3.11) so none outlive
+        # the event loop.
+        sessions = [c.task for c in self._clients if c.task is not None]
+        for conn in list(self._clients):
+            try:
+                await self._send(conn, (SHUTDOWN,))
+            except (ConnectionError, OSError):
+                pass
+            conn.writer.close()
+        self._clients.clear()
+        if sessions:
+            await asyncio.wait(sessions, timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Client sessions
+    # ------------------------------------------------------------------
+    @staticmethod
+    async def _send(conn: _ClientConn, message: tuple) -> None:
+        async with conn.write_lock:
+            await write_message(conn.writer, message)
+
+    async def _serve_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        name: str,
+        info: dict,
+    ) -> None:
+        conn = _ClientConn(writer, name)
+        conn.task = asyncio.current_task()
+        self._clients.add(conn)
+        try:
+            await self._send(
+                conn,
+                (
+                    WELCOME,
+                    {"heartbeat_interval": self._heartbeat_timeout / 3.0},
+                ),
+            )
+            while True:
+                # Clients must stay audible (PING while waiting on a
+                # long job); a silent connection is treated as dead so
+                # its jobs stop occupying the worker pool.
+                try:
+                    message = await asyncio.wait_for(
+                        read_message(reader), timeout=self._heartbeat_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if message is None or not isinstance(message, tuple) or not message:
+                    break
+                kind = message[0]
+                if kind == PING:
+                    continue
+                if kind == SUBMIT and len(message) == 3:
+                    await self._client_submit(conn, message[1], message[2])
+                elif kind == STATUS and len(message) == 2:
+                    await self._send(
+                        conn, (STATUS_REPLY, self.jobs_snapshot(message[1]))
+                    )
+                elif kind == CANCEL and len(message) == 2:
+                    ok = await self._client_cancel(message[1])
+                    await self._send(conn, (CANCEL_REPLY, message[1], ok))
+                else:
+                    break
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+        finally:
+            self._clients.discard(conn)
+            for job, forwarder in list(conn.jobs.values()):
+                forwarder.cancel()
+                if not job.finished:
+                    await self.cancel(job)
+            conn.jobs.clear()
+            writer.close()
+
+    async def _client_submit(
+        self, conn: _ClientConn, payloads: object, options: object
+    ) -> None:
+        options = options if isinstance(options, dict) else {}
+        if not isinstance(payloads, list) or not all(
+            isinstance(shard, list) for shard in payloads
+        ):
+            raise ProtocolError("SUBMIT payload must be a list of shard lists")
+        results: asyncio.Queue = asyncio.Queue()
+        job, shard_ids = await self.submit(
+            payloads,
+            results,
+            priority=int(options.get("priority", 0)),
+            label=str(options.get("label", "") or ""),
+        )
+        if shard_ids:
+            # Registered before the SUBMITTED write: if the client is
+            # already gone when the reply fails, the session's cleanup
+            # must find (and cancel) this job rather than orphan it on
+            # the worker pool.
+            forwarder = asyncio.create_task(
+                self._forward_job(conn, job, results, set(shard_ids))
+            )
+            conn.jobs[job.id] = (job, forwarder)
+        await self._send(conn, (SUBMITTED, job.id, shard_ids))
+        if not shard_ids:
+            await self._send(conn, (JOB_DONE, job.id))
+
+    async def _client_cancel(self, job_id: object) -> bool:
+        job = self.find_job(job_id) if isinstance(job_id, str) else None
+        if job is None:
+            return False
+        await self.cancel(job)
+        return True
+
+    async def _forward_job(
+        self, conn: _ClientConn, job, results: asyncio.Queue, remaining: set
+    ) -> None:
+        """Stream one job's shard queue to its submitting client."""
+        try:
+            while remaining:
+                kind, shard_id, payload = await results.get()
+                if kind == RESULT:
+                    remaining.discard(shard_id)
+                    await self._send(
+                        conn, (JOB_RESULT, job.id, shard_id, payload)
+                    )
+                elif kind == FAIL:
+                    await self._send(conn, (JOB_FAIL, job.id, shard_id, payload))
+                    # Withdraw the job's other shards: it already failed.
+                    if not job.finished:
+                        await self.cancel(job)
+                    return
+                elif kind == CANCEL:
+                    await self._send(conn, (JOB_CANCELLED, job.id))
+                    return
+                else:  # SHUTDOWN
+                    await self._send(conn, (SHUTDOWN,))
+                    return
+            await self._send(conn, (JOB_DONE, job.id))
+        except (ConnectionError, OSError):
+            conn.writer.close()
+        finally:
+            conn.jobs.pop(job.id, None)
+
+
+class ServiceDaemon:
+    """A standing sweep service on a private background event loop.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address for workers *and* clients (one port, roles are
+        declared in the handshake).  The default binds every interface
+        on an ephemeral port; read :attr:`host`/:attr:`port` for the
+        bound values.
+    heartbeat_timeout:
+        Seconds of silence after which a worker (or streaming client)
+        connection is presumed dead; workers' in-flight shards are
+        requeued, clients' unfinished jobs are cancelled.
+    disk_cache_dir:
+        Edge-cache directory advertised to workers; defaults to
+        ``REPRO_CACHE_DIR``.
+    max_shard_requeues:
+        Worker deaths one shard may survive before its job fails.
+    secret:
+        Shared authentication secret required of every worker and
+        client (default: ``REPRO_CLUSTER_SECRET``; empty disables).
+    history_limit:
+        Finished jobs kept for :meth:`jobs` queries.
+    """
+
+    def __init__(
+        self,
+        host: str = "",
+        port: int = 0,
+        *,
+        heartbeat_timeout: float = 15.0,
+        disk_cache_dir: str | os.PathLike | None = None,
+        max_shard_requeues: int = 3,
+        secret: str | None = None,
+        history_limit: int = 256,
+    ):
+        cache_dir = resolve_cache_dir(disk_cache_dir)
+        self.disk_cache_dir = None if cache_dir is None else str(cache_dir)
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-service-daemon",
+            daemon=True,
+        )
+        self._thread.start()
+        self._coordinator = _JobCoordinator(
+            host,
+            port,
+            heartbeat_timeout=heartbeat_timeout,
+            cache_dir=self.disk_cache_dir,
+            max_shard_requeues=max_shard_requeues,
+            secret=resolve_secret(secret),
+            history_limit=history_limit,
+        )
+        try:
+            self._run(self._coordinator.start())
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    # ------------------------------------------------------------------
+    # Event-loop plumbing
+    # ------------------------------------------------------------------
+    def _run(self, coro, timeout: float | None = 30.0):
+        if self._closed:
+            raise RuntimeError("service daemon is closed")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        if not self._thread.is_alive():
+            self._loop.close()
+
+    # ------------------------------------------------------------------
+    # Introspection and control
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The daemon's bound host."""
+        return self._coordinator.address[0]
+
+    @property
+    def port(self) -> int:
+        """The daemon's bound port (resolved when it was ``0``)."""
+        return self._coordinator.address[1]
+
+    @property
+    def num_workers(self) -> int:
+        """Currently connected worker count."""
+        return self._coordinator.num_workers
+
+    def wait_for_workers(self, count: int, timeout: float | None = None) -> None:
+        """Block until *count* workers are connected."""
+        self._run(self._coordinator.wait_for_workers(count, timeout), timeout=None)
+
+    def jobs(self, job_id: str | None = None) -> list[dict]:
+        """Status records of live and recently finished jobs."""
+
+        async def snapshot() -> list[dict]:
+            return self._coordinator.jobs_snapshot(job_id)
+
+        return self._run(snapshot())
+
+    def cancel_job(self, job_id: str) -> bool:
+        """Cancel a live job; ``False`` when unknown or already finished."""
+        return self._run(self._coordinator._client_cancel(job_id))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the service: workers shut down, outstanding jobs fail."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            try:
+                self._run(self._coordinator.aclose(), timeout=30.0)
+            finally:
+                self._closed = True
+                self._stop_loop()
+
+    def __enter__(self) -> "ServiceDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        if self._closed:
+            return "ServiceDaemon(closed)"
+        return (
+            f"ServiceDaemon({self.host}:{self.port}, "
+            f"{self.num_workers} worker(s))"
+        )
