@@ -27,7 +27,7 @@ See :mod:`repro.engine.engine` for the caching/batching/fan-out design,
 from .backends import Backend, ProcessBackend, ThreadBackend, resolve_backend
 from .cache import CacheStats, LRUCache
 from .cluster import ClusterBackend
-from .diskcache import CACHE_DIR_ENV, DiskCacheStats, DiskEdgeCache
+from .diskcache import CACHE_DIR_ENV, DiskCacheStats, DiskEdgeCache, DiskStore
 from .engine import EvaluationEngine
 from .metrics import (
     MetricSpec,
@@ -54,6 +54,7 @@ __all__ = [
     "LRUCache",
     "CacheStats",
     "DiskEdgeCache",
+    "DiskStore",
     "DiskCacheStats",
     "CACHE_DIR_ENV",
     "list_mappers",

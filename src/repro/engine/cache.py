@@ -122,7 +122,11 @@ class LRUCache:
             if flight.owner == threading.get_ident():
                 # Reentrant same-key call from inside the leader's own
                 # compute: waiting would deadlock on ourselves, so fall
-                # back to duplicate compute (the later store wins).
+                # back to duplicate compute (the later store wins).  The
+                # value is not served from the cache, so it is a miss —
+                # leaving it uncounted overstates hit_rate.
+                with self._lock:
+                    self._misses += 1
                 value = compute()
                 self.put(key, value)
                 return value

@@ -102,7 +102,13 @@ class _Job:
     cancelled: bool = False
     failed: str | None = None
     finished: bool = False
+    #: Wall-clock submission time — for STATUS display only.  All
+    #: queue-age/latency math uses the monotonic pair below: a host
+    #: clock step (NTP, manual set) must not corrupt scheduling metrics.
     submitted_at: float = 0.0
+    #: Event-loop (monotonic) time of enqueue / finish.
+    enqueued_at: float = 0.0
+    finished_at: float | None = None
 
 
 @dataclass(eq=False)
@@ -282,13 +288,13 @@ class Coordinator:
             seq=self._next_job_seq,
             label=label,
             submitted_at=time.time(),
+            enqueued_at=asyncio.get_running_loop().time(),
         )
         self._next_job_seq += 1
         shard_ids: list[int] = []
         async with self._cond:
             for items in shard_items:
-                shard = _Shard(self._next_shard_id, items, job)
-                self._next_shard_id += 1
+                shard = _Shard(self._alloc_shard_id(), items, job)
                 job.pending.add(shard.id)
                 shard_ids.append(shard.id)
                 self._push(shard)
@@ -327,9 +333,11 @@ class Coordinator:
 
         Records are dicts with ``job``, ``state`` (``queued`` /
         ``running`` / ``done`` / ``failed`` / ``cancelled``),
-        ``priority``, ``label``, ``shards``, ``completed`` and
-        ``submitted_at`` keys, in submission order.  Passing *job_id*
-        filters to that job (empty list when unknown).
+        ``priority``, ``label``, ``shards``, ``completed``,
+        ``submitted_at`` (wall clock, display only) and ``age``
+        (seconds since enqueue on the loop's monotonic clock, frozen at
+        finish) keys, in submission order.  Passing *job_id* filters to
+        that job (empty list when unknown).
         """
         records = list(self._history.values())
         records.extend(self._job_record(job) for job in self._jobs.values())
@@ -353,13 +361,20 @@ class Coordinator:
     # ------------------------------------------------------------------
     # Job bookkeeping
     # ------------------------------------------------------------------
+    def _alloc_shard_id(self) -> int:
+        """Next shard id — one counter for every id a client ever sees,
+        so subclass-synthesized shards (result-store hits) never collide
+        with dispatched ones."""
+        sid = self._next_shard_id
+        self._next_shard_id += 1
+        return sid
+
     def _push(self, shard: _Shard) -> None:
         heapq.heappush(
             self._queue, (-shard.job.priority, shard.job.seq, shard.id, shard)
         )
 
-    @staticmethod
-    def _job_record(job: _Job) -> dict:
+    def _job_record(self, job: _Job) -> dict:
         if job.failed is not None:
             state = "failed"
         elif job.cancelled:
@@ -370,6 +385,14 @@ class Coordinator:
             state = "running"
         else:
             state = "queued"
+        # Age is monotonic-minus-monotonic: a wall-clock step between
+        # enqueue and now cannot make it negative or jump.
+        end = job.finished_at
+        if end is None:
+            try:
+                end = asyncio.get_running_loop().time()
+            except RuntimeError:  # off-loop introspection (tests)
+                end = job.enqueued_at
         return {
             "job": job.id,
             "state": state,
@@ -378,6 +401,7 @@ class Coordinator:
             "shards": job.total,
             "completed": job.completed,
             "submitted_at": job.submitted_at,
+            "age": max(0.0, end - job.enqueued_at),
         }
 
     def _finish_job(self, job: _Job) -> None:
@@ -385,6 +409,10 @@ class Coordinator:
         if job.finished:
             return
         job.finished = True
+        try:
+            job.finished_at = asyncio.get_running_loop().time()
+        except RuntimeError:  # pragma: no cover - off-loop teardown
+            job.finished_at = job.enqueued_at
         if self._history_limit:
             self._history[job.id] = self._job_record(job)
             while len(self._history) > self._history_limit:

@@ -1,25 +1,47 @@
-"""Persistent on-disk cache for communication-edge arrays.
+"""Persistent on-disk caches: edge arrays plus typed memoized stores.
 
-The engine's in-memory edge cache dies with the process; sweeps sharded
+The engine's in-memory caches die with the process; sweeps sharded
 across worker processes (or restarted after a crash) would rebuild the
-same expensive ``O(k * p)`` edge arrays once per process.  This module
-stores them as ``.npy`` files keyed exactly like the in-memory cache —
-by the grid's dimensions and periodicity plus the stencil's offsets — so
-any process pointed at the same directory reads what another already
-computed.
+same expensive intermediates once per process.  This module persists
+them as one file per entry, keyed exactly like their in-memory
+counterparts, so any process pointed at the same directory reads what
+another already computed:
+
+* :class:`DiskEdgeCache` — ``edges-<sha256>.npy`` communication-edge
+  arrays keyed by grid dimensions/periodicity plus stencil offsets.
+* :class:`DiskStore` — ``<kind>-<sha256>.pkl`` pickled values behind
+  the permutation/cost/metric LRUs (kinds ``perm``/``cost``/``metric``)
+  and the service daemon's content-addressed result store (``result``).
 
 The cache directory is chosen per engine via the ``disk_cache_dir``
 argument, or globally via the ``REPRO_CACHE_DIR`` environment variable;
 with neither set the disk layer is disabled and the engine behaves as
 before.  Writes are atomic (tmp file + ``os.replace``), so concurrent
-writers on one POSIX filesystem can only ever publish complete arrays.
+writers on one POSIX filesystem can only ever publish complete entries;
+a truncated or corrupt entry (e.g. a pre-atomic-write crash of an older
+layout) reads back as a miss, never an error.
+
+Stable content keys
+-------------------
+The in-memory caches key on live objects (``CartesianGrid`` instances,
+mapper registry names, ``MetricSpec``); the disk tier needs keys that
+are stable across processes and restarts.  :func:`request_payload`
+derives such a key from a :class:`~repro.engine.request.MappingRequest`
+— grids, stencils and allocations project to their defining integer
+tuples, registry-name mappers to the name, explicit permutations to a
+digest of their bytes — or returns ``None`` for requests with no stable
+identity (configured :class:`Mapper` *instances* are identity-keyed in
+memory and therefore uncacheable on disk, exactly mirroring the
+in-memory ``spec_key`` semantics).
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import pickle
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -28,10 +50,41 @@ import numpy as np
 from ..grid.grid import CartesianGrid
 from ..grid.stencil import Stencil
 
-__all__ = ["DiskCacheStats", "DiskEdgeCache", "CACHE_DIR_ENV", "resolve_cache_dir"]
+__all__ = [
+    "DiskCacheStats",
+    "DiskEdgeCache",
+    "DiskStore",
+    "MISSING",
+    "STORE_KINDS",
+    "CACHE_DIR_ENV",
+    "resolve_cache_dir",
+    "stable_digest",
+    "instance_payload",
+    "mapper_payload",
+    "metric_payload",
+    "request_payload",
+]
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Every store kind sharing one cache directory: the ``.npy`` edge
+#: cache plus the pickled :class:`DiskStore` tiers.  The CLI ``cache``
+#: verb reports/clears each kind separately.
+STORE_KINDS = ("edges", "perm", "cost", "metric", "result")
+
+
+class _Missing:
+    """Sentinel distinguishing "no entry" from a stored ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MISSING"
+
+
+#: Returned by :meth:`DiskStore.load` when the key has no (readable) entry.
+MISSING = _Missing()
 
 
 def resolve_cache_dir(spec: str | os.PathLike | None) -> Path | None:
@@ -46,6 +99,112 @@ def resolve_cache_dir(spec: str | os.PathLike | None) -> Path | None:
     if spec is None or str(spec) == "":
         return None
     return Path(spec)
+
+
+# ----------------------------------------------------------------------
+# Stable content keys
+# ----------------------------------------------------------------------
+def stable_digest(payload: str) -> str:
+    """Hex sha256 of a payload string — the file-name key of one entry."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _stable_value(value):
+    """Project a parameter value to a repr-stable form, or raise TypeError.
+
+    Only values whose ``repr`` is identical in every process qualify:
+    None, bools, ints, floats, strings, and tuples/lists thereof.
+    Anything else (objects, arrays, dicts) has no stable textual
+    identity and poisons the key.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_stable_value(item) for item in value)
+    raise TypeError(
+        f"{type(value).__name__} has no process-stable representation"
+    )
+
+
+def instance_payload(grid, stencil, alloc) -> str:
+    """Stable payload of one evaluation instance ``(grid, stencil, alloc)``.
+
+    Mirrors the structural equality the in-memory caches rely on: same
+    dimensions, periodicity, offset set and node sizes map to the same
+    payload in every process.  Offsets are sorted because ``Stencil``
+    equality is set-based.
+    """
+    return repr(
+        (
+            tuple(grid.dims),
+            tuple(grid.periods),
+            tuple(sorted(stencil.offsets)),
+            tuple(alloc.node_sizes),
+        )
+    )
+
+
+def mapper_payload(mapper) -> str | None:
+    """Stable payload of a mapper spec, or ``None`` when identity-keyed.
+
+    Registry names (strings) are stable across processes; configured
+    :class:`Mapper` instances are keyed by identity in memory and have
+    no disk-stable counterpart.
+    """
+    if isinstance(mapper, str):
+        return repr(("mapper", mapper))
+    return None
+
+
+def metric_payload(spec) -> str | None:
+    """Stable payload of a :class:`MetricSpec`, or ``None``.
+
+    Specs whose params contain only plain scalars/tuples (e.g. the
+    built-in weighted-bytes metric) qualify; exotic params poison the
+    key and the request falls back to compute.
+    """
+    try:
+        return repr((spec.name, _stable_value(spec.params)))
+    except (AttributeError, TypeError):
+        return None
+
+
+def request_payload(request) -> str | None:
+    """Stable content payload of one mapping request, or ``None``.
+
+    ``None`` marks the request uncacheable: a mapper *instance*, a
+    metric with exotic params, or an object that is not a
+    :class:`MappingRequest` at all (the service daemon calls this on
+    opaque shard items and must pass them through untouched).
+    """
+    try:
+        instance = instance_payload(request.grid, request.stencil, request.alloc)
+        perm = request.perm
+        metrics = request.metrics
+        mapper = request.mapper
+    except (AttributeError, TypeError):
+        return None
+    if perm is not None:
+        arr = np.ascontiguousarray(perm)
+        mapped = repr(
+            (
+                "perm",
+                str(arr.dtype),
+                tuple(arr.shape),
+                hashlib.sha256(arr.tobytes()).hexdigest(),
+            )
+        )
+    else:
+        mapped = mapper_payload(mapper)
+        if mapped is None:
+            return None
+    parts = [instance, mapped]
+    for spec in metrics:
+        part = metric_payload(spec)
+        if part is None:
+            return None
+        parts.append(part)
+    return repr(tuple(parts))
 
 
 @dataclass(frozen=True)
@@ -64,18 +223,21 @@ class DiskCacheStats:
     total_bytes: int = 0
 
 
-class DiskEdgeCache:
-    """File-per-entry ``np.save``/``np.load`` store of edge arrays.
+class _DiskCacheBase:
+    """Shared machinery of the on-disk stores.
 
-    Parameters
-    ----------
-    cache_dir:
-        Directory holding the ``edges-<sha256>.npy`` files; created on
-        first use.  Many processes may share one directory.
+    One directory, one file per entry named ``<kind>-<key><suffix>``,
+    atomic publishes, and lock-guarded counters: handles are shared
+    between concurrent engine worker threads, so unguarded ``+= 1``
+    bumps would lose updates.
     """
 
-    def __init__(self, cache_dir: str | os.PathLike):
+    _suffix: str
+
+    def __init__(self, cache_dir: str | os.PathLike, kind: str):
         self._dir = Path(cache_dir)
+        self._kind = str(kind)
+        self._counter_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._stores = 0
@@ -85,47 +247,29 @@ class DiskEdgeCache:
         """The directory backing this cache."""
         return self._dir
 
-    @staticmethod
-    def key_for(grid: CartesianGrid, stencil: Stencil) -> str:
-        """Deterministic file-name key of ``(grid, stencil)``.
+    @property
+    def kind(self) -> str:
+        """File-name prefix distinguishing this store in a shared dir."""
+        return self._kind
 
-        Mirrors the in-memory edge-cache key: structurally equal
-        instances — same dimensions, periodicity and offset set — map to
-        the same file in every process, today and after a restart.
-        Offsets are sorted because :class:`Stencil` equality is
-        set-based; permuted insertion orders must share one entry.
+    def _path(self, key: str) -> Path:
+        return self._dir / f"{self._kind}-{key}{self._suffix}"
+
+    def _count(self, *, hit: bool = False, miss: bool = False,
+               store: bool = False) -> None:
+        with self._counter_lock:
+            self._hits += hit
+            self._misses += miss
+            self._stores += store
+
+    def _publish(self, path: Path, write) -> bool:
+        """Atomically write one entry via ``write(fh)``.
+
+        Best-effort: an unwritable cache directory degrades to ``False``
+        (callers still hold the in-memory copy).  Readers can only ever
+        observe complete entries — the tmp file carries a ``.tmp``
+        suffix no reader globs, and ``os.replace`` is atomic.
         """
-        payload = repr((grid.dims, grid.periods, tuple(sorted(stencil.offsets))))
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-    def _path_for(self, grid: CartesianGrid, stencil: Stencil) -> Path:
-        return self._dir / f"edges-{self.key_for(grid, stencil)}.npy"
-
-    def load(self, grid: CartesianGrid, stencil: Stencil) -> np.ndarray | None:
-        """Read the cached edge array, or ``None`` when absent/corrupt.
-
-        A truncated or unreadable file (e.g. from a pre-atomic-write
-        crash of an older layout) counts as a miss rather than an error.
-        """
-        path = self._path_for(grid, stencil)
-        try:
-            arr = np.load(path)
-        except (OSError, ValueError, EOFError):
-            # EOFError: np.load on a zero-byte/truncated-header file
-            self._misses += 1
-            return None
-        self._hits += 1
-        arr = np.ascontiguousarray(arr, dtype=np.int64)
-        arr.setflags(write=False)
-        return arr
-
-    def store(self, grid: CartesianGrid, stencil: Stencil, edges: np.ndarray) -> None:
-        """Atomically publish the edge array of ``(grid, stencil)``.
-
-        Best-effort: an unwritable cache directory degrades to a no-op
-        (the sweep still has the in-memory copy).
-        """
-        path = self._path_for(grid, stencil)
         try:
             self._dir.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -133,18 +277,19 @@ class DiskEdgeCache:
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    np.save(fh, np.asarray(edges, dtype=np.int64))
+                    write(fh)
                 os.replace(tmp, path)
             except BaseException:
                 os.unlink(tmp)
                 raise
         except OSError:
-            return
-        self._stores += 1
+            return False
+        self._count(store=True)
+        return True
 
     def _entries(self):
         try:
-            yield from self._dir.glob("edges-*.npy")
+            yield from self._dir.glob(f"{self._kind}-*{self._suffix}")
         except OSError:  # pragma: no cover - unreadable directory
             return
 
@@ -158,19 +303,22 @@ class DiskEdgeCache:
             except OSError:
                 continue  # racing a concurrent clear()
             entries += 1
+        with self._counter_lock:
+            hits, misses, stores = self._hits, self._misses, self._stores
         return DiskCacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            stores=self._stores,
+            hits=hits,
+            misses=misses,
+            stores=stores,
             entries=entries,
             total_bytes=total_bytes,
         )
 
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed.
+        """Delete every entry of *this* store; returns how many removed.
 
-        Only the cache's own ``edges-*.npy`` files are touched, so a
-        directory shared with other data is safe to clear.
+        Only the store's own ``<kind>-*<suffix>`` files are touched, so
+        a directory shared with other stores (or other data) is safe to
+        clear.
         """
         removed = 0
         for path in self._entries():
@@ -184,6 +332,114 @@ class DiskEdgeCache:
     def __repr__(self) -> str:
         s = self.stats()
         return (
-            f"DiskEdgeCache({str(self._dir)!r}, hits={s.hits}, "
-            f"misses={s.misses}, stores={s.stores})"
+            f"{type(self).__name__}({str(self._dir)!r}, kind={self._kind!r}, "
+            f"hits={s.hits}, misses={s.misses}, stores={s.stores})"
+        )
+
+
+class DiskEdgeCache(_DiskCacheBase):
+    """File-per-entry ``np.save``/``np.load`` store of edge arrays.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the ``edges-<sha256>.npy`` files; created on
+        first use.  Many processes may share one directory.
+    """
+
+    _suffix = ".npy"
+
+    def __init__(self, cache_dir: str | os.PathLike):
+        super().__init__(cache_dir, "edges")
+
+    @staticmethod
+    def key_for(grid: CartesianGrid, stencil: Stencil) -> str:
+        """Deterministic file-name key of ``(grid, stencil)``.
+
+        Mirrors the in-memory edge-cache key: structurally equal
+        instances — same dimensions, periodicity and offset set — map to
+        the same file in every process, today and after a restart.
+        Offsets are sorted because :class:`Stencil` equality is
+        set-based; permuted insertion orders must share one entry.
+        """
+        payload = repr((grid.dims, grid.periods, tuple(sorted(stencil.offsets))))
+        return stable_digest(payload)
+
+    def _path_for(self, grid: CartesianGrid, stencil: Stencil) -> Path:
+        return self._path(self.key_for(grid, stencil))
+
+    def load(self, grid: CartesianGrid, stencil: Stencil) -> np.ndarray | None:
+        """Read the cached edge array, or ``None`` when absent/corrupt.
+
+        A truncated or unreadable file (e.g. from a pre-atomic-write
+        crash of an older layout) counts as a miss rather than an error.
+        """
+        path = self._path_for(grid, stencil)
+        try:
+            arr = np.load(path)
+        except (OSError, ValueError, EOFError):
+            # EOFError: np.load on a zero-byte/truncated-header file
+            self._count(miss=True)
+            return None
+        self._count(hit=True)
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        arr.setflags(write=False)
+        return arr
+
+    def store(self, grid: CartesianGrid, stencil: Stencil, edges: np.ndarray) -> None:
+        """Atomically publish the edge array of ``(grid, stencil)``.
+
+        Best-effort: an unwritable cache directory degrades to a no-op
+        (the sweep still has the in-memory copy).
+        """
+        self._publish(
+            self._path_for(grid, stencil),
+            lambda fh: np.save(fh, np.asarray(edges, dtype=np.int64)),
+        )
+
+
+class DiskStore(_DiskCacheBase):
+    """Typed file-per-entry pickle store for memoized values.
+
+    The persistent tier behind the engine's permutation/cost/metric
+    LRUs and the service daemon's content-addressed result store.  Keys
+    are hex digests (see :func:`stable_digest` and the payload helpers
+    above); values are arbitrary picklable objects stored as
+    ``<kind>-<key>.pkl``.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the entries; created on first use and safely
+        shared between kinds, processes, and the edge cache.
+    kind:
+        File-name prefix namespacing this store within the directory
+        (``perm``/``cost``/``metric``/``result``).
+    """
+
+    _suffix = ".pkl"
+
+    def load(self, key: str):
+        """The stored value of *key*, or :data:`MISSING`.
+
+        Absent, truncated, corrupt or otherwise unreadable entries all
+        count as misses rather than errors — a crashed writer or a
+        stray file must never fail a sweep.
+        """
+        try:
+            with open(self._path(key), "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            # pickle raises anything from EOFError to arbitrary
+            # constructor errors on corrupt bytes; all mean "no entry".
+            self._count(miss=True)
+            return MISSING
+        self._count(hit=True)
+        return value
+
+    def store(self, key: str, value) -> bool:
+        """Atomically publish *value* under *key*; ``False`` if unwritable."""
+        return self._publish(
+            self._path(key),
+            lambda fh: pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL),
         )

@@ -46,7 +46,16 @@ from ..metrics.cost import (
     evaluate_mappings_batch,
 )
 from .cache import CacheStats, LRUCache
-from .diskcache import DiskCacheStats, DiskEdgeCache, resolve_cache_dir
+from .diskcache import (
+    DiskCacheStats,
+    DiskEdgeCache,
+    DiskStore,
+    instance_payload,
+    mapper_payload,
+    metric_payload,
+    resolve_cache_dir,
+    stable_digest,
+)
 from .metrics import MetricContext, MetricSpec, resolve_metric
 from .registry import list_mappers, resolve_mapper, spec_key
 from .request import MappingRequest, MappingResult
@@ -69,10 +78,12 @@ class EvaluationEngine:
         small but numerous.  (Rank-to-node arrays need no engine cache:
         :class:`NodeAllocation` precomputes them at construction.)
     disk_cache_dir:
-        Directory of the persistent edge cache shared across processes
-        and restarts (see :mod:`repro.engine.diskcache`).  Defaults to
-        the ``REPRO_CACHE_DIR`` environment variable; with neither set
-        the disk layer is disabled.
+        Directory of the persistent caches shared across processes and
+        restarts (see :mod:`repro.engine.diskcache`): the edge-array
+        cache plus disk tiers behind the permutation, cost and metric
+        LRUs, keyed like their in-memory counterparts.  Defaults to the
+        ``REPRO_CACHE_DIR`` environment variable; with neither set the
+        disk layer is disabled.
 
     The engine owns one persistent thread pool, created lazily on the
     first parallel batch and reused by every later call; :meth:`close`
@@ -102,6 +113,14 @@ class EvaluationEngine:
         self._metric_cache = LRUCache(cost_cache_entries)
         cache_dir = resolve_cache_dir(disk_cache_dir)
         self._disk_cache = None if cache_dir is None else DiskEdgeCache(cache_dir)
+        self._disk_stores: dict[str, DiskStore] = (
+            {}
+            if cache_dir is None
+            else {
+                kind: DiskStore(cache_dir, kind)
+                for kind in ("perm", "cost", "metric")
+            }
+        )
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
 
@@ -134,6 +153,33 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # Cached intermediates
     # ------------------------------------------------------------------
+    def _tier_digest(
+        self,
+        grid: CartesianGrid,
+        stencil: Stencil,
+        alloc: NodeAllocation,
+        mapper_key: object,
+        spec: MetricSpec | None = None,
+    ) -> str | None:
+        """File-name key of one perm/cost/metric disk entry, or ``None``.
+
+        ``None`` means the entry cannot go to disk: the layer is
+        disabled, the mapper spec is an identity-keyed instance, or the
+        metric spec's params are not process-stable.
+        """
+        if not self._disk_stores:
+            return None
+        mapped = mapper_payload(mapper_key)
+        if mapped is None:
+            return None
+        parts = [instance_payload(grid, stencil, alloc), mapped]
+        if spec is not None:
+            part = metric_payload(spec)
+            if part is None:
+                return None
+            parts.append(part)
+        return stable_digest("|".join(parts))
+
     def edges(self, grid: CartesianGrid, stencil: Stencil) -> np.ndarray:
         """Directed communication edges, memoized by ``(grid, stencil)``.
 
@@ -193,17 +239,36 @@ class EvaluationEngine:
         the mapper rejects the instance; rejections are memoized too, so
         a sweep pays for each "not applicable" cell once.  Permutations
         come back read-only: every caller shares the cached buffer.
+
+        With a configured ``disk_cache_dir``, registry-name mapper specs
+        fall through to the persistent ``perm`` store on an in-memory
+        miss (rejections included) before running the mapper.
         """
+        key_spec = spec_key(mapper)
 
         def compute() -> tuple[np.ndarray | None, str | None]:
+            digest = self._tier_digest(grid, stencil, alloc, key_spec)
+            store = self._disk_stores["perm"] if digest is not None else None
+            if store is not None:
+                cached = store.load(digest)
+                if isinstance(cached, tuple) and len(cached) == 2:
+                    perm, error = cached
+                    if perm is not None:
+                        perm = np.ascontiguousarray(perm)
+                        perm.setflags(write=False)
+                    return perm, error
             try:
                 perm = resolve_mapper(mapper).map_ranks(grid, stencil, alloc)
             except MappingError as exc:
+                if store is not None:
+                    store.store(digest, (None, str(exc)))
                 return None, str(exc)
             perm.setflags(write=False)
+            if store is not None:
+                store.store(digest, (perm, None))
             return perm, None
 
-        key = (grid, stencil, alloc, spec_key(mapper))
+        key = (grid, stencil, alloc, key_spec)
         return self._perm_cache.get_or_compute(key, compute)
 
     # ------------------------------------------------------------------
@@ -334,10 +399,19 @@ class EvaluationEngine:
             # Memoized costs only apply to mapper-spec requests: explicit
             # perms are keyed by object identity, which gc can recycle.
             if request.perm is None:
-                cached = self._cost_cache.get((grid, stencil, alloc, key))
+                cache_key = (grid, stencil, alloc, key)
+                cached = self._cost_cache.get(cache_key)
                 if cached is not None:
                     costs[key] = cached
                     continue
+                digest = self._tier_digest(grid, stencil, alloc, key)
+                if digest is not None:
+                    value = self._disk_stores["cost"].load(digest)
+                    if isinstance(value, MappingCost):
+                        value.per_node.setflags(write=False)
+                        costs[key] = value
+                        self._cost_cache.put(cache_key, value)
+                        continue
             to_score.append(key)
 
         if to_score:
@@ -354,6 +428,9 @@ class EvaluationEngine:
                 costs[key] = cost
                 if requests[slots[key][0]].perm is None:
                     self._cost_cache.put((grid, stencil, alloc, key), cost)
+                    digest = self._tier_digest(grid, stencil, alloc, key)
+                    if digest is not None:
+                        self._disk_stores["cost"].store(digest, cost)
         metric_values, metric_errors = self._group_metrics(
             requests,
             slots,
@@ -421,12 +498,20 @@ class EvaluationEngine:
             to_compute: list[object] = []
             for key in keyset:
                 if requests[slots[key][0]].perm is None:
-                    cached = self._metric_cache.get(
-                        (ctx.grid, ctx.stencil, ctx.alloc, key, spec)
-                    )
+                    mem_key = (ctx.grid, ctx.stencil, ctx.alloc, key, spec)
+                    cached = self._metric_cache.get(mem_key)
                     if cached is not None:
                         values[(key, spec)] = cached
                         continue
+                    digest = self._tier_digest(
+                        ctx.grid, ctx.stencil, ctx.alloc, key, spec
+                    )
+                    if digest is not None:
+                        value = self._disk_stores["metric"].load(digest)
+                        if isinstance(value, dict):
+                            values[(key, spec)] = value
+                            self._metric_cache.put(mem_key, value)
+                            continue
                 to_compute.append(key)
             if not to_compute:
                 continue
@@ -452,6 +537,11 @@ class EvaluationEngine:
                     self._metric_cache.put(
                         (ctx.grid, ctx.stencil, ctx.alloc, key, spec), row
                     )
+                    digest = self._tier_digest(
+                        ctx.grid, ctx.stencil, ctx.alloc, key, spec
+                    )
+                    if digest is not None:
+                        self._disk_stores["metric"].store(digest, row)
         return values, errors
 
     # ------------------------------------------------------------------
@@ -479,6 +569,20 @@ class EvaluationEngine:
     def disk_cache_stats(self) -> DiskCacheStats | None:
         """Counters of the on-disk edge cache (``None`` when disabled)."""
         return None if self._disk_cache is None else self._disk_cache.stats()
+
+    def disk_store_stats(self) -> dict[str, DiskCacheStats]:
+        """Counters of every persistent tier, keyed by store kind.
+
+        Empty when the disk layer is disabled.  ``edges`` is the
+        ``.npy`` edge-array cache; ``perm``/``cost``/``metric`` are the
+        pickled tiers behind the corresponding LRUs.
+        """
+        stats: dict[str, DiskCacheStats] = {}
+        if self._disk_cache is not None:
+            stats["edges"] = self._disk_cache.stats()
+        for kind, store in self._disk_stores.items():
+            stats[kind] = store.stats()
+        return stats
 
     def clear_caches(self) -> None:
         """Drop every cached intermediate (counters are kept)."""

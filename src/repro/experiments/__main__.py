@@ -38,9 +38,11 @@ concurrent drivers — pairs ``serve-jobs`` with ``submit``/``status``/
     python -m repro.experiments cancel --connect head-node:7077 --job job-000003
 
 ``--secret`` (or ``REPRO_CLUSTER_SECRET``) arms the shared-secret
-handshake on every cluster/service connection.  ``cache`` reports the
-persistent edge cache (entries, bytes, directory; ``--clear`` empties
-it).
+handshake on every cluster/service connection.  ``cache`` reports every
+persistent store sharing the cache directory — the ``edges`` array
+cache, the ``perm``/``cost``/``metric`` engine tiers and the service
+daemon's ``result`` store — one record per kind (``--clear`` empties
+them; each store removes exactly its own files).
 
 Repetition counts default to quick settings; pass ``--reps 200`` for the
 paper's sample sizes.  ``--backend`` selects the execution backend of
@@ -48,7 +50,7 @@ the batched sweeps (``serial``, ``thread[:N]``, ``process[:N]``,
 ``cluster:[host:]port`` to bind a coordinator without waiting for a
 worker quorum, or ``service:[host:]port[:priority]`` to submit to a
 standing daemon), ``--shards`` overrides its worker count and
-``--cache-dir`` points the persistent edge cache at a directory
+``--cache-dir`` points the persistent caches at a directory
 (default: ``$REPRO_CACHE_DIR``).
 """
 
@@ -591,8 +593,18 @@ def _cancel(args, parser) -> int:
 
 
 def _cache(args) -> int:
-    """Report (and optionally clear) the persistent edge cache."""
-    from ..engine.diskcache import DiskEdgeCache, resolve_cache_dir
+    """Report (and optionally clear) the persistent caches.
+
+    One record per store kind sharing the cache directory: the
+    ``edges`` array cache plus the ``perm``/``cost``/``metric`` engine
+    tiers and the service daemon's ``result`` store.
+    """
+    from ..engine.diskcache import (
+        STORE_KINDS,
+        DiskEdgeCache,
+        DiskStore,
+        resolve_cache_dir,
+    )
 
     directory = resolve_cache_dir(args.cache_dir)
     if directory is None:
@@ -600,17 +612,23 @@ def _cache(args) -> int:
             "no cache directory configured; pass --cache-dir or set "
             "REPRO_CACHE_DIR"
         )
-    cache = DiskEdgeCache(directory)
-    columns = ["dir", "entries", "bytes"]
-    record: dict = {}
+    columns = ["kind", "dir", "entries", "bytes"]
     if args.clear:
-        record["removed"] = cache.clear()
         columns.append("removed")
-    stats = cache.stats()
-    record.update(
-        dir=str(directory), entries=stats.entries, bytes=stats.total_bytes
-    )
-    _emit_records(args, [record], columns)
+    records: list[dict] = []
+    for kind in STORE_KINDS:
+        store = (
+            DiskEdgeCache(directory)
+            if kind == "edges"
+            else DiskStore(directory, kind)
+        )
+        record: dict = {"kind": kind, "dir": str(directory)}
+        if args.clear:
+            record["removed"] = store.clear()
+        stats = store.stats()
+        record.update(entries=stats.entries, bytes=stats.total_bytes)
+        records.append(record)
+    _emit_records(args, records, columns)
     return 0
 
 
@@ -679,7 +697,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-dir",
         default=None,
-        help="persistent edge-cache directory (default: $REPRO_CACHE_DIR)",
+        help="persistent cache directory (default: $REPRO_CACHE_DIR)",
     )
     parser.add_argument(
         "--bind",

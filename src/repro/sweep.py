@@ -492,6 +492,32 @@ class SweepSpec:
             self._cells = tuple(cells)
         return self._cells
 
+    def fingerprint(self) -> str:
+        """Stable content digest of the compiled sweep.
+
+        Two specs with the same fingerprint compile to the same cells
+        in the same order, so a repeat submission to a standing service
+        daemon with a cache directory is answered from its result store
+        without dispatching work.  Cells whose requests have no stable
+        content key (configured mapper *instances*, exotic metric
+        params) contribute their label triple instead, so the
+        fingerprint still identifies the sweep even when individual
+        cells are not servable from the store.
+        """
+        from .engine.diskcache import request_payload, stable_digest
+
+        parts: list[str] = []
+        for cell in self.cells():
+            payload = None
+            if cell.request is not None:
+                payload = request_payload(cell.request)
+            if payload is None:
+                payload = repr(
+                    (cell.instance.label, cell.stencil, cell.mapper, cell.error)
+                )
+            parts.append(payload)
+        return stable_digest("\n".join(parts))
+
     def compile(self) -> list[MappingRequest]:
         """The executable requests of the sweep (error cells excluded)."""
         return [cell.request for cell in self.cells() if cell.request is not None]

@@ -129,6 +129,23 @@ class TestLRUCache:
         assert calls == ["outer", "inner"]
         assert cache.get("key") == 7
 
+    def test_reentrant_fallback_counts_as_miss(self):
+        """The duplicate-compute fallback serves nothing from the cache,
+        so it must count as a miss — otherwise hit_rate silently
+        overstates whenever callbacks re-enter."""
+        cache = LRUCache(4)
+
+        def outer():
+            return cache.get_or_compute("key", lambda: 7)
+
+        cache.get_or_compute("key", outer)
+        stats = cache.stats()
+        # outer leader miss + reentrant fallback miss; the trailing
+        # get() hit below keeps hit_rate honest
+        assert stats.misses == 2
+        assert cache.get("key") == 7
+        assert cache.stats().hits == 1
+
     def test_failed_leader_promotes_a_waiter(self):
         """If the leader's compute raises, the exception reaches the
         leader and a waiting thread retries the computation."""

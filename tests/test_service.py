@@ -307,6 +307,7 @@ class TestJobLifecycle:
             assert record["shards"] == 1
             assert record["completed"] == 0
             assert record["submitted_at"] > 0
+            assert record["age"] >= 0.0  # monotonic queue age
             assert client.status("job-999999") == []
         finally:
             assert client.cancel(handle.job_id) is True
@@ -742,10 +743,14 @@ class TestCacheCLI:
     def test_cache_cli_table_json_clear(self, tmp_path, capsys):
         from repro.experiments.__main__ import main as experiments_main
 
+        from repro.engine.diskcache import STORE_KINDS, DiskStore
+
         self._seed(tmp_path)
+        DiskStore(tmp_path, "result").store("a" * 64, ("perm", None, None, {}))
         assert experiments_main(["cache", "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "entries" in out and str(tmp_path) in out
+        assert "result" in out
 
         assert experiments_main(
             [
@@ -757,9 +762,13 @@ class TestCacheCLI:
                 "json",
             ]
         ) == 0
-        (record,) = json.loads(capsys.readouterr().out)
-        assert record["removed"] == 1
-        assert record["entries"] == 0
+        records = json.loads(capsys.readouterr().out)
+        by_kind = {record["kind"]: record for record in records}
+        assert set(by_kind) == set(STORE_KINDS)
+        assert by_kind["edges"]["removed"] == 1
+        assert by_kind["result"]["removed"] == 1
+        assert by_kind["perm"]["removed"] == 0
+        assert all(record["entries"] == 0 for record in records)
 
     def test_cache_cli_without_directory_fails(self, monkeypatch):
         from repro.engine.diskcache import CACHE_DIR_ENV
@@ -768,3 +777,189 @@ class TestCacheCLI:
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
         with pytest.raises(SystemExit, match="no cache directory"):
             experiments_main(["cache"])
+
+
+# ----------------------------------------------------------------------
+# The memoized result-serving layer (content-addressed result store)
+# ----------------------------------------------------------------------
+def _row_signature(row) -> tuple:
+    """Byte-exact comparable form of one wire row
+    ``(index, perm, cost, error, metrics)``."""
+    index, perm, cost, error, metrics = row
+    return (
+        index,
+        None if perm is None else perm.tobytes(),
+        None
+        if cost is None
+        else (cost.jsum, cost.jmax, cost.per_node.tobytes()),
+        error,
+        tuple(sorted(metrics.items())),
+    )
+
+
+def _worker_rows(items: list) -> list:
+    """What a real worker would answer for one shard, computed locally."""
+    with EvaluationEngine(max_workers=1) as engine:
+        results = engine.evaluate_batch([request for _, request in items])
+    return [
+        (index, result.perm, result.cost, result.error, result.metrics)
+        for (index, _), result in zip(items, results)
+    ]
+
+
+class TestResultStore:
+    def test_same_sweep_twice_with_restart_serves_from_store(self, tmp_path):
+        """Golden: a repeat SweepSpec submitted after a daemon restart
+        (same cache dir) returns byte-identical rows with zero shards
+        dispatched — the second daemon has no workers at all."""
+        spec = SweepSpec(
+            instances=[
+                InstanceSpec.from_nodes(4, 8),
+                InstanceSpec.from_nodes(6, 8),
+            ],
+            stencils=["nearest_neighbor"],
+            mappers=["blocked", "hyperplane", "nodecart"],
+        )
+        assert spec.fingerprint() == spec.fingerprint()
+        with ServiceDaemon(
+            "127.0.0.1", 0, disk_cache_dir=tmp_path
+        ) as daemon:
+            worker = _spawn_worker(daemon.port)
+            try:
+                daemon.wait_for_workers(1, timeout=60)
+                with ServiceBackend("127.0.0.1", daemon.port) as backend:
+                    first = run(spec, backend).to_rows()
+            finally:
+                pass  # daemon close shuts the worker down
+        assert worker.wait(timeout=30) == 0
+
+        with ServiceDaemon(
+            "127.0.0.1", 0, disk_cache_dir=tmp_path
+        ) as daemon:
+            assert daemon.num_workers == 0
+            with ServiceBackend("127.0.0.1", daemon.port) as backend:
+                second = run(spec, backend).to_rows()
+            (record,) = daemon.jobs()
+            assert record["shards"] == 0  # nothing dispatched
+            assert record["state"] == "done"
+        assert second == first
+        serial = run(spec, EvaluationEngine(max_workers=1)).to_rows()
+        assert second == serial
+
+    def test_concurrent_identical_cells_compute_once(self, tmp_path):
+        """Two clients submitting identical in-flight cells trigger
+        exactly one computation, fanned out to both jobs."""
+        payload = [(i, r) for i, r in enumerate(_requests()[:4])]
+        with ServiceDaemon(
+            "127.0.0.1", 0, disk_cache_dir=tmp_path
+        ) as daemon:
+            worker = _FakeServiceWorker(daemon.port)
+            a = ServiceClient("127.0.0.1", daemon.port)
+            b = ServiceClient("127.0.0.1", daemon.port)
+            try:
+                ha = a.submit([payload], label="owner")
+                message = worker.pull()  # job A's only shard
+                hb = b.submit([payload], label="subscriber")
+                # B dispatched nothing: all its cells subscribed to A's
+                (record,) = b.status(hb.job_id)
+                assert record["shards"] == 0
+                # exactly the one computation answers both jobs
+                rows = _worker_rows(message[2])
+                send_message(worker.sock, (RESULT, message[1], rows))
+                got_a = [p for _, p in ha.results()]
+                got_b = [p for _, p in hb.results()]
+                assert len(got_a) == 1 and len(got_b) == 1
+                assert list(map(_row_signature, got_b[0])) == list(
+                    map(_row_signature, got_a[0])
+                )
+                # no rescue/extra jobs ever appeared
+                assert len(daemon.jobs()) == 2
+            finally:
+                worker.close()
+                for handle in (ha, hb):
+                    handle.close()
+
+    def test_cancelling_the_owner_rescues_the_subscriber(self, tmp_path):
+        """Cancelling the job that owns an in-flight cell re-dispatches
+        the cell on behalf of a job still waiting for it."""
+        payload = [(i, r) for i, r in enumerate(_requests()[:2])]
+        with ServiceDaemon(
+            "127.0.0.1", 0, disk_cache_dir=tmp_path
+        ) as daemon:
+            worker = _FakeServiceWorker(daemon.port)
+            a = ServiceClient("127.0.0.1", daemon.port)
+            b = ServiceClient("127.0.0.1", daemon.port)
+            try:
+                ha = a.submit([payload], label="owner")
+                worker.pull()  # A's shard is in flight on the worker
+                hb = b.submit([payload], label="subscriber")
+                assert b.status(hb.job_id)[0]["shards"] == 0
+                assert a.cancel(ha.job_id) is True
+                with pytest.raises(ServiceError, match="cancelled"):
+                    list(ha.results())
+                # the subscriber inherited the cells: a rescue shard
+                rescue = worker.pull()
+                rows = _worker_rows(rescue[2])
+                send_message(worker.sock, (RESULT, rescue[1], rows))
+                got_b = [p for _, p in hb.results()]
+                assert len(got_b) == 1
+                assert list(map(_row_signature, got_b[0])) == list(
+                    map(_row_signature, rows)
+                )
+            finally:
+                worker.close()
+                for handle in (ha, hb):
+                    handle.close()
+
+    def test_partial_hits_dispatch_only_unknown_cells(self, tmp_path):
+        """A job mixing known and novel cells ships only the novel ones."""
+        requests = _requests()[:4]
+        with ServiceDaemon(
+            "127.0.0.1", 0, disk_cache_dir=tmp_path
+        ) as daemon:
+            worker = _FakeServiceWorker(daemon.port)
+            client = ServiceClient("127.0.0.1", daemon.port)
+            try:
+                warm = [(i, r) for i, r in enumerate(requests[:2])]
+                h1 = client.submit([warm], label="warm")
+                message = worker.pull()
+                send_message(
+                    worker.sock,
+                    (RESULT, message[1], _worker_rows(message[2])),
+                )
+                assert len(list(h1.results())) == 1
+                # repeat the two known cells plus two novel ones
+                mixed = [(i, r) for i, r in enumerate(requests)]
+                h2 = client.submit([mixed], label="mixed")
+                message = worker.pull()
+                assert len(message[2]) == 2  # only the novel cells shipped
+                send_message(
+                    worker.sock,
+                    (RESULT, message[1], _worker_rows(message[2])),
+                )
+                (got,) = [p for _, p in h2.results()]
+                assert [row[0] for row in got] == [0, 1, 2, 3]
+                assert all(row[1] is not None for row in got)
+            finally:
+                worker.close()
+                h1.close()
+                h2.close()
+
+    def test_opaque_payloads_pass_through_untouched(self, tmp_path):
+        """Unkeyable items are dispatched verbatim and their payloads
+        forwarded unparsed, even with the store armed."""
+        with ServiceDaemon(
+            "127.0.0.1", 0, disk_cache_dir=tmp_path
+        ) as daemon:
+            worker = _FakeServiceWorker(daemon.port)
+            client = ServiceClient("127.0.0.1", daemon.port)
+            try:
+                handle = client.submit([[("opaque", 0)]], label="raw")
+                message = worker.pull()
+                assert message[2] == [("opaque", 0)]
+                worker.finish(message[1], message[2])
+                ((_, payload),) = list(handle.results())
+                assert payload == [f"payload-{message[1]}"]
+            finally:
+                worker.close()
+                handle.close()
