@@ -1,0 +1,160 @@
+"""Benchmark smoke: per-implementation kernel throughput + transport cost.
+
+Times every registered kernel implementation on one realistic workload
+(figure8-sized instance, a stacked batch of mappings) and writes the
+per-impl throughput table to ``kernel-throughput.json`` (path
+overridable via ``REPRO_KERNEL_BENCH_JSON``) — the CI kernels job
+uploads it as a build artifact.  As everywhere in this repository the
+pinned property is correctness: every implementation must be
+bit-identical to ``"reference"`` on the benchmark workload itself, and
+the shared-memory process transport must ship zero pickled edge-array
+bytes per shard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+
+import numpy as np
+
+from repro import CartesianGrid, NodeAllocation, nearest_neighbor_with_hops
+from repro.grid.dims import dims_create
+from repro.grid.graph import communication_edges
+from repro.kernels import REGISTRY, list_kernels
+
+#: Figure8-sized instance: 20 nodes x 24 processes, hop stencil.
+NUM_NODES = 20
+PROCESSES_PER_NODE = 24
+BATCH = 64
+REPEATS = 5
+
+ARTIFACT_ENV = "REPRO_KERNEL_BENCH_JSON"
+DEFAULT_ARTIFACT = "kernel-throughput.json"
+
+
+def _workload():
+    p = NUM_NODES * PROCESSES_PER_NODE
+    grid = CartesianGrid(dims_create(p, 2))
+    stencil = nearest_neighbor_with_hops(2)
+    alloc = NodeAllocation.homogeneous(NUM_NODES, PROCESSES_PER_NODE)
+    edges = communication_edges(grid, stencil)
+    rng = np.random.default_rng(29)
+    perms = np.stack([rng.permutation(p) for _ in range(BATCH)]).astype(
+        np.int64
+    )
+    return grid, stencil, alloc, edges, perms
+
+
+def _best_of(repeats, fn):
+    fn()  # warm-up (and JIT compile, where applicable)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_kernel_throughput_bit_identical_and_recorded():
+    grid, stencil, alloc, edges, perms = _workload()
+    node_of_ranks = alloc.node_of_ranks()
+    rng = np.random.default_rng(31)
+    edge_bytes = rng.uniform(64.0, 1 << 20, size=edges.shape[0])
+
+    reference = REGISTRY.get("reference")
+    ref_nodes = reference.scatter_nodes(perms, node_of_ranks)
+    ref_cuts = reference.cut_counts(edges, ref_nodes, alloc.num_nodes)
+    ref_weighted = reference.weighted_cut(
+        edges, ref_nodes, alloc.num_nodes, edge_bytes
+    )
+
+    cells = BATCH * edges.shape[0]  # (row, edge) visits per kernel call
+    report = {
+        "instance": {
+            "grid": list(grid.dims),
+            "stencil": stencil.name,
+            "edges": int(edges.shape[0]),
+            "batch": BATCH,
+            "num_nodes": NUM_NODES,
+        },
+        "implementations": {},
+    }
+    for name in list_kernels():
+        impl = REGISTRY.get(name)
+        nodes = impl.scatter_nodes(perms, node_of_ranks)
+        cuts = impl.cut_counts(edges, nodes, alloc.num_nodes)
+        weighted = impl.weighted_cut(
+            edges, nodes, alloc.num_nodes, edge_bytes
+        )
+        # bit-identity on the benchmark workload itself
+        assert nodes.tobytes() == ref_nodes.tobytes(), name
+        assert cuts.tobytes() == ref_cuts.tobytes(), name
+        assert weighted.tobytes() == ref_weighted.tobytes(), name
+
+        scatter_s = _best_of(
+            REPEATS, lambda: impl.scatter_nodes(perms, node_of_ranks)
+        )
+        cut_s = _best_of(
+            REPEATS, lambda: impl.cut_counts(edges, nodes, alloc.num_nodes)
+        )
+        weighted_s = _best_of(
+            REPEATS,
+            lambda: impl.weighted_cut(
+                edges, nodes, alloc.num_nodes, edge_bytes
+            ),
+        )
+        report["implementations"][name] = {
+            "description": impl.description,
+            "scatter_seconds": scatter_s,
+            "cut_counts_seconds": cut_s,
+            "weighted_cut_seconds": weighted_s,
+            "cut_cells_per_second": cells / cut_s if cut_s else None,
+            "weighted_cells_per_second": (
+                cells / weighted_s if weighted_s else None
+            ),
+        }
+
+    path = os.environ.get(ARTIFACT_ENV, DEFAULT_ARTIFACT)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"\nkernel throughput written to {path}")
+    for name, row in report["implementations"].items():
+        print(
+            f"  {name:>10}: cut {row['cut_cells_per_second']:.3e} cells/s, "
+            f"weighted {row['weighted_cells_per_second']:.3e} cells/s"
+        )
+    assert set(report["implementations"]) == set(list_kernels())
+
+
+def test_shared_transport_ships_zero_pickled_edge_bytes():
+    """Acceptance: with edge sharing on, a shard's pickled payload plus
+    its descriptors contain none of the edge-array bytes, and the
+    per-shard transport cost is descriptor-sized, not array-sized."""
+    from repro.engine import MappingRequest
+    from repro.engine.backends import (
+        _SharedEdgeExporter,
+        instance_aligned_shards,
+    )
+
+    grid, stencil, alloc, edges, _ = _workload()
+    requests = [
+        MappingRequest(grid, stencil, alloc, name)
+        for name in ("blocked", "hyperplane", "kd_tree", "stencil_strips")
+    ]
+    exporter = _SharedEdgeExporter()
+    try:
+        for shard in instance_aligned_shards(requests, 2):
+            refs = exporter.refs_for(shard)
+            payload = pickle.dumps(
+                ([(i, request) for i, request in shard], refs)
+            )
+            assert edges.tobytes() not in payload
+            assert len(payload) < edges.nbytes / 10, (
+                f"shard payload {len(payload)}B should be descriptor-sized, "
+                f"not comparable to the {edges.nbytes}B edge array"
+            )
+    finally:
+        exporter.close()

@@ -15,6 +15,8 @@ The library provides:
 * a simulated MPI layer with Cartesian/stencil communicators and a real
   ``neighbor_alltoall`` data exchange (:mod:`repro.mpisim`),
 * the NP-hardness reduction of Theorem IV.3 (:mod:`repro.nphard`),
+* a pluggable registry of interchangeable batch-kernel implementations
+  behind every hot evaluation loop (:mod:`repro.kernels`),
 * a batched, cached, parallel evaluation engine shared by every
   experiment driver (:mod:`repro.engine`),
 * a standing sweep service — one daemon, persistent workers, many
@@ -93,6 +95,14 @@ from .metrics import (
     reduction_over_blocked,
     remove_outliers_iqr,
 )
+from .kernels import (
+    KernelImplementation,
+    active_kernel_name,
+    list_kernels,
+    register_kernels,
+    set_kernels,
+    use_kernels,
+)
 from .engine import (
     ClusterBackend,
     EvaluationEngine,
@@ -123,7 +133,7 @@ from .sweep import (
     run_stream,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # exceptions
@@ -180,6 +190,13 @@ __all__ = [
     "mean_ci",
     "median_ci",
     "remove_outliers_iqr",
+    # kernels
+    "KernelImplementation",
+    "active_kernel_name",
+    "list_kernels",
+    "register_kernels",
+    "set_kernels",
+    "use_kernels",
     # engine
     "EvaluationEngine",
     "MappingRequest",

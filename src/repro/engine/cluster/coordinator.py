@@ -66,6 +66,7 @@ from .protocol import (
     MAGIC,
     PING,
     PROTOCOL_VERSION,
+    WIRE_PICKLE_PROTOCOL,
     REJECT,
     RESULT,
     SHARD,
@@ -84,6 +85,12 @@ _AUTH_MISMATCH = (
     "authentication failed: shared-secret mismatch (pass --secret or set "
     "REPRO_CLUSTER_SECRET to the coordinator's secret)"
 )
+
+#: How long :meth:`Coordinator.aclose` waits for workers to hang up on
+#: their own after the SHUTDOWN + half-close, before force-dropping the
+#: stragglers.  An idle loopback worker responds within milliseconds;
+#: the cap only bites on peers that never read (already-dead sockets).
+_SHUTDOWN_GRACE = 2.0
 
 
 @dataclass(eq=False)
@@ -250,8 +257,23 @@ class Coordinator:
         for conn in list(self._workers):
             try:
                 await write_message(conn.writer, (SHUTDOWN,))
-            except (ConnectionError, OSError):
-                pass
+                conn.writer.write_eof()
+            except (ConnectionError, OSError, RuntimeError):
+                await self._drop(conn, requeue=False)
+        # Let each worker read the SHUTDOWN and hang up itself.  Closing
+        # the transport here instead would race the worker's in-flight
+        # GET/PING: with those bytes unread in our receive buffer, the
+        # close turns into an RST that discards the SHUTDOWN before the
+        # worker sees it, and the worker burns its whole reconnect
+        # budget against a coordinator that is gone.  The half-close
+        # above says "no more shards" while each connection's reader
+        # task keeps draining; the worker replies by closing, the reader
+        # sees EOF and drops the connection cleanly.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + _SHUTDOWN_GRACE
+        while self._workers and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for conn in list(self._workers):
             await self._drop(conn, requeue=False)
         for job in list(self._jobs.values()):
             job.failed = job.failed or "coordinator closed"
@@ -578,6 +600,17 @@ class Coordinator:
             return (
                 f"protocol version mismatch: coordinator speaks "
                 f"{PROTOCOL_VERSION}, peer speaks {message[2]!r}; "
+                f"update the peer installation"
+            )
+        info = message[3] if isinstance(message[3], dict) else {}
+        peer_pickle = info.get("pickle")
+        if peer_pickle != WIRE_PICKLE_PROTOCOL:
+            # Refused here, at the handshake, because a mismatched
+            # pickle protocol would otherwise surface as an opaque
+            # mid-frame unpickling crash on whichever side is older.
+            return (
+                f"wire pickle protocol mismatch: coordinator pins "
+                f"{WIRE_PICKLE_PROTOCOL}, peer speaks {peer_pickle!r}; "
                 f"update the peer installation"
             )
         return None

@@ -1,11 +1,36 @@
 """Wire protocol of the socket cluster.
 
-Frames are a 4-byte big-endian length prefix followed by a pickled
-message; messages are plain tuples whose first element is one of the
+Frames are a 4-byte big-endian length prefix followed by the message
+payload; messages are plain tuples whose first element is one of the
 kind constants below.  Pickle (not JSON/msgpack) because shards carry
 NumPy arrays, ``MappingCost`` records and configured ``Mapper``
 instances — the same values that already cross the
 :class:`~repro.engine.backends.ProcessBackend` boundary by value.
+
+Since protocol v4 the payload comes in two layouts, distinguished by
+its first byte:
+
+* ``0x80`` (the pickle ``PROTO`` opcode) — a plain pickle, used for
+  every message that carries no array buffers (handshakes, heartbeats,
+  control traffic).  Handshake messages therefore stay parseable by
+  older and newer peers alike, so version mismatches are answered with
+  a clean ``REJECT`` instead of a mid-frame crash.
+* ``0x93`` (the npy magic byte) — a *segmented* payload: the pickle of
+  the message with its buffers extracted out-of-band (PEP 574),
+  followed by the raw buffer segments::
+
+      0x93 | >I header_len | pickled header | (>I seg_len | raw bytes)*
+
+  NumPy arrays anywhere in the message — shard permutations, result
+  ``MappingCost.per_node`` rows, explicit-perm requests — serialize as
+  raw framed segments instead of being copied into the pickle stream,
+  and decode as zero-copy (read-only) views over the received payload.
+
+The pickle protocol of the stream is pinned to
+:data:`WIRE_PICKLE_PROTOCOL` (not ``pickle.HIGHEST_PROTOCOL``, which
+varies by interpreter) and advertised in the HELLO ``info`` dict under
+``"pickle"``; coordinators reject peers pickling at a different
+protocol during the handshake instead of failing mid-sweep.
 
 The handshake pins compatibility: a peer opens with
 ``(HELLO, MAGIC, PROTOCOL_VERSION, info)`` and the coordinator answers
@@ -88,6 +113,7 @@ import time
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "WIRE_PICKLE_PROTOCOL",
     "MAGIC",
     "MAX_FRAME_BYTES",
     "SECRET_ENV",
@@ -114,6 +140,8 @@ __all__ = [
     "CANCEL_REPLY",
     "ProtocolError",
     "encode_message",
+    "encode_frames",
+    "decode_payload",
     "hello",
     "auth_digest",
     "resolve_secret",
@@ -131,7 +159,16 @@ __all__ = [
 #: batch-level metric columns).
 #: v3: shared-secret CHALLENGE/AUTH handshake leg, ``role`` in HELLO
 #: info, and the client-side job message set (SUBMIT .. CANCEL_REPLY).
-PROTOCOL_VERSION = 3
+#: v4: zero-copy array transport — payloads carrying NumPy arrays use
+#: the segmented npy-framed layout (raw buffer segments after the
+#: pickled header) — and the pinned ``pickle`` protocol in HELLO info.
+PROTOCOL_VERSION = 4
+
+#: The pickle protocol of every frame.  Pinned (rather than
+#: ``pickle.HIGHEST_PROTOCOL``) so coordinators and workers on different
+#: Python versions interoperate; 5 is the floor for out-of-band buffers
+#: (PEP 574) and is supported by every Python this package runs on.
+WIRE_PICKLE_PROTOCOL = 5
 
 #: Environment variable naming the default shared cluster secret.
 SECRET_ENV = "REPRO_CLUSTER_SECRET"
@@ -167,25 +204,111 @@ CANCEL_REPLY = "cancel_reply"
 
 _HEADER = struct.Struct(">I")
 
+#: First byte of a segmented (out-of-band buffer) payload.  The npy
+#: magic byte — distinct from ``0x80``, the first byte of every plain
+#: pickle at protocol >= 2, which is what payload sniffing relies on.
+_SEGMENTED = 0x93
+
 
 class ProtocolError(ConnectionError):
     """The peer sent something that is not a protocol frame."""
 
 
-def encode_message(message: tuple) -> bytes:
-    """One wire frame: length prefix plus pickled message."""
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(payload) > MAX_FRAME_BYTES:
+def encode_frames(message: tuple) -> list:
+    """One wire frame as a list of buffers (zero-copy where possible).
+
+    The first element is the 4-byte outer length prefix; the rest is
+    the payload.  Messages without array buffers produce a plain-pickle
+    payload; messages carrying NumPy arrays produce the segmented v4
+    layout, whose raw buffer segments are *views* of the arrays being
+    sent — nothing is copied into the pickle stream.  Send each element
+    in order (``sendall`` per part, or ``writer.writelines``).
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    try:
+        header = pickle.dumps(
+            message,
+            protocol=WIRE_PICKLE_PROTOCOL,
+            buffer_callback=buffers.append,
+        )
+        raws = [buffer.raw() for buffer in buffers]
+    except BufferError:
+        # A non-contiguous out-of-band buffer somewhere in the graph;
+        # fall back to fully in-band pickling.
+        header = pickle.dumps(message, protocol=WIRE_PICKLE_PROTOCOL)
+        raws = []
+    if not raws:
+        total = len(header)
+        parts: list = [header]
+    else:
+        parts = [bytes((_SEGMENTED,)) + _HEADER.pack(len(header)), header]
+        total = 1 + _HEADER.size + len(header)
+        for raw in raws:
+            parts.append(_HEADER.pack(raw.nbytes))
+            parts.append(raw)
+            total += _HEADER.size + raw.nbytes
+    if total > MAX_FRAME_BYTES:
         raise ProtocolError(
-            f"message of {len(payload)} bytes exceeds the "
+            f"message of {total} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte frame limit",
         )
-    return _HEADER.pack(len(payload)) + payload
+    return [_HEADER.pack(total), *parts]
+
+
+def encode_message(message: tuple) -> bytes:
+    """One wire frame as contiguous bytes (copies any buffer segments).
+
+    :func:`encode_frames` is the zero-copy encoder the transport
+    functions use; this joined form exists for callers that need one
+    ``bytes`` object (tests, size accounting).
+    """
+    return b"".join(
+        part if isinstance(part, bytes) else bytes(part)
+        for part in encode_frames(message)
+    )
+
+
+def decode_payload(payload) -> tuple:
+    """Decode one frame payload (either layout) back into its message.
+
+    Array buffers of a segmented payload are handed to pickle as
+    memoryview slices of *payload*, so decoded NumPy arrays are
+    zero-copy read-only views over the received bytes.
+    """
+    view = memoryview(payload)
+    if not view.nbytes or view[0] != _SEGMENTED:
+        return pickle.loads(view)
+    offset = 1
+
+    def take(count: int) -> memoryview:
+        nonlocal offset
+        end = offset + count
+        if end > view.nbytes:
+            raise ProtocolError("truncated segmented payload")
+        part = view[offset:end]
+        offset = end
+        return part
+
+    (header_len,) = _HEADER.unpack(take(_HEADER.size))
+    header = take(header_len)
+    buffers: list[memoryview] = []
+    while offset < view.nbytes:
+        (segment_len,) = _HEADER.unpack(take(_HEADER.size))
+        buffers.append(take(segment_len))
+    return pickle.loads(header, buffers=buffers)
 
 
 def hello(info: dict | None = None) -> tuple:
-    """The opening handshake message of a current-version peer."""
-    return (HELLO, MAGIC, PROTOCOL_VERSION, dict(info or {}))
+    """The opening handshake message of a current-version peer.
+
+    The info dict always carries ``"pickle"`` — the pinned wire pickle
+    protocol — so the coordinator can refuse a peer pickling at a
+    different protocol during the handshake (see
+    ``Coordinator._handshake_error``) instead of crashing mid-frame.
+    """
+    merged = dict(info or {})
+    merged.setdefault("pickle", WIRE_PICKLE_PROTOCOL)
+    return (HELLO, MAGIC, PROTOCOL_VERSION, merged)
 
 
 def auth_digest(secret: str, nonce: str) -> str:
@@ -274,8 +397,9 @@ def enable_keepalive(sock: socket.socket) -> None:
 
 
 def send_message(sock: socket.socket, message: tuple) -> None:
-    """Write one frame to a blocking socket."""
-    sock.sendall(encode_message(message))
+    """Write one frame to a blocking socket (zero-copy array segments)."""
+    for part in encode_frames(message):
+        sock.sendall(part)
 
 
 def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
@@ -301,7 +425,7 @@ def recv_message(sock: socket.socket) -> tuple | None:
     payload = _recv_exactly(sock, _decode_length(header))
     if payload is None:
         raise ProtocolError("connection closed between header and payload")
-    return pickle.loads(payload)
+    return decode_payload(payload)
 
 
 # ----------------------------------------------------------------------
@@ -321,12 +445,12 @@ async def read_message(reader: asyncio.StreamReader) -> tuple | None:
         raise ProtocolError(
             "connection closed between header and payload"
         ) from None
-    return pickle.loads(payload)
+    return decode_payload(payload)
 
 
 async def write_message(writer: asyncio.StreamWriter, message: tuple) -> None:
-    """Write one frame to a stream and drain."""
-    writer.write(encode_message(message))
+    """Write one frame to a stream and drain (zero-copy array segments)."""
+    writer.writelines(encode_frames(message))
     await writer.drain()
 
 

@@ -57,6 +57,7 @@ __all__ = [
     "MISSING",
     "STORE_KINDS",
     "CACHE_DIR_ENV",
+    "prune",
     "resolve_cache_dir",
     "stable_digest",
     "instance_payload",
@@ -72,6 +73,11 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: cache plus the pickled :class:`DiskStore` tiers.  The CLI ``cache``
 #: verb reports/clears each kind separately.
 STORE_KINDS = ("edges", "perm", "cost", "metric", "result")
+
+#: File suffix of each store kind sharing a cache directory.
+_KIND_SUFFIX = {
+    kind: ".npy" if kind == "edges" else ".pkl" for kind in STORE_KINDS
+}
 
 
 class _Missing:
@@ -99,6 +105,63 @@ def resolve_cache_dir(spec: str | os.PathLike | None) -> Path | None:
     if spec is None or str(spec) == "":
         return None
     return Path(spec)
+
+
+def _touch(path: Path) -> None:
+    """Bump an entry's mtime so :func:`prune` sees it as recently used.
+
+    Best-effort: a read-only cache directory (or an entry racing a
+    concurrent eviction) silently keeps its old timestamp.
+    """
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+
+
+def prune(cache_dir: str | os.PathLike, max_bytes: int) -> dict[str, int]:
+    """LRU-evict cache entries until the directory fits *max_bytes*.
+
+    Scans every store kind sharing *cache_dir* — the ``.npy`` edge cache
+    and the four pickled :class:`DiskStore` tiers — and unlinks entries
+    oldest-mtime-first (both ``load`` paths bump mtime on hit, so mtime
+    order is recency-of-use order) until the combined size is at or
+    under the budget.  Returns ``{kind: removed_count}`` for every kind
+    in :data:`STORE_KINDS`; a missing directory prunes nothing.
+
+    Only recognised ``<kind>-*<suffix>`` entries are candidates: foreign
+    files in a shared directory are never touched (and never counted
+    against the budget).
+    """
+    if max_bytes < 0:
+        raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    directory = Path(cache_dir)
+    removed = dict.fromkeys(STORE_KINDS, 0)
+    entries: list[tuple[float, int, str, Path]] = []
+    total = 0
+    for kind in STORE_KINDS:
+        try:
+            paths = list(directory.glob(f"{kind}-*{_KIND_SUFFIX[kind]}"))
+        except OSError:  # pragma: no cover - unreadable directory
+            continue
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # racing a concurrent clear()/prune()
+            entries.append((stat.st_mtime, stat.st_size, kind, path))
+            total += stat.st_size
+    entries.sort(key=lambda entry: entry[0])
+    for _, size, kind, path in entries:
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue  # racing another eviction, or permissions
+        total -= size
+        removed[kind] += 1
+    return removed
 
 
 # ----------------------------------------------------------------------
@@ -382,6 +445,7 @@ class DiskEdgeCache(_DiskCacheBase):
             self._count(miss=True)
             return None
         self._count(hit=True)
+        _touch(path)
         arr = np.ascontiguousarray(arr, dtype=np.int64)
         arr.setflags(write=False)
         return arr
@@ -426,8 +490,9 @@ class DiskStore(_DiskCacheBase):
         count as misses rather than errors — a crashed writer or a
         stray file must never fail a sweep.
         """
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as fh:
+            with open(path, "rb") as fh:
                 value = pickle.load(fh)
         except Exception:
             # pickle raises anything from EOFError to arbitrary
@@ -435,6 +500,7 @@ class DiskStore(_DiskCacheBase):
             self._count(miss=True)
             return MISSING
         self._count(hit=True)
+        _touch(path)
         return value
 
     def store(self, key: str, value) -> bool:

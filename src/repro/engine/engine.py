@@ -40,11 +40,8 @@ from ..grid.graph import communication_edges, communication_edges_by_offset
 from ..grid.grid import CartesianGrid
 from ..grid.stencil import Stencil
 from ..hardware.allocation import NodeAllocation
-from ..metrics.cost import (
-    MappingCost,
-    check_permutation,
-    evaluate_mappings_batch,
-)
+from ..kernels import evaluate_mappings_batch
+from ..metrics.cost import MappingCost, check_permutation
 from .cache import CacheStats, LRUCache
 from .diskcache import (
     DiskCacheStats,
@@ -225,6 +222,21 @@ class EvaluationEngine:
         return self._edge_cache.get_or_compute(
             (grid, stencil, "by_offset"), compute
         )
+
+    def seed_edges(
+        self, grid: CartesianGrid, stencil: Stencil, edges: np.ndarray
+    ) -> None:
+        """Pre-populate the edge cache with an externally supplied array.
+
+        The zero-copy seam of the process backend's shared-memory edge
+        transport: a worker maps the parent's published block and seeds
+        it here, so :meth:`edges` serves the mapped buffer instead of
+        recomputing (or disk-loading) the array.  The array is stored
+        read-only under the same structural key :meth:`edges` uses.
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        edges.setflags(write=False)
+        self._edge_cache.put((grid, stencil), edges)
 
     def permutation(
         self,

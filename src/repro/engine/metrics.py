@@ -36,7 +36,7 @@ from typing import Any
 import numpy as np
 
 from ..exceptions import MappingError
-from ..metrics.cost import weighted_cut_bytes_batch
+from ..kernels import weighted_cut_bytes_batch
 
 __all__ = [
     "MetricSpec",

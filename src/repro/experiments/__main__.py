@@ -592,17 +592,20 @@ def _cancel(args, parser) -> int:
     return 1
 
 
-def _cache(args) -> int:
-    """Report (and optionally clear) the persistent caches.
+def _cache(args, parser) -> int:
+    """Report (and optionally clear or prune) the persistent caches.
 
     One record per store kind sharing the cache directory: the
     ``edges`` array cache plus the ``perm``/``cost``/``metric`` engine
-    tiers and the service daemon's ``result`` store.
+    tiers and the service daemon's ``result`` store.  ``--prune
+    --max-bytes N`` LRU-evicts entries across all kinds (oldest access
+    first — loads bump mtime) until the directory fits the budget.
     """
     from ..engine.diskcache import (
         STORE_KINDS,
         DiskEdgeCache,
         DiskStore,
+        prune,
         resolve_cache_dir,
     )
 
@@ -612,8 +615,19 @@ def _cache(args) -> int:
             "no cache directory configured; pass --cache-dir or set "
             "REPRO_CACHE_DIR"
         )
+    if args.prune and args.clear:
+        parser.error("--prune and --clear are mutually exclusive")
+    if args.prune and args.max_bytes is None:
+        parser.error("--prune requires --max-bytes N")
+    if args.max_bytes is not None and not args.prune:
+        parser.error("--max-bytes only applies with --prune")
+    pruned: dict[str, int] = {}
+    if args.prune:
+        if args.max_bytes < 0:
+            parser.error("--max-bytes must be >= 0")
+        pruned = prune(directory, args.max_bytes)
     columns = ["kind", "dir", "entries", "bytes"]
-    if args.clear:
+    if args.clear or args.prune:
         columns.append("removed")
     records: list[dict] = []
     for kind in STORE_KINDS:
@@ -625,6 +639,8 @@ def _cache(args) -> int:
         record: dict = {"kind": kind, "dir": str(directory)}
         if args.clear:
             record["removed"] = store.clear()
+        elif args.prune:
+            record["removed"] = pruned[kind]
         stats = store.stats()
         record.update(entries=stats.entries, bytes=stats.total_bytes)
         records.append(record)
@@ -753,7 +769,36 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="cache: delete every cached entry after reporting",
     )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="cache: LRU-evict entries (oldest access first, across all "
+        "store kinds) until the directory fits --max-bytes",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cache: size budget for --prune, in bytes",
+    )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="IMPL",
+        help="batch-kernel implementation for this process: a name from "
+        "repro.kernels.list_kernels() or 'auto' to micro-benchmark "
+        "(default: $REPRO_KERNEL, else 'reference')",
+    )
     args = parser.parse_args(argv)
+
+    if args.kernel is not None:
+        from .. import kernels
+
+        try:
+            kernels.set_kernels(args.kernel)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     if args.target == "work":
         if not args.connect:
@@ -783,7 +828,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.target == "cancel":
         return _cancel(args, parser)
     if args.target == "cache":
-        return _cache(args)
+        return _cache(args, parser)
 
     backend_options = {}
     if args.cache_dir is not None:

@@ -1,0 +1,394 @@
+"""Pluggable kernel-dispatch tier for the batch cost kernels.
+
+Every execution tier — thread, process, cluster, service — bottoms out
+in the same four hot kernels (:func:`node_of_vertex_batch`,
+:func:`per_node_cut_batch`, :func:`evaluate_mappings_batch`,
+:func:`weighted_cut_bytes_batch`).  This package turns them into a
+dispatch seam in the style of StencilFlow's library node — a registry of
+named, interchangeable implementations — so the inner loop can be swapped
+without touching any call site:
+
+``"reference"``
+    The original stacked-NumPy kernels (:mod:`repro.kernels.reference`);
+    the bit-exactness baseline.
+``"blocked"``
+    Cache-blocked NumPy traversal (:mod:`repro.kernels.blocked`); tiles
+    the ``(batch, edges)`` iteration space so gather products stay
+    cache-resident.
+``"numba"``
+    JIT-compiled per-edge loops (:mod:`repro.kernels.numba_impl`);
+    registered only when :mod:`numba` imports.
+``"auto"``
+    Not an implementation but a selection mode: micro-benchmarks every
+    registered implementation on first use and locks in the fastest.
+
+Selection precedence: an explicit ``impl=`` argument, then the active
+override installed by :func:`set_kernels`/:func:`use_kernels`, then the
+``REPRO_KERNEL`` environment variable, then ``"reference"``.
+
+Every implementation is **bit-identical** to ``"reference"`` — integer
+kernels exactly, the float64 weighted kernel by reproducing the
+reference accumulation order (see the per-module docstrings for why
+each traversal preserves it; ``tests/test_kernels.py`` asserts it on
+random instances).  The shared wrappers below own validation, edge
+enumeration and the final scalar reductions, so implementations can only
+differ in how they traverse the iteration space, never in what they
+reduce.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import MappingError
+from ..grid.graph import communication_edges, communication_edges_by_offset
+from ..metrics.cost import (
+    MappingCost,  # noqa: F401  - re-exported for kernel consumers
+    _costs_from_cuts,
+    check_permutations,
+)
+from . import blocked, numba_impl, reference
+
+__all__ = [
+    "KERNEL_ENV",
+    "DEFAULT_KERNEL",
+    "KernelImplementation",
+    "KernelRegistry",
+    "REGISTRY",
+    "register_kernels",
+    "list_kernels",
+    "resolve_kernels",
+    "active_kernel_name",
+    "set_kernels",
+    "use_kernels",
+    "node_of_vertex_batch",
+    "per_node_cut_batch",
+    "evaluate_mappings_batch",
+    "weighted_cut_bytes_batch",
+]
+
+#: Environment variable naming the default kernel implementation.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: The implementation used when nothing else is selected.
+DEFAULT_KERNEL = "reference"
+
+#: The selection mode that micro-benchmarks on first use.
+AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class KernelImplementation:
+    """One named, interchangeable implementation of the low-level kernels.
+
+    The three callables cover the hot inner loops; everything around
+    them (validation, edge enumeration, ``MappingCost`` wrapping, the
+    final ``sum``/``max`` reductions) is shared dispatch-wrapper code,
+    which is what makes bit-identity between implementations a property
+    of the traversal alone.
+
+    ``scatter_nodes(perms, node_of_ranks) -> (b, p) int64``
+        Node index of each grid vertex per mapping row.
+    ``cut_counts(edges, vertex_nodes, num_nodes) -> (b, N) int64``
+        Outgoing inter-node edge count per node per row.
+    ``weighted_cut(edges, vertex_nodes, num_nodes, edge_bytes) -> (b, N) float64``
+        Outgoing inter-node bytes per node per row, accumulated in edge
+        order (the reference float association).
+    """
+
+    name: str
+    description: str
+    scatter_nodes: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    cut_counts: Callable[[np.ndarray, np.ndarray, int], np.ndarray]
+    weighted_cut: Callable[
+        [np.ndarray, np.ndarray, int, np.ndarray], np.ndarray
+    ]
+
+
+class KernelRegistry:
+    """Process-global catalogue of kernel implementations.
+
+    Thread-safe: workers of every backend resolve implementations
+    concurrently.  The ``auto`` winner is benchmarked once per process
+    and cached.
+    """
+
+    def __init__(self):
+        self._impls: dict[str, KernelImplementation] = {}
+        self._lock = threading.Lock()
+        self._auto_choice: str | None = None
+
+    def register(
+        self, impl: KernelImplementation, *, replace: bool = False
+    ) -> None:
+        """Register *impl* under its name (``auto`` is reserved)."""
+        if impl.name == AUTO:
+            raise ValueError(f"{AUTO!r} is a selection mode, not a name")
+        with self._lock:
+            if impl.name in self._impls and not replace:
+                raise ValueError(
+                    f"kernel implementation {impl.name!r} is already "
+                    f"registered"
+                )
+            self._impls[impl.name] = impl
+            self._auto_choice = None  # the field changed; re-benchmark
+
+    def names(self) -> tuple[str, ...]:
+        """Registered implementation names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._impls))
+
+    def get(self, name: str) -> KernelImplementation:
+        """The implementation registered under *name*."""
+        with self._lock:
+            impl = self._impls.get(name)
+        if impl is None:
+            raise ValueError(
+                f"unknown kernel implementation {name!r}; registered: "
+                f"{sorted(self._impls)} (or {AUTO!r} to benchmark-select)"
+            )
+        return impl
+
+    # ------------------------------------------------------------------
+    # auto mode
+    # ------------------------------------------------------------------
+    def auto_select(self) -> str:
+        """The benchmark-fastest implementation name, cached per process.
+
+        First use runs a small synthetic instance — a few thousand
+        directed edges, a few dozen mapping rows — through every
+        registered ``cut_counts`` (the dominant kernel) and keeps the
+        best-of-three minimum.  The workload is deliberately tiny: the
+        point is ranking relative traversal cost on this machine, not
+        absolute throughput.
+        """
+        with self._lock:
+            if self._auto_choice is not None:
+                return self._auto_choice
+            impls = dict(self._impls)
+        rng = np.random.default_rng(7)
+        p, b, num_nodes = 1024, 32, 16
+        edges = rng.integers(0, p, size=(8192, 2), dtype=np.int64)
+        vertex_nodes = rng.integers(0, num_nodes, size=(b, p), dtype=np.int64)
+        timings: dict[str, float] = {}
+        for name, impl in impls.items():
+            impl.cut_counts(edges, vertex_nodes, num_nodes)  # warm-up/JIT
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                impl.cut_counts(edges, vertex_nodes, num_nodes)
+                best = min(best, time.perf_counter() - start)
+            timings[name] = best
+        winner = min(timings, key=timings.__getitem__)
+        with self._lock:
+            if self._auto_choice is None:
+                self._auto_choice = winner
+            return self._auto_choice
+
+
+#: The process-global registry the dispatch functions consult.
+REGISTRY = KernelRegistry()
+
+
+def register_kernels(
+    impl: KernelImplementation, *, replace: bool = False
+) -> None:
+    """Register a kernel implementation on the global registry."""
+    REGISTRY.register(impl, replace=replace)
+
+
+def list_kernels() -> tuple[str, ...]:
+    """Registered kernel implementation names, sorted."""
+    return REGISTRY.names()
+
+
+REGISTRY.register(
+    KernelImplementation(
+        name="reference",
+        description="original stacked-NumPy kernels (bit-exactness baseline)",
+        scatter_nodes=reference.scatter_nodes,
+        cut_counts=reference.cut_counts,
+        weighted_cut=reference.weighted_cut,
+    )
+)
+REGISTRY.register(
+    KernelImplementation(
+        name="blocked",
+        description="cache-blocked NumPy traversal (tiled gathers)",
+        scatter_nodes=blocked.scatter_nodes,
+        cut_counts=blocked.cut_counts,
+        weighted_cut=blocked.weighted_cut,
+    )
+)
+if numba_impl.AVAILABLE:  # pragma: no cover - container has no numba
+    REGISTRY.register(
+        KernelImplementation(
+            name="numba",
+            description="numba-JIT per-edge loops (parallel over rows)",
+            scatter_nodes=numba_impl.scatter_nodes,
+            cut_counts=numba_impl.cut_counts,
+            weighted_cut=numba_impl.weighted_cut,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+_ACTIVE: str | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def active_kernel_name() -> str:
+    """The name the next dispatch will resolve (``auto`` unresolved)."""
+    return _ACTIVE or os.environ.get(KERNEL_ENV) or DEFAULT_KERNEL
+
+
+def set_kernels(name: str | None) -> None:
+    """Install a process-wide kernel selection (``None`` clears it).
+
+    Accepts any registered name or ``"auto"``; unknown names fail here
+    rather than on the next hot-path call.
+    """
+    global _ACTIVE
+    if name is not None and name != AUTO:
+        REGISTRY.get(name)  # validate eagerly
+    with _ACTIVE_LOCK:
+        _ACTIVE = name
+
+
+@contextmanager
+def use_kernels(name: str):
+    """Temporarily select a kernel implementation (tests, benchmarks)."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        previous = _ACTIVE
+    set_kernels(name)
+    try:
+        yield
+    finally:
+        with _ACTIVE_LOCK:
+            _ACTIVE = previous
+
+
+def resolve_kernels(spec: str | None = None) -> KernelImplementation:
+    """Resolve a kernel spec to an implementation.
+
+    Precedence: explicit *spec*, then :func:`set_kernels` override, then
+    the ``REPRO_KERNEL`` environment variable, then ``"reference"``.
+    ``"auto"`` (from any source) benchmark-selects on first use.
+    """
+    name = spec or active_kernel_name()
+    if name == AUTO:
+        name = REGISTRY.auto_select()
+    return REGISTRY.get(name)
+
+
+# ----------------------------------------------------------------------
+# The four dispatched kernels (shared validation + reductions)
+# ----------------------------------------------------------------------
+def node_of_vertex_batch(
+    perms: np.ndarray, alloc, *, impl: str | None = None
+) -> np.ndarray:
+    """Node index of each grid vertex for a stack of mappings.
+
+    ``perms`` has shape ``(b, p)``; the result has the same shape with
+    row ``i`` equal to ``node_of_vertex(perms[i], alloc)``.
+    """
+    perms = check_permutations(perms, alloc.total_processes)
+    return resolve_kernels(impl).scatter_nodes(perms, alloc.node_of_ranks())
+
+
+def per_node_cut_batch(
+    edges: np.ndarray,
+    vertex_nodes: np.ndarray,
+    num_nodes: int,
+    *,
+    impl: str | None = None,
+) -> np.ndarray:
+    """Outgoing inter-node edge counts for a stack of mappings.
+
+    ``vertex_nodes`` has shape ``(b, p)``; the result has shape
+    ``(b, num_nodes)`` with row ``i`` equal to
+    ``per_node_cut(edges, vertex_nodes[i], num_nodes)``.
+    """
+    vertex_nodes = np.asarray(vertex_nodes, dtype=np.int64)
+    if vertex_nodes.ndim != 2:
+        raise MappingError(
+            f"vertex_nodes must be 2-d (b, p), got shape {vertex_nodes.shape}"
+        )
+    b = vertex_nodes.shape[0]
+    if edges.size == 0 or b == 0:
+        return np.zeros((b, num_nodes), dtype=np.int64)
+    return resolve_kernels(impl).cut_counts(edges, vertex_nodes, num_nodes)
+
+
+def evaluate_mappings_batch(
+    grid,
+    stencil,
+    perms: np.ndarray,
+    alloc,
+    *,
+    edges: np.ndarray | None = None,
+    impl: str | None = None,
+) -> list[MappingCost]:
+    """Evaluate a stack of ``(b, p)`` mapping permutations at once.
+
+    Equivalent to ``[evaluate_mapping(grid, stencil, p, alloc) for p in
+    perms]`` but scores the whole batch through the selected kernel
+    implementation, sharing one edge enumeration and one gather across
+    all mappings.  ``edges`` accepts a cached edge array.
+    """
+    alloc.check_matches(grid.size)
+    if edges is None:
+        edges = communication_edges(grid, stencil)
+    nodes = node_of_vertex_batch(perms, alloc, impl=impl)
+    cuts = per_node_cut_batch(edges, nodes, alloc.num_nodes, impl=impl)
+    return _costs_from_cuts(cuts, int(edges.shape[0]))
+
+
+def weighted_cut_bytes_batch(
+    grid,
+    stencil,
+    perms: np.ndarray,
+    alloc,
+    offset_bytes,
+    *,
+    edges: np.ndarray | None = None,
+    offset_index: np.ndarray | None = None,
+    impl: str | None = None,
+) -> list[tuple[float, float]]:
+    """Volume-weighted cuts for a stack of ``(b, p)`` mapping permutations.
+
+    Returns one ``(total inter-node bytes, bottleneck bytes)`` pair per
+    row of *perms*, bit-identical to the serial
+    :func:`repro.metrics.cost.weighted_cut_bytes` under every registered
+    implementation: the per-node accumulation reproduces the reference
+    edge order and the final ``sum``/``max`` reductions live here, in
+    shared code.  ``edges``/``offset_index`` accept the cached output of
+    :func:`~repro.grid.graph.communication_edges_by_offset`.
+    """
+    missing = [off for off in stencil.offsets if off not in offset_bytes]
+    if missing:
+        raise MappingError(f"offset_bytes missing entries for {missing}")
+    if edges is None or offset_index is None:
+        edges, offset_index = communication_edges_by_offset(grid, stencil)
+    nodes = node_of_vertex_batch(perms, alloc, impl=impl)
+    b = nodes.shape[0]
+    if edges.shape[0] == 0 or b == 0:
+        return [(0.0, 0.0)] * b
+    weights = np.array([float(offset_bytes[off]) for off in stencil.offsets])
+    edge_bytes = weights[offset_index]
+    per_node = resolve_kernels(impl).weighted_cut(
+        edges, nodes, alloc.num_nodes, edge_bytes
+    )
+    return [
+        (float(per_node[i].sum()), float(per_node[i].max())) for i in range(b)
+    ]

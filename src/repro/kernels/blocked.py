@@ -1,0 +1,79 @@
+"""The ``"blocked"`` kernels: cache-blocked NumPy traversal.
+
+The reference kernels materialise ``(rows, m)`` gather products whose
+working set blows past the last-level cache for large edge counts; the
+cost evaluation is bandwidth-bound (Casper's memory-hierarchy argument),
+so re-streaming those products from DRAM dominates.  This variant tiles
+the iteration space so one tile's gathers, mask and bincount stay
+cache-resident:
+
+* the **integer** cut kernel tiles over *edges* — per-tile ``bincount``
+  partial sums are added into the output block, which is exact for
+  int64 (integer addition is associative, so any tile size is
+  bit-identical to one flat pass);
+* the **weighted** (float64) kernel must NOT tile over edges — adding
+  partial bincounts would reassociate the float accumulation and drift
+  from the reference bits — so it only narrows the *row* blocks (each
+  row's weighted ``bincount`` is independent of how rows are grouped).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .reference import scatter_nodes, weighted_cut as _reference_weighted_cut
+
+__all__ = ["scatter_nodes", "cut_counts", "weighted_cut"]
+
+#: Edges per tile of the integer kernel: three int64 gather products of
+#: ``ROW_BLOCK x EDGE_TILE`` stay within a few MiB of cache.
+EDGE_TILE = 1 << 15
+
+#: Rows processed per block.
+ROW_BLOCK = 32
+
+
+def cut_counts(
+    edges: np.ndarray, vertex_nodes: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Outgoing inter-node edge counts, tiled over rows *and* edges."""
+    b = vertex_nodes.shape[0]
+    m = edges.shape[0]
+    out = np.zeros((b, num_nodes), dtype=np.int64)
+    src = np.ascontiguousarray(edges[:, 0])
+    dst = np.ascontiguousarray(edges[:, 1])
+    for rlo in range(0, b, ROW_BLOCK):
+        rhi = min(rlo + ROW_BLOCK, b)
+        chunk = vertex_nodes[rlo:rhi]
+        rows = np.arange(rhi - rlo, dtype=np.int64)[:, None]
+        block = out[rlo:rhi]
+        for elo in range(0, m, EDGE_TILE):
+            ehi = min(elo + EDGE_TILE, m)
+            src_nodes = chunk[:, src[elo:ehi]]
+            cut = src_nodes != chunk[:, dst[elo:ehi]]
+            flat = (src_nodes + rows * num_nodes)[cut]
+            block += np.bincount(
+                flat, minlength=(rhi - rlo) * num_nodes
+            ).reshape(rhi - rlo, num_nodes)
+    return out
+
+
+def weighted_cut(
+    edges: np.ndarray,
+    vertex_nodes: np.ndarray,
+    num_nodes: int,
+    edge_bytes: np.ndarray,
+) -> np.ndarray:
+    """Per-node inter-node bytes in cache-sized row blocks.
+
+    Row blocking never changes which bytes land in which bin or their
+    accumulation order, so every block size yields the reference bits.
+    """
+    b = vertex_nodes.shape[0]
+    out = np.empty((b, num_nodes), dtype=np.float64)
+    for rlo in range(0, b, ROW_BLOCK):
+        rhi = min(rlo + ROW_BLOCK, b)
+        out[rlo:rhi] = _reference_weighted_cut(
+            edges, vertex_nodes[rlo:rhi], num_nodes, edge_bytes
+        )
+    return out

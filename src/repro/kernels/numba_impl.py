@@ -1,0 +1,95 @@
+"""The optional ``"numba"`` kernels: JIT-compiled per-edge loops.
+
+Registered only when :mod:`numba` imports — environments without it
+(including this repository's own no-numba CI leg) silently fall back to
+the NumPy implementations, and :data:`AVAILABLE` stays ``False``.
+
+Bit-identity with ``"reference"`` is by construction: ``np.bincount``
+accumulates its (weighted) contributions in flat-array order, which for
+one row is edge order; the JIT loops walk edges in exactly that order
+and add into a zero-initialised output, so the integer counts are
+trivially equal and the float64 byte sums perform the same additions in
+the same association.  Rows are independent, so ``prange`` over rows
+keeps determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    AVAILABLE = True
+except ImportError:  # pragma: no cover - the no-numba fallback path
+    AVAILABLE = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        raise RuntimeError("numba is not installed")
+
+    prange = range
+
+
+if AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @njit(cache=True, parallel=True)
+    def _scatter(perms, node_of_ranks, out):
+        for i in prange(perms.shape[0]):
+            for r in range(perms.shape[1]):
+                out[i, perms[i, r]] = node_of_ranks[r]
+
+    @njit(cache=True, parallel=True)
+    def _cut_counts(src, dst, vertex_nodes, out):
+        for i in prange(vertex_nodes.shape[0]):
+            for e in range(src.shape[0]):
+                s = vertex_nodes[i, src[e]]
+                if s != vertex_nodes[i, dst[e]]:
+                    out[i, s] += 1
+
+    @njit(cache=True, parallel=True)
+    def _weighted_cut(src, dst, vertex_nodes, edge_bytes, out):
+        for i in prange(vertex_nodes.shape[0]):
+            for e in range(src.shape[0]):
+                s = vertex_nodes[i, src[e]]
+                if s != vertex_nodes[i, dst[e]]:
+                    out[i, s] += edge_bytes[e]
+
+
+def scatter_nodes(
+    perms: np.ndarray, node_of_ranks: np.ndarray
+) -> np.ndarray:  # pragma: no cover - exercised only where numba is installed
+    out = np.empty(perms.shape, dtype=np.int64)
+    _scatter(
+        np.ascontiguousarray(perms), np.ascontiguousarray(node_of_ranks), out
+    )
+    return out
+
+
+def cut_counts(
+    edges: np.ndarray, vertex_nodes: np.ndarray, num_nodes: int
+) -> np.ndarray:  # pragma: no cover - exercised only where numba is installed
+    out = np.zeros((vertex_nodes.shape[0], num_nodes), dtype=np.int64)
+    _cut_counts(
+        np.ascontiguousarray(edges[:, 0]),
+        np.ascontiguousarray(edges[:, 1]),
+        np.ascontiguousarray(vertex_nodes),
+        out,
+    )
+    return out
+
+
+def weighted_cut(
+    edges: np.ndarray,
+    vertex_nodes: np.ndarray,
+    num_nodes: int,
+    edge_bytes: np.ndarray,
+) -> np.ndarray:  # pragma: no cover - exercised only where numba is installed
+    out = np.zeros((vertex_nodes.shape[0], num_nodes), dtype=np.float64)
+    _weighted_cut(
+        np.ascontiguousarray(edges[:, 0]),
+        np.ascontiguousarray(edges[:, 1]),
+        np.ascontiguousarray(vertex_nodes),
+        np.ascontiguousarray(edge_bytes, dtype=np.float64),
+        out,
+    )
+    return out

@@ -1,0 +1,83 @@
+"""The ``"reference"`` kernels: the original stacked-NumPy hot path.
+
+These are the bit-exactness baseline every other implementation in the
+registry is asserted against — the code is the batch-kernel bodies that
+lived in :mod:`repro.metrics.cost` before the dispatch tier existed,
+moved verbatim.  Each function implements one low-level kernel of the
+:class:`~repro.kernels.KernelImplementation` contract; validation, edge
+enumeration and the final scalar reductions live in the shared dispatch
+wrappers (:mod:`repro.kernels`), so implementations only ever differ in
+how they traverse the ``(batch, edges)`` iteration space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Largest ``batch x edges`` product materialised at once; bigger
+#: batches are processed in row slices to bound peak memory.
+BATCH_CELL_LIMIT = 1 << 24
+
+
+def scatter_nodes(perms: np.ndarray, node_of_ranks: np.ndarray) -> np.ndarray:
+    """Node index of each grid vertex for a stack of mappings.
+
+    One fancy assignment replaces ``b`` separate scatters.
+    """
+    b, p = perms.shape
+    nodes = np.empty((b, p), dtype=np.int64)
+    rows = np.arange(b, dtype=np.int64)[:, None]
+    nodes[rows, perms] = node_of_ranks[None, :]
+    return nodes
+
+
+def cut_counts(
+    edges: np.ndarray, vertex_nodes: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Outgoing inter-node edge counts, one gather + flat ``bincount``
+    per memory slice instead of ``b`` separate passes."""
+    b = vertex_nodes.shape[0]
+    m = edges.shape[0]
+    out = np.empty((b, num_nodes), dtype=np.int64)
+    step = max(1, BATCH_CELL_LIMIT // max(1, m))
+    for lo in range(0, b, step):
+        hi = min(lo + step, b)
+        chunk = vertex_nodes[lo:hi]
+        src_nodes = chunk[:, edges[:, 0]]  # (rows, m)
+        cut = src_nodes != chunk[:, edges[:, 1]]
+        rows = np.arange(hi - lo, dtype=np.int64)[:, None]
+        flat = (src_nodes + rows * num_nodes)[cut]
+        out[lo:hi] = np.bincount(
+            flat, minlength=(hi - lo) * num_nodes
+        ).reshape(hi - lo, num_nodes)
+    return out
+
+
+def weighted_cut(
+    edges: np.ndarray,
+    vertex_nodes: np.ndarray,
+    num_nodes: int,
+    edge_bytes: np.ndarray,
+) -> np.ndarray:
+    """Per-node outgoing inter-node *bytes* (float64 ``(b, N)``).
+
+    Each row's weighted ``bincount`` accumulates its edge bytes in edge
+    order — the float association every other implementation must
+    reproduce exactly.
+    """
+    b = vertex_nodes.shape[0]
+    m = edges.shape[0]
+    out = np.empty((b, num_nodes), dtype=np.float64)
+    step = max(1, BATCH_CELL_LIMIT // max(1, m))
+    for lo in range(0, b, step):
+        hi = min(lo + step, b)
+        chunk = vertex_nodes[lo:hi]
+        src_nodes = chunk[:, edges[:, 0]]  # (rows, m)
+        cut = src_nodes != chunk[:, edges[:, 1]]
+        rows = np.arange(hi - lo, dtype=np.int64)[:, None]
+        flat = (src_nodes + rows * num_nodes)[cut]
+        flat_bytes = np.broadcast_to(edge_bytes, cut.shape)[cut]
+        out[lo:hi] = np.bincount(
+            flat, weights=flat_bytes, minlength=(hi - lo) * num_nodes
+        ).reshape(hi - lo, num_nodes)
+    return out

@@ -40,11 +40,6 @@ __all__ = [
     "weighted_cut_bytes_batch",
 ]
 
-#: Largest ``batch x edges`` product materialised at once by the batched
-#: kernels; bigger batches are processed in slices to bound peak memory.
-_BATCH_CELL_LIMIT = 1 << 24
-
-
 def check_permutation(perm: np.ndarray, size: int) -> np.ndarray:
     """Validate and normalise a mapping permutation.
 
@@ -102,16 +97,14 @@ def node_of_vertex_batch(perms: np.ndarray, alloc: NodeAllocation) -> np.ndarray
     """Node index of each grid vertex for a stack of mappings.
 
     ``perms`` has shape ``(b, p)``; the result has the same shape with
-    row ``i`` equal to ``node_of_vertex(perms[i], alloc)``.  One fancy
-    assignment replaces ``b`` separate scatters.
+    row ``i`` equal to ``node_of_vertex(perms[i], alloc)``.  Dispatches
+    through the selected kernel implementation
+    (:mod:`repro.kernels`; this forwarder is kept for call-site
+    compatibility).
     """
-    p = alloc.total_processes
-    perms = check_permutations(perms, p)
-    b = perms.shape[0]
-    nodes = np.empty((b, p), dtype=np.int64)
-    rows = np.arange(b, dtype=np.int64)[:, None]
-    nodes[rows, perms] = alloc.node_of_ranks()[None, :]
-    return nodes
+    from .. import kernels
+
+    return kernels.node_of_vertex_batch(perms, alloc)
 
 
 def jsum(edges: np.ndarray, vertex_nodes: np.ndarray) -> int:
@@ -145,32 +138,12 @@ def per_node_cut_batch(
 
     ``vertex_nodes`` has shape ``(b, p)``; the result has shape
     ``(b, num_nodes)`` with row ``i`` equal to
-    ``per_node_cut(edges, vertex_nodes[i], num_nodes)``.  The whole batch
-    is scored with one gather and one flat ``bincount`` per memory slice
-    instead of ``b`` separate passes.
+    ``per_node_cut(edges, vertex_nodes[i], num_nodes)``.  Dispatches
+    through the selected kernel implementation (:mod:`repro.kernels`).
     """
-    vertex_nodes = np.asarray(vertex_nodes, dtype=np.int64)
-    if vertex_nodes.ndim != 2:
-        raise MappingError(
-            f"vertex_nodes must be 2-d (b, p), got shape {vertex_nodes.shape}"
-        )
-    b = vertex_nodes.shape[0]
-    if edges.size == 0 or b == 0:
-        return np.zeros((b, num_nodes), dtype=np.int64)
-    m = edges.shape[0]
-    out = np.empty((b, num_nodes), dtype=np.int64)
-    step = max(1, _BATCH_CELL_LIMIT // max(1, m))
-    for lo in range(0, b, step):
-        hi = min(lo + step, b)
-        chunk = vertex_nodes[lo:hi]
-        src_nodes = chunk[:, edges[:, 0]]  # (rows, m)
-        cut = src_nodes != chunk[:, edges[:, 1]]
-        rows = np.arange(hi - lo, dtype=np.int64)[:, None]
-        flat = (src_nodes + rows * num_nodes)[cut]
-        out[lo:hi] = np.bincount(
-            flat, minlength=(hi - lo) * num_nodes
-        ).reshape(hi - lo, num_nodes)
-    return out
+    from .. import kernels
+
+    return kernels.per_node_cut_batch(edges, vertex_nodes, num_nodes)
 
 
 def jmax(edges: np.ndarray, vertex_nodes: np.ndarray, num_nodes: int) -> int:
@@ -267,17 +240,16 @@ def evaluate_mappings_batch(
     """Evaluate a stack of ``(b, p)`` mapping permutations at once.
 
     Equivalent to ``[evaluate_mapping(grid, stencil, p, alloc) for p in
-    perms]`` but scores the whole batch with the stacked kernels
-    (:func:`node_of_vertex_batch`, :func:`per_node_cut_batch`), sharing
-    one edge enumeration and one gather across all mappings.  ``edges``
-    accepts a cached edge array.
+    perms]`` but scores the whole batch with the stacked kernels,
+    sharing one edge enumeration and one gather across all mappings.
+    Dispatches through the selected kernel implementation
+    (:mod:`repro.kernels`).  ``edges`` accepts a cached edge array.
     """
-    alloc.check_matches(grid.size)
-    if edges is None:
-        edges = communication_edges(grid, stencil)
-    nodes = node_of_vertex_batch(perms, alloc)
-    cuts = per_node_cut_batch(edges, nodes, alloc.num_nodes)
-    return _costs_from_cuts(cuts, int(edges.shape[0]))
+    from .. import kernels
+
+    return kernels.evaluate_mappings_batch(
+        grid, stencil, perms, alloc, edges=edges
+    )
 
 
 def weighted_cut_bytes(
@@ -322,39 +294,17 @@ def weighted_cut_bytes_batch(
     accept the cached output of
     :func:`~repro.grid.graph.communication_edges_by_offset`.
     """
-    from ..grid.graph import communication_edges_by_offset
+    from .. import kernels
 
-    missing = [off for off in stencil.offsets if off not in offset_bytes]
-    if missing:
-        raise MappingError(f"offset_bytes missing entries for {missing}")
-    if edges is None or offset_index is None:
-        edges, offset_index = communication_edges_by_offset(grid, stencil)
-    nodes = node_of_vertex_batch(perms, alloc)
-    b = nodes.shape[0]
-    if edges.shape[0] == 0 or b == 0:
-        return [(0.0, 0.0)] * b
-    weights = np.array([float(offset_bytes[off]) for off in stencil.offsets])
-    edge_bytes = weights[offset_index]
-    num_nodes = alloc.num_nodes
-    m = edges.shape[0]
-    out: list[tuple[float, float]] = []
-    step = max(1, _BATCH_CELL_LIMIT // max(1, m))
-    for lo in range(0, b, step):
-        hi = min(lo + step, b)
-        chunk = nodes[lo:hi]
-        src_nodes = chunk[:, edges[:, 0]]  # (rows, m)
-        cut = src_nodes != chunk[:, edges[:, 1]]
-        rows = np.arange(hi - lo, dtype=np.int64)[:, None]
-        flat = (src_nodes + rows * num_nodes)[cut]
-        flat_bytes = np.broadcast_to(edge_bytes, cut.shape)[cut]
-        per_node = np.bincount(
-            flat, weights=flat_bytes, minlength=(hi - lo) * num_nodes
-        ).reshape(hi - lo, num_nodes)
-        out.extend(
-            (float(per_node[i].sum()), float(per_node[i].max()))
-            for i in range(hi - lo)
-        )
-    return out
+    return kernels.weighted_cut_bytes_batch(
+        grid,
+        stencil,
+        perms,
+        alloc,
+        offset_bytes,
+        edges=edges,
+        offset_index=offset_index,
+    )
 
 
 def reduction_over_blocked(cost: MappingCost, blocked_cost: MappingCost) -> tuple[float, float]:

@@ -9,7 +9,6 @@ and the perm/cost/metric disk tiers warming a fresh engine.
 
 from __future__ import annotations
 
-import pickle
 import threading
 from concurrent.futures import ProcessPoolExecutor
 
@@ -382,3 +381,103 @@ class TestSweepFingerprint:
         spec = self._spec(resolve_mapper("blocked"))
         digest = spec.fingerprint()
         assert isinstance(digest, str) and len(digest) == 64
+
+
+class TestPrune:
+    """LRU eviction across every store kind sharing one directory."""
+
+    @staticmethod
+    def _fill(tmp_path, ages):
+        """One entry per store kind, mtimes spread by *ages* seconds ago."""
+        import os
+        import time
+
+        from repro.engine.diskcache import prune  # noqa: F401 - import check
+
+        grid, stencil, _ = _instance()
+        edge = DiskEdgeCache(tmp_path)
+        edge.store(grid, stencil, np.arange(40, dtype=np.int64).reshape(-1, 2))
+        for kind in STORE_KINDS[1:]:
+            DiskStore(tmp_path, kind).store(KEY, list(range(50)))
+        now = time.time()
+        paths = sorted(tmp_path.iterdir())
+        assert len(paths) == len(STORE_KINDS)
+        for path, age in zip(paths, ages):
+            os.utime(path, (now - age, now - age))
+        return edge, grid, stencil
+
+    def test_prune_to_zero_clears_every_kind(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        self._fill(tmp_path, [10] * len(STORE_KINDS))
+        removed = prune(tmp_path, 0)
+        assert sum(removed.values()) == len(STORE_KINDS)
+        assert set(removed) == set(STORE_KINDS)
+        assert not list(tmp_path.iterdir())
+
+    def test_prune_respects_budget_and_evicts_oldest_first(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        # ages descending with the edge entry oldest
+        self._fill(tmp_path, [500, 400, 300, 200, 100])
+        sizes = {p.name: p.stat().st_size for p in tmp_path.iterdir()}
+        total = sum(sizes.values())
+        oldest = max(tmp_path.iterdir(), key=lambda p: 500 - p.stat().st_mtime)
+        budget = total - 1  # one eviction suffices
+        prune(tmp_path, budget)
+        left = {p.name for p in tmp_path.iterdir()}
+        assert oldest.name not in left
+        assert len(left) == len(STORE_KINDS) - 1
+        assert sum(p.stat().st_size for p in tmp_path.iterdir()) <= budget
+
+    def test_prune_under_budget_is_a_no_op(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        self._fill(tmp_path, [10] * len(STORE_KINDS))
+        before = sorted(p.name for p in tmp_path.iterdir())
+        removed = prune(tmp_path, 1 << 30)
+        assert sum(removed.values()) == 0
+        assert sorted(p.name for p in tmp_path.iterdir()) == before
+
+    def test_load_refreshes_recency(self, tmp_path):
+        """A hit bumps mtime, protecting the entry from the next prune."""
+        from repro.engine.diskcache import prune
+
+        edge, grid, stencil = self._fill(tmp_path, [500, 100, 100, 100, 100])
+        # the edge entry is oldest; a load should move it to the front
+        assert edge.load(grid, stencil) is not None
+        total = sum(p.stat().st_size for p in tmp_path.iterdir())
+        prune(tmp_path, total - 1)
+        assert edge.load(grid, stencil) is not None  # survived
+
+    def test_store_load_refreshes_recency(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        self._fill(tmp_path, [100, 500, 100, 100, 100])
+        store = DiskStore(tmp_path, STORE_KINDS[1])
+        assert store.load(KEY) is not MISSING  # bumps mtime
+        total = sum(p.stat().st_size for p in tmp_path.iterdir())
+        prune(tmp_path, total - 1)
+        assert store.load(KEY) is not MISSING  # survived
+
+    def test_foreign_files_never_touched(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        self._fill(tmp_path, [10] * len(STORE_KINDS))
+        foreign = tmp_path / "notes.txt"
+        foreign.write_text("keep me")
+        prune(tmp_path, 0)
+        assert foreign.exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["notes.txt"]
+
+    def test_missing_directory_prunes_nothing(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        removed = prune(tmp_path / "never-created", 0)
+        assert sum(removed.values()) == 0
+
+    def test_negative_budget_rejected(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        with pytest.raises(ValueError, match="max_bytes"):
+            prune(tmp_path, -1)

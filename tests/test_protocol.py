@@ -1,0 +1,206 @@
+"""Tests of wire-format v4: zero-copy array segments + pinned pickle.
+
+Version 4 splits array-carrying messages into a pickled header plus raw
+npy-framed segments (PEP 574 out-of-band buffers), so NumPy arrays cross
+the socket without a serialisation copy.  Messages without arrays — and
+in particular the HELLO handshake — stay plain pickles, which is what
+lets mismatched peers exchange a clean REJECT instead of a parse error.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+
+import numpy as np
+
+from repro import CartesianGrid, NodeAllocation, nearest_neighbor
+from repro.engine import ClusterBackend, EvaluationEngine, MappingRequest
+from repro.engine.cluster.protocol import (
+    HELLO,
+    MAGIC,
+    PROTOCOL_VERSION,
+    REJECT,
+    SHARD,
+    WELCOME,
+    WIRE_PICKLE_PROTOCOL,
+    decode_payload,
+    encode_frames,
+    encode_message,
+    hello,
+    recv_message,
+    send_message,
+)
+
+from .test_backends import _requests, _signature
+from .test_cluster import _spawn_worker
+
+
+def _payload(message: tuple) -> bytes:
+    """The framed payload of *message*, header stripped."""
+    return encode_message(message)[4:]
+
+
+def _roundtrip(message: tuple) -> tuple:
+    return decode_payload(_payload(message))
+
+
+class TestSegmentedEncoding:
+    def test_plain_messages_stay_plain_pickle(self):
+        for message in [("ping",), (HELLO, MAGIC, 4, {"pid": 1}),
+                        ("result", 3, [("a", 1.5)])]:
+            payload = _payload(message)
+            assert payload[0] == 0x80  # pickle PROTO opcode
+            assert pickle.loads(payload) == message
+            assert decode_payload(payload) == message
+
+    def test_array_messages_become_segmented(self):
+        arr = np.arange(6000, dtype=np.int64).reshape(-1, 2)
+        payload = _payload((SHARD, 7, [arr]))
+        assert payload[0] == 0x93  # npy magic, never a pickle opcode
+
+    def test_array_roundtrip_is_byte_identical(self):
+        rng = np.random.default_rng(3)
+        arrays = [
+            np.arange(5000, dtype=np.int64).reshape(-1, 2),
+            rng.uniform(size=(7, 11)),
+            np.array([], dtype=np.float32),
+            rng.integers(0, 9, size=(3, 4, 5), dtype=np.int32),
+        ]
+        kind, sid, items = _roundtrip((SHARD, 9, arrays))
+        assert (kind, sid) == (SHARD, 9)
+        for sent, received in zip(arrays, items):
+            assert sent.dtype == received.dtype
+            assert sent.shape == received.shape
+            assert sent.tobytes() == received.tobytes()
+
+    def test_decoded_arrays_are_read_only_views(self):
+        arr = np.arange(4096, dtype=np.int64)
+        _, received = _roundtrip(("m", arr))
+        assert not received.flags.writeable
+
+    def test_header_excludes_array_bytes(self):
+        """The pickled header of a large-array frame is tiny: the array
+        travels as a raw segment, not inside the pickle."""
+        arr = np.arange(1 << 16, dtype=np.int64)
+        frames = encode_frames((SHARD, 1, [arr]))
+        total = sum(len(bytes(part)) for part in frames[1:])
+        header = bytes(frames[2])  # [length][magic+hlen][header][segments...]
+        assert header[0] == 0x80 and len(header) < 1024
+        assert arr.tobytes() not in header
+        assert total >= arr.nbytes  # the raw segment carries the bytes
+
+    def test_noncontiguous_arrays_fall_back_in_band(self):
+        arr = np.arange(64, dtype=np.int64).reshape(8, 8)[:, ::2]
+        _, received = _roundtrip(("m", arr))
+        assert received.tobytes() == arr.tobytes()
+
+    def test_nested_containers_roundtrip(self):
+        arr = np.arange(3000, dtype=np.int64)
+        message = ("result", {"xs": [arr, {"inner": arr[:5]}]}, (1, "two"))
+        decoded = _roundtrip(message)
+        assert decoded[0] == "result" and decoded[2] == (1, "two")
+        assert decoded[1]["xs"][0].tobytes() == arr.tobytes()
+        assert decoded[1]["xs"][1]["inner"].tolist() == [0, 1, 2, 3, 4]
+
+    def test_hello_always_plain_pickle_and_pinned(self):
+        message = hello({"pid": 42})
+        payload = _payload(message)
+        assert payload[0] == 0x80
+        assert message[3]["pickle"] == WIRE_PICKLE_PROTOCOL
+        assert message[2] == PROTOCOL_VERSION == 4
+
+    def test_socket_roundtrip(self):
+        """send_message/recv_message carry a segmented frame intact."""
+        left, right = socket.socketpair()
+        try:
+            arr = np.arange(10000, dtype=np.int64).reshape(-1, 2)
+            send_message(left, (SHARD, 5, [arr]))
+            message = recv_message(right)
+        finally:
+            left.close()
+            right.close()
+        assert message[0] == SHARD and message[1] == 5
+        assert message[2][0].tobytes() == arr.tobytes()
+
+
+class TestHandshakePinning:
+    def test_pickle_mismatch_rejected(self):
+        """A peer speaking another pickle protocol gets a clean REJECT."""
+        with ClusterBackend("127.0.0.1", 0) as backend:
+            with socket.create_connection(
+                ("127.0.0.1", backend.port), timeout=30
+            ) as sock:
+                send_message(
+                    sock, (HELLO, MAGIC, PROTOCOL_VERSION, {"pickle": 4})
+                )
+                reply = recv_message(sock)
+        assert reply[0] == REJECT
+        assert "pickle protocol mismatch" in reply[1]
+
+    def test_missing_pickle_key_rejected(self):
+        """Hand-rolled HELLOs without the pin are refused too."""
+        with ClusterBackend("127.0.0.1", 0) as backend:
+            with socket.create_connection(
+                ("127.0.0.1", backend.port), timeout=30
+            ) as sock:
+                send_message(sock, (HELLO, MAGIC, PROTOCOL_VERSION, {}))
+                reply = recv_message(sock)
+        assert reply[0] == REJECT
+
+    def test_pinned_hello_welcomed(self):
+        with ClusterBackend("127.0.0.1", 0) as backend:
+            with socket.create_connection(
+                ("127.0.0.1", backend.port), timeout=30
+            ) as sock:
+                send_message(sock, hello({"pid": 1}))
+                reply = recv_message(sock)
+        assert reply[0] == WELCOME
+
+
+class TestWorkerRoundTrip:
+    def test_array_requests_byte_identical_across_real_worker(self):
+        """Explicit-permutation requests cross a worker subprocess intact.
+
+        The perm arrays ride the v4 segmented path out (SHARD) and the
+        result perms ride it back; both directions must be byte-exact
+        against the in-process engine.
+        """
+        grid = CartesianGrid([6, 4])
+        alloc = NodeAllocation.homogeneous(4, 6)
+        stencil = nearest_neighbor(2)
+        rng = np.random.default_rng(17)
+        requests = [
+            MappingRequest(
+                grid, stencil, alloc, "blocked",
+                perm=rng.permutation(grid.size),
+            )
+            for _ in range(6)
+        ]
+        serial = EvaluationEngine(max_workers=1).evaluate_batch(requests)
+        with ClusterBackend("127.0.0.1", 0) as backend:
+            worker = _spawn_worker(backend.port)
+            try:
+                backend.wait_for_workers(1, timeout=60)
+                results = backend.evaluate_batch(requests)
+            finally:
+                worker.terminate()
+                worker.wait(timeout=30)
+        assert [_signature(r) for r in results] == [
+            _signature(r) for r in serial
+        ]
+
+    def test_generic_sweep_byte_identical_across_real_worker(self):
+        requests = _requests()
+        serial = EvaluationEngine(max_workers=1).evaluate_batch(requests)
+        with ClusterBackend("127.0.0.1", 0) as backend:
+            worker = _spawn_worker(backend.port)
+            try:
+                backend.wait_for_workers(1, timeout=60)
+                results = backend.evaluate_batch(requests)
+            finally:
+                worker.terminate()
+                worker.wait(timeout=30)
+        assert [_signature(r) for r in results] == [
+            _signature(r) for r in serial
+        ]
