@@ -117,7 +117,10 @@ from .engine import (
     weighted_bytes_metric,
 )
 from .service import (
+    Autoscaler,
+    ExecSpawner,
     JobHandle,
+    LocalSpawner,
     ServiceBackend,
     ServiceClient,
     ServiceDaemon,
@@ -133,7 +136,7 @@ from .sweep import (
     run_stream,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # exceptions
@@ -214,6 +217,9 @@ __all__ = [
     "ServiceClient",
     "ServiceBackend",
     "JobHandle",
+    "Autoscaler",
+    "LocalSpawner",
+    "ExecSpawner",
     # sweep
     "sweep",
     "SweepSpec",

@@ -27,7 +27,14 @@ from ..backends import rebuild_batch, rebuild_stream, shard_payloads
 from ..diskcache import resolve_cache_dir
 from ..request import MappingRequest, MappingResult
 from .coordinator import Coordinator
-from .protocol import FAIL, RESULT, SHUTDOWN, resolve_secret
+from .protocol import (
+    FAIL,
+    RESULT,
+    SHUTDOWN,
+    resolve_secret,
+    resolve_tls,
+    server_tls_context,
+)
 
 __all__ = ["ClusterBackend"]
 
@@ -63,6 +70,12 @@ class ClusterBackend:
         value (``--secret`` / ``REPRO_CLUSTER_SECRET``).  Defaults to
         the coordinator process's own ``REPRO_CLUSTER_SECRET``; an
         empty value disables authentication.
+    tls_cert, tls_key, tls_ca:
+        Serve the coordinator over TLS with this certificate/key pair
+        (defaults: ``REPRO_TLS_CERT``/``REPRO_TLS_KEY``); workers then
+        connect with ``--tls-ca`` naming the matching trust root.
+        *tls_ca* additionally demands client certificates (mutual
+        TLS).  Unset serves cleartext, the default.
 
     Notes
     -----
@@ -82,6 +95,9 @@ class ClusterBackend:
         disk_cache_dir: str | os.PathLike | None = None,
         max_shard_requeues: int = 3,
         secret: str | None = None,
+        tls_cert: str | None = None,
+        tls_key: str | None = None,
+        tls_ca: str | None = None,
     ):
         if target_shards < 1:
             raise ValueError(
@@ -90,6 +106,10 @@ class ClusterBackend:
         self.target_shards = int(target_shards)
         cache_dir = resolve_cache_dir(disk_cache_dir)
         self.disk_cache_dir = None if cache_dir is None else str(cache_dir)
+        tls_cert, tls_key, tls_ca = resolve_tls(tls_cert, tls_key, tls_ca)
+        ssl_context = (
+            server_tls_context(tls_cert, tls_key, tls_ca) if tls_cert else None
+        )
         self._closed = False
         self._lifecycle_lock = threading.Lock()
         self._loop = asyncio.new_event_loop()
@@ -106,6 +126,7 @@ class ClusterBackend:
             cache_dir=self.disk_cache_dir,
             max_shard_requeues=max_shard_requeues,
             secret=resolve_secret(secret),
+            ssl_context=ssl_context,
         )
         try:
             self._run(self._coordinator.start())

@@ -9,13 +9,33 @@ ones and a heterogeneous cluster stays busy without any static
 partitioning.
 
 Work is organised in *jobs*: one :meth:`submit` call queues one job's
-shards and assigns it an id, a priority and a status record.  The shard
-queue is ordered by ``(priority desc, submission order, shard order)``
-— a higher-priority job's shards are handed out before a lower-priority
-job's remaining shards, jobs of equal priority drain FIFO, and within a
-job shards keep their submission order.  Many jobs may be in flight at
-once; they share the worker pool but fail, finish and cancel
-independently.
+shards and assigns it an id, a priority, a *tenant* (the submitting
+client's identity, for fair-share accounting) and a status record.
+Shards dispatch by ``(priority desc, fair share, submission order)``:
+a higher-priority job's shards are handed out before a lower-priority
+job's remaining shards; *within* a priority level the next shard comes
+from the tenant with the smallest weighted deficit (``share``, bumped
+by ``1/weight`` per dispatched shard), so a tenant flooding the queue
+cannot starve the others — each dispatch round visits every tenant
+with queued work.  A tenant re-entering the queue has its deficit
+clamped up to the minimum among currently-queued tenants, so idle time
+banks no credit and newcomers wait at most one shard round.  Within
+one tenant, jobs of equal priority drain FIFO and shards keep their
+submission order; with a single tenant the schedule is exactly the
+pre-fair-share ``(priority desc, job FIFO, shard order)``.  Many jobs
+may be in flight at once; they share the worker pool but fail, finish
+and cancel independently.
+
+Per-tenant *admission control* is available to the hosting tier:
+:meth:`admission_error` answers whether a submission would exceed the
+configured bounds on unfinished jobs or queued shards per tenant (the
+service daemon turns a non-``None`` answer into a ``REJECTED`` reply).
+
+The pool is elastic: :meth:`drain_workers` marks workers as draining —
+each finishes its in-flight shards, is handed ``SHUTDOWN`` instead of
+a next shard, and exits cleanly (never killed mid-shard) — and
+:meth:`load_snapshot` exposes the queue-depth/busyness gauges an
+autoscaler (:mod:`repro.service.autoscale`) sizes the pool from.
 
 When a shared secret is configured the handshake adds an HMAC
 challenge–response leg (see :mod:`repro.engine.cluster.protocol`);
@@ -52,6 +72,7 @@ import asyncio
 import heapq
 import hmac
 import secrets
+import ssl
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -92,6 +113,37 @@ _AUTH_MISMATCH = (
 #: the cap only bites on peers that never read (already-dead sockets).
 _SHUTDOWN_GRACE = 2.0
 
+#: Default tenant identity of submissions that declare none (the
+#: cluster backend's own sweeps, legacy clients).
+DEFAULT_TENANT = "default"
+
+#: Idle tenant records kept before the oldest are evicted.  A tenant is
+#: evictable once it has nothing queued, nothing unfinished and no
+#: tracked history; the cap only bounds bookkeeping for daemons serving
+#: an unbounded population of one-shot clients.
+_TENANT_LIMIT = 1024
+
+
+@dataclass(eq=False)
+class _Tenant:
+    """Fair-share and quota accounting of one submitting client."""
+
+    name: str
+    seq: int
+    weight: float = 1.0
+    #: Weighted deficit: bumped by ``1/weight`` per dispatched shard;
+    #: the queued tenant with the smallest share dispatches next.
+    share: float = 0.0
+    queued: int = 0
+    active_jobs: int = 0
+    jobs_submitted: int = 0
+    shards_dispatched: int = 0
+    shards_completed: int = 0
+    rejected: int = 0
+    #: This tenant's entries in the finished-job history, oldest first
+    #: (bounds any one tenant's slice of the shared history).
+    history: OrderedDict[str, None] = field(default_factory=OrderedDict)
+
 
 @dataclass(eq=False)
 class _Job:
@@ -102,6 +154,7 @@ class _Job:
     priority: int = 0
     seq: int = 0
     label: str = ""
+    tenant: _Tenant | None = None
     pending: set[int] = field(default_factory=set)
     total: int = 0
     completed: int = 0
@@ -139,6 +192,10 @@ class _WorkerConn:
         self.gets: asyncio.Queue = asyncio.Queue()
         self.assigner: asyncio.Task | None = None
         self.dropped = False
+        #: Set by drain_workers: the next GET is answered with SHUTDOWN
+        #: instead of a shard, so the worker exits after finishing what
+        #: it already holds.
+        self.draining = False
 
 
 class Coordinator:
@@ -174,6 +231,25 @@ class Coordinator:
         challenge leg entirely.
     history_limit:
         Finished jobs kept for status queries (oldest evicted first).
+    ssl_context:
+        A server-side TLS context (:func:`~repro.engine.cluster.
+        protocol.server_tls_context`) wrapping every accepted
+        connection; ``None`` (the default) serves cleartext.
+    share_weights:
+        Per-tenant fair-share weights (``{"tenant": 2.0}``): a
+        weight-2 tenant dispatches two shards per round where a
+        weight-1 tenant dispatches one.  Unlisted tenants weigh 1.
+    max_client_jobs:
+        Admission bound on one tenant's simultaneously unfinished
+        jobs; ``0`` (the default) means unlimited.  Enforced by the
+        hosting tier through :meth:`admission_error`.
+    max_client_queued:
+        Admission bound on one tenant's queued shards (dispatched
+        shards do not count); ``0`` means unlimited.
+    client_history_limit:
+        Finished jobs any single tenant may occupy in the status
+        history, so one chatty client cannot evict everyone else's
+        records (capped by *history_limit* overall).
     """
 
     def __init__(
@@ -186,6 +262,11 @@ class Coordinator:
         max_shard_requeues: int = 3,
         secret: str | None = None,
         history_limit: int = 256,
+        ssl_context: ssl.SSLContext | None = None,
+        share_weights: dict[str, float] | None = None,
+        max_client_jobs: int = 0,
+        max_client_queued: int = 0,
+        client_history_limit: int = 64,
     ):
         if heartbeat_timeout <= 0:
             raise ValueError(
@@ -199,6 +280,20 @@ class Coordinator:
             raise ValueError(
                 f"history_limit must be >= 0, got {history_limit}",
             )
+        if max_client_jobs < 0 or max_client_queued < 0:
+            raise ValueError(
+                "max_client_jobs/max_client_queued must be >= 0, got "
+                f"{max_client_jobs}/{max_client_queued}",
+            )
+        if client_history_limit < 1:
+            raise ValueError(
+                f"client_history_limit must be >= 1, got {client_history_limit}",
+            )
+        for name, weight in (share_weights or {}).items():
+            if not weight > 0:
+                raise ValueError(
+                    f"share weight of tenant {name!r} must be > 0, got {weight}",
+                )
         self._host = host
         self._port = port
         self._heartbeat_timeout = float(heartbeat_timeout)
@@ -206,11 +301,22 @@ class Coordinator:
         self._max_shard_requeues = int(max_shard_requeues)
         self._secret = secret or None
         self._history_limit = int(history_limit)
-        # Heap of (-priority, job seq, shard id, shard): highest priority
-        # first, then job submission order, then shard submission order.
-        # Requeued shards re-enter under their original key, which sorts
-        # them ahead of their job's not-yet-started shards.
-        self._queue: list[tuple[int, int, int, _Shard]] = []
+        self._ssl_context = ssl_context
+        self._share_weights = dict(share_weights or {})
+        self._max_client_jobs = int(max_client_jobs)
+        self._max_client_queued = int(max_client_queued)
+        self._client_history_limit = int(client_history_limit)
+        # The shard queue: priority level -> tenant name -> heap of
+        # (job seq, shard id, shard).  Dispatch picks the highest
+        # level, then the queued tenant with the smallest share (ties
+        # by tenant seq), then that tenant's heap order — job FIFO,
+        # shard submission order.  Requeued shards re-enter under
+        # their original key, which sorts them ahead of their job's
+        # not-yet-started shards.
+        self._levels: dict[int, dict[str, list[tuple[int, int, _Shard]]]] = {}
+        self._queued = 0
+        self._tenants: dict[str, _Tenant] = {}
+        self._next_tenant_seq = 0
         self._cond: asyncio.Condition = asyncio.Condition()
         self._workers: set[_WorkerConn] = set()
         self._jobs: dict[str, _Job] = {}
@@ -221,6 +327,9 @@ class Coordinator:
         self._next_job_seq = 0
         self._closing = False
         self._address: tuple[str, int] | None = None
+        #: Set by the hosting service daemon when an autoscaler is
+        #: attached; folded into :meth:`service_snapshot` pool gauges.
+        self.autoscaler = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -228,7 +337,10 @@ class Coordinator:
     async def start(self) -> None:
         """Bind the server and start the heartbeat reaper."""
         self._server = await asyncio.start_server(
-            self._handle_connection, self._host or None, self._port,
+            self._handle_connection,
+            self._host or None,
+            self._port,
+            ssl=self._ssl_context,
         )
         sockname = self._server.sockets[0].getsockname()
         self._address = (sockname[0], sockname[1])
@@ -257,7 +369,10 @@ class Coordinator:
         for conn in list(self._workers):
             try:
                 await write_message(conn.writer, (SHUTDOWN,))
-                conn.writer.write_eof()
+                if conn.writer.can_write_eof():
+                    # TLS transports have no half-close; the SHUTDOWN
+                    # message alone tells those workers to hang up.
+                    conn.writer.write_eof()
             except (ConnectionError, OSError, RuntimeError):
                 await self._drop(conn, requeue=False)
         # Let each worker read the SHUTDOWN and hang up itself.  Closing
@@ -275,6 +390,13 @@ class Coordinator:
             await asyncio.sleep(0.01)
         for conn in list(self._workers):
             await self._drop(conn, requeue=False)
+        # Withdraw everything still queued (jobs submitted after the
+        # last worker finished, or never dispatched at all) before
+        # failing the jobs, so per-tenant gauges end at zero.
+        self._levels.clear()
+        self._queued = 0
+        for tenant in self._tenants.values():
+            tenant.queued = 0
         for job in list(self._jobs.values()):
             job.failed = job.failed or "coordinator closed"
             self._finish_job(job)
@@ -290,6 +412,7 @@ class Coordinator:
         *,
         priority: int = 0,
         label: str = "",
+        tenant: str = "",
     ) -> tuple[_Job, list[int]]:
         """Queue one job of shards; results stream into *results*.
 
@@ -299,16 +422,22 @@ class Coordinator:
         payload)`` tuples; a worker-crashed shard as ``(FAIL, shard_id,
         message)``; a cancellation as ``(CANCEL, None, None)``;
         coordinator shutdown as ``(SHUTDOWN, None, None)``.  Larger
-        *priority* values are scheduled first.
+        *priority* values are scheduled first; *tenant* names the
+        submitting client for fair-share accounting (unnamed
+        submissions share the default tenant).
         """
         if self._closing:
             raise RuntimeError("coordinator is closed")
+        owner = self._tenant(tenant)
+        owner.jobs_submitted += 1
+        owner.active_jobs += 1
         job = _Job(
             id=f"job-{self._next_job_seq:06d}",
             results=results,
             priority=int(priority),
             seq=self._next_job_seq,
             label=label,
+            tenant=owner,
             submitted_at=time.time(),
             enqueued_at=asyncio.get_running_loop().time(),
         )
@@ -339,10 +468,7 @@ class Coordinator:
             return
         job.cancelled = True
         async with self._cond:
-            survivors = [e for e in self._queue if e[3].job is not job]
-            if len(survivors) != len(self._queue):
-                self._queue = survivors
-                heapq.heapify(self._queue)
+            self._discard_queued(job)
         self._finish_job(job)
         job.results.put_nowait((CANCEL, None, None))
 
@@ -368,6 +494,65 @@ class Coordinator:
             records = [r for r in records if r["job"] == job_id]
         return records
 
+    def load_snapshot(self) -> dict:
+        """Worker-pool and queue gauges, as one flat dict.
+
+        Keys: ``workers`` (connected), ``busy`` (with shards in
+        flight), ``draining``, ``queued_shards``, ``inflight_shards``
+        and ``live_jobs``.  This is the signal seam the autoscaler
+        polls; it is also folded into the ``pool`` section of
+        :meth:`service_snapshot`, so an external monitor sees the same
+        numbers through STATUS.
+        """
+        workers = list(self._workers)
+        return {
+            "workers": len(workers),
+            "busy": sum(1 for conn in workers if conn.inflight),
+            "draining": sum(1 for conn in workers if conn.draining),
+            "queued_shards": self._queued,
+            "inflight_shards": sum(len(conn.inflight) for conn in workers),
+            "live_jobs": len(self._jobs),
+        }
+
+    def clients_snapshot(self) -> list[dict]:
+        """Per-tenant share/quota counters, in first-seen order.
+
+        One record per tenant that ever submitted (or was rejected):
+        ``client``, ``weight``, ``share`` (the weighted deficit),
+        ``queued_shards``, ``active_jobs``, ``jobs_submitted``,
+        ``shards_dispatched``, ``shards_completed``, ``rejected``.
+        """
+        return [
+            {
+                "client": tenant.name,
+                "weight": tenant.weight,
+                "share": round(tenant.share, 6),
+                "queued_shards": tenant.queued,
+                "active_jobs": tenant.active_jobs,
+                "jobs_submitted": tenant.jobs_submitted,
+                "shards_dispatched": tenant.shards_dispatched,
+                "shards_completed": tenant.shards_completed,
+                "rejected": tenant.rejected,
+            }
+            for tenant in sorted(self._tenants.values(), key=lambda t: t.seq)
+        ]
+
+    def service_snapshot(self, job_id: str | None = None) -> dict:
+        """The full STATUS document: jobs, clients and pool gauges.
+
+        ``{"jobs": jobs_snapshot(job_id), "clients":
+        clients_snapshot(), "pool": load_snapshot() + autoscaler
+        stats}`` — what a v5 daemon sends in ``STATUS_REPLY``.
+        """
+        pool = self.load_snapshot()
+        if self.autoscaler is not None:
+            pool.update(self.autoscaler.stats())
+        return {
+            "jobs": self.jobs_snapshot(job_id),
+            "clients": self.clients_snapshot(),
+            "pool": pool,
+        }
+
     async def wait_for_workers(self, count: int, timeout: float | None = None) -> None:
         """Block until *count* workers are connected.
 
@@ -380,6 +565,29 @@ class Coordinator:
 
         await asyncio.wait_for(enough(), timeout)
 
+    async def drain_workers(self, count: int) -> int:
+        """Mark up to *count* workers for draining; the number marked.
+
+        Draining is the graceful half of scale-down: a marked worker
+        finishes the shards it already holds, then its next ``GET`` is
+        answered with ``SHUTDOWN`` instead of a shard and it exits
+        cleanly (exit code 0, no reconnect) — work in flight is never
+        killed.  Idle workers are marked first so a busy pool sheds
+        its spare capacity ahead of its throughput.
+        """
+        marked = 0
+        async with self._cond:
+            candidates = sorted(
+                (conn for conn in self._workers if not conn.draining),
+                key=lambda conn: len(conn.inflight),
+            )
+            for conn in candidates[: max(0, count)]:
+                conn.draining = True
+                marked += 1
+            if marked:
+                self._cond.notify_all()
+        return marked
+
     # ------------------------------------------------------------------
     # Job bookkeeping
     # ------------------------------------------------------------------
@@ -391,10 +599,143 @@ class Coordinator:
         self._next_shard_id += 1
         return sid
 
+    def _tenant(self, name: str) -> _Tenant:
+        """The accounting record of *name* (created on first use)."""
+        name = name or DEFAULT_TENANT
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            if len(self._tenants) >= _TENANT_LIMIT:
+                self._evict_tenants()
+            tenant = _Tenant(
+                name=name,
+                seq=self._next_tenant_seq,
+                weight=float(self._share_weights.get(name, 1.0)),
+            )
+            self._next_tenant_seq += 1
+            self._tenants[name] = tenant
+        return tenant
+
+    def _evict_tenants(self) -> None:
+        """Drop the oldest fully idle tenant records (bookkeeping cap)."""
+        idle = [
+            t
+            for t in self._tenants.values()
+            if not t.queued and not t.active_jobs and not t.history
+        ]
+        idle.sort(key=lambda t: t.seq)
+        for tenant in idle[: max(1, len(idle) // 2)]:
+            del self._tenants[tenant.name]
+
+    def admission_error(self, tenant_name: str, shard_count: int) -> str | None:
+        """Why a *shard_count*-shard submission by *tenant_name* must be
+        refused under the per-client quotas, or ``None`` to admit it.
+
+        The hosting tier (service daemon) answers a non-``None`` reason
+        with a ``REJECTED`` reply; the base coordinator never refuses
+        its own backend's submissions.
+        """
+        if not self._max_client_jobs and not self._max_client_queued:
+            return None
+        tenant = self._tenant(tenant_name)
+        if self._max_client_jobs and tenant.active_jobs >= self._max_client_jobs:
+            return (
+                f"client {tenant.name!r} already has {tenant.active_jobs} "
+                f"unfinished job(s) (limit {self._max_client_jobs}); wait "
+                f"for one to finish or cancel it"
+            )
+        if (
+            self._max_client_queued
+            and tenant.queued + shard_count > self._max_client_queued
+        ):
+            return (
+                f"client {tenant.name!r} would have "
+                f"{tenant.queued + shard_count} queued shard(s) "
+                f"(limit {self._max_client_queued}); submit smaller jobs "
+                f"or wait for queued work to dispatch"
+            )
+        return None
+
+    def note_rejection(self, tenant_name: str) -> None:
+        """Count one refused submission against *tenant_name*."""
+        self._tenant(tenant_name).rejected += 1
+
     def _push(self, shard: _Shard) -> None:
-        heapq.heappush(
-            self._queue, (-shard.job.priority, shard.job.seq, shard.id, shard)
+        """Queue one shard under its job's priority level and tenant.
+
+        Must run under ``self._cond``.  A tenant entering the queued
+        set has its share clamped up to the minimum among tenants
+        already queued: being idle banks no scheduling credit, so a
+        returning (or brand-new) tenant is served next round without
+        first starving everyone who kept the pool busy meanwhile.
+        """
+        job = shard.job
+        tenant = job.tenant
+        level = self._levels.setdefault(job.priority, {})
+        heap = level.get(tenant.name)
+        if heap is None:
+            heap = level[tenant.name] = []
+        if not tenant.queued:
+            floor = min(
+                (t.share for t in self._tenants.values() if t.queued),
+                default=0.0,
+            )
+            tenant.share = max(tenant.share, floor)
+        heapq.heappush(heap, (job.seq, shard.id, shard))
+        tenant.queued += 1
+        self._queued += 1
+
+    def _pop_shard(self) -> _Shard | None:
+        """Dequeue the next shard to dispatch (``None`` when empty).
+
+        Must run under ``self._cond``.  Highest priority level first;
+        within it, the queued tenant with the smallest ``(share,
+        seq)``; within the tenant, heap order (job FIFO, shard
+        submission order).  The winner's share grows by ``1/weight``,
+        which is the whole deficit-round-robin scheduler.
+        """
+        if not self._queued:
+            return None
+        priority = max(self._levels)
+        level = self._levels[priority]
+        name = min(
+            level,
+            key=lambda n: (self._tenants[n].share, self._tenants[n].seq),
         )
+        heap = level[name]
+        _, _, shard = heapq.heappop(heap)
+        if not heap:
+            del level[name]
+            if not level:
+                del self._levels[priority]
+        tenant = self._tenants[name]
+        tenant.queued -= 1
+        tenant.share += 1.0 / tenant.weight
+        tenant.shards_dispatched += 1
+        self._queued -= 1
+        return shard
+
+    def _discard_queued(self, job: _Job) -> None:
+        """Remove a job's still-queued shards (cancellation path).
+
+        Must run under ``self._cond``.
+        """
+        level = self._levels.get(job.priority)
+        heap = None if level is None else level.get(job.tenant.name)
+        if not heap:
+            return
+        survivors = [entry for entry in heap if entry[2].job is not job]
+        removed = len(heap) - len(survivors)
+        if not removed:
+            return
+        heapq.heapify(survivors)
+        if survivors:
+            level[job.tenant.name] = survivors
+        else:
+            del level[job.tenant.name]
+            if not level:
+                del self._levels[job.priority]
+        job.tenant.queued -= removed
+        self._queued -= removed
 
     def _job_record(self, job: _Job) -> dict:
         if job.failed is not None:
@@ -419,6 +760,7 @@ class Coordinator:
             "job": job.id,
             "state": state,
             "priority": job.priority,
+            "client": None if job.tenant is None else job.tenant.name,
             "label": job.label,
             "shards": job.total,
             "completed": job.completed,
@@ -435,10 +777,22 @@ class Coordinator:
             job.finished_at = asyncio.get_running_loop().time()
         except RuntimeError:  # pragma: no cover - off-loop teardown
             job.finished_at = job.enqueued_at
+        tenant = job.tenant
+        if tenant is not None:
+            tenant.active_jobs = max(0, tenant.active_jobs - 1)
         if self._history_limit:
             self._history[job.id] = self._job_record(job)
             while len(self._history) > self._history_limit:
-                self._history.popitem(last=False)
+                evicted, _ = self._history.popitem(last=False)
+                for t in self._tenants.values():
+                    t.history.pop(evicted, None)
+            if tenant is not None:
+                # Bound any single tenant's slice of the history, so a
+                # flooding client cannot evict everyone else's records.
+                tenant.history[job.id] = None
+                while len(tenant.history) > self._client_history_limit:
+                    oldest, _ = tenant.history.popitem(last=False)
+                    self._history.pop(oldest, None)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -620,7 +974,13 @@ class Coordinator:
         try:
             while True:
                 await conn.gets.get()
-                shard = await self._next_shard()
+                shard = await self._next_shard(conn)
+                if shard is None:
+                    # Draining: the worker just finished everything it
+                    # held, so SHUTDOWN lets it exit cleanly (code 0,
+                    # no reconnect) instead of killing work mid-shard.
+                    await write_message(conn.writer, (SHUTDOWN,))
+                    return
                 # No await between dequeue and registration: a
                 # cancellation cannot orphan the shard.
                 conn.inflight[shard.id] = shard
@@ -634,11 +994,13 @@ class Coordinator:
             # we just failed to send).
             conn.writer.close()
 
-    async def _next_shard(self) -> _Shard:
+    async def _next_shard(self, conn: _WorkerConn) -> _Shard | None:
+        """The next shard for *conn*, or ``None`` once it is draining."""
         async with self._cond:
-            while not self._queue:
-                await self._cond.wait()
-            return heapq.heappop(self._queue)[3]
+            await self._cond.wait_for(lambda: self._queued or conn.draining)
+            if conn.draining:
+                return None
+            return self._pop_shard()
 
     def _complete(self, conn: _WorkerConn, shard_id: int, payload: list) -> None:
         shard = conn.inflight.pop(shard_id, None)
@@ -649,6 +1011,8 @@ class Coordinator:
             return  # duplicate completion after a requeue
         job.pending.discard(shard.id)
         job.completed += 1
+        if job.tenant is not None:
+            job.tenant.shards_completed += 1
         if not job.pending:
             self._finish_job(job)
         job.results.put_nowait((RESULT, shard_id, payload))

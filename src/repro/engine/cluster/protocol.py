@@ -48,6 +48,20 @@ answered with ``(CHALLENGE, nonce)`` and the peer must reply
 missing or mismatched digest is rejected with a clear message.  The
 secret authenticates, it does not encrypt.
 
+For encryption the transport can run over TLS: the coordinator loads a
+certificate/key pair (``--tls-cert``/``--tls-key``) and peers wrap
+their sockets against a trust root (``--tls-ca`` — for a self-signed
+deployment, the coordinator's own certificate).  The frame layout is
+unchanged; TLS wraps the byte stream underneath it, and cleartext
+remains the default.  Client-side contexts verify the server
+certificate against the CA but skip hostname checks (lab deployments
+address coordinators by IP; the private CA *is* the identity), and a
+peer certificate/key pair can be loaded for mutual TLS when the server
+context is built with a CA of its own.  The ``REPRO_TLS_CERT`` /
+``REPRO_TLS_KEY`` / ``REPRO_TLS_CA`` environment variables supply
+defaults wherever the flags are accepted, so spec strings like
+``--backend service:host:port`` work over TLS unchanged.
+
 Security note: like ``multiprocessing`` pipes, the protocol
 deserializes pickled data from its peers.  Bind coordinators on trusted
 networks only (e.g. a cluster's private interconnect, or localhost
@@ -87,6 +101,9 @@ Client message set (client ``->`` service daemon unless noted; see
                 options carry ``priority`` (int, larger is more
                 urgent) and ``label`` (str, for status listings)
 ``SUBMITTED``   daemon: ``(SUBMITTED, job_id, [shard_id, ...])``
+``REJECTED``    daemon: ``(REJECTED, reason: str)`` — the submission
+                was refused by admission control (per-client quota);
+                the session stays open for further messages
 ``JOB_RESULT``  daemon: ``(JOB_RESULT, job_id, shard_id, payload)``
 ``JOB_FAIL``    daemon: ``(JOB_FAIL, job_id, shard_id, message)`` —
                 the job failed; its remaining shards are withdrawn
@@ -94,7 +111,10 @@ Client message set (client ``->`` service daemon unless noted; see
 ``JOB_CANCELLED`` daemon: ``(JOB_CANCELLED, job_id)`` — cancelled (by
                 this client or any other connection)
 ``STATUS``      ``(STATUS, job_id | None)`` — one job, or all jobs
-``STATUS_REPLY`` daemon: ``(STATUS_REPLY, [record: dict, ...])``
+``STATUS_REPLY`` daemon: ``(STATUS_REPLY, {"jobs": [...], "clients":
+                [...], "pool": {...}})`` — job records plus per-client
+                share/quota counters and worker-pool gauges (v5;
+                earlier daemons answered a bare job-record list)
 ``CANCEL``      ``(CANCEL, job_id)``
 ``CANCEL_REPLY`` daemon: ``(CANCEL_REPLY, job_id, ok: bool)``
 =============== =====================================================
@@ -108,6 +128,7 @@ import hmac
 import os
 import pickle
 import socket
+import ssl
 import struct
 import time
 
@@ -117,6 +138,9 @@ __all__ = [
     "MAGIC",
     "MAX_FRAME_BYTES",
     "SECRET_ENV",
+    "TLS_CERT_ENV",
+    "TLS_KEY_ENV",
+    "TLS_CA_ENV",
     "HELLO",
     "CHALLENGE",
     "AUTH",
@@ -130,6 +154,7 @@ __all__ = [
     "SHUTDOWN",
     "SUBMIT",
     "SUBMITTED",
+    "REJECTED",
     "JOB_RESULT",
     "JOB_FAIL",
     "JOB_DONE",
@@ -145,6 +170,9 @@ __all__ = [
     "hello",
     "auth_digest",
     "resolve_secret",
+    "resolve_tls",
+    "server_tls_context",
+    "client_tls_context",
     "connect_with_retry",
     "enable_keepalive",
     "send_message",
@@ -162,7 +190,11 @@ __all__ = [
 #: v4: zero-copy array transport — payloads carrying NumPy arrays use
 #: the segmented npy-framed layout (raw buffer segments after the
 #: pickled header) — and the pinned ``pickle`` protocol in HELLO info.
-PROTOCOL_VERSION = 4
+#: v5: multi-tenant service tier — ``REJECTED`` admission replies,
+#: ``STATUS_REPLY`` carries a ``{"jobs", "clients", "pool"}`` document
+#: instead of a bare record list, and client HELLO info may carry a
+#: ``tenant`` identity for fair-share accounting.
+PROTOCOL_VERSION = 5
 
 #: The pickle protocol of every frame.  Pinned (rather than
 #: ``pickle.HIGHEST_PROTOCOL``) so coordinators and workers on different
@@ -172,6 +204,12 @@ WIRE_PICKLE_PROTOCOL = 5
 
 #: Environment variable naming the default shared cluster secret.
 SECRET_ENV = "REPRO_CLUSTER_SECRET"
+
+#: Environment fallbacks for the TLS flags, so backend spec strings
+#: (``--backend service:host:port``) work over TLS without new syntax.
+TLS_CERT_ENV = "REPRO_TLS_CERT"
+TLS_KEY_ENV = "REPRO_TLS_KEY"
+TLS_CA_ENV = "REPRO_TLS_CA"
 
 #: Sanity marker refusing non-cluster clients early.
 MAGIC = "repro-cluster"
@@ -193,6 +231,7 @@ PING = "ping"
 SHUTDOWN = "shutdown"
 SUBMIT = "submit"
 SUBMITTED = "submitted"
+REJECTED = "rejected_submit"
 JOB_RESULT = "job_result"
 JOB_FAIL = "job_fail"
 JOB_DONE = "job_done"
@@ -335,6 +374,73 @@ def resolve_secret(spec: str | None) -> str | None:
     return spec or None
 
 
+def resolve_tls(
+    cert: str | None = None,
+    key: str | None = None,
+    ca: str | None = None,
+) -> tuple[str | None, str | None, str | None]:
+    """Effective ``(cert, key, ca)`` paths after environment fallbacks.
+
+    Explicit values win; unset ones fall back to ``REPRO_TLS_CERT`` /
+    ``REPRO_TLS_KEY`` / ``REPRO_TLS_CA``.  Empty strings (flag or
+    variable) mean "off" for that slot, mirroring the secret handling.
+    """
+    if cert is None:
+        cert = os.environ.get(TLS_CERT_ENV)
+    if key is None:
+        key = os.environ.get(TLS_KEY_ENV)
+    if ca is None:
+        ca = os.environ.get(TLS_CA_ENV)
+    return cert or None, key or None, ca or None
+
+
+def server_tls_context(
+    cert: str, key: str | None = None, ca: str | None = None
+) -> ssl.SSLContext:
+    """A coordinator-side TLS context serving *cert*.
+
+    *key* may be ``None`` when the certificate file also contains the
+    private key.  Passing *ca* turns on mutual TLS: connecting peers
+    must then present a certificate signed by it.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    context.load_cert_chain(cert, key)
+    if ca:
+        context.load_verify_locations(ca)
+        context.verify_mode = ssl.CERT_REQUIRED
+    return context
+
+
+def client_tls_context(
+    ca: str | None = None,
+    cert: str | None = None,
+    key: str | None = None,
+) -> ssl.SSLContext:
+    """A peer-side TLS context trusting *ca*.
+
+    The server certificate is verified against *ca* but hostname
+    checking is off: coordinators are routinely addressed by IP on a
+    private interconnect, and the private CA (typically the
+    coordinator's own self-signed certificate) is the identity.
+    Without a *ca* the channel is encrypted but the server is
+    unauthenticated — acceptable only alongside the shared-secret
+    handshake.  *cert*/*key* load a peer certificate for servers
+    running mutual TLS.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    context.check_hostname = False
+    if ca:
+        context.load_verify_locations(ca)
+        context.verify_mode = ssl.CERT_REQUIRED
+    else:
+        context.verify_mode = ssl.CERT_NONE
+    if cert:
+        context.load_cert_chain(cert, key)
+    return context
+
+
 def _decode_length(header: bytes) -> int:
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
@@ -355,17 +461,31 @@ def connect_with_retry(
     *,
     max_delay: float = 1.0,
     log=None,
+    ssl_context: ssl.SSLContext | None = None,
 ) -> socket.socket | None:
     """Keep trying to connect for *timeout* seconds, with capped
     exponential backoff (the coordinator may not be up yet when its
     peers launch first, or may be mid-restart).  ``None`` on timeout.
+
+    With *ssl_context* the socket is TLS-wrapped and handshaken before
+    being returned; a failed handshake is retried like a refused
+    connection (a daemon restarting with new certificates looks
+    exactly like one still binding).
     """
     deadline = time.monotonic() + timeout
     delay = 0.1
     while True:
+        sock = None
         try:
-            return socket.create_connection((host, port), timeout=max(timeout, 1.0))
-        except OSError as exc:
+            sock = socket.create_connection(
+                (host, port), timeout=max(timeout, 1.0)
+            )
+            if ssl_context is not None:
+                sock = ssl_context.wrap_socket(sock, server_hostname=host)
+            return sock
+        except (OSError, ssl.SSLError) as exc:
+            if sock is not None:
+                sock.close()
             if time.monotonic() >= deadline:
                 if log is not None:
                     log(f"cannot reach coordinator {host}:{port}: {exc}")

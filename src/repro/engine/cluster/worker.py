@@ -25,6 +25,11 @@ If the coordinator requires a shared secret, pass the same value via
 ``--secret`` or the ``REPRO_CLUSTER_SECRET`` environment variable; the
 worker answers the HMAC challenge during the handshake.
 
+If the coordinator serves TLS, pass ``--tls-ca`` with its trust root
+(for a self-signed deployment, the coordinator's own certificate; also
+``$REPRO_TLS_CA``); ``--tls-cert``/``--tls-key`` additionally load a
+worker certificate for mutual-TLS coordinators.
+
 Edge-cache resolution order: ``--cache-dir``, then ``REPRO_CACHE_DIR``,
 then the directory the coordinator advertises in ``WELCOME`` (useful
 when worker hosts share the coordinator's filesystem).
@@ -56,12 +61,14 @@ from .protocol import (
     WELCOME,
     ProtocolError,
     auth_digest,
+    client_tls_context,
     connect_with_retry,
     enable_keepalive,
     hello,
     parse_address,
     recv_message,
     resolve_secret,
+    resolve_tls,
     send_message,
 )
 
@@ -239,6 +246,9 @@ def run_worker(
     connect_timeout: float = 10.0,
     reconnect_timeout: float = 60.0,
     secret: str | None = None,
+    tls_ca: str | None = None,
+    tls_cert: str | None = None,
+    tls_key: str | None = None,
     log=print,
 ) -> int:
     """Serve one coordinator until it shuts the cluster down.
@@ -248,8 +258,10 @@ def run_worker(
     losing an *established* coordinator, the worker reconnects with
     capped exponential backoff for up to *reconnect_timeout* seconds
     (``0`` exits immediately, the pre-service behaviour); the budget
-    resets on every successful reconnect.  Returns a process exit code
-    (see the module docstring).
+    resets on every successful reconnect.  Any of *tls_ca* / *tls_cert*
+    / *tls_key* (or their ``REPRO_TLS_*`` environment fallbacks) turns
+    on TLS towards the coordinator.  Returns a process exit code (see
+    the module docstring).
     """
     # Imported here, not at module top: resolve_backend lazily imports
     # this package, and the worker is also run as a script via -m.
@@ -269,8 +281,16 @@ def run_worker(
     resolve_backend(backend_spec, shards=shards).close()
 
     secret = resolve_secret(secret)
+    tls_cert, tls_key, tls_ca = resolve_tls(tls_cert, tls_key, tls_ca)
+    ssl_context = (
+        client_tls_context(tls_ca, tls_cert, tls_key)
+        if tls_ca or tls_cert
+        else None
+    )
     host, port = parse_address(connect, default_host="127.0.0.1")
-    sock = connect_with_retry(host, port, connect_timeout, log=log)
+    sock = connect_with_retry(
+        host, port, connect_timeout, log=log, ssl_context=ssl_context
+    )
     if sock is None:
         return 1
     while True:
@@ -295,7 +315,12 @@ def run_worker(
             f"{reconnect_timeout:g}s"
         )
         sock = connect_with_retry(
-            host, port, reconnect_timeout, max_delay=5.0, log=log
+            host,
+            port,
+            reconnect_timeout,
+            max_delay=5.0,
+            log=log,
+            ssl_context=ssl_context,
         )
         if sock is None:
             return 1
@@ -348,6 +373,26 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="shared cluster secret (default: $REPRO_CLUSTER_SECRET)",
     )
+    parser.add_argument(
+        "--tls-ca",
+        default=None,
+        metavar="PEM",
+        help="trust root verifying the coordinator's TLS certificate "
+        "(default: $REPRO_TLS_CA); enables TLS",
+    )
+    parser.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help="worker certificate for mutual-TLS coordinators "
+        "(default: $REPRO_TLS_CERT)",
+    )
+    parser.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="private key of --tls-cert (default: $REPRO_TLS_KEY)",
+    )
     args = parser.parse_args(argv)
     try:
         return run_worker(
@@ -358,6 +403,9 @@ def main(argv: list[str] | None = None) -> int:
             connect_timeout=args.connect_timeout,
             reconnect_timeout=args.reconnect_timeout,
             secret=args.secret,
+            tls_ca=args.tls_ca,
+            tls_cert=args.tls_cert,
+            tls_key=args.tls_key,
         )
     except ValueError as exc:
         parser.error(str(exc))

@@ -400,7 +400,13 @@ def _serve(args, parser) -> int:
     except ValueError as exc:
         parser.error(str(exc))
     backend = ClusterBackend(
-        host, port, disk_cache_dir=args.cache_dir, secret=args.secret
+        host,
+        port,
+        disk_cache_dir=args.cache_dir,
+        secret=args.secret,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
+        tls_ca=args.tls_ca,
     )
     try:
         print(
@@ -465,6 +471,7 @@ _STATUS_COLUMNS = [
     "job",
     "state",
     "priority",
+    "client",
     "shards",
     "completed",
     "label",
@@ -481,14 +488,41 @@ def _serve_jobs(args, parser) -> int:
         host, port = parse_address(args.bind, default_host="")
     except ValueError as exc:
         parser.error(str(exc))
+    autoscale = {}
+    if args.autoscale:
+        autoscale = dict(
+            min_workers=max(0, args.min_workers),
+            max_workers=args.max_workers or 4,
+            spawn_command=args.spawn_command,
+            worker_backend=args.backend,
+            idle_grace=args.idle_grace,
+        )
+    elif args.max_workers or args.spawn_command:
+        parser.error("--max-workers/--spawn-command require --autoscale")
     daemon = ServiceDaemon(
-        host, port, secret=args.secret, disk_cache_dir=args.cache_dir
+        host,
+        port,
+        secret=args.secret,
+        disk_cache_dir=args.cache_dir,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
+        tls_ca=args.tls_ca,
+        max_client_jobs=args.max_client_jobs,
+        max_client_queued=args.max_client_queued,
+        **autoscale,
     )
     try:
         print(
             f"service daemon listening on {daemon.host}:{daemon.port}",
             flush=True,
         )
+        if args.autoscale:
+            print(
+                f"  autoscaling {autoscale['min_workers']}.."
+                f"{autoscale['max_workers']} worker(s) "
+                f"({'exec' if args.spawn_command else 'local'} spawner)",
+                flush=True,
+            )
         print(
             f"  workers: python -m repro.experiments work "
             f"--connect HOST:{daemon.port}",
@@ -532,7 +566,14 @@ def _submit(args, parser) -> int:
     except ValueError as exc:
         parser.error(str(exc))
     backend = ServiceBackend(
-        host, port, priority=args.priority, secret=args.secret
+        host,
+        port,
+        priority=args.priority,
+        secret=args.secret,
+        tenant=args.tenant or "",
+        tls_ca=args.tls_ca,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
     )
     try:
         if target == "sweep":
@@ -561,12 +602,26 @@ def _client(args, parser):
         host, port = parse_address(args.connect, default_host="127.0.0.1")
     except ValueError as exc:
         parser.error(str(exc))
-    return ServiceClient(host, port, secret=args.secret)
+    return ServiceClient(
+        host,
+        port,
+        secret=args.secret,
+        tenant=args.tenant or "",
+        tls_ca=args.tls_ca,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
+    )
 
 
 def _status(args, parser) -> int:
-    """List a standing service daemon's jobs."""
-    records = [dict(r) for r in _client(args, parser).status(args.job)]
+    """List a standing service daemon's jobs.
+
+    ``--format json`` emits the daemon's full STATUS document — job
+    records plus per-client fair-share/quota counters plus worker-pool
+    gauges; the table/CSV renderings keep to the job records.
+    """
+    doc = _client(args, parser).status_full(args.job)
+    records = [dict(r) for r in doc.get("jobs", [])]
     for record in records:
         stamp = record.pop("submitted_at", None)
         record["submitted"] = (
@@ -574,7 +629,12 @@ def _status(args, parser) -> int:
             if stamp is None
             else time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
         )
-    _emit_records(args, records, _STATUS_COLUMNS)
+    if args.format == "json":
+        _write_payload(
+            args, json.dumps({**doc, "jobs": records}, indent=2)
+        )
+    else:
+        _emit_records(args, records, _STATUS_COLUMNS)
     if args.job is not None and not records:
         print(f"no such job: {args.job}", file=sys.stderr)
         return 1
@@ -725,7 +785,86 @@ def main(argv: list[str] | None = None) -> int:
         "--min-workers",
         type=int,
         default=1,
-        help="serve: wait for this many workers before starting the sweep",
+        help="serve: wait for this many workers before starting the sweep; "
+        "serve-jobs --autoscale: worker-pool floor kept alive when idle",
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="serve-jobs: size the worker pool to the load, spawning "
+        "workers on demand and draining idle ones (see --min-workers/"
+        "--max-workers)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve-jobs --autoscale: worker-pool ceiling (default: 4)",
+    )
+    parser.add_argument(
+        "--spawn-command",
+        default=None,
+        metavar="TEMPLATE",
+        help="serve-jobs --autoscale: command run once per spawned worker "
+        "({host}/{port}/{address} placeholders) instead of local "
+        "subprocesses — the remote-host seam (ssh, batch schedulers)",
+    )
+    parser.add_argument(
+        "--idle-grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="serve-jobs --autoscale: idle seconds before excess workers "
+        "drain back to --min-workers (default: 5)",
+    )
+    parser.add_argument(
+        "--max-client-jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve-jobs: per-client admission quota on live jobs "
+        "(0 = unlimited); over-quota submissions are REJECTED",
+    )
+    parser.add_argument(
+        "--max-client-queued",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve-jobs: per-client admission quota on queued shards "
+        "(0 = unlimited)",
+    )
+    parser.add_argument(
+        "--tenant",
+        default=None,
+        metavar="NAME",
+        help="submit/status/cancel: fair-share identity declared to the "
+        "daemon; clients naming the same tenant share one accounting "
+        "bucket (default: the shared default tenant)",
+    )
+    parser.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PATH",
+        help="serve/serve-jobs: serve over TLS with this certificate "
+        "(default: $REPRO_TLS_CERT); submit/status/cancel: client "
+        "certificate for mutual TLS",
+    )
+    parser.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PATH",
+        help="private key of --tls-cert (default: $REPRO_TLS_KEY, or "
+        "inside the certificate file)",
+    )
+    parser.add_argument(
+        "--tls-ca",
+        default=None,
+        metavar="PATH",
+        help="work/submit/status/cancel: trust root the daemon's TLS "
+        "certificate must verify against (a self-signed daemon's own "
+        "certificate works; default: $REPRO_TLS_CA); serve/serve-jobs: "
+        "additionally demand client certificates signed by it",
     )
     parser.add_argument(
         "--connect",
@@ -814,6 +953,9 @@ def main(argv: list[str] | None = None) -> int:
                 connect_timeout=args.connect_timeout,
                 reconnect_timeout=args.reconnect_timeout,
                 secret=args.secret,
+                tls_ca=args.tls_ca,
+                tls_cert=args.tls_cert,
+                tls_key=args.tls_key,
             )
         except ValueError as exc:
             parser.error(str(exc))

@@ -30,7 +30,17 @@ Any driver, concurrently with any other::
 
 plus ``python -m repro.experiments submit/status/cancel`` for the CLI
 side.  Set ``REPRO_CLUSTER_SECRET`` (or pass ``--secret``) on daemon,
-workers and clients to require the HMAC handshake on every connection.
+workers and clients to require the HMAC handshake on every connection;
+pass ``--tls-cert/--tls-key`` (daemon) and ``--tls-ca`` (workers,
+clients) to run every connection over TLS.
+
+The tier is *elastic* and *multi-tenant*: with ``--autoscale`` the
+daemon hosts an :class:`Autoscaler` that spawns workers on demand
+between ``--min-workers`` and ``--max-workers`` and drains idle ones
+(scale-down finishes in-flight shards, never kills them); clients are
+fair-share *tenants* whose shards interleave by weighted deficit, so a
+flooding client cannot starve the rest; and per-client admission
+quotas answer over-quota submissions with a clean rejection.
 
 :class:`ServiceBackend` implements the standard
 :class:`~repro.engine.backends.Backend` protocol, so everything that
@@ -39,6 +49,7 @@ gains the service tier unchanged; :class:`ServiceClient` is the lower
 level job API (submit/status/cancel, streamed shard payloads).
 """
 
+from .autoscale import Autoscaler, ExecSpawner, LocalSpawner
 from .backend import ServiceBackend, parse_service_spec
 from .client import JobHandle, ServiceClient
 from .daemon import ServiceDaemon
@@ -48,5 +59,8 @@ __all__ = [
     "ServiceClient",
     "JobHandle",
     "ServiceDaemon",
+    "Autoscaler",
+    "LocalSpawner",
+    "ExecSpawner",
     "parse_service_spec",
 ]

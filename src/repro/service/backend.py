@@ -85,6 +85,13 @@ class ServiceBackend:
         ``REPRO_CLUSTER_SECRET``).
     connect_timeout:
         Seconds to wait for the daemon when opening a job connection.
+    tenant:
+        Fair-share/quota identity this backend's jobs are accounted
+        under (see :class:`~repro.service.client.ServiceClient`);
+        empty joins the shared default tenant.
+    tls_ca, tls_cert, tls_key:
+        TLS trust root (and optional client certificate, for mutual
+        TLS) for daemon connections; all unset connects cleartext.
     disk_cache_dir:
         Accepted for CLI parity with the other backends and unused:
         evaluation happens on the daemon's workers, which take their
@@ -102,6 +109,10 @@ class ServiceBackend:
         label: str | None = None,
         secret: str | None = None,
         connect_timeout: float = 10.0,
+        tenant: str = "",
+        tls_ca: str | None = None,
+        tls_cert: str | None = None,
+        tls_key: str | None = None,
         disk_cache_dir: str | os.PathLike | None = None,
     ):
         if target_shards < 1:
@@ -115,7 +126,14 @@ class ServiceBackend:
             label = f"{user}@{_socket.gethostname()}:{os.getpid()}"
         self.label = label
         self._client = ServiceClient(
-            host, port, secret=secret, connect_timeout=connect_timeout
+            host,
+            port,
+            secret=secret,
+            connect_timeout=connect_timeout,
+            tenant=tenant,
+            tls_ca=tls_ca,
+            tls_cert=tls_cert,
+            tls_key=tls_key,
         )
         self._closed = False
 

@@ -31,6 +31,7 @@ from ..engine.cluster.protocol import (
     JOB_RESULT,
     PING,
     REJECT,
+    REJECTED,
     SHUTDOWN,
     STATUS,
     STATUS_REPLY,
@@ -39,11 +40,13 @@ from ..engine.cluster.protocol import (
     WELCOME,
     ProtocolError,
     auth_digest,
+    client_tls_context,
     connect_with_retry,
     enable_keepalive,
     hello,
     recv_message,
     resolve_secret,
+    resolve_tls,
     send_message,
 )
 from ..exceptions import ServiceError
@@ -167,6 +170,16 @@ class ServiceClient:
         ``REPRO_CLUSTER_SECRET``; required when the daemon has one).
     connect_timeout:
         Seconds to wait for the TCP connect and each handshake reply.
+    tenant:
+        Fair-share/quota identity declared to the daemon; clients
+        naming the same tenant share one accounting bucket.  Empty
+        (the default) joins the shared default tenant.
+    tls_ca, tls_cert, tls_key:
+        Connect over TLS: *tls_ca* is the trust root the daemon's
+        certificate must verify against (for a self-signed daemon,
+        that certificate itself; default ``REPRO_TLS_CA``), and
+        *tls_cert*/*tls_key* present a client certificate when the
+        daemon demands mutual TLS.  All unset connects cleartext.
     """
 
     def __init__(
@@ -176,11 +189,22 @@ class ServiceClient:
         *,
         secret: str | None = None,
         connect_timeout: float = 10.0,
+        tenant: str = "",
+        tls_ca: str | None = None,
+        tls_cert: str | None = None,
+        tls_key: str | None = None,
     ):
         self.host = host or "127.0.0.1"
         self.port = int(port)
+        self.tenant = str(tenant or "")
         self._secret = resolve_secret(secret)
         self._connect_timeout = float(connect_timeout)
+        tls_cert, tls_key, tls_ca = resolve_tls(tls_cert, tls_key, tls_ca)
+        self._ssl_context = (
+            client_tls_context(tls_ca, tls_cert, tls_key)
+            if (tls_ca or tls_cert)
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Connection handshake
@@ -188,7 +212,12 @@ class ServiceClient:
     def _connect(self) -> tuple[socket.socket, dict]:
         # Retry with capped backoff for the whole budget: the daemon may
         # still be binding (scripted start-ups) or mid-restart.
-        sock = connect_with_retry(self.host, self.port, self._connect_timeout)
+        sock = connect_with_retry(
+            self.host,
+            self.port,
+            self._connect_timeout,
+            ssl_context=self._ssl_context,
+        )
         if sock is None:
             raise ServiceError(
                 f"cannot reach service daemon {self.host}:{self.port} "
@@ -205,6 +234,7 @@ class ServiceClient:
                         "role": "client",
                         "pid": os.getpid(),
                         "host": socket.gethostname(),
+                        "tenant": self.tenant,
                     }
                 ),
             )
@@ -280,6 +310,10 @@ class ServiceClient:
         request)`` list, exactly as the cluster tier shards them
         (:func:`~repro.engine.backends.instance_aligned_shards`).
         Larger *priority* values are scheduled ahead of smaller ones.
+
+        Raises :class:`~repro.exceptions.ServiceError` when the daemon
+        refuses the submission under this tenant's admission quota
+        (the message carries the daemon's reason).
         """
         sock, settings = self._connect()
         try:
@@ -295,6 +329,9 @@ class ServiceClient:
         except (ProtocolError, OSError) as exc:
             sock.close()
             raise ServiceError(f"job submission failed: {exc}") from None
+        if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == REJECTED:
+            sock.close()
+            raise ServiceError(f"submission rejected: {reply[1]}")
         if (
             reply is None
             or not isinstance(reply, tuple)
@@ -310,11 +347,28 @@ class ServiceClient:
         """Status records of the daemon's jobs (one, or all).
 
         Records carry ``job``, ``state``, ``priority``, ``label``,
-        ``shards``, ``completed`` and ``submitted_at``; an unknown
-        *job_id* yields an empty list.
+        ``client``, ``shards``, ``completed`` and ``submitted_at``; an
+        unknown *job_id* yields an empty list.  This is the ``jobs``
+        section of :meth:`status_full`.
+        """
+        doc = self.status_full(job_id)
+        jobs = doc.get("jobs", [])
+        return jobs if isinstance(jobs, list) else []
+
+    def status_full(self, job_id: str | None = None) -> dict:
+        """The daemon's full STATUS document.
+
+        ``{"jobs": [...], "clients": [...], "pool": {...}}`` — job
+        records, per-tenant fair-share/quota counters, and worker-pool
+        gauges (plus autoscaler counters when the daemon runs one).
+        A pre-v5 daemon answering with a bare job list is normalized
+        to ``{"jobs": [...]}``.
         """
         reply = self._roundtrip((STATUS, job_id), STATUS_REPLY)
-        return reply[1] if isinstance(reply[1], list) else []
+        doc = reply[1]
+        if isinstance(doc, dict):
+            return doc
+        return {"jobs": doc if isinstance(doc, list) else []}
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a live job; ``False`` when unknown or already finished."""

@@ -45,6 +45,19 @@ job (and into the store).  Cells with no stable content key — mapper
 pass through to workers untouched, so the daemon stays payload-agnostic
 where it cannot key.  Job STATUS records count *dispatched* shards
 only: a fully store-served job reports ``shards: 0``.
+
+The elastic multi-tenant tier
+-----------------------------
+Clients are *tenants* (the ``tenant`` field of their handshake, or the
+shared default): the queue dispatches by weighted fair share so one
+flooding tenant cannot starve the rest, per-client quotas
+(``max_client_jobs`` / ``max_client_queued``) answer over-quota
+submissions with ``REJECTED``, and ``STATUS`` returns the full service
+document — job records plus per-tenant counters plus worker-pool
+gauges.  With ``max_workers`` set, an embedded
+:class:`~repro.service.autoscale.Autoscaler` grows the pool on demand
+and drains it back when idle; with a TLS certificate configured, all
+of it — workers and clients alike — runs over TLS.
 """
 
 from __future__ import annotations
@@ -63,6 +76,7 @@ from ..engine.cluster.protocol import (
     JOB_FAIL,
     JOB_RESULT,
     PING,
+    REJECTED,
     RESULT,
     SHUTDOWN,
     STATUS,
@@ -73,6 +87,8 @@ from ..engine.cluster.protocol import (
     ProtocolError,
     read_message,
     resolve_secret,
+    resolve_tls,
+    server_tls_context,
     write_message,
 )
 from ..engine.diskcache import (
@@ -81,6 +97,7 @@ from ..engine.diskcache import (
     resolve_cache_dir,
     stable_digest,
 )
+from .autoscale import Autoscaler, ExecSpawner, LocalSpawner
 
 __all__ = ["ServiceDaemon"]
 
@@ -88,9 +105,11 @@ __all__ = ["ServiceDaemon"]
 class _ClientConn:
     """Daemon-side state of one connected client."""
 
-    def __init__(self, writer: asyncio.StreamWriter, name: str):
+    def __init__(self, writer: asyncio.StreamWriter, name: str,
+                 tenant: str = ""):
         self.writer = writer
         self.name = name
+        self.tenant = tenant
         self.task: asyncio.Task | None = None
         self.jobs: dict[str, tuple[object, asyncio.Task]] = {}
         # Session replies and job forwarders share one writer; without
@@ -153,12 +172,13 @@ class _Assembly:
     """
 
     def __init__(self, coord: "_JobCoordinator", client_queue: asyncio.Queue,
-                 *, priority: int, label: str):
+                 *, priority: int, label: str, tenant: str = ""):
         self.coord = coord
         self.client_queue = client_queue
         self.internal: asyncio.Queue = asyncio.Queue()
         self.priority = priority
         self.label = label
+        self.tenant = tenant
         self.shards: list[_PendingShard] = []
         self.dispatch_map: dict[int, tuple] = {}  # dispatched shard id -> plan
         self.raw_ids: dict[int, _PendingShard] = {}
@@ -297,6 +317,7 @@ class _Assembly:
             self.internal,
             priority=self.priority,
             label=f"{self.label}:rescue" if self.label else "rescue",
+            tenant=self.tenant,
         )
         self.jobs.append(job)
         self.dispatch_map[shard_ids[0]] = ("rescue", dict(key_by_index))
@@ -365,7 +386,7 @@ class _JobCoordinator(Coordinator):
 
     async def submit_job(
         self, payloads: list[list], results: asyncio.Queue,
-        *, priority: int = 0, label: str = "",
+        *, priority: int = 0, label: str = "", tenant: str = "",
     ):
         """Queue one client job, serving repeat cells from the result
         store and deduplicating identical in-flight cells across jobs.
@@ -377,9 +398,12 @@ class _JobCoordinator(Coordinator):
         """
         if self._result_store is None:
             return await self.submit(
-                payloads, results, priority=priority, label=label
+                payloads, results, priority=priority, label=label,
+                tenant=tenant,
             )
-        asm = _Assembly(self, results, priority=priority, label=label)
+        asm = _Assembly(
+            self, results, priority=priority, label=label, tenant=tenant
+        )
         # Everything up to the submit below runs without suspension, so
         # the store lookups, in-flight subscriptions and client-visible
         # shard ids are established atomically with respect to other
@@ -425,6 +449,7 @@ class _JobCoordinator(Coordinator):
             asm.internal,
             priority=priority,
             label=label,
+            tenant=tenant,
         )
         asm.jobs.append(job)
         asm.job_id = job.id
@@ -491,7 +516,7 @@ class _JobCoordinator(Coordinator):
         name: str,
         info: dict,
     ) -> None:
-        conn = _ClientConn(writer, name)
+        conn = _ClientConn(writer, name, str(info.get("tenant", "") or ""))
         conn.task = asyncio.current_task()
         self._clients.add(conn)
         try:
@@ -521,7 +546,7 @@ class _JobCoordinator(Coordinator):
                     await self._client_submit(conn, message[1], message[2])
                 elif kind == STATUS and len(message) == 2:
                     await self._send(
-                        conn, (STATUS_REPLY, self.jobs_snapshot(message[1]))
+                        conn, (STATUS_REPLY, self.service_snapshot(message[1]))
                     )
                 elif kind == CANCEL and len(message) == 2:
                     ok = await self._client_cancel(message[1])
@@ -547,12 +572,21 @@ class _JobCoordinator(Coordinator):
             isinstance(shard, list) for shard in payloads
         ):
             raise ProtocolError("SUBMIT payload must be a list of shard lists")
+        # Admission control: a client over its job/backlog quota gets a
+        # clean REJECTED (with the reason) instead of queue admission —
+        # its session stays open, and other tenants' work is untouched.
+        reason = self.admission_error(conn.tenant, len(payloads))
+        if reason is not None:
+            self.note_rejection(conn.tenant)
+            await self._send(conn, (REJECTED, reason))
+            return
         results: asyncio.Queue = asyncio.Queue()
         job, shard_ids = await self.submit_job(
             payloads,
             results,
             priority=int(options.get("priority", 0)),
             label=str(options.get("label", "") or ""),
+            tenant=conn.tenant,
         )
         # Registered before the SUBMITTED write: if the client is
         # already gone when the reply fails, the session's cleanup must
@@ -644,6 +678,45 @@ class ServiceDaemon:
         client (default: ``REPRO_CLUSTER_SECRET``; empty disables).
     history_limit:
         Finished jobs kept for :meth:`jobs` queries.
+    tls_cert, tls_key, tls_ca:
+        Serve workers and clients over TLS with this certificate/key
+        pair (defaults: ``REPRO_TLS_CERT``/``REPRO_TLS_KEY``); peers
+        connect with ``--tls-ca`` naming the matching trust root.
+        *tls_ca* additionally demands client certificates (mutual
+        TLS).  Unset serves cleartext, the default.
+    max_client_jobs, max_client_queued:
+        Per-client admission quotas: live jobs one tenant may hold and
+        shards it may have queued (``0`` means unlimited).  A
+        submission over quota is answered ``REJECTED`` with the
+        reason; nothing is queued.
+    share_weights:
+        Optional ``{tenant: weight}`` fair-share weights; unlisted
+        tenants weigh ``1.0``.  Dispatch order interleaves tenants by
+        weighted deficit, so a flooding client cannot starve others
+        regardless of submission volume.
+    min_workers, max_workers:
+        Worker-pool bounds for the embedded :class:`~repro.service.
+        autoscale.Autoscaler`.  ``max_workers=None`` (default)
+        disables autoscaling entirely — the pool is whatever attaches.
+        With a bound, the daemon spawns workers on demand (up to
+        ``max_workers``) and drains idle ones back to ``min_workers``.
+    spawner:
+        Where autoscaled workers come from; defaults to a
+        :class:`~repro.service.autoscale.LocalSpawner` launching
+        ``cluster.worker`` subprocesses on this host (inheriting the
+        daemon's secret and trust root), or an
+        :class:`~repro.service.autoscale.ExecSpawner` when
+        *spawn_command* is given.
+    spawn_command:
+        Command template (``{host}``/``{port}``/``{address}``
+        placeholders) run once per spawned worker — the remote-host
+        seam (``ssh``, batch submission, containers).
+    worker_backend:
+        Local backend spec (``resolve_backend`` syntax) for workers
+        the default spawner launches, e.g. ``"process:4"``.
+    idle_grace:
+        Seconds the pool must be fully idle before excess autoscaled
+        workers drain (finish their shards, then exit — never killed).
     """
 
     def __init__(
@@ -656,9 +729,26 @@ class ServiceDaemon:
         max_shard_requeues: int = 3,
         secret: str | None = None,
         history_limit: int = 256,
+        tls_cert: str | None = None,
+        tls_key: str | None = None,
+        tls_ca: str | None = None,
+        max_client_jobs: int = 0,
+        max_client_queued: int = 0,
+        share_weights: dict | None = None,
+        min_workers: int = 0,
+        max_workers: int | None = None,
+        spawner=None,
+        spawn_command: str | None = None,
+        worker_backend: str | None = None,
+        idle_grace: float = 5.0,
     ):
         cache_dir = resolve_cache_dir(disk_cache_dir)
         self.disk_cache_dir = None if cache_dir is None else str(cache_dir)
+        secret = resolve_secret(secret)
+        tls_cert, tls_key, tls_ca = resolve_tls(tls_cert, tls_key, tls_ca)
+        ssl_context = (
+            server_tls_context(tls_cert, tls_key, tls_ca) if tls_cert else None
+        )
         self._closed = False
         self._lifecycle_lock = threading.Lock()
         self._loop = asyncio.new_event_loop()
@@ -674,11 +764,41 @@ class ServiceDaemon:
             heartbeat_timeout=heartbeat_timeout,
             cache_dir=self.disk_cache_dir,
             max_shard_requeues=max_shard_requeues,
-            secret=resolve_secret(secret),
+            secret=secret,
             history_limit=history_limit,
+            ssl_context=ssl_context,
+            share_weights=share_weights,
+            max_client_jobs=max_client_jobs,
+            max_client_queued=max_client_queued,
         )
+        self._autoscaler = None
+        self._spawner = None
+        if max_workers is not None:
+            if spawner is None:
+                if spawn_command:
+                    spawner = ExecSpawner(spawn_command)
+                else:
+                    # Spawned workers must trust the daemon's own cert:
+                    # with a private CA that is tls_ca, self-signed it
+                    # is the certificate itself.
+                    spawner = LocalSpawner(
+                        backend_spec=worker_backend,
+                        secret=secret,
+                        tls_ca=(tls_ca or tls_cert) if tls_cert else None,
+                    )
+            self._spawner = spawner
+            self._autoscaler = Autoscaler(
+                self._coordinator,
+                spawner,
+                min_workers=min_workers,
+                max_workers=max_workers,
+                idle_grace=idle_grace,
+            )
+            self._coordinator.autoscaler = self._autoscaler
         try:
             self._run(self._coordinator.start())
+            if self._autoscaler is not None:
+                self._run(self._autoscaler.start())
         except BaseException:
             self._stop_loop()
             raise
@@ -727,6 +847,19 @@ class ServiceDaemon:
 
         return self._run(snapshot())
 
+    def status(self, job_id: str | None = None) -> dict:
+        """The full service STATUS document.
+
+        ``{"jobs": [...], "clients": [...], "pool": {...}}`` — job
+        records, per-tenant share/quota counters, and worker-pool
+        gauges (including autoscaler counters when one is running).
+        """
+
+        async def snapshot() -> dict:
+            return self._coordinator.service_snapshot(job_id)
+
+        return self._run(snapshot())
+
     def cancel_job(self, job_id: str) -> bool:
         """Cancel a live job; ``False`` when unknown or already finished."""
         return self._run(self._coordinator._client_cancel(job_id))
@@ -740,10 +873,19 @@ class ServiceDaemon:
             if self._closed:
                 return
             try:
+                # Autoscaler first: a tick racing the shutdown must not
+                # spawn into a closing coordinator.
+                if self._autoscaler is not None:
+                    self._run(self._autoscaler.aclose(), timeout=10.0)
                 self._run(self._coordinator.aclose(), timeout=30.0)
             finally:
                 self._closed = True
                 self._stop_loop()
+                if self._spawner is not None:
+                    # Workers were already told SHUTDOWN; this only
+                    # waits for their processes (and terminates any
+                    # launcher that ignored it).
+                    self._spawner.close()
 
     def __enter__(self) -> "ServiceDaemon":
         return self

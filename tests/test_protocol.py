@@ -1,4 +1,4 @@
-"""Tests of wire-format v4: zero-copy array segments + pinned pickle.
+"""Tests of the wire format: zero-copy array segments + pinned pickle.
 
 Version 4 splits array-carrying messages into a pickled header plus raw
 npy-framed segments (PEP 574 out-of-band buffers), so NumPy arrays cross
@@ -108,7 +108,7 @@ class TestSegmentedEncoding:
         payload = _payload(message)
         assert payload[0] == 0x80
         assert message[3]["pickle"] == WIRE_PICKLE_PROTOCOL
-        assert message[2] == PROTOCOL_VERSION == 4
+        assert message[2] == PROTOCOL_VERSION == 5
 
     def test_socket_roundtrip(self):
         """send_message/recv_message carry a segmented frame intact."""

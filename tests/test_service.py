@@ -677,10 +677,13 @@ class TestServiceCLI:
             ["status", "--connect", f"127.0.0.1:{service}", "--format", "json"]
         )
         assert code == 0
-        records = json.loads(capsys.readouterr().out)
+        doc = json.loads(capsys.readouterr().out)
         assert any(
-            r["state"] == "done" and r["priority"] == 2 for r in records
+            r["state"] == "done" and r["priority"] == 2 for r in doc["jobs"]
         )
+        # the full document carries the per-client and pool sections
+        assert doc["clients"] and doc["clients"][0]["jobs_submitted"] >= 1
+        assert doc["pool"]["workers"] >= 1
 
     def test_status_table_lists_columns(self, service, capsys):
         from repro.experiments.__main__ import main as experiments_main
