@@ -21,6 +21,8 @@ The library provides:
   experiment driver (:mod:`repro.engine`),
 * a standing sweep service — one daemon, persistent workers, many
   concurrent prioritised driver jobs (:mod:`repro.service`),
+* a portfolio search racing mapper candidates under a budget, with
+  early cancellation of dominated ones (:mod:`repro.search`),
 * drivers regenerating every figure and table of the evaluation
   (:mod:`repro.experiments`).
 
@@ -44,6 +46,7 @@ from .exceptions import (
     InvalidStencilError,
     MappingError,
     ReproError,
+    SearchError,
     ServiceError,
     SimulationError,
 )
@@ -135,8 +138,15 @@ from .sweep import (
     run,
     run_stream,
 )
+from . import search  # noqa: F401  - the `repro.search` namespace is public API
+from .search import (
+    CandidateAudit,
+    SearchResult,
+    SearchSpec,
+    run_search,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # exceptions
@@ -149,6 +159,7 @@ __all__ = [
     "SimulationError",
     "ClusterError",
     "ServiceError",
+    "SearchError",
     # grid
     "CartesianGrid",
     "Stencil",
@@ -229,5 +240,11 @@ __all__ = [
     "ResultSet",
     "run",
     "run_stream",
+    # search
+    "search",
+    "SearchSpec",
+    "SearchResult",
+    "CandidateAudit",
+    "run_search",
     "__version__",
 ]

@@ -169,6 +169,9 @@ class _Job:
     #: Event-loop (monotonic) time of enqueue / finish.
     enqueued_at: float = 0.0
     finished_at: float | None = None
+    #: Loop time of the first shard dispatch — the zero point of the
+    #: completion-rate/ETA estimate (queue wait is not compute time).
+    first_dispatch_at: float | None = None
 
 
 @dataclass(eq=False)
@@ -179,6 +182,8 @@ class _Shard:
     items: list
     job: _Job
     requeues: int = 0
+    #: Loop time of the latest (re-)enqueue; feeds the queue-age gauge.
+    enqueued_at: float = 0.0
 
 
 class _WorkerConn:
@@ -192,6 +197,10 @@ class _WorkerConn:
         self.gets: asyncio.Queue = asyncio.Queue()
         self.assigner: asyncio.Task | None = None
         self.dropped = False
+        #: Shards this connection completed — a worker that dies with
+        #: zero is an *early death* (crash-looping spawn command), the
+        #: signal the autoscaler's spawn backoff keys on.
+        self.completed = 0
         #: Set by drain_workers: the next GET is answered with SHUTDOWN
         #: instead of a shard, so the worker exits after finishing what
         #: it already holds.
@@ -327,6 +336,8 @@ class Coordinator:
         self._next_job_seq = 0
         self._closing = False
         self._address: tuple[str, int] | None = None
+        self._completed_total = 0
+        self._worker_early_deaths = 0
         #: Set by the hosting service daemon when an autoscaler is
         #: attached; folded into :meth:`service_snapshot` pool gauges.
         self.autoscaler = None
@@ -498,11 +509,16 @@ class Coordinator:
         """Worker-pool and queue gauges, as one flat dict.
 
         Keys: ``workers`` (connected), ``busy`` (with shards in
-        flight), ``draining``, ``queued_shards``, ``inflight_shards``
-        and ``live_jobs``.  This is the signal seam the autoscaler
-        polls; it is also folded into the ``pool`` section of
-        :meth:`service_snapshot`, so an external monitor sees the same
-        numbers through STATUS.
+        flight), ``draining``, ``queued_shards``, ``inflight_shards``,
+        ``live_jobs``, ``oldest_queued_age`` (seconds the longest-waiting
+        queued shard has sat undispatched — the latency signal an
+        age-triggered autoscaler keys on), ``completed_shards`` (total
+        ever completed) and ``worker_early_deaths`` (workers that
+        disconnected without completing a single shard — the
+        crash-looping-spawn signal).  This is the signal seam the
+        autoscaler polls; it is also folded into the ``pool`` section
+        of :meth:`service_snapshot`, so an external monitor sees the
+        same numbers through STATUS.
         """
         workers = list(self._workers)
         return {
@@ -512,6 +528,88 @@ class Coordinator:
             "queued_shards": self._queued,
             "inflight_shards": sum(len(conn.inflight) for conn in workers),
             "live_jobs": len(self._jobs),
+            "oldest_queued_age": self._oldest_queued_age(),
+            "completed_shards": self._completed_total,
+            "worker_early_deaths": self._worker_early_deaths,
+        }
+
+    def _oldest_queued_age(self) -> float:
+        """Seconds the longest-queued shard has waited (0.0 when empty).
+
+        A linear scan of the queue — bounded by queue depth and run
+        once per snapshot/autoscaler tick, not per dispatch.
+        """
+        oldest: float | None = None
+        for level in self._levels.values():
+            for heap in level.values():
+                for _, _, shard in heap:
+                    if oldest is None or shard.enqueued_at < oldest:
+                        oldest = shard.enqueued_at
+        if oldest is None:
+            return 0.0
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:  # off-loop introspection (tests)
+            return 0.0
+        return max(0.0, now - oldest)
+
+    def metrics_snapshot(self) -> dict:
+        """The machine-readable observability document (METRICS, v6).
+
+        ``{"schema": "repro.metrics/v1", "time", "queue": {"depth",
+        "oldest_age"}, "jobs": [...], "clients": [...], "pool":
+        {...}}``.  Each live job's record extends the STATUS record
+        with ``dispatched``, ``remaining``, ``progress`` (completed
+        fraction), ``rate`` (shards/second since first dispatch) and
+        ``eta`` (seconds to finish at that rate; ``None`` until the
+        first completion).  Finished jobs from the status history are
+        included with ``eta`` 0 so a watcher sees them land.
+        """
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:  # off-loop introspection (tests)
+            now = None
+        jobs = []
+        for record in self._history.values():
+            record = dict(record)
+            record.setdefault("dispatched", record["completed"])
+            record["remaining"] = 0
+            record["progress"] = 1.0 if record["state"] == "done" else (
+                record["completed"] / record["shards"] if record["shards"] else 1.0
+            )
+            record["rate"] = None
+            record["eta"] = 0.0
+            jobs.append(record)
+        for job in self._jobs.values():
+            record = self._job_record(job)
+            remaining = len(job.pending)
+            record["dispatched"] = job.dispatched
+            record["remaining"] = remaining
+            record["progress"] = (
+                job.completed / job.total if job.total else 1.0
+            )
+            rate = eta = None
+            if job.first_dispatch_at is not None and job.completed and now is not None:
+                elapsed = max(now - job.first_dispatch_at, 1e-9)
+                rate = job.completed / elapsed
+                eta = remaining / rate
+            record["rate"] = rate
+            record["eta"] = eta
+            jobs.append(record)
+        jobs.sort(key=lambda r: r["job"])
+        pool = self.load_snapshot()
+        if self.autoscaler is not None:
+            pool.update(self.autoscaler.stats())
+        return {
+            "schema": "repro.metrics/v1",
+            "time": time.time(),
+            "queue": {
+                "depth": self._queued,
+                "oldest_age": pool["oldest_queued_age"],
+            },
+            "jobs": jobs,
+            "clients": self.clients_snapshot(),
+            "pool": pool,
         }
 
     def clients_snapshot(self) -> list[dict]:
@@ -680,6 +778,10 @@ class Coordinator:
                 default=0.0,
             )
             tenant.share = max(tenant.share, floor)
+        try:
+            shard.enqueued_at = asyncio.get_running_loop().time()
+        except RuntimeError:  # pragma: no cover - off-loop tests
+            shard.enqueued_at = 0.0
         heapq.heappush(heap, (job.seq, shard.id, shard))
         tenant.queued += 1
         self._queued += 1
@@ -985,6 +1087,10 @@ class Coordinator:
                 # cancellation cannot orphan the shard.
                 conn.inflight[shard.id] = shard
                 shard.job.dispatched += 1
+                if shard.job.first_dispatch_at is None:
+                    shard.job.first_dispatch_at = (
+                        asyncio.get_running_loop().time()
+                    )
                 await write_message(conn.writer, (SHARD, shard.id, shard.items))
         except asyncio.CancelledError:
             raise
@@ -1006,11 +1112,13 @@ class Coordinator:
         shard = conn.inflight.pop(shard_id, None)
         if shard is None:
             return  # stale: shard was requeued away from this worker
+        conn.completed += 1
         job = shard.job
         if job.cancelled or shard.id not in job.pending:
             return  # duplicate completion after a requeue
         job.pending.discard(shard.id)
         job.completed += 1
+        self._completed_total += 1
         if job.tenant is not None:
             job.tenant.shards_completed += 1
         if not job.pending:
@@ -1035,6 +1143,16 @@ class Coordinator:
         if conn.dropped:
             return
         conn.dropped = True
+        if (
+            requeue
+            and not conn.completed
+            and not conn.draining
+            and not self._closing
+        ):
+            # Connected, never finished a shard, gone again: the
+            # crash-looping-spawn signature the autoscaler backs off on.
+            # Drained/closing exits are deliberate, not deaths.
+            self._worker_early_deaths += 1
         if conn.assigner is not None:
             conn.assigner.cancel()
         conn.writer.close()

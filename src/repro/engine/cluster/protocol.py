@@ -117,6 +117,12 @@ Client message set (client ``->`` service daemon unless noted; see
                 earlier daemons answered a bare job-record list)
 ``CANCEL``      ``(CANCEL, job_id)``
 ``CANCEL_REPLY`` daemon: ``(CANCEL_REPLY, job_id, ok: bool)``
+``METRICS``     ``(METRICS,)`` — ask for a machine-readable snapshot
+                of the daemon (v6)
+``METRICS_REPLY`` daemon: ``(METRICS_REPLY, doc: dict)`` — per-job
+                progress/ETA, queue depth and age, per-tenant
+                counters, autoscaler gauges and result-store hit
+                rates; see ``Coordinator.metrics_snapshot``
 =============== =====================================================
 """
 
@@ -163,6 +169,8 @@ __all__ = [
     "STATUS_REPLY",
     "CANCEL",
     "CANCEL_REPLY",
+    "METRICS",
+    "METRICS_REPLY",
     "ProtocolError",
     "encode_message",
     "encode_frames",
@@ -194,7 +202,10 @@ __all__ = [
 #: ``STATUS_REPLY`` carries a ``{"jobs", "clients", "pool"}`` document
 #: instead of a bare record list, and client HELLO info may carry a
 #: ``tenant`` identity for fair-share accounting.
-PROTOCOL_VERSION = 5
+#: v6: observability — the ``METRICS``/``METRICS_REPLY`` round-trip
+#: exposing per-job progress/ETA, queue depth *and* age, per-tenant
+#: counters, autoscaler gauges and result-store hit rates.
+PROTOCOL_VERSION = 6
 
 #: The pickle protocol of every frame.  Pinned (rather than
 #: ``pickle.HIGHEST_PROTOCOL``) so coordinators and workers on different
@@ -240,6 +251,8 @@ STATUS = "status"
 STATUS_REPLY = "status_reply"
 CANCEL = "cancel"
 CANCEL_REPLY = "cancel_reply"
+METRICS = "metrics"
+METRICS_REPLY = "metrics_reply"
 
 _HEADER = struct.Struct(">I")
 

@@ -42,6 +42,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -119,26 +120,39 @@ def _touch(path: Path) -> None:
         pass
 
 
-def prune(cache_dir: str | os.PathLike, max_bytes: int) -> dict[str, int]:
-    """LRU-evict cache entries until the directory fits *max_bytes*.
+def prune(
+    cache_dir: str | os.PathLike,
+    max_bytes: int | None = None,
+    *,
+    ttl: float | None = None,
+) -> dict[str, int]:
+    """Evict cache entries by age (*ttl*) and size budget (*max_bytes*).
 
     Scans every store kind sharing *cache_dir* — the ``.npy`` edge cache
-    and the four pickled :class:`DiskStore` tiers — and unlinks entries
-    oldest-mtime-first (both ``load`` paths bump mtime on hit, so mtime
-    order is recency-of-use order) until the combined size is at or
-    under the budget.  Returns ``{kind: removed_count}`` for every kind
-    in :data:`STORE_KINDS`; a missing directory prunes nothing.
+    and the four pickled :class:`DiskStore` tiers.  Entries not used
+    (mtime) for more than *ttl* seconds are unlinked unconditionally;
+    the survivors are then unlinked oldest-mtime-first (both ``load``
+    paths bump mtime on hit, so mtime order is recency-of-use order)
+    until the combined size is at or under *max_bytes*.  Either policy
+    may be ``None`` to skip it, but not both.  Returns
+    ``{kind: removed_count}`` for every kind in :data:`STORE_KINDS`; a
+    missing directory prunes nothing.
 
     Only recognised ``<kind>-*<suffix>`` entries are candidates: foreign
     files in a shared directory are never touched (and never counted
     against the budget).
     """
-    if max_bytes < 0:
+    if max_bytes is None and ttl is None:
+        raise ValueError("prune needs max_bytes, ttl, or both")
+    if max_bytes is not None and max_bytes < 0:
         raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    if ttl is not None and ttl <= 0:
+        raise ValueError(f"ttl must be positive, got {ttl}")
     directory = Path(cache_dir)
     removed = dict.fromkeys(STORE_KINDS, 0)
     entries: list[tuple[float, int, str, Path]] = []
     total = 0
+    now = time.time()
     for kind in STORE_KINDS:
         try:
             paths = list(directory.glob(f"{kind}-*{_KIND_SUFFIX[kind]}"))
@@ -149,8 +163,17 @@ def prune(cache_dir: str | os.PathLike, max_bytes: int) -> dict[str, int]:
                 stat = path.stat()
             except OSError:
                 continue  # racing a concurrent clear()/prune()
+            if ttl is not None and now - stat.st_mtime > ttl:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue  # racing another eviction, or permissions
+                removed[kind] += 1
+                continue
             entries.append((stat.st_mtime, stat.st_size, kind, path))
             total += stat.st_size
+    if max_bytes is None:
+        return removed
     entries.sort(key=lambda entry: entry[0])
     for _, size, kind, path in entries:
         if total <= max_bytes:

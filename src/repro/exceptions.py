@@ -18,6 +18,7 @@ __all__ = [
     "SimulationError",
     "ClusterError",
     "ServiceError",
+    "SearchError",
 ]
 
 
@@ -86,4 +87,15 @@ class ServiceError(ClusterError):
     the daemon shuts down mid-job.  Subclasses :class:`ClusterError`,
     so callers treating the cluster and service tiers alike need one
     ``except``.
+    """
+
+
+class SearchError(ReproError, RuntimeError):
+    """A portfolio mapper search cannot produce a winner.
+
+    Raised when every candidate's evaluation stream failed (backend
+    down, all cells erroring) or the budget expired before a single
+    candidate could be ranked.  Partial failures do *not* raise: a
+    candidate whose stream dies is eliminated with an ``error`` audit
+    record and the race continues with the survivors.
     """

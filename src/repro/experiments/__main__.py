@@ -36,6 +36,16 @@ concurrent drivers — pairs ``serve-jobs`` with ``submit``/``status``/
     python -m repro.experiments submit sweep --connect head-node:7077
     python -m repro.experiments status --connect head-node:7077
     python -m repro.experiments cancel --connect head-node:7077 --job job-000003
+    python -m repro.experiments watch --connect head-node:7077
+
+``watch`` renders a live per-job progress table (completion rate, ETA,
+queue depth and age, worker-pool and result-store gauges) from the
+daemon's METRICS document; ``--format json`` emits the raw document.
+``search`` races mapper candidates under a budget instead of sweeping
+them exhaustively — dominated candidates are cancelled early::
+
+    python -m repro.experiments search --nodes 4,8,16,27 \
+        --backend service:head-node:7077
 
 ``--secret`` (or ``REPRO_CLUSTER_SECRET``) arms the shared-secret
 handshake on every cluster/service connection.  ``cache`` reports every
@@ -499,18 +509,23 @@ def _serve_jobs(args, parser) -> int:
         )
     elif args.max_workers or args.spawn_command:
         parser.error("--max-workers/--spawn-command require --autoscale")
-    daemon = ServiceDaemon(
-        host,
-        port,
-        secret=args.secret,
-        disk_cache_dir=args.cache_dir,
-        tls_cert=args.tls_cert,
-        tls_key=args.tls_key,
-        tls_ca=args.tls_ca,
-        max_client_jobs=args.max_client_jobs,
-        max_client_queued=args.max_client_queued,
-        **autoscale,
-    )
+    try:
+        daemon = ServiceDaemon(
+            host,
+            port,
+            secret=args.secret,
+            disk_cache_dir=args.cache_dir,
+            tls_cert=args.tls_cert,
+            tls_key=args.tls_key,
+            tls_ca=args.tls_ca,
+            max_client_jobs=args.max_client_jobs,
+            max_client_queued=args.max_client_queued,
+            store_max_bytes=args.store_max_bytes,
+            store_ttl=args.store_ttl,
+            **autoscale,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     try:
         print(
             f"service daemon listening on {daemon.host}:{daemon.port}",
@@ -652,6 +667,157 @@ def _cancel(args, parser) -> int:
     return 1
 
 
+#: Columns of the `watch` per-job progress table.
+_WATCH_COLUMNS = [
+    "job",
+    "state",
+    "priority",
+    "shards",
+    "completed",
+    "remaining",
+    "progress",
+    "rate",
+    "eta",
+]
+
+
+def _watch_records(doc: dict) -> list[dict]:
+    """Per-job progress records from one METRICS document."""
+    records = []
+    for job in doc.get("jobs", []):
+        record = {
+            key: job.get(key)
+            for key in ("job", "state", "priority", "shards", "completed", "remaining")
+        }
+        progress = job.get("progress")
+        record["progress"] = (
+            None if progress is None else f"{progress * 100:.0f}%"
+        )
+        rate = job.get("rate")
+        record["rate"] = None if rate is None else f"{rate:.2f}/s"
+        eta = job.get("eta")
+        record["eta"] = None if eta is None else f"{eta:.1f}s"
+        records.append(record)
+    return records
+
+
+def _watch(args, parser) -> int:
+    """Render a daemon's live METRICS snapshot(s).
+
+    The table form refreshes every ``--interval`` seconds until
+    interrupted; ``--once`` (implied by ``--format json``/``csv``)
+    renders a single snapshot.  ``--format json`` emits the raw
+    ``repro.metrics/v1`` document — per-job progress/ETA, queue depth
+    *and* age, per-tenant counters, autoscaler gauges and result-store
+    hit rates.
+    """
+    client = _client(args, parser)
+    once = args.once or args.format != "table"
+    try:
+        while True:
+            doc = client.metrics()
+            if args.format == "json":
+                _write_payload(args, json.dumps(doc, indent=2))
+            else:
+                if args.format == "table":
+                    queue = doc.get("queue", {})
+                    pool = doc.get("pool", {})
+                    store = doc.get("store") or {}
+                    stamp = time.strftime(
+                        "%H:%M:%S", time.localtime(doc.get("time", time.time()))
+                    )
+                    hit_rate = store.get("hit_rate")
+                    print(
+                        f"[{stamp}] queue depth={queue.get('depth', 0)} "
+                        f"oldest={queue.get('oldest_age', 0.0):.1f}s  "
+                        f"workers={pool.get('workers', 0)} "
+                        f"busy={pool.get('busy', 0)}  store hits="
+                        + (
+                            "n/a"
+                            if hit_rate is None
+                            else f"{hit_rate * 100:.0f}%"
+                        )
+                    )
+                _emit_records(args, _watch_records(doc), _WATCH_COLUMNS)
+            if once:
+                return 0
+            time.sleep(args.interval)
+            if args.format == "table":
+                print()
+    except KeyboardInterrupt:
+        return 0
+
+
+#: Columns of the `search` candidate audit table.
+_SEARCH_COLUMNS = [
+    "candidate",
+    "status",
+    "rung",
+    "instances",
+    "cells",
+    "score",
+    "reason",
+]
+
+
+def _search(args, parser) -> int:
+    """Race mapper candidates with the portfolio-search driver."""
+    from ..exceptions import SearchError
+    from ..search import SearchSpec, run_search
+
+    try:
+        nodes = [
+            int(part) for part in args.nodes.split(",") if part.strip()
+        ]
+    except ValueError:
+        parser.error(f"--nodes must be a comma list of node counts, got {args.nodes!r}")
+    if not nodes:
+        parser.error("--nodes needs at least one node count")
+    candidates = (
+        [part.strip() for part in args.mappers.split(",") if part.strip()]
+        if args.mappers
+        else None
+    )
+    try:
+        spec = SearchSpec(
+            [InstanceSpec.from_nodes(n, args.ppn) for n in nodes],
+            **({"candidates": candidates} if candidates else {}),
+            stencils=[args.family],
+            objective=args.objective,
+            eta=args.eta,
+            min_instances=args.min_instances,
+            seed=args.seed,
+            budget_seconds=args.budget_seconds,
+            max_cells=args.max_cells,
+            priority=args.priority,
+        )
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc))
+    try:
+        result = run_search(spec, backend=args.backend)
+    except SearchError as exc:
+        print(f"search failed: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        _write_payload(args, result.to_json())
+        return 0
+    if args.format == "table":
+        print(
+            f"winner: {result.winner}  ({result.objective}"
+            f"{'' if result.minimize else ', maximized'}; "
+            f"{result.cells_evaluated}/{result.exhaustive_cells} cells "
+            f"evaluated, {'complete' if result.complete else 'budget-cut'}, "
+            f"{result.elapsed:.1f}s)"
+        )
+        print(
+            f"rungs: {','.join(str(r) for r in result.rungs)}  "
+            f"instance order: {','.join(result.instance_order)}  "
+            f"seed: {result.seed}"
+        )
+    _emit_records(args, result.to_records(), _SEARCH_COLUMNS)
+    return 0
+
+
 def _cache(args, parser) -> int:
     """Report (and optionally clear or prune) the persistent caches.
 
@@ -730,6 +896,8 @@ def main(argv: list[str] | None = None) -> int:
             "submit",
             "status",
             "cancel",
+            "watch",
+            "search",
             "cache",
         ],
         help="what to run (default: the README example sweep)",
@@ -904,6 +1072,97 @@ def main(argv: list[str] | None = None) -> int:
         help="status/cancel: the job to inspect or cancel",
     )
     parser.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve-jobs: auto-prune the daemon's result store (LRU, "
+        "oldest access first) to this size budget periodically",
+    )
+    parser.add_argument(
+        "--store-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve-jobs: auto-prune result-store entries older than "
+        "this many seconds (combines with --store-max-bytes)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="watch: seconds between table refreshes (default: 2)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="watch: render a single snapshot instead of refreshing",
+    )
+    parser.add_argument(
+        "--nodes",
+        default="4,8,16,27",
+        metavar="N,N,...",
+        help="search: comma list of node counts forming the instance set "
+        "(default: 4,8,16,27)",
+    )
+    parser.add_argument(
+        "--ppn",
+        type=int,
+        default=8,
+        metavar="N",
+        help="search: processes per node of each instance (default: 8)",
+    )
+    parser.add_argument(
+        "--mappers",
+        default=None,
+        metavar="NAME,NAME,...",
+        help="search: comma list of candidate mappers to race "
+        "(default: the paper's seven algorithms)",
+    )
+    parser.add_argument(
+        "--objective",
+        default="jsum",
+        metavar="COLUMN",
+        help="search: result column to minimize (default: jsum)",
+    )
+    parser.add_argument(
+        "--eta",
+        type=int,
+        default=2,
+        metavar="N",
+        help="search: successive-halving factor (default: 2)",
+    )
+    parser.add_argument(
+        "--min-instances",
+        type=int,
+        default=1,
+        metavar="N",
+        help="search: instance-prefix length of the first rung (default: 1)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="search: instance-shuffle seed (default: 0)",
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="search: wall-clock budget; on expiry the deepest fully "
+        "ranked rung decides the winner",
+    )
+    parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="search: evaluated-cell budget (see --budget-seconds)",
+    )
+    parser.add_argument(
         "--clear",
         action="store_true",
         help="cache: delete every cached entry after reporting",
@@ -969,6 +1228,10 @@ def main(argv: list[str] | None = None) -> int:
         return _status(args, parser)
     if args.target == "cancel":
         return _cancel(args, parser)
+    if args.target == "watch":
+        return _watch(args, parser)
+    if args.target == "search":
+        return _search(args, parser)
     if args.target == "cache":
         return _cache(args, parser)
 

@@ -29,7 +29,12 @@ Any driver, concurrently with any other::
     urgent = run(spec2, backend="service:head:7077:5")    # ahead of it
 
 plus ``python -m repro.experiments submit/status/cancel`` for the CLI
-side.  Set ``REPRO_CLUSTER_SECRET`` (or pass ``--secret``) on daemon,
+side, and ``python -m repro.experiments watch`` for live observability
+— the daemon's ``METRICS`` round-trip serves a machine-readable
+snapshot (per-job progress and ETA from shard completion rates, queue
+depth *and* age, per-tenant counters, autoscaler gauges, result-store
+hit rates) that ``watch`` renders as a refreshing progress table or
+raw JSON.  Set ``REPRO_CLUSTER_SECRET`` (or pass ``--secret``) on daemon,
 workers and clients to require the HMAC handshake on every connection;
 pass ``--tls-cert/--tls-key`` (daemon) and ``--tls-ca`` (workers,
 clients) to run every connection over TLS.

@@ -11,7 +11,18 @@ worker pool between ``min_workers`` and ``max_workers``:
   immediately.  Pending spawns are tracked so a burst of queue depth
   does not double-spawn while workers are still booting; a spawn that
   has not produced a connected worker within ``spawn_timeout`` seconds
-  is written off and may be retried.
+  is written off and may be retried.  Depth is not the only trigger:
+  when the oldest queued shard has waited longer than
+  ``queue_age_threshold`` seconds, one extra worker is provisioned per
+  tick even if the depth formula is satisfied — latency, not just
+  backlog, drives the pool up.
+* **spawn backoff** — when spawns keep failing (a launcher that times
+  out without connecting, or a worker that connects and dies before
+  completing a single shard — the coordinator counts those as
+  ``worker_early_deaths``), respawns are rate-limited with capped
+  exponential backoff (``backoff_base * 2^(failures-1)``, capped at
+  ``backoff_max``) instead of retrying a crash-looping spawn command
+  every tick.  The first completed shard resets the backoff.
 * **scale down** — only after the queue and every worker have been
   idle for ``idle_grace`` seconds, and then by *draining*: excess
   workers are marked via :meth:`~repro.engine.cluster.coordinator.
@@ -43,6 +54,7 @@ import os
 import shlex
 import subprocess
 import sys
+import time
 
 from ..engine.cluster.protocol import SECRET_ENV
 
@@ -221,6 +233,15 @@ class Autoscaler:
         Seconds a spawn may take to produce a connected worker before
         it is written off (a crashed launcher must not permanently
         occupy a pool slot).
+    queue_age_threshold:
+        Seconds the oldest queued shard may wait before one extra
+        worker is provisioned per tick regardless of the depth
+        formula; ``0`` disables the latency trigger.
+    backoff_base, backoff_max:
+        Capped exponential respawn backoff after failed spawns: the
+        n-th consecutive failure blocks new spawns for
+        ``min(backoff_max, backoff_base * 2**(n-1))`` seconds.  A
+        completed shard anywhere in the pool resets the count.
     """
 
     def __init__(
@@ -234,6 +255,9 @@ class Autoscaler:
         idle_grace: float = 5.0,
         backlog_per_worker: int = 1,
         spawn_timeout: float = 30.0,
+        queue_age_threshold: float = 10.0,
+        backoff_base: float = 2.0,
+        backoff_max: float = 60.0,
     ):
         if min_workers < 0:
             raise ValueError(f"min_workers must be >= 0, got {min_workers}")
@@ -250,6 +274,15 @@ class Autoscaler:
             raise ValueError(
                 f"backlog_per_worker must be >= 1, got {backlog_per_worker}"
             )
+        if queue_age_threshold < 0:
+            raise ValueError(
+                f"queue_age_threshold must be >= 0, got {queue_age_threshold}"
+            )
+        if backoff_base <= 0 or backoff_max < backoff_base:
+            raise ValueError(
+                "backoff_base must be positive and backoff_max >= "
+                f"backoff_base, got {backoff_base}/{backoff_max}"
+            )
         self.coordinator = coordinator
         self.spawner = spawner
         self.min_workers = int(min_workers)
@@ -258,11 +291,18 @@ class Autoscaler:
         self.idle_grace = float(idle_grace)
         self.backlog_per_worker = int(backlog_per_worker)
         self.spawn_timeout = float(spawn_timeout)
+        self.queue_age_threshold = float(queue_age_threshold)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
         self._pending: list[float] = []  # loop timestamps of unacked spawns
         self._prev_active = 0
         self._idle_since: float | None = None
         self._spawned_total = 0
         self._drained_total = 0
+        self._spawn_failures = 0  # consecutive, since the last good shard
+        self._backoff_until = 0.0
+        self._prev_early_deaths = 0
+        self._prev_completed = 0
         self._task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
@@ -314,17 +354,50 @@ class Autoscaler:
             if self._pending:
                 self._pending.pop(0)
         self._prev_active = active
-        self._pending = [
-            t for t in self._pending if now - t < self.spawn_timeout
-        ]
+        kept = [t for t in self._pending if now - t < self.spawn_timeout]
+        expired = len(self._pending) - len(kept)
+        self._pending = kept
         self.spawner.reap()
+
+        # Spawn-failure bookkeeping: a written-off spawn or a worker
+        # that died before completing a shard both count; a completed
+        # shard anywhere proves the spawn path works and resets it.
+        early_deaths = snap.get("worker_early_deaths", 0)
+        completed = snap.get("completed_shards", 0)
+        failures = expired + max(0, early_deaths - self._prev_early_deaths)
+        self._prev_early_deaths = early_deaths
+        if completed > self._prev_completed:
+            self._prev_completed = completed
+            self._spawn_failures = 0
+            self._backoff_until = 0.0
+        elif failures:
+            self._spawn_failures += failures
+            delay = min(
+                self.backoff_max,
+                self.backoff_base * 2.0 ** (self._spawn_failures - 1),
+            )
+            self._backoff_until = now + delay
 
         queued = snap["queued_shards"]
         inflight = snap["inflight_shards"]
         demand = snap["busy"] + math.ceil(queued / self.backlog_per_worker)
         target = min(self.max_workers, max(self.min_workers, demand))
         provisioned = active + len(self._pending)
+        # Latency trigger: a shard stuck in the queue past the age
+        # threshold asks for one extra worker per tick even when the
+        # depth formula says the pool is big enough.
+        if (
+            self.queue_age_threshold
+            and queued
+            and snap.get("oldest_queued_age", 0.0) >= self.queue_age_threshold
+        ):
+            target = min(self.max_workers, max(target, provisioned + 1))
         if provisioned < target:
+            if now < self._backoff_until:
+                # Crash-looping spawns: hold off instead of burning a
+                # respawn every tick.  Demand is re-read next tick.
+                self._idle_since = None
+                return
             for _ in range(target - provisioned):
                 self._spawn_one(now)
             self._idle_since = None
@@ -348,6 +421,12 @@ class Autoscaler:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Counters folded into the STATUS ``pool`` section."""
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:
+            # Off-loop introspection: the default loop clock is
+            # monotonic-based, so this stays comparable.
+            now = time.monotonic()
         return {
             "autoscale": True,
             "min_workers": self.min_workers,
@@ -355,6 +434,9 @@ class Autoscaler:
             "spawned_total": self._spawned_total,
             "drained_total": self._drained_total,
             "pending_spawns": len(self._pending),
+            "spawn_failures": self._spawn_failures,
+            "spawn_backoff_remaining": max(0.0, self._backoff_until - now),
+            "queue_age_threshold": self.queue_age_threshold,
         }
 
     def __repr__(self) -> str:

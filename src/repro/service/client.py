@@ -29,6 +29,8 @@ from ..engine.cluster.protocol import (
     JOB_DONE,
     JOB_FAIL,
     JOB_RESULT,
+    METRICS,
+    METRICS_REPLY,
     PING,
     REJECT,
     REJECTED,
@@ -370,10 +372,26 @@ class ServiceClient:
             return doc
         return {"jobs": doc if isinstance(doc, list) else []}
 
+    def metrics(self) -> dict:
+        """The daemon's live observability document (METRICS, v6).
+
+        ``{"schema": "repro.metrics/v1", "time", "queue": {"depth",
+        "oldest_age"}, "jobs": [...], "clients": [...], "pool": {...},
+        "store": {...}}`` — per-job progress/ETA from shard completion
+        rates, queue depth and age, per-tenant counters, pool and
+        autoscaler gauges, and result-store hit rates.
+        """
+        reply = self._roundtrip((METRICS,), METRICS_REPLY)
+        doc = reply[1] if len(reply) > 1 else None
+        return doc if isinstance(doc, dict) else {}
+
     def cancel(self, job_id: str) -> bool:
         """Cancel a live job; ``False`` when unknown or already finished."""
         reply = self._roundtrip((CANCEL, job_id), CANCEL_REPLY)
         return bool(reply[2])
+
+    def close(self) -> None:
+        """No-op for symmetry: connections are per-operation."""
 
     def __repr__(self) -> str:
         return f"ServiceClient({self.host}:{self.port})"

@@ -75,6 +75,8 @@ from ..engine.cluster.protocol import (
     JOB_DONE,
     JOB_FAIL,
     JOB_RESULT,
+    METRICS,
+    METRICS_REPLY,
     PING,
     REJECTED,
     RESULT,
@@ -93,6 +95,7 @@ from ..engine.cluster.protocol import (
 )
 from ..engine.diskcache import (
     DiskStore,
+    prune,
     request_payload,
     resolve_cache_dir,
     stable_digest,
@@ -337,6 +340,15 @@ class _JobCoordinator(Coordinator):
         )
         self._cells: dict[str, _InflightCell] = {}
         self._assemblies: dict[str, _Assembly] = {}
+        # Result-store accounting (METRICS): cells answered from the
+        # store / joined onto an identical in-flight computation /
+        # dispatched to workers.
+        self._store_hits = 0
+        self._store_joins = 0
+        self._store_misses = 0
+        #: Updated in place by the hosting daemon's auto-prune loop
+        #: (``None`` when no prune policy is configured).
+        self.prune_stats: dict | None = None
 
     # ------------------------------------------------------------------
     # Result store / cross-job single-flight
@@ -419,13 +431,16 @@ class _JobCoordinator(Coordinator):
                 ps.keys[pos] = key
                 value = self._result_store.load(key)
                 if isinstance(value, tuple) and len(value) == 4:
+                    self._store_hits += 1
                     ps.rows[pos] = (item[0], *value)
                     ps.missing -= 1
                     continue
                 cell = self._cells.get(key)
                 if cell is not None:
+                    self._store_joins += 1
                     cell.waiters.append((asm, ps, pos, item[0]))
                     continue
+                self._store_misses += 1
                 self._cells[key] = _InflightCell(key, item[1], asm)
                 ps.dispatch.append(pos)
             # A shard with no keyable item at all is forwarded verbatim,
@@ -464,6 +479,24 @@ class _JobCoordinator(Coordinator):
             if asm.outstanding:
                 asm._ensure_pump()
         return job, [ps.id for ps in asm.shards]
+
+    def metrics_snapshot(self) -> dict:
+        """The base document plus the ``store`` hit-rate section."""
+        doc = super().metrics_snapshot()
+        looked_up = self._store_hits + self._store_joins + self._store_misses
+        doc["store"] = {
+            "enabled": self._result_store is not None,
+            "hits": self._store_hits,
+            "inflight_joins": self._store_joins,
+            "misses": self._store_misses,
+            "hit_rate": (
+                None if not looked_up
+                else (self._store_hits + self._store_joins) / looked_up
+            ),
+            "inflight_cells": len(self._cells),
+            "prune": self.prune_stats,
+        }
+        return doc
 
     async def _cancel_submission(self, job) -> None:
         """Cancel a client job through its assembly when it has one."""
@@ -547,6 +580,10 @@ class _JobCoordinator(Coordinator):
                 elif kind == STATUS and len(message) == 2:
                     await self._send(
                         conn, (STATUS_REPLY, self.service_snapshot(message[1]))
+                    )
+                elif kind == METRICS:
+                    await self._send(
+                        conn, (METRICS_REPLY, self.metrics_snapshot())
                     )
                 elif kind == CANCEL and len(message) == 2:
                     ok = await self._client_cancel(message[1])
@@ -717,6 +754,14 @@ class ServiceDaemon:
     idle_grace:
         Seconds the pool must be fully idle before excess autoscaled
         workers drain (finish their shards, then exit — never killed).
+    store_max_bytes, store_ttl, store_prune_interval:
+        Auto-prune policy the daemon applies to its own cache
+        directory every *store_prune_interval* seconds (default 60):
+        entries unused for *store_ttl* seconds are dropped, then the
+        directory is LRU-evicted down to *store_max_bytes* (see
+        :func:`~repro.engine.diskcache.prune`).  Both ``None`` (the
+        default) disables the loop; setting either requires a cache
+        directory.
     """
 
     def __init__(
@@ -741,9 +786,32 @@ class ServiceDaemon:
         spawn_command: str | None = None,
         worker_backend: str | None = None,
         idle_grace: float = 5.0,
+        store_max_bytes: int | None = None,
+        store_ttl: float | None = None,
+        store_prune_interval: float = 60.0,
     ):
         cache_dir = resolve_cache_dir(disk_cache_dir)
         self.disk_cache_dir = None if cache_dir is None else str(cache_dir)
+        if store_max_bytes is not None and store_max_bytes < 0:
+            raise ValueError(
+                f"store_max_bytes must be >= 0, got {store_max_bytes}"
+            )
+        if store_ttl is not None and store_ttl <= 0:
+            raise ValueError(f"store_ttl must be positive, got {store_ttl}")
+        if store_prune_interval <= 0:
+            raise ValueError(
+                f"store_prune_interval must be positive, got "
+                f"{store_prune_interval}"
+            )
+        prune_policy = store_max_bytes is not None or store_ttl is not None
+        if prune_policy and self.disk_cache_dir is None:
+            raise ValueError(
+                "store_max_bytes/store_ttl need a cache directory "
+                "(disk_cache_dir or REPRO_CACHE_DIR)"
+            )
+        self._store_max_bytes = store_max_bytes
+        self._store_ttl = store_ttl
+        self._store_prune_interval = float(store_prune_interval)
         secret = resolve_secret(secret)
         tls_cert, tls_key, tls_ca = resolve_tls(tls_cert, tls_key, tls_ca)
         ssl_context = (
@@ -795,13 +863,54 @@ class ServiceDaemon:
                 idle_grace=idle_grace,
             )
             self._coordinator.autoscaler = self._autoscaler
+        self._prune_task = None
+        if prune_policy:
+            self._coordinator.prune_stats = {
+                "max_bytes": store_max_bytes,
+                "ttl": store_ttl,
+                "interval": self._store_prune_interval,
+                "runs": 0,
+                "removed_total": 0,
+                "last_removed": None,
+            }
         try:
             self._run(self._coordinator.start())
             if self._autoscaler is not None:
                 self._run(self._autoscaler.start())
+            if prune_policy:
+                self._prune_task = self._run(self._start_prune_loop())
         except BaseException:
             self._stop_loop()
             raise
+
+    async def _start_prune_loop(self) -> asyncio.Task:
+        return asyncio.create_task(self._prune_loop())
+
+    async def _prune_loop(self) -> None:
+        """Apply the store prune policy periodically (daemon loop task).
+
+        The scan/unlink work runs on a thread so a large cache
+        directory never stalls the event loop; errors are swallowed —
+        a failed prune must not take the daemon down, and the next
+        round retries.
+        """
+        stats = self._coordinator.prune_stats
+        while True:
+            await asyncio.sleep(self._store_prune_interval)
+            try:
+                removed = await asyncio.to_thread(
+                    prune,
+                    self.disk_cache_dir,
+                    self._store_max_bytes,
+                    ttl=self._store_ttl,
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - unreadable cache dir
+                continue
+            stats["runs"] += 1
+            stats["removed_total"] += sum(removed.values())
+            stats["last_removed"] = removed
 
     # ------------------------------------------------------------------
     # Event-loop plumbing
@@ -860,6 +969,18 @@ class ServiceDaemon:
 
         return self._run(snapshot())
 
+    def metrics(self) -> dict:
+        """The live observability document (what METRICS answers).
+
+        Per-job progress/ETA, queue depth and age, per-tenant
+        counters, pool/autoscaler gauges and result-store hit rates.
+        """
+
+        async def snapshot() -> dict:
+            return self._coordinator.metrics_snapshot()
+
+        return self._run(snapshot())
+
     def cancel_job(self, job_id: str) -> bool:
         """Cancel a live job; ``False`` when unknown or already finished."""
         return self._run(self._coordinator._client_cancel(job_id))
@@ -873,6 +994,8 @@ class ServiceDaemon:
             if self._closed:
                 return
             try:
+                if self._prune_task is not None:
+                    self._loop.call_soon_threadsafe(self._prune_task.cancel)
                 # Autoscaler first: a tick racing the shutdown must not
                 # spawn into a closing coordinator.
                 if self._autoscaler is not None:

@@ -518,6 +518,47 @@ class SweepSpec:
             parts.append(payload)
         return stable_digest("\n".join(parts))
 
+    def subset(
+        self,
+        *,
+        instances: Iterable[str] | None = None,
+        stencils: Iterable[str] | None = None,
+        mappers: Iterable[str] | None = None,
+    ) -> "SweepSpec":
+        """A new spec restricted (and reordered) to the named labels.
+
+        Each argument is an iterable of axis labels; ``None`` keeps the
+        axis unchanged.  The returned spec lists the entries in the
+        *given* order — a portfolio search uses this both to isolate
+        one mapper candidate and to shuffle the instance axis under a
+        seed.  Unknown labels raise :class:`ValueError`.  Allocations,
+        metrics, tags and overrides carry over unchanged.
+        """
+
+        def pick(selection, entries, label_of, axis):
+            if selection is None:
+                return entries
+            by_label = {label_of(entry): entry for entry in entries}
+            chosen = []
+            for label in selection:
+                if label not in by_label:
+                    raise ValueError(
+                        f"unknown {axis} label {label!r}; have "
+                        f"{sorted(by_label)}"
+                    )
+                chosen.append(by_label[label])
+            return tuple(chosen)
+
+        return SweepSpec(
+            pick(instances, self.instances, lambda i: i.label, "instance"),
+            stencils=pick(stencils, self.stencils, lambda s: s[0], "stencil"),
+            mappers=pick(mappers, self.mappers, lambda m: m[0], "mapper"),
+            allocations=self.allocations,
+            metrics=self.metrics,
+            tags=self.tags,
+            overrides=self.overrides,
+        )
+
     def compile(self) -> list[MappingRequest]:
         """The executable requests of the sweep (error cells excluded)."""
         return [cell.request for cell in self.cells() if cell.request is not None]
@@ -714,6 +755,26 @@ class ResultSet:
     def ok(self) -> "ResultSet":
         """Only the successfully evaluated rows."""
         return self.filter(lambda row: row.ok)
+
+    def best(
+        self, objective: str = "jsum", *, minimize: bool = True
+    ) -> SweepRow | None:
+        """The ok row optimizing *objective* (``None`` when no row has
+        it).  Ties resolve to the first row in deterministic order, so
+        two runs of the same sweep agree on the winner."""
+        best_row = None
+        best_value = None
+        for row in self.rows:
+            if not row.ok:
+                continue
+            value = row.get(objective)
+            if value is None:
+                continue
+            if best_value is None or (
+                value < best_value if minimize else value > best_value
+            ):
+                best_row, best_value = row, value
+        return best_row
 
     def failed(self) -> "ResultSet":
         """Only the error rows (rejections, compile failures, ...)."""
@@ -961,13 +1022,21 @@ def run(spec: SweepSpec, backend=None) -> ResultSet:
     )
 
 
-def run_stream(spec: SweepSpec, backend=None) -> Iterator[SweepRow]:
+def run_stream(
+    spec: SweepSpec, backend=None, *, indexed: bool = False
+) -> Iterator[SweepRow]:
     """Execute a sweep, yielding rows as the backend completes them.
 
     Compile-failure rows are yielded first; evaluated rows follow in
     the backend's completion order (async consumers render results as
     they land instead of barriering on the batch).  Closing the
     generator early cancels work that has not started.
+
+    With ``indexed=True`` every element is a ``(cell_index, row)`` pair
+    instead of a bare row — the cell index is the row's position in the
+    spec's deterministic cell order, so an incremental consumer (the
+    portfolio search racing loop) can reassemble completion-ordered
+    rows back into spec order.
     """
     cells = spec.cells()
     backend, owned = _acquire_backend(backend)
@@ -976,12 +1045,15 @@ def run_stream(spec: SweepSpec, backend=None) -> Iterator[SweepRow]:
         pending = []
         for cell in cells:
             if cell.request is None:
-                yield _row_from_cell(cell, None)
+                row = _row_from_cell(cell, None)
+                yield (cell.index, row) if indexed else row
             else:
                 by_index[cell.index] = cell
                 pending.append(cell.request)
         for result in backend.evaluate_stream(pending):
-            yield _row_from_cell(by_index[result.request.tag], result)
+            index = result.request.tag
+            row = _row_from_cell(by_index[index], result)
+            yield (index, row) if indexed else row
     finally:
         if owned is not None:
             owned.close()

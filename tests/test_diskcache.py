@@ -481,3 +481,52 @@ class TestPrune:
 
         with pytest.raises(ValueError, match="max_bytes"):
             prune(tmp_path, -1)
+
+    def test_ttl_evicts_only_expired_entries(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        # two entries well past the TTL, the rest recent
+        self._fill(tmp_path, [5000, 4000, 10, 10, 10])
+        removed = prune(tmp_path, ttl=3600)
+        assert sum(removed.values()) == 2
+        assert len(list(tmp_path.iterdir())) == len(STORE_KINDS) - 2
+
+    def test_ttl_alone_ignores_size(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        self._fill(tmp_path, [10] * len(STORE_KINDS))
+        removed = prune(tmp_path, ttl=3600)
+        assert sum(removed.values()) == 0
+        assert len(list(tmp_path.iterdir())) == len(STORE_KINDS)
+
+    def test_ttl_combines_with_size_budget(self, tmp_path):
+        import time
+
+        from repro.engine.diskcache import prune
+
+        # one expired entry; the budget then forces one more eviction
+        # among the survivors (oldest first)
+        self._fill(tmp_path, [5000, 400, 300, 200, 100])
+        survivors_total = sum(
+            p.stat().st_size
+            for p in tmp_path.iterdir()
+            if p.stat().st_mtime > time.time() - 3600
+        )
+        removed = prune(tmp_path, survivors_total - 1, ttl=3600)
+        assert sum(removed.values()) == 2
+        assert (
+            sum(p.stat().st_size for p in tmp_path.iterdir())
+            <= survivors_total - 1
+        )
+
+    def test_no_policy_rejected(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        with pytest.raises(ValueError, match="max_bytes, ttl"):
+            prune(tmp_path)
+
+    def test_non_positive_ttl_rejected(self, tmp_path):
+        from repro.engine.diskcache import prune
+
+        with pytest.raises(ValueError, match="ttl"):
+            prune(tmp_path, ttl=0)

@@ -256,9 +256,9 @@ class TestAdmission:
             one.cancel(held.job_id)
             held.close()
 
-    def test_rejected_wire_constant_is_v5(self):
+    def test_rejected_wire_constant_is_current(self):
         assert REJECTED == "rejected_submit"
-        assert PROTOCOL_VERSION == 5
+        assert PROTOCOL_VERSION == 6
 
 
 class TestShutdownWithQueue:
@@ -360,13 +360,17 @@ class TestAutoscalerLoop:
     def test_expired_spawns_are_written_off_and_retried(self):
         coord, spawner = _FakeCoordinator(), _RecordingSpawner()
         scaler = Autoscaler(
-            coord, spawner, min_workers=0, max_workers=2, spawn_timeout=0.01
+            coord, spawner, min_workers=0, max_workers=2,
+            spawn_timeout=0.01, backoff_base=0.02, backoff_max=0.02,
         )
         coord.snap["queued_shards"] = 1
         _tick(scaler)
         assert len(spawner.spawned) == 1
         time.sleep(0.05)  # the spawn never produced a worker
-        _tick(scaler)
+        _tick(scaler)  # written off; a brief respawn backoff starts
+        assert scaler.stats()["pending_spawns"] == 0
+        time.sleep(0.05)
+        _tick(scaler)  # backoff elapsed
         assert scaler.stats()["spawned_total"] == 2  # retried
 
     def test_min_workers_floor_spawns_without_load(self):
@@ -415,6 +419,148 @@ class TestAutoscalerLoop:
             Autoscaler(coord, spawner, min_workers=3, max_workers=2)
         with pytest.raises(ValueError, match="backlog_per_worker"):
             Autoscaler(coord, spawner, backlog_per_worker=0)
+        with pytest.raises(ValueError, match="queue_age_threshold"):
+            Autoscaler(coord, spawner, queue_age_threshold=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            Autoscaler(coord, spawner, backoff_base=0)
+        with pytest.raises(ValueError, match="backoff"):
+            Autoscaler(coord, spawner, backoff_base=5, backoff_max=1)
+
+
+class TestQueueAgeTrigger:
+    def _loaded(self, age: float):
+        """A pool the depth formula is happy with, one aged queued shard."""
+        coord, spawner = _FakeCoordinator(), _RecordingSpawner()
+        coord.snap.update(
+            workers=2,
+            busy=1,
+            queued_shards=1,
+            inflight_shards=1,
+            oldest_queued_age=age,
+        )
+        return coord, spawner
+
+    def test_aged_queue_provisions_an_extra_worker(self):
+        coord, spawner = self._loaded(age=15.0)
+        scaler = Autoscaler(
+            coord, spawner, min_workers=0, max_workers=4,
+            queue_age_threshold=10.0,
+        )
+        _tick(scaler)
+        assert len(spawner.spawned) == 1  # latency, not depth, asked for it
+
+    def test_fresh_queue_stays_with_the_depth_formula(self):
+        coord, spawner = self._loaded(age=3.0)
+        scaler = Autoscaler(
+            coord, spawner, min_workers=0, max_workers=4,
+            queue_age_threshold=10.0,
+        )
+        _tick(scaler)
+        assert spawner.spawned == []
+
+    def test_zero_threshold_disables_the_trigger(self):
+        coord, spawner = self._loaded(age=1e9)
+        scaler = Autoscaler(
+            coord, spawner, min_workers=0, max_workers=4,
+            queue_age_threshold=0.0,
+        )
+        _tick(scaler)
+        assert spawner.spawned == []
+
+    def test_age_trigger_respects_max_workers(self):
+        coord, spawner = self._loaded(age=60.0)
+        scaler = Autoscaler(
+            coord, spawner, min_workers=0, max_workers=2,
+            queue_age_threshold=10.0,
+        )
+        _tick(scaler, times=3)
+        assert spawner.spawned == []  # pool already at the ceiling
+
+    def test_one_extra_per_tick_not_per_shard(self):
+        coord, spawner = self._loaded(age=60.0)
+        coord.snap["queued_shards"] = 5
+        scaler = Autoscaler(
+            coord, spawner, min_workers=0, max_workers=10,
+            backlog_per_worker=100, queue_age_threshold=10.0,
+        )
+        _tick(scaler)
+        # depth demand is busy+1 = 2 (provisioned), the trigger adds 1
+        assert len(spawner.spawned) == 1
+
+
+class TestSpawnBackoff:
+    def test_expired_spawn_backs_off_the_retry(self):
+        coord, spawner = _FakeCoordinator(), _RecordingSpawner()
+        scaler = Autoscaler(
+            coord, spawner, min_workers=0, max_workers=2,
+            spawn_timeout=0.01, backoff_base=30.0, backoff_max=60.0,
+        )
+        coord.snap["queued_shards"] = 1
+        _tick(scaler)
+        assert len(spawner.spawned) == 1
+        time.sleep(0.05)  # the spawn never produced a worker
+        _tick(scaler)
+        assert len(spawner.spawned) == 1  # held back, not respawned
+        stats = scaler.stats()
+        assert stats["spawn_failures"] == 1
+        assert stats["spawn_backoff_remaining"] > 0
+
+    def test_backoff_expiry_allows_the_retry(self):
+        coord, spawner = _FakeCoordinator(), _RecordingSpawner()
+        scaler = Autoscaler(
+            coord, spawner, min_workers=0, max_workers=2,
+            spawn_timeout=0.01, backoff_base=0.02, backoff_max=0.02,
+        )
+        coord.snap["queued_shards"] = 1
+        _tick(scaler)
+        time.sleep(0.05)
+        _tick(scaler)  # writes off the spawn, enters backoff
+        assert len(spawner.spawned) == 1
+        time.sleep(0.05)
+        _tick(scaler)  # backoff elapsed
+        assert len(spawner.spawned) == 2
+
+    def test_consecutive_failures_escalate(self):
+        coord, spawner = _FakeCoordinator(), _RecordingSpawner()
+        scaler = Autoscaler(
+            coord, spawner, min_workers=0, max_workers=2,
+            spawn_timeout=0.01, backoff_base=0.02, backoff_max=0.02,
+        )
+        coord.snap["queued_shards"] = 1
+        for _ in range(2):
+            _tick(scaler)  # spawn (or respawn after backoff)
+            time.sleep(0.05)
+            _tick(scaler)  # write-off
+            time.sleep(0.05)
+        assert scaler.stats()["spawn_failures"] == 2
+
+    def test_early_worker_death_triggers_backoff(self):
+        coord, spawner = _FakeCoordinator(), _RecordingSpawner()
+        scaler = Autoscaler(
+            coord, spawner, min_workers=0, max_workers=2,
+            backoff_base=30.0, backoff_max=60.0,
+        )
+        coord.snap.update(queued_shards=1, worker_early_deaths=1)
+        _tick(scaler)
+        # the crash was counted before the spawn decision: held back
+        assert spawner.spawned == []
+        assert scaler.stats()["spawn_failures"] == 1
+
+    def test_completed_shard_resets_the_backoff(self):
+        coord, spawner = _FakeCoordinator(), _RecordingSpawner()
+        scaler = Autoscaler(
+            coord, spawner, min_workers=0, max_workers=2,
+            backoff_base=30.0, backoff_max=60.0,
+        )
+        coord.snap.update(queued_shards=1, worker_early_deaths=1)
+        _tick(scaler)
+        assert spawner.spawned == []  # backing off
+        coord.snap.update(completed_shards=3)  # the pool made progress
+        _tick(scaler)
+        assert len(spawner.spawned) == 1
+        stats = scaler.stats()
+        assert stats["spawn_failures"] == 0
+        assert stats["spawn_backoff_remaining"] == 0.0
 
 
 class TestSpawners:

@@ -108,7 +108,7 @@ class TestSegmentedEncoding:
         payload = _payload(message)
         assert payload[0] == 0x80
         assert message[3]["pickle"] == WIRE_PICKLE_PROTOCOL
-        assert message[2] == PROTOCOL_VERSION == 5
+        assert message[2] == PROTOCOL_VERSION == 6
 
     def test_socket_roundtrip(self):
         """send_message/recv_message carry a segmented frame intact."""
