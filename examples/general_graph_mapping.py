@@ -1,80 +1,126 @@
 #!/usr/bin/env python3
-"""General (non-Cartesian) process mapping with the graph mapper.
+"""General (non-Cartesian) workloads through the first-class workload axis.
 
 The paper compares against VieM because applications are not always
 Cartesian: coupled multi-physics codes, irregular meshes, or task graphs
-produce arbitrary communication patterns.  ``GraphMapper`` (this
-library's VieM stand-in) maps any directed communication graph onto a
-node hierarchy.
+produce arbitrary communication patterns.  Workloads are a first-class
+axis of the evaluation stack — the same ``SweepSpec``/``MappingRequest``
+pipeline (with all of its caching, batching and backends) evaluates
 
-This example maps three workload families — structured stencil, random
-sparse, and clustered/multi-physics — and shows where structure helps
-and where only a general mapper applies.
+* structured grid x stencil products (``CartesianWorkload``),
+* multi-stage stencil programs whose per-stage halo exchanges merge into
+  one weighted communication graph (``StencilProgramWorkload``),
+* irregular general graphs (``GraphWorkload``).
 
-Run:  python examples/general_graph_mapping.py
+This example sweeps all three families over the paper's mappers on any
+backend.  Cartesian-capable mappers evaluate the structured instances;
+graph instances are served by ``graphmap`` (the VieM stand-in) while the
+structured-only algorithms surface "not applicable" cells rather than
+crashes.
+
+Run:  python examples/general_graph_mapping.py [--backend thread|process:4|service:PORT]
 """
 
-import numpy as np
+import argparse
 
 import repro
 from repro.metrics.cost import node_of_vertex
+from repro.sweep import WORKLOAD_AXIS
 from repro.workloads import (
+    CartesianWorkload,
+    StencilProgramWorkload,
+    as_workload,
     clustered_workload,
     random_sparse_workload,
-    stencil_workload,
 )
 
 
-def cut_of(workload, perm, alloc) -> int:
-    nodes = node_of_vertex(perm, alloc)
-    return int(
-        (nodes[workload.edges[:, 0]] != nodes[workload.edges[:, 1]]).sum()
+def build_spec(alloc: repro.NodeAllocation) -> repro.SweepSpec:
+    """Instances x mappers over the three workload families."""
+    p = alloc.total_processes
+    grid = repro.CartesianGrid(repro.dims_create(p, 2))
+    workloads = [
+        ("cartesian", CartesianWorkload(grid, repro.nearest_neighbor(2))),
+        (
+            "program",
+            StencilProgramWorkload(
+                grid,
+                [
+                    ("advect", repro.nearest_neighbor(2)),
+                    ("diffuse", repro.nearest_neighbor_with_hops(2)),
+                ],
+            ),
+        ),
+        ("random", as_workload(random_sparse_workload(p, degree=4, seed=1))),
+        (
+            "clustered",
+            as_workload(
+                clustered_workload(
+                    alloc.num_nodes,
+                    alloc.node_sizes[0],
+                    intra_degree=6,
+                    inter_links=2,
+                    seed=1,
+                )
+            ),
+        ),
+    ]
+    return repro.SweepSpec(
+        instances=[
+            repro.InstanceSpec.from_workload(w, alloc, label=label)
+            for label, w in workloads
+        ],
+        stencils=[WORKLOAD_AXIS],
+        mappers=["blocked", "hyperplane", "stencil_strips", "graphmap"],
+        metrics=[
+            repro.topology_cut_metric(
+                repro.Torus3DTopology((2, 2, 2)), contention=False
+            )
+        ],
     )
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        default="thread",
+        metavar="SPEC",
+        help="execution backend: serial, thread[:N], process[:N], "
+        "cluster:HOST:PORT or service:HOST:PORT (default: thread)",
+    )
+    args = parser.parse_args()
+
     alloc = repro.NodeAllocation.homogeneous(8, 16)
-    p = alloc.total_processes
-    workloads = [
-        stencil_workload(
-            repro.CartesianGrid(repro.dims_create(p, 2)),
-            repro.nearest_neighbor(2),
-        ),
-        random_sparse_workload(p, degree=4, seed=1),
-        clustered_workload(8, 16, intra_degree=6, inter_links=2, seed=1),
-    ]
-    mapper = repro.GraphMapper(seed=7, restarts=3)
+    spec = build_spec(alloc)
+    results = repro.run(spec, backend=args.backend)
 
-    print(f"{p} processes on {alloc.num_nodes} nodes x {alloc.node_sizes[0]}\n")
-    for w in workloads:
-        blocked_cut = cut_of(w, np.arange(p), alloc)
-        perm = mapper.map_graph(w.edges, w.num_processes, alloc)
-        mapped_cut = cut_of(w, perm, alloc)
-        reduction = mapped_cut / blocked_cut if blocked_cut else 1.0
-        print(f"{w.name:<34} edges={w.num_edges:>5}  "
-              f"blocked cut={blocked_cut:>5}  graphmap cut={mapped_cut:>5}  "
-              f"(x{reduction:.2f})")
+    print(
+        f"{alloc.total_processes} processes on {alloc.num_nodes} nodes "
+        f"x {alloc.node_sizes[0]}, backend={args.backend}\n"
+    )
+    print(results.to_table())
 
-    # For the Cartesian workload, compare with the specialised algorithms:
-    grid = repro.CartesianGrid(repro.dims_create(p, 2))
-    stencil = repro.nearest_neighbor(2)
-    print("\nCartesian case — specialised algorithms for comparison:")
-    for name in ("hyperplane", "stencil_strips"):
-        perm = repro.get_mapper(name).map_ranks(grid, stencil, alloc)
-        cost = repro.evaluate_mapping(grid, stencil, perm, alloc)
-        print(f"  {name:<16} Jsum={cost.jsum}")
+    # Jsum pivot: where structure helps and where only graphmap applies.
+    print("\nJsum by workload x mapper (None = mapper not applicable):")
+    for instance, row in results.pivot(values="jsum").items():
+        cells = "  ".join(f"{m}={v}" for m, v in row.items())
+        print(f"  {instance:<10} {cells}")
 
     # The clustered workload has a known near-optimal structure: one
     # cluster per node cuts only the coupling links.
-    w = workloads[2]
-    perm = mapper.map_graph(w.edges, w.num_processes, alloc)
-    nodes = node_of_vertex(perm, alloc)
+    best = results.filter(instance="clustered", mapper="graphmap").rows[0]
+    nodes = node_of_vertex(best.result.perm, alloc)
+    size = alloc.node_sizes[0]
     purity = sum(
         1
-        for c in range(8)
-        if len(set(nodes[c * 16 : (c + 1) * 16].tolist())) == 1
+        for c in range(alloc.num_nodes)
+        if len(set(nodes[c * size : (c + 1) * size].tolist())) == 1
     )
-    print(f"\nclustered workload: {purity}/8 clusters placed on a single node")
+    print(
+        f"\nclustered workload: {purity}/{alloc.num_nodes} clusters placed "
+        "on a single node"
+    )
 
 
 if __name__ == "__main__":

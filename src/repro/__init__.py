@@ -6,6 +6,9 @@ The library provides:
 
 * Cartesian grids, stencil neighbourhoods and their communication graphs
   (:mod:`repro.grid`),
+* first-class workloads — Cartesian grid x stencil products, multi-stage
+  stencil programs, and irregular general communication graphs — flowing
+  through the whole evaluation stack (:mod:`repro.workloads`),
 * the paper's three distributed mapping algorithms plus all evaluation
   baselines (:mod:`repro.core`),
 * mapping-quality metrics ``Jsum``/``Jmax`` and the paper's statistics
@@ -64,6 +67,7 @@ from .grid import (
 )
 from .hardware import (
     CommunicationModel,
+    DragonflyTopology,
     FatTreeTopology,
     IslandTopology,
     MACHINES,
@@ -71,9 +75,18 @@ from .hardware import (
     NetworkParameters,
     NodeAllocation,
     SingleSwitchTopology,
+    Torus3DTopology,
     juwels,
     supermuc_ng,
+    topology_from_spec,
     vsc4,
+)
+from .workloads import (
+    CartesianWorkload,
+    GraphWorkload,
+    StencilProgramWorkload,
+    WorkloadBase,
+    as_workload,
 )
 from .core import (
     BlockedMapper,
@@ -117,6 +130,7 @@ from .engine import (
     list_metrics,
     register_metric,
     resolve_backend,
+    topology_cut_metric,
     weighted_bytes_metric,
 )
 from .service import (
@@ -146,7 +160,7 @@ from .search import (
     run_search,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # exceptions
@@ -176,6 +190,9 @@ __all__ = [
     "FatTreeTopology",
     "IslandTopology",
     "SingleSwitchTopology",
+    "Torus3DTopology",
+    "DragonflyTopology",
+    "topology_from_spec",
     "CommunicationModel",
     "NetworkParameters",
     "Machine",
@@ -223,6 +240,13 @@ __all__ = [
     "register_metric",
     "list_metrics",
     "weighted_bytes_metric",
+    "topology_cut_metric",
+    # workloads
+    "WorkloadBase",
+    "CartesianWorkload",
+    "StencilProgramWorkload",
+    "GraphWorkload",
+    "as_workload",
     # service
     "ServiceDaemon",
     "ServiceClient",

@@ -91,6 +91,27 @@ class Mapper(ABC):
         """New grid coordinate of one calling process (Algorithm outputs)."""
         return grid.coords_of(self.compute_rank(grid, stencil, alloc, rank))
 
+    def map_workload(self, workload, alloc: NodeAllocation) -> np.ndarray:
+        """Full permutation for a :class:`~repro.workloads.WorkloadBase`.
+
+        The default implementation serves every workload that exposes
+        Cartesian structure (``workload.grid``/``workload.stencil``) by
+        delegating to :meth:`map_ranks`; workloads without it — irregular
+        general graphs — are rejected with an actionable error.  Mappers
+        that operate on raw communication graphs (``graphmap``) override
+        this to accept any workload.
+        """
+        grid = workload.grid
+        stencil = workload.stencil
+        if grid is None or stencil is None:
+            raise MappingError(
+                f"mapper {self.name!r} needs Cartesian grid/stencil "
+                f"structure, but workload {workload.name!r} is a general "
+                "communication graph; use the 'graphmap' mapper (or another "
+                "Mapper overriding map_workload) for graph workloads"
+            )
+        return self.map_ranks(grid, stencil, alloc)
+
     # ------------------------------------------------------------------
     # Validation shared by all implementations
     # ------------------------------------------------------------------

@@ -147,6 +147,18 @@ class GraphMapper(Mapper):
         rank = self._checked_rank(grid, rank)
         return int(self.map_ranks(grid, stencil, alloc)[rank])
 
+    def map_workload(self, workload, alloc: NodeAllocation) -> np.ndarray:
+        """Map any workload family: graphmap needs only the raw edges.
+
+        Cartesian-capable workloads still go through :meth:`map_graph`
+        on their merged communication graph, so stencil *programs* are
+        mapped against their full weighted edge multiset rather than the
+        union stencil.
+        """
+        return self.map_graph(
+            workload.comm_edges(), workload.num_processes, alloc
+        )
+
     def map_graph(
         self,
         directed_edges: np.ndarray,

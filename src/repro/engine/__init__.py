@@ -33,6 +33,7 @@ from .metrics import (
     MetricSpec,
     list_metrics,
     register_metric,
+    topology_cut_metric,
     weighted_bytes_metric,
 )
 from .registry import create_mapper, list_mappers, resolve_mapper
@@ -46,6 +47,7 @@ __all__ = [
     "register_metric",
     "list_metrics",
     "weighted_bytes_metric",
+    "topology_cut_metric",
     "Backend",
     "ThreadBackend",
     "ProcessBackend",

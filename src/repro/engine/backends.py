@@ -105,6 +105,16 @@ def strip_request_tag(request: MappingRequest) -> MappingRequest:
     """
     if request.tag is None:
         return request
+    if request.workload is not None:
+        # A workload supplies its own grid/stencil; passing both would
+        # trip the request's consistency validation.
+        return MappingRequest(
+            workload=request.workload,
+            alloc=request.alloc,
+            mapper=request.mapper,
+            perm=request.perm,
+            metrics=request.metrics,
+        )
     return MappingRequest(
         grid=request.grid,
         stencil=request.stencil,
@@ -379,10 +389,18 @@ class _SharedEdgeExporter:
     def refs_for(
         self, shard: Sequence[tuple[int, MappingRequest]]
     ) -> list[tuple]:
-        """Edge-block descriptors for the shard's distinct instances."""
+        """Edge-block descriptors for the shard's distinct instances.
+
+        Workload instances are skipped: their edge arrays are not
+        grid x stencil products, so workers derive them from the request's
+        own workload (graph edges travel by value inside it; program
+        edges are cheap concatenations of cached per-stage arrays).
+        """
         refs: list[tuple] = []
         seen: set[str] = set()
         for _, request in shard:
+            if request.effective_workload is not None:
+                continue
             key = DiskEdgeCache.key_for(request.grid, request.stencil)
             if key in seen:
                 continue

@@ -62,6 +62,7 @@ __all__ = [
     "resolve_cache_dir",
     "stable_digest",
     "instance_payload",
+    "workload_payload",
     "mapper_payload",
     "metric_payload",
     "request_payload",
@@ -230,6 +231,21 @@ def instance_payload(grid, stencil, alloc) -> str:
     )
 
 
+def workload_payload(workload, alloc) -> str | None:
+    """Stable payload of a workload instance, or ``None`` (uncacheable).
+
+    The workload's own :meth:`~repro.workloads.WorkloadBase.content_key`
+    plus the allocation's node sizes — the workload analogue of
+    :func:`instance_payload`.  Cartesian-equivalent workloads never
+    reach this: :func:`request_payload` routes them through the classic
+    Cartesian payload so both request forms share one content key.
+    """
+    content = workload.content_key()
+    if content is None:
+        return None
+    return repr(("workload", content, tuple(alloc.node_sizes)))
+
+
 def mapper_payload(mapper) -> str | None:
     """Stable payload of a mapper spec, or ``None`` when identity-keyed.
 
@@ -259,12 +275,25 @@ def request_payload(request) -> str | None:
     """Stable content payload of one mapping request, or ``None``.
 
     ``None`` marks the request uncacheable: a mapper *instance*, a
-    metric with exotic params, or an object that is not a
-    :class:`MappingRequest` at all (the service daemon calls this on
-    opaque shard items and must pass them through untouched).
+    metric with exotic params, a workload without a content key, or an
+    object that is not a :class:`MappingRequest` at all (the service
+    daemon calls this on opaque shard items and must pass them through
+    untouched).  Workload requests key on the workload's content key;
+    Cartesian requests — including Cartesian-equivalent workloads — keep
+    the classic :func:`instance_payload`, byte-identical to before
+    workloads existed.
     """
     try:
-        instance = instance_payload(request.grid, request.stencil, request.alloc)
+        workload = getattr(request, "workload", None)
+        effective = request.effective_workload if workload is not None else None
+        if effective is not None:
+            instance = workload_payload(effective, request.alloc)
+            if instance is None:
+                return None
+        else:
+            instance = instance_payload(
+                request.grid, request.stencil, request.alloc
+            )
         perm = request.perm
         metrics = request.metrics
         mapper = request.mapper

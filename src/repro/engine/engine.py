@@ -52,6 +52,7 @@ from .diskcache import (
     metric_payload,
     resolve_cache_dir,
     stable_digest,
+    workload_payload,
 )
 from .metrics import MetricContext, MetricSpec, resolve_metric
 from .registry import list_mappers, resolve_mapper, spec_key
@@ -152,24 +153,34 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     def _tier_digest(
         self,
-        grid: CartesianGrid,
-        stencil: Stencil,
+        grid: CartesianGrid | None,
+        stencil: Stencil | None,
         alloc: NodeAllocation,
         mapper_key: object,
         spec: MetricSpec | None = None,
+        workload=None,
     ) -> str | None:
         """File-name key of one perm/cost/metric disk entry, or ``None``.
 
         ``None`` means the entry cannot go to disk: the layer is
-        disabled, the mapper spec is an identity-keyed instance, or the
-        metric spec's params are not process-stable.
+        disabled, the mapper spec is an identity-keyed instance, the
+        metric spec's params are not process-stable, or the workload has
+        no stable content key.  With a *workload* the instance part is
+        its content key (Cartesian-equivalent workloads never get here —
+        they keep the classic grid/stencil payload upstream).
         """
         if not self._disk_stores:
             return None
         mapped = mapper_payload(mapper_key)
         if mapped is None:
             return None
-        parts = [instance_payload(grid, stencil, alloc), mapped]
+        if workload is not None:
+            instance = workload_payload(workload, alloc)
+            if instance is None:
+                return None
+        else:
+            instance = instance_payload(grid, stencil, alloc)
+        parts = [instance, mapped]
         if spec is not None:
             part = metric_payload(spec)
             if part is None:
@@ -221,6 +232,26 @@ class EvaluationEngine:
 
         return self._edge_cache.get_or_compute(
             (grid, stencil, "by_offset"), compute
+        )
+
+    def workload_edges(self, workload) -> np.ndarray:
+        """Communication edges of a workload, memoized by its cache key.
+
+        The workload analogue of :meth:`edges` for requests whose
+        communication graph is not a grid x stencil product (stencil
+        programs, general graphs).  No disk tier backs this entry:
+        program edges are cheap concatenations of cached per-stage
+        enumerations, and graph edges already travel by value inside the
+        workload object.  Returned arrays are read-only shared buffers.
+        """
+
+        def compute() -> np.ndarray:
+            arr = np.ascontiguousarray(workload.comm_edges(), dtype=np.int64)
+            arr.setflags(write=False)
+            return arr
+
+        return self._edge_cache.get_or_compute(
+            ("workload", workload.cache_key()), compute
         )
 
     def seed_edges(
@@ -281,6 +312,51 @@ class EvaluationEngine:
             return perm, None
 
         key = (grid, stencil, alloc, key_spec)
+        return self._perm_cache.get_or_compute(key, compute)
+
+    def workload_permutation(
+        self,
+        workload,
+        alloc: NodeAllocation,
+        mapper: str | Mapper,
+    ) -> tuple[np.ndarray | None, str | None]:
+        """Run (or recall) a mapper on a workload instance.
+
+        The workload counterpart of :meth:`permutation`: same
+        ``(perm, None)`` / ``(None, message)`` contract, same rejection
+        memoization, same persistent ``perm`` tier (keyed by the
+        workload's content key when it has one).  Dispatches through
+        :meth:`~repro.core.Mapper.map_workload`, so Cartesian-structured
+        workloads reach the classic ``map_ranks`` and raw-graph mappers
+        get the full weighted edge multiset.
+        """
+        key_spec = spec_key(mapper)
+
+        def compute() -> tuple[np.ndarray | None, str | None]:
+            digest = self._tier_digest(
+                None, None, alloc, key_spec, workload=workload
+            )
+            store = self._disk_stores["perm"] if digest is not None else None
+            if store is not None:
+                cached = store.load(digest)
+                if isinstance(cached, tuple) and len(cached) == 2:
+                    perm, error = cached
+                    if perm is not None:
+                        perm = np.ascontiguousarray(perm)
+                        perm.setflags(write=False)
+                    return perm, error
+            try:
+                perm = resolve_mapper(mapper).map_workload(workload, alloc)
+            except MappingError as exc:
+                if store is not None:
+                    store.store(digest, (None, str(exc)))
+                return None, str(exc)
+            perm.setflags(write=False)
+            if store is not None:
+                store.store(digest, (perm, None))
+            return perm, None
+
+        key = ("workload", workload.cache_key(), alloc, key_spec)
         return self._perm_cache.get_or_compute(key, compute)
 
     # ------------------------------------------------------------------
@@ -367,10 +443,24 @@ class EvaluationEngine:
     def _evaluate_group(
         self, requests: Sequence[MappingRequest]
     ) -> list[MappingResult]:
-        """Evaluate requests sharing one ``(grid, stencil, alloc)``."""
+        """Evaluate requests sharing one instance key.
+
+        An instance is either a Cartesian ``(grid, stencil, alloc)``
+        triple or a ``(workload, alloc)`` pair; both kinds share the
+        same dedupe/stack/score structure, differing only in where the
+        edge array and the permutations come from and in how the cache
+        keys are spelled.
+        """
         first = requests[0]
         grid, stencil, alloc = first.grid, first.stencil, first.alloc
-        edges = self.edges(grid, stencil)
+        workload = first.effective_workload
+        if workload is not None:
+            edges = self.workload_edges(workload)
+            mem_base: tuple = ("workload", workload.cache_key(), alloc)
+        else:
+            edges = self.edges(grid, stencil)
+            mem_base = (grid, stencil, alloc)
+        num_processes = first.num_processes
 
         # Deduplicate: one permutation/score per distinct mapper spec
         # (or per distinct explicit perm), fanned back out afterwards.
@@ -395,11 +485,15 @@ class EvaluationEngine:
                 # per-request error instead of aborting the whole batch
                 try:
                     perm, error = (
-                        check_permutation(request.perm, grid.size),
+                        check_permutation(request.perm, num_processes),
                         None,
                     )
                 except MappingError as exc:
                     perm, error = None, str(exc)
+            elif workload is not None:
+                perm, error = self.workload_permutation(
+                    workload, alloc, request.mapper
+                )
             else:
                 perm, error = self.permutation(
                     grid, stencil, alloc, request.mapper
@@ -411,12 +505,14 @@ class EvaluationEngine:
             # Memoized costs only apply to mapper-spec requests: explicit
             # perms are keyed by object identity, which gc can recycle.
             if request.perm is None:
-                cache_key = (grid, stencil, alloc, key)
+                cache_key = mem_base + (key,)
                 cached = self._cost_cache.get(cache_key)
                 if cached is not None:
                     costs[key] = cached
                     continue
-                digest = self._tier_digest(grid, stencil, alloc, key)
+                digest = self._tier_digest(
+                    grid, stencil, alloc, key, workload=workload
+                )
                 if digest is not None:
                     value = self._disk_stores["cost"].load(digest)
                     if isinstance(value, MappingCost):
@@ -428,8 +524,8 @@ class EvaluationEngine:
 
         if to_score:
             batch = evaluate_mappings_batch(
-                grid,
-                stencil,
+                None if workload is not None else grid,
+                None if workload is not None else stencil,
                 np.stack([perm_by_key[key] for key in to_score]),
                 alloc,
                 edges=edges,
@@ -439,8 +535,10 @@ class EvaluationEngine:
                 cost.per_node.setflags(write=False)
                 costs[key] = cost
                 if requests[slots[key][0]].perm is None:
-                    self._cost_cache.put((grid, stencil, alloc, key), cost)
-                    digest = self._tier_digest(grid, stencil, alloc, key)
+                    self._cost_cache.put(mem_base + (key,), cost)
+                    digest = self._tier_digest(
+                        grid, stencil, alloc, key, workload=workload
+                    )
                     if digest is not None:
                         self._disk_stores["cost"].store(digest, cost)
         metric_values, metric_errors = self._group_metrics(
@@ -448,7 +546,8 @@ class EvaluationEngine:
             slots,
             failures,
             perm_by_key,
-            MetricContext(self, grid, stencil, alloc, edges),
+            MetricContext(self, grid, stencil, alloc, edges, workload=workload),
+            mem_base,
         )
         results: list[MappingResult] = []
         for request, key in zip(requests, keys):
@@ -486,15 +585,19 @@ class EvaluationEngine:
         failures: dict[object, str],
         perm_by_key: dict[object, np.ndarray],
         ctx: MetricContext,
+        mem_base: tuple,
     ) -> tuple[dict[tuple, dict[str, float]], dict[MetricSpec, str]]:
         """Compute the group's extra metrics, batch-level per spec.
 
         Every distinct permutation wanting a metric is stacked into one
         call of the metric implementation; mapper-spec permutations are
         memoized like costs (explicit perms are identity-keyed and not
-        cached).  A failing metric poisons only the cells that requested
-        it — the failure message lands on those results' ``error`` — so
-        one bad metric spec cannot crash a whole sweep.
+        cached).  ``mem_base`` is the group's instance cache-key prefix —
+        ``(grid, stencil, alloc)`` or ``("workload", cache_key, alloc)``
+        — so different workloads sharing a ``None`` grid never collide.
+        A failing metric poisons only the cells that requested it — the
+        failure message lands on those results' ``error`` — so one bad
+        metric spec cannot crash a whole sweep.
         """
         wanted: dict[MetricSpec, dict[object, None]] = {}
         for key, indices in slots.items():
@@ -510,13 +613,14 @@ class EvaluationEngine:
             to_compute: list[object] = []
             for key in keyset:
                 if requests[slots[key][0]].perm is None:
-                    mem_key = (ctx.grid, ctx.stencil, ctx.alloc, key, spec)
+                    mem_key = mem_base + (key, spec)
                     cached = self._metric_cache.get(mem_key)
                     if cached is not None:
                         values[(key, spec)] = cached
                         continue
                     digest = self._tier_digest(
-                        ctx.grid, ctx.stencil, ctx.alloc, key, spec
+                        ctx.grid, ctx.stencil, ctx.alloc, key, spec,
+                        workload=ctx.workload,
                     )
                     if digest is not None:
                         value = self._disk_stores["metric"].load(digest)
@@ -546,11 +650,10 @@ class EvaluationEngine:
             for key, row in zip(to_compute, rows):
                 values[(key, spec)] = row
                 if requests[slots[key][0]].perm is None:
-                    self._metric_cache.put(
-                        (ctx.grid, ctx.stencil, ctx.alloc, key, spec), row
-                    )
+                    self._metric_cache.put(mem_base + (key, spec), row)
                     digest = self._tier_digest(
-                        ctx.grid, ctx.stencil, ctx.alloc, key, spec
+                        ctx.grid, ctx.stencil, ctx.alloc, key, spec,
+                        workload=ctx.workload,
                     )
                     if digest is not None:
                         self._disk_stores["metric"].store(digest, row)

@@ -25,18 +25,31 @@ Built-in metrics
     :func:`repro.metrics.cost.weighted_cut_bytes_batch` and bit-identical
     to the serial :func:`repro.metrics.cost.weighted_cut_bytes`.  Build
     the spec with :func:`weighted_bytes_metric`.
+``topology_hop_cut``
+    The hop/contention-weighted cut of "Mapping Matters"-style machine
+    models: ``hop_cut`` (total hop-weighted inter-node traffic) and
+    ``hop_max`` (heaviest node) columns, charging each inter-node edge
+    the topology's hop distance (optionally scaled by shared up-link
+    contention).  Build the spec with :func:`topology_cut_metric`; works
+    for every workload family (it only needs the communication edges).
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any
 
 import numpy as np
 
 from ..exceptions import MappingError
-from ..kernels import weighted_cut_bytes_batch
+from ..hardware.topology import Topology, topology_from_spec
+from ..kernels import (
+    hop_weighted_cut_batch,
+    node_of_vertex_batch,
+    weighted_cut_bytes_batch,
+)
 
 __all__ = [
     "MetricSpec",
@@ -46,6 +59,7 @@ __all__ = [
     "list_metrics",
     "resolve_metric",
     "weighted_bytes_metric",
+    "topology_cut_metric",
 ]
 
 
@@ -95,17 +109,28 @@ class MetricContext:
     Exposes the group's instance (grid, stencil, allocation), the
     engine's cached plain edge array, and a memoized per-offset edge
     enumeration for metrics that weight edges by generating offset.
+    For workload requests, ``workload`` carries the workload and
+    ``grid``/``stencil`` may be ``None`` (irregular graphs have no
+    Cartesian structure).
     """
 
-    def __init__(self, engine, grid, stencil, alloc, edges: np.ndarray):
+    def __init__(self, engine, grid, stencil, alloc, edges: np.ndarray, workload=None):
         self.engine = engine
         self.grid = grid
         self.stencil = stencil
         self.alloc = alloc
         self.edges = edges
+        self.workload = workload
 
     def edges_by_offset(self) -> tuple[np.ndarray, np.ndarray]:
         """Cached ``(edges, offset_index)`` of the instance's stencil."""
+        if self.grid is None or self.stencil is None:
+            name = getattr(self.workload, "name", None)
+            raise MappingError(
+                "this metric weights edges by stencil offset, but workload "
+                f"{name!r} has no Cartesian grid/stencil structure; use a "
+                "workload-agnostic metric such as topology_cut_metric(...)"
+            )
         return self.engine.edges_by_offset(self.grid, self.stencil)
 
 
@@ -187,3 +212,134 @@ def _weighted_cut_bytes(
 
 
 register_metric("weighted_cut_bytes", _weighted_cut_bytes)
+
+
+# ----------------------------------------------------------------------
+# Built-in: topology hop/contention-weighted cut
+# ----------------------------------------------------------------------
+def _topology_spec_tuple(topology: Topology) -> tuple[str, tuple]:
+    """The stable ``(kind, params)`` encoding of *topology*.
+
+    Inverse of :func:`repro.hardware.topology.topology_from_spec`; the
+    tuple is what travels inside the :class:`MetricSpec` params, so
+    workers on any backend rebuild the identical machine model.
+    """
+    # Imported lazily by name to keep this module's import graph light.
+    from ..hardware.topology import (
+        DragonflyTopology,
+        FatTreeTopology,
+        IslandTopology,
+        SingleSwitchTopology,
+        Torus3DTopology,
+    )
+
+    if isinstance(topology, Torus3DTopology):
+        return ("torus3d", (tuple(topology.dims), topology.periodic))
+    if isinstance(topology, DragonflyTopology):
+        return (
+            "dragonfly",
+            (
+                topology.num_groups,
+                topology.routers_per_group,
+                topology.nodes_per_router,
+                topology.global_link_ratio,
+            ),
+        )
+    if isinstance(topology, FatTreeTopology):
+        return (
+            "fat_tree",
+            (
+                topology.num_nodes,
+                topology.nodes_per_switch,
+                topology.blocking_factor,
+            ),
+        )
+    if isinstance(topology, IslandTopology):
+        return (
+            "island",
+            (
+                topology.num_nodes,
+                topology.nodes_per_island,
+                topology.pruning_factor,
+            ),
+        )
+    if isinstance(topology, SingleSwitchTopology):
+        return ("single_switch", (topology.num_nodes,))
+    raise TypeError(
+        f"cannot encode topology {type(topology).__name__}; "
+        "topology_cut_metric supports the built-in topology classes"
+    )
+
+
+def topology_cut_metric(topology: Topology, *, contention: bool = False) -> MetricSpec:
+    """A ``topology_hop_cut`` spec scoring mappings against *topology*.
+
+    Each inter-node edge is charged the topology's hop distance between
+    its endpoint nodes; with ``contention`` the charge is additionally
+    divided by the up-link capacity fraction whenever the endpoints sit
+    in different leaf groups (a ``4:1``-blocked link makes cross-group
+    hops four times as expensive).  The resulting columns are
+    ``hop_cut`` (total, the natural search objective) and ``hop_max``
+    (bottleneck node).  The topology must cover at least the
+    allocation's node count; extra modelled nodes are simply unused.
+    """
+    kind, params = _topology_spec_tuple(topology)
+    return MetricSpec(
+        "topology_hop_cut",
+        params=(
+            ("contention", bool(contention)),
+            ("params", tuple(params)),
+            ("topology", kind),
+        ),
+    )
+
+
+@lru_cache(maxsize=32)
+def _node_weight_matrix(
+    kind: str, params: tuple, contention: bool
+) -> np.ndarray:
+    """The dense ``(N, N)`` float64 cost matrix of one topology spec."""
+    topology = topology_from_spec(kind, params)
+    n = topology.num_nodes
+    fraction = topology.uplink_capacity_fraction()
+    weights = np.empty((n, n), dtype=np.float64)
+    for a in range(n):
+        leaf_a = topology.leaf_of(a)
+        for b in range(n):
+            cost = float(topology.hop_distance(a, b))
+            if contention and leaf_a != topology.leaf_of(b):
+                cost /= fraction
+            weights[a, b] = cost
+    weights.setflags(write=False)
+    return weights
+
+
+def _topology_hop_cut(
+    ctx: MetricContext, perms: np.ndarray, spec: MetricSpec
+) -> list[dict[str, float]]:
+    kind = spec.param("topology")
+    params = spec.param("params")
+    if kind is None or params is None:
+        raise MappingError(
+            "topology_hop_cut needs 'topology'/'params' parameters; build "
+            "the spec with repro.engine.metrics.topology_cut_metric(...)"
+        )
+    weights = _node_weight_matrix(str(kind), tuple(params), bool(spec.param("contention", False)))
+    num_nodes = ctx.alloc.num_nodes
+    if weights.shape[0] < num_nodes:
+        raise MappingError(
+            f"topology {kind!r} models {weights.shape[0]} node(s) but the "
+            f"allocation uses {num_nodes}; size the topology to cover the "
+            "allocation"
+        )
+    nodes = node_of_vertex_batch(perms, ctx.alloc)
+    per_node = hop_weighted_cut_batch(
+        ctx.edges, nodes, weights[:num_nodes, :num_nodes]
+    )
+    return [
+        {"hop_cut": float(row.sum()), "hop_max": float(row.max())}
+        for row in per_node
+    ]
+
+
+register_metric("topology_hop_cut", _topology_hop_cut)

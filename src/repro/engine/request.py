@@ -13,6 +13,7 @@ from ..grid.grid import CartesianGrid
 from ..grid.stencil import Stencil
 from ..hardware.allocation import NodeAllocation
 from ..metrics.cost import MappingCost
+from ..workloads.base import WorkloadBase
 from .metrics import MetricSpec, as_metric_spec, list_metrics
 
 __all__ = ["MappingRequest", "MappingResult"]
@@ -20,7 +21,16 @@ __all__ = ["MappingRequest", "MappingResult"]
 
 @dataclass(frozen=True, eq=False)
 class MappingRequest:
-    """One mapping evaluation: run *mapper* on ``(grid, stencil, alloc)``.
+    """One mapping evaluation: run *mapper* on an instance.
+
+    The instance is either the classic Cartesian triple ``(grid,
+    stencil, alloc)`` or a first-class ``workload`` plus ``alloc`` — any
+    :class:`~repro.workloads.WorkloadBase` family (Cartesian, stencil
+    program, general graph).  A workload with Cartesian structure fills
+    ``grid``/``stencil`` automatically so every downstream consumer
+    keeps working; a workload whose communication graph *is* its
+    grid x stencil graph is routed through the exact same caches and
+    content keys as a plain request, bit-identical.
 
     Requests compare and hash by object identity (``eq=False``): the
     optional ``perm``/``tag`` payloads are not reliably comparable, and
@@ -32,19 +42,25 @@ class MappingRequest:
     mapper:
         A registry name (``"nodecart"``) or a configured
         :class:`~repro.core.Mapper` instance.
+    workload:
+        Optional first-class workload.  Mutually consistent with
+        ``grid``/``stencil``: leave them ``None`` (the workload supplies
+        its own structure, possibly none) or pass exactly the workload's
+        own grid/stencil.
     perm:
         Optional pre-computed permutation; when given the mapper is not
         run and only the ``Jsum``/``Jmax`` scoring happens (used to score
         externally produced mappings through the same cached pipeline).
-        Must have exactly ``grid.size`` entries; a mismatched length is
-        rejected here with a clear message instead of failing inside the
-        batch kernel.
+        Must have exactly ``num_processes`` entries; a mismatched length
+        is rejected here with a clear message instead of failing inside
+        the batch kernel.
     metrics:
         Extra batch-level metrics to compute alongside the always-on
         ``Jsum``/``Jmax`` cost: a tuple of
         :class:`~repro.engine.metrics.MetricSpec` objects or plain
         registry names (e.g. the spec built by
-        :func:`repro.engine.metrics.weighted_bytes_metric`).  Values
+        :func:`repro.engine.metrics.weighted_bytes_metric` or
+        :func:`repro.engine.metrics.topology_cut_metric`).  Values
         arrive on :attr:`MappingResult.metrics`, one ``{column: value}``
         entry per metric column.  Unknown metric names are rejected at
         construction time.
@@ -54,30 +70,63 @@ class MappingRequest:
         figure row indices, ...).
     """
 
-    grid: CartesianGrid
-    stencil: Stencil
-    alloc: NodeAllocation
-    mapper: str | Mapper
+    grid: CartesianGrid | None = None
+    stencil: Stencil | None = None
+    alloc: NodeAllocation | None = None
+    mapper: str | Mapper = "blocked"
     perm: np.ndarray | None = None
     metrics: tuple[MetricSpec, ...] = ()
     tag: Any = None
+    workload: WorkloadBase | None = None
 
     def __post_init__(self):
         # Fail malformed instances here, with a clear message, instead of
         # mid-batch from inside the engine's cache machinery.
-        if self.stencil.ndim != self.grid.ndim:
-            raise InvalidStencilError(
-                f"stencil dimensionality {self.stencil.ndim} does not match "
-                f"grid dimensionality {self.grid.ndim}"
+        if self.workload is not None:
+            if not isinstance(self.workload, WorkloadBase):
+                raise MappingError(
+                    f"workload must be a WorkloadBase, got "
+                    f"{type(self.workload).__name__} (coerce generator "
+                    "output with repro.workloads.as_workload)"
+                )
+            wgrid, wstencil = self.workload.grid, self.workload.stencil
+            if self.grid is not None and self.grid != wgrid:
+                raise MappingError(
+                    f"request grid {self.grid!r} conflicts with workload "
+                    f"{self.workload.name!r}; pass the workload alone (it "
+                    "supplies its own grid)"
+                )
+            if self.stencil is not None and self.stencil != wstencil:
+                raise MappingError(
+                    f"request stencil conflicts with workload "
+                    f"{self.workload.name!r}; pass the workload alone (it "
+                    "supplies its own stencil structure)"
+                )
+            if self.grid is None and wgrid is not None:
+                object.__setattr__(self, "grid", wgrid)
+            if self.stencil is None and wstencil is not None:
+                object.__setattr__(self, "stencil", wstencil)
+        elif self.grid is None or self.stencil is None:
+            raise MappingError(
+                "a MappingRequest needs either a workload or a "
+                "grid/stencil pair"
             )
-        self.alloc.check_matches(self.grid.size)
+        if self.alloc is None:
+            raise MappingError("a MappingRequest needs a node allocation")
+        if self.grid is not None and self.stencil is not None:
+            if self.stencil.ndim != self.grid.ndim:
+                raise InvalidStencilError(
+                    f"stencil dimensionality {self.stencil.ndim} does not "
+                    f"match grid dimensionality {self.grid.ndim}"
+                )
+        self.alloc.check_matches(self.num_processes)
         if self.perm is not None:
             shape = np.shape(self.perm)
-            if shape != (self.grid.size,):
+            if shape != (self.num_processes,):
                 raise MappingError(
                     f"explicit perm has shape {shape}, expected "
-                    f"({self.grid.size},) to match grid.size — the mapping "
-                    f"must place every grid position exactly once"
+                    f"({self.num_processes},) to match the instance — the "
+                    f"mapping must place every process exactly once"
                 )
         specs = tuple(as_metric_spec(m) for m in self.metrics)
         known = set(list_metrics())
@@ -89,13 +138,38 @@ class MappingRequest:
         object.__setattr__(self, "metrics", specs)
 
     @property
+    def num_processes(self) -> int:
+        """Process count of the instance (grid size or workload vertices)."""
+        if self.workload is not None:
+            return self.workload.num_processes
+        return self.grid.size
+
+    @property
+    def effective_workload(self) -> WorkloadBase | None:
+        """The workload the engine must treat specially, or ``None``.
+
+        ``None`` both for plain requests and for workloads whose
+        communication graph is exactly their grid x stencil graph — those
+        route through the classic Cartesian caches bit-identically.
+        """
+        if self.workload is None or self.workload.cartesian_equivalent():
+            return None
+        return self.workload
+
+    @property
     def instance_key(self) -> tuple:
-        """Hashable key of the evaluation instance (grid x stencil x alloc).
+        """Hashable key of the evaluation instance.
 
         Requests sharing this key share communication edges and the
-        rank-to-node array; the engine groups batches by it.
+        rank-to-node array; the engine groups batches by it.  Cartesian
+        requests (including Cartesian-equivalent workloads) key on
+        ``(grid, stencil, alloc)``; other workloads key on their
+        :meth:`~repro.workloads.WorkloadBase.cache_key`.
         """
-        return (self.grid, self.stencil, self.alloc)
+        workload = self.effective_workload
+        if workload is None:
+            return (self.grid, self.stencil, self.alloc)
+        return ("workload", workload.cache_key(), self.alloc)
 
     def mapper_label(self) -> str:
         """Display name of the requested mapper."""

@@ -760,11 +760,82 @@ _SEARCH_COLUMNS = [
 ]
 
 
+def _parse_topology(text: str):
+    """Build a machine topology from a CLI spec like ``torus3d:4x4x4``.
+
+    Accepted kinds: ``torus3d:XxYxZ``, ``dragonfly:G[xR[xN]]``,
+    ``fat_tree:N[xS]``, ``island:N``, ``single_switch:N``.
+    """
+    from ..hardware.topology import (
+        DragonflyTopology,
+        FatTreeTopology,
+        IslandTopology,
+        SingleSwitchTopology,
+        Torus3DTopology,
+    )
+
+    kind, _, rest = text.partition(":")
+    if not rest:
+        raise ValueError(
+            f"topology spec {text!r} needs parameters after ':' "
+            "(e.g. torus3d:4x4x4)"
+        )
+    try:
+        parts = [int(p) for p in rest.split("x")]
+    except ValueError:
+        raise ValueError(
+            f"invalid topology parameters {rest!r} in {text!r}; expected "
+            "'x'-separated integers"
+        ) from None
+    if kind == "torus3d":
+        if len(parts) != 3:
+            raise ValueError(
+                f"torus3d needs three extents (e.g. torus3d:4x4x4), got {rest!r}"
+            )
+        return Torus3DTopology(tuple(parts))
+    if kind == "dragonfly":
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(
+                f"dragonfly takes groups[xrouters[xnodes]], got {rest!r}"
+            )
+        return DragonflyTopology(*parts)
+    if kind == "fat_tree":
+        if not 1 <= len(parts) <= 2:
+            raise ValueError(
+                f"fat_tree takes nodes[xnodes_per_switch], got {rest!r}"
+            )
+        return FatTreeTopology(*parts)
+    if kind == "island":
+        if len(parts) != 1:
+            raise ValueError(f"island takes a node count, got {rest!r}")
+        return IslandTopology(parts[0])
+    if kind == "single_switch":
+        if len(parts) != 1:
+            raise ValueError(f"single_switch takes a node count, got {rest!r}")
+        return SingleSwitchTopology(parts[0])
+    raise ValueError(
+        f"unknown topology kind {kind!r}; expected torus3d, dragonfly, "
+        "fat_tree, island or single_switch"
+    )
+
+
 def _search(args, parser) -> int:
     """Race mapper candidates with the portfolio-search driver."""
-    from ..exceptions import SearchError
+    from ..engine.metrics import topology_cut_metric
+    from ..exceptions import ReproError, SearchError
     from ..search import SearchSpec, run_search
 
+    metrics: list = []
+    if args.topology is not None:
+        try:
+            topology = _parse_topology(args.topology)
+            metrics.append(
+                topology_cut_metric(topology, contention=args.contention)
+            )
+        except (ReproError, TypeError, ValueError) as exc:
+            parser.error(str(exc))
+    elif args.contention:
+        parser.error("--contention requires --topology KIND:PARAMS")
     try:
         nodes = [
             int(part) for part in args.nodes.split(",") if part.strip()
@@ -783,6 +854,7 @@ def _search(args, parser) -> int:
             [InstanceSpec.from_nodes(n, args.ppn) for n in nodes],
             **({"candidates": candidates} if candidates else {}),
             stencils=[args.family],
+            metrics=metrics,
             objective=args.objective,
             eta=args.eta,
             min_instances=args.min_instances,
@@ -1161,6 +1233,21 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="N",
         help="search: evaluated-cell budget (see --budget-seconds)",
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        metavar="KIND:PARAMS",
+        help="search: machine topology scoring every cell with the "
+        "hop-weighted cut columns hop_cut/hop_max (torus3d:4x4x4, "
+        "dragonfly:2x4x4, fat_tree:64x32, island:64, single_switch:16); "
+        "combine with --objective hop_cut",
+    )
+    parser.add_argument(
+        "--contention",
+        action="store_true",
+        help="search: also divide cross-leaf hop costs of --topology by "
+        "its up-link capacity fraction (models blocked up-links)",
     )
     parser.add_argument(
         "--clear",

@@ -10,7 +10,14 @@ not to predict absolute microseconds.
 """
 
 from .allocation import NodeAllocation
-from .topology import FatTreeTopology, IslandTopology, SingleSwitchTopology
+from .topology import (
+    DragonflyTopology,
+    FatTreeTopology,
+    IslandTopology,
+    SingleSwitchTopology,
+    Torus3DTopology,
+    topology_from_spec,
+)
 from .costmodel import CommunicationModel, NetworkParameters
 from .machines import MACHINES, Machine, juwels, supermuc_ng, vsc4
 
@@ -19,6 +26,9 @@ __all__ = [
     "FatTreeTopology",
     "IslandTopology",
     "SingleSwitchTopology",
+    "Torus3DTopology",
+    "DragonflyTopology",
+    "topology_from_spec",
     "CommunicationModel",
     "NetworkParameters",
     "Machine",

@@ -20,7 +20,15 @@ from abc import ABC, abstractmethod
 from .._validation import as_int
 from ..exceptions import ReproError
 
-__all__ = ["Topology", "SingleSwitchTopology", "FatTreeTopology", "IslandTopology"]
+__all__ = [
+    "Topology",
+    "SingleSwitchTopology",
+    "FatTreeTopology",
+    "IslandTopology",
+    "Torus3DTopology",
+    "DragonflyTopology",
+    "topology_from_spec",
+]
 
 
 class Topology(ABC):
@@ -208,3 +216,199 @@ class IslandTopology(Topology):
             f"nodes_per_island={self._nodes_per_island}, "
             f"pruning_factor={self._pruning})"
         )
+
+
+class Torus3DTopology(Topology):
+    """A 3-D torus (or mesh) of directly-connected nodes.
+
+    "Mapping Matters" studies process mapping on 3-D processor
+    topologies where message cost grows with the Manhattan link
+    distance; this models exactly that machine.  Nodes fill the
+    ``x`` x ``y`` x ``z`` box in row-major order (``z`` fastest), and
+    the hop distance is the per-axis shortest-path sum — with
+    wraparound links when ``periodic``.
+
+    Parameters
+    ----------
+    dims:
+        The three axis extents; ``num_nodes`` is their product.
+    periodic:
+        Whether each axis closes into a ring (torus) or not (mesh).
+    """
+
+    def __init__(self, dims: tuple[int, int, int], periodic: bool = True):
+        try:
+            extents = tuple(as_int(d, name="dims") for d in dims)
+        except TypeError:
+            raise ReproError(f"dims must be three axis extents, got {dims!r}") from None
+        if len(extents) != 3:
+            raise ReproError(f"a 3-D torus needs exactly 3 extents, got {len(extents)}")
+        if any(d <= 0 for d in extents):
+            raise ReproError(f"every torus extent must be positive, got {extents}")
+        super().__init__(extents[0] * extents[1] * extents[2])
+        self._dims = extents
+        self._periodic = bool(periodic)
+
+    @property
+    def dims(self) -> tuple[int, int, int]:
+        """The three axis extents."""
+        return self._dims
+
+    @property
+    def periodic(self) -> bool:
+        """``True`` for a torus, ``False`` for an open mesh."""
+        return self._periodic
+
+    def coordinates(self, node: int) -> tuple[int, int, int]:
+        """The ``(x, y, z)`` coordinates of *node* (row-major order)."""
+        node = self._check_node(node)
+        _, ny, nz = self._dims
+        return (node // (ny * nz), (node // nz) % ny, node % nz)
+
+    def hop_distance(self, a: int, b: int) -> int:
+        ca, cb = self.coordinates(a), self.coordinates(b)
+        total = 0
+        for pa, pb, extent in zip(ca, cb, self._dims):
+            delta = abs(pa - pb)
+            if self._periodic:
+                delta = min(delta, extent - delta)
+            total += delta
+        return total
+
+    def leaf_of(self, node: int) -> int:
+        # Every node owns its router: no shared leaf group.
+        return self._check_node(node)
+
+    def uplink_capacity_fraction(self) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return f"Torus3DTopology(dims={self._dims}, periodic={self._periodic})"
+
+
+class DragonflyTopology(Topology):
+    """A dragonfly: router groups joined by all-to-all global links.
+
+    Nodes fill routers contiguously and routers fill groups
+    contiguously.  Minimal routing costs 1 hop within a router, 2
+    within a group (router - router) and 3 across groups (router -
+    global link - router); the pruned global links model contention
+    like a fat tree's blocking factor.
+
+    Parameters
+    ----------
+    num_groups:
+        Number of router groups.
+    routers_per_group:
+        Routers (leaf switches) in each group.
+    nodes_per_router:
+        Compute nodes attached to each router.
+    global_link_ratio:
+        ``b`` in a ``b:1`` tapering of a group's global links: traffic
+        leaving a group shares links provisioned at ``1/b`` of the
+        group's aggregate injection bandwidth.
+    """
+
+    def __init__(
+        self,
+        num_groups: int,
+        routers_per_group: int = 4,
+        nodes_per_router: int = 4,
+        global_link_ratio: float = 1.0,
+    ):
+        num_groups = as_int(num_groups, name="num_groups")
+        routers_per_group = as_int(routers_per_group, name="routers_per_group")
+        nodes_per_router = as_int(nodes_per_router, name="nodes_per_router")
+        if num_groups <= 0 or routers_per_group <= 0 or nodes_per_router <= 0:
+            raise ReproError(
+                "num_groups, routers_per_group and nodes_per_router must all "
+                f"be positive, got ({num_groups}, {routers_per_group}, "
+                f"{nodes_per_router})"
+            )
+        if global_link_ratio < 1.0:
+            raise ReproError(
+                f"global_link_ratio must be >= 1, got {global_link_ratio}"
+            )
+        super().__init__(num_groups * routers_per_group * nodes_per_router)
+        self._num_groups = num_groups
+        self._routers_per_group = routers_per_group
+        self._nodes_per_router = nodes_per_router
+        self._global_ratio = float(global_link_ratio)
+
+    @property
+    def num_groups(self) -> int:
+        """Number of router groups."""
+        return self._num_groups
+
+    @property
+    def routers_per_group(self) -> int:
+        """Routers in one group."""
+        return self._routers_per_group
+
+    @property
+    def nodes_per_router(self) -> int:
+        """Nodes attached to one router."""
+        return self._nodes_per_router
+
+    @property
+    def global_link_ratio(self) -> float:
+        """The ``b`` of the ``b:1`` global-link tapering."""
+        return self._global_ratio
+
+    def router_of(self, node: int) -> int:
+        """Global router index of *node*."""
+        return self._check_node(node) // self._nodes_per_router
+
+    def group_of(self, node: int) -> int:
+        """Group index of *node*."""
+        return self.router_of(node) // self._routers_per_group
+
+    def hop_distance(self, a: int, b: int) -> int:
+        a, b = self._check_node(a), self._check_node(b)
+        if a == b:
+            return 0
+        if self.router_of(a) == self.router_of(b):
+            return 1
+        return 2 if self.group_of(a) == self.group_of(b) else 3
+
+    def leaf_of(self, node: int) -> int:
+        return self.router_of(node)
+
+    def uplink_capacity_fraction(self) -> float:
+        return 1.0 / self._global_ratio
+
+    def __repr__(self) -> str:
+        return (
+            f"DragonflyTopology(num_groups={self._num_groups}, "
+            f"routers_per_group={self._routers_per_group}, "
+            f"nodes_per_router={self._nodes_per_router}, "
+            f"global_link_ratio={self._global_ratio})"
+        )
+
+
+def topology_from_spec(kind: str, params: tuple) -> Topology:
+    """Build a topology from a stable ``(kind, params)`` description.
+
+    The inverse of the encoding :func:`repro.engine.topology_cut_metric`
+    stores in its :class:`~repro.engine.MetricSpec` params, so workers
+    can reconstruct the machine model from the wire format alone.
+    """
+    params = tuple(params)
+    if kind == "single_switch":
+        return SingleSwitchTopology(*params)
+    if kind == "fat_tree":
+        return FatTreeTopology(*params)
+    if kind == "island":
+        return IslandTopology(*params)
+    if kind == "torus3d":
+        if not params:
+            raise ReproError("torus3d spec needs (dims, periodic)")
+        dims = tuple(params[0]) if len(params) else ()
+        rest = params[1:]
+        return Torus3DTopology(dims, *rest)
+    if kind == "dragonfly":
+        return DragonflyTopology(*params)
+    raise ReproError(
+        f"unknown topology kind {kind!r}; expected one of single_switch, "
+        "fat_tree, island, torus3d, dragonfly"
+    )

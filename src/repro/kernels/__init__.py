@@ -1,9 +1,9 @@
 """Pluggable kernel-dispatch tier for the batch cost kernels.
 
 Every execution tier — thread, process, cluster, service — bottoms out
-in the same four hot kernels (:func:`node_of_vertex_batch`,
+in the same hot kernels (:func:`node_of_vertex_batch`,
 :func:`per_node_cut_batch`, :func:`evaluate_mappings_batch`,
-:func:`weighted_cut_bytes_batch`).  This package turns them into a
+:func:`weighted_cut_bytes_batch`, :func:`hop_weighted_cut_batch`).  This package turns them into a
 dispatch seam in the style of StencilFlow's library node — a registry of
 named, interchangeable implementations — so the inner loop can be swapped
 without touching any call site:
@@ -72,6 +72,7 @@ __all__ = [
     "per_node_cut_batch",
     "evaluate_mappings_batch",
     "weighted_cut_bytes_batch",
+    "hop_weighted_cut_batch",
 ]
 
 #: Environment variable naming the default kernel implementation.
@@ -88,11 +89,11 @@ AUTO = "auto"
 class KernelImplementation:
     """One named, interchangeable implementation of the low-level kernels.
 
-    The three callables cover the hot inner loops; everything around
-    them (validation, edge enumeration, ``MappingCost`` wrapping, the
-    final ``sum``/``max`` reductions) is shared dispatch-wrapper code,
-    which is what makes bit-identity between implementations a property
-    of the traversal alone.
+    The callables cover the hot inner loops; everything around them
+    (validation, edge enumeration, ``MappingCost`` wrapping, the final
+    ``sum``/``max`` reductions) is shared dispatch-wrapper code, which
+    is what makes bit-identity between implementations a property of
+    the traversal alone.
 
     ``scatter_nodes(perms, node_of_ranks) -> (b, p) int64``
         Node index of each grid vertex per mapping row.
@@ -101,6 +102,12 @@ class KernelImplementation:
     ``weighted_cut(edges, vertex_nodes, num_nodes, edge_bytes) -> (b, N) float64``
         Outgoing inter-node bytes per node per row, accumulated in edge
         order (the reference float association).
+    ``hop_weighted_cut(edges, vertex_nodes, node_weights) -> (b, N) float64``
+        Outgoing inter-node cost per node per row under a per-node-pair
+        weight matrix (hop/contention cost models), accumulated in edge
+        order like ``weighted_cut``.  ``None`` (the default, for
+        third-party implementations predating the kernel) dispatches to
+        the reference traversal.
     """
 
     name: str
@@ -110,6 +117,9 @@ class KernelImplementation:
     weighted_cut: Callable[
         [np.ndarray, np.ndarray, int, np.ndarray], np.ndarray
     ]
+    hop_weighted_cut: (
+        Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None
+    ) = None
 
 
 class KernelRegistry:
@@ -216,6 +226,7 @@ REGISTRY.register(
         scatter_nodes=reference.scatter_nodes,
         cut_counts=reference.cut_counts,
         weighted_cut=reference.weighted_cut,
+        hop_weighted_cut=reference.hop_weighted_cut,
     )
 )
 REGISTRY.register(
@@ -225,6 +236,7 @@ REGISTRY.register(
         scatter_nodes=blocked.scatter_nodes,
         cut_counts=blocked.cut_counts,
         weighted_cut=blocked.weighted_cut,
+        hop_weighted_cut=blocked.hop_weighted_cut,
     )
 )
 if numba_impl.AVAILABLE:  # pragma: no cover - container has no numba
@@ -235,6 +247,7 @@ if numba_impl.AVAILABLE:  # pragma: no cover - container has no numba
             scatter_nodes=numba_impl.scatter_nodes,
             cut_counts=numba_impl.cut_counts,
             weighted_cut=numba_impl.weighted_cut,
+            hop_weighted_cut=numba_impl.hop_weighted_cut,
         )
     )
 
@@ -344,10 +357,18 @@ def evaluate_mappings_batch(
     Equivalent to ``[evaluate_mapping(grid, stencil, p, alloc) for p in
     perms]`` but scores the whole batch through the selected kernel
     implementation, sharing one edge enumeration and one gather across
-    all mappings.  ``edges`` accepts a cached edge array.
+    all mappings.  ``edges`` accepts a cached edge array; with one
+    supplied, ``grid``/``stencil`` may be ``None`` (general-workload
+    requests have no Cartesian structure to enumerate from).
     """
-    alloc.check_matches(grid.size)
+    if grid is not None:
+        alloc.check_matches(grid.size)
     if edges is None:
+        if grid is None:
+            raise MappingError(
+                "evaluate_mappings_batch needs a grid/stencil pair or a "
+                "precomputed edges array"
+            )
         edges = communication_edges(grid, stencil)
     nodes = node_of_vertex_batch(perms, alloc, impl=impl)
     cuts = per_node_cut_batch(edges, nodes, alloc.num_nodes, impl=impl)
@@ -392,3 +413,49 @@ def weighted_cut_bytes_batch(
     return [
         (float(per_node[i].sum()), float(per_node[i].max())) for i in range(b)
     ]
+
+
+def hop_weighted_cut_batch(
+    edges: np.ndarray,
+    vertex_nodes: np.ndarray,
+    node_weights: np.ndarray,
+    *,
+    impl: str | None = None,
+) -> np.ndarray:
+    """Per-node weighted cut under a node-pair weight matrix.
+
+    ``node_weights`` is an ``(N, N)`` float64 matrix charging each
+    inter-node edge ``W[src_node, dst_node]`` — hop distances, or
+    contention-scaled hop distances, of a
+    :class:`~repro.hardware.Topology`.  The result has shape ``(b, N)``:
+    row ``i``, column ``n`` is the total weighted cost of node ``n``'s
+    outgoing inter-node edges under mapping ``i``, accumulated in edge
+    order (the reference float association, bit-identical across every
+    registered implementation).  Intra-node edges never contribute,
+    whatever the matrix diagonal holds.
+    """
+    vertex_nodes = np.asarray(vertex_nodes, dtype=np.int64)
+    if vertex_nodes.ndim != 2:
+        raise MappingError(
+            f"vertex_nodes must be 2-d (b, p), got shape {vertex_nodes.shape}"
+        )
+    node_weights = np.ascontiguousarray(node_weights, dtype=np.float64)
+    if node_weights.ndim != 2 or node_weights.shape[0] != node_weights.shape[1]:
+        raise MappingError(
+            f"node_weights must be a square (N, N) matrix, got shape "
+            f"{node_weights.shape}"
+        )
+    b = vertex_nodes.shape[0]
+    num_nodes = node_weights.shape[0]
+    if vertex_nodes.size and int(vertex_nodes.max()) >= num_nodes:
+        raise MappingError(
+            f"vertex_nodes reference node {int(vertex_nodes.max())} but "
+            f"node_weights covers only {num_nodes} node(s)"
+        )
+    if edges.size == 0 or b == 0:
+        return np.zeros((b, num_nodes), dtype=np.float64)
+    kernel = resolve_kernels(impl)
+    fn = kernel.hop_weighted_cut
+    if fn is None:
+        fn = REGISTRY.get(DEFAULT_KERNEL).hop_weighted_cut
+    return fn(edges, vertex_nodes, node_weights)

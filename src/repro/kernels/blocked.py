@@ -21,9 +21,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from .reference import scatter_nodes, weighted_cut as _reference_weighted_cut
+from .reference import (
+    hop_weighted_cut as _reference_hop_weighted_cut,
+    scatter_nodes,
+    weighted_cut as _reference_weighted_cut,
+)
 
-__all__ = ["scatter_nodes", "cut_counts", "weighted_cut"]
+__all__ = ["scatter_nodes", "cut_counts", "weighted_cut", "hop_weighted_cut"]
 
 #: Edges per tile of the integer kernel: three int64 gather products of
 #: ``ROW_BLOCK x EDGE_TILE`` stay within a few MiB of cache.
@@ -75,5 +79,28 @@ def weighted_cut(
         rhi = min(rlo + ROW_BLOCK, b)
         out[rlo:rhi] = _reference_weighted_cut(
             edges, vertex_nodes[rlo:rhi], num_nodes, edge_bytes
+        )
+    return out
+
+
+def hop_weighted_cut(
+    edges: np.ndarray,
+    vertex_nodes: np.ndarray,
+    node_weights: np.ndarray,
+) -> np.ndarray:
+    """Node-pair-weighted cut in cache-sized row blocks.
+
+    Float64 like :func:`weighted_cut`, so only the *row* dimension may
+    be blocked: each row's weighted ``bincount`` is independent of how
+    rows are grouped, while edge tiling would reassociate the float
+    accumulation and drift from the reference bits.
+    """
+    b = vertex_nodes.shape[0]
+    num_nodes = node_weights.shape[0]
+    out = np.empty((b, num_nodes), dtype=np.float64)
+    for rlo in range(0, b, ROW_BLOCK):
+        rhi = min(rlo + ROW_BLOCK, b)
+        out[rlo:rhi] = _reference_hop_weighted_cut(
+            edges, vertex_nodes[rlo:rhi], node_weights
         )
     return out

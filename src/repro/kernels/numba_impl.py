@@ -54,6 +54,15 @@ if AVAILABLE:  # pragma: no cover - exercised only where numba is installed
                 if s != vertex_nodes[i, dst[e]]:
                     out[i, s] += edge_bytes[e]
 
+    @njit(cache=True, parallel=True)
+    def _hop_weighted_cut(src, dst, vertex_nodes, node_weights, out):
+        for i in prange(vertex_nodes.shape[0]):
+            for e in range(src.shape[0]):
+                s = vertex_nodes[i, src[e]]
+                d = vertex_nodes[i, dst[e]]
+                if s != d:
+                    out[i, s] += node_weights[s, d]
+
 
 def scatter_nodes(
     perms: np.ndarray, node_of_ranks: np.ndarray
@@ -90,6 +99,22 @@ def weighted_cut(
         np.ascontiguousarray(edges[:, 1]),
         np.ascontiguousarray(vertex_nodes),
         np.ascontiguousarray(edge_bytes, dtype=np.float64),
+        out,
+    )
+    return out
+
+
+def hop_weighted_cut(
+    edges: np.ndarray,
+    vertex_nodes: np.ndarray,
+    node_weights: np.ndarray,
+) -> np.ndarray:  # pragma: no cover - exercised only where numba is installed
+    out = np.zeros((vertex_nodes.shape[0], node_weights.shape[0]), dtype=np.float64)
+    _hop_weighted_cut(
+        np.ascontiguousarray(edges[:, 0]),
+        np.ascontiguousarray(edges[:, 1]),
+        np.ascontiguousarray(vertex_nodes),
+        np.ascontiguousarray(node_weights, dtype=np.float64),
         out,
     )
     return out

@@ -81,3 +81,36 @@ def weighted_cut(
             flat, weights=flat_bytes, minlength=(hi - lo) * num_nodes
         ).reshape(hi - lo, num_nodes)
     return out
+
+
+def hop_weighted_cut(
+    edges: np.ndarray,
+    vertex_nodes: np.ndarray,
+    node_weights: np.ndarray,
+) -> np.ndarray:
+    """Per-node outgoing cost under a node-pair weight matrix.
+
+    Like :func:`weighted_cut`, but the weight of an edge is looked up
+    from ``node_weights[src_node, dst_node]`` — the hop/contention cost
+    the interconnect charges that node pair.  Each row's weighted
+    ``bincount`` accumulates in edge order (the float association every
+    other implementation must reproduce exactly).
+    """
+    b = vertex_nodes.shape[0]
+    m = edges.shape[0]
+    num_nodes = node_weights.shape[0]
+    out = np.empty((b, num_nodes), dtype=np.float64)
+    step = max(1, BATCH_CELL_LIMIT // max(1, m))
+    for lo in range(0, b, step):
+        hi = min(lo + step, b)
+        chunk = vertex_nodes[lo:hi]
+        src_nodes = chunk[:, edges[:, 0]]  # (rows, m)
+        dst_nodes = chunk[:, edges[:, 1]]
+        cut = src_nodes != dst_nodes
+        rows = np.arange(hi - lo, dtype=np.int64)[:, None]
+        flat = (src_nodes + rows * num_nodes)[cut]
+        flat_weights = node_weights[src_nodes[cut], dst_nodes[cut]]
+        out[lo:hi] = np.bincount(
+            flat, weights=flat_weights, minlength=(hi - lo) * num_nodes
+        ).reshape(hi - lo, num_nodes)
+    return out

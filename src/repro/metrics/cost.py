@@ -38,6 +38,8 @@ __all__ = [
     "reduction_over_blocked",
     "weighted_cut_bytes",
     "weighted_cut_bytes_batch",
+    "hop_weighted_cut",
+    "hop_weighted_cut_batch",
 ]
 
 def check_permutation(perm: np.ndarray, size: int) -> np.ndarray:
@@ -305,6 +307,47 @@ def weighted_cut_bytes_batch(
         edges=edges,
         offset_index=offset_index,
     )
+
+
+def hop_weighted_cut(
+    edges: np.ndarray,
+    perm: np.ndarray,
+    alloc: NodeAllocation,
+    node_weights: np.ndarray,
+) -> tuple[float, float]:
+    """Topology-weighted cut: ``(total hop cost, bottleneck hop cost)``.
+
+    Each directed inter-node edge is charged
+    ``node_weights[src_node, dst_node]`` — e.g. the hop-distance (or
+    contention-scaled) matrix of a :class:`~repro.hardware.Topology`.
+    Works on any edge array, so it covers every workload family, not
+    just grid x stencil graphs.  A batch of one of
+    :func:`hop_weighted_cut_batch`, so the serial and batched paths are
+    bit-identical by construction.
+    """
+    perm = check_permutation(perm, alloc.total_processes)
+    per_node = hop_weighted_cut_batch(edges, perm[None, :], alloc, node_weights)
+    return float(per_node[0].sum()), float(per_node[0].max())
+
+
+def hop_weighted_cut_batch(
+    edges: np.ndarray,
+    perms: np.ndarray,
+    alloc: NodeAllocation,
+    node_weights: np.ndarray,
+) -> np.ndarray:
+    """Per-node topology-weighted cuts for a stack of mappings.
+
+    Returns a ``(b, num_nodes)`` float64 array; row ``i``, column ``n``
+    is the total weighted cost of node ``n``'s outgoing inter-node
+    edges under mapping ``i``.  Dispatches through the selected kernel
+    implementation (:mod:`repro.kernels`); accumulation follows the
+    reference edge order, so every implementation is bit-identical.
+    """
+    from .. import kernels
+
+    nodes = kernels.node_of_vertex_batch(perms, alloc)
+    return kernels.hop_weighted_cut_batch(edges, nodes, node_weights)
 
 
 def reduction_over_blocked(cost: MappingCost, blocked_cost: MappingCost) -> tuple[float, float]:

@@ -56,10 +56,12 @@ from .grid.stencil import (
     nearest_neighbor_with_hops,
 )
 from .hardware.allocation import NodeAllocation
+from .workloads.base import WorkloadBase
 
 __all__ = [
     "STENCIL_FAMILIES",
     "DEFAULT_MAPPER_NAMES",
+    "WORKLOAD_AXIS",
     "InstanceSpec",
     "CellOverride",
     "SweepCell",
@@ -91,6 +93,10 @@ DEFAULT_MAPPER_NAMES: tuple[str, ...] = (
     "random",
 )
 
+#: Stencil-axis sentinel for workload instances: the cell evaluates the
+#: instance's own workload instead of crossing it with a stencil family.
+WORKLOAD_AXIS = "workload"
+
 
 # ----------------------------------------------------------------------
 # Axes
@@ -102,12 +108,19 @@ class InstanceSpec:
     ``params`` is a tuple of ``(key, value)`` pairs surfaced on every
     result row (e.g. ``num_nodes``) so post-processing can group and
     pivot without re-parsing labels.
+
+    A *workload instance* (built with :meth:`from_workload`) carries a
+    first-class :class:`~repro.workloads.WorkloadBase` instead of being
+    crossed with the stencil axis; pair it with the
+    :data:`WORKLOAD_AXIS` stencil-axis sentinel.  Its ``grid`` is the
+    workload's own grid, or ``None`` for irregular general graphs.
     """
 
-    grid: CartesianGrid
+    grid: CartesianGrid | None
     alloc: NodeAllocation
     label: str
     params: tuple[tuple[str, Any], ...] = ()
+    workload: WorkloadBase | None = None
 
     @classmethod
     def from_nodes(
@@ -138,13 +151,51 @@ class InstanceSpec:
         )
 
     @classmethod
+    def from_workload(
+        cls,
+        workload: WorkloadBase,
+        alloc: NodeAllocation,
+        *,
+        label: str | None = None,
+        params: tuple[tuple[str, Any], ...] = (),
+    ) -> "InstanceSpec":
+        """A workload instance: any workload family plus its allocation.
+
+        The instance's cells evaluate the workload's own communication
+        graph; pair it with the :data:`WORKLOAD_AXIS` stencil-axis
+        sentinel (mixing it with a Cartesian stencil family produces an
+        actionable error cell instead).
+        """
+        if not isinstance(workload, WorkloadBase):
+            raise TypeError(
+                f"from_workload needs a WorkloadBase, got "
+                f"{type(workload).__name__} (coerce generator output with "
+                "repro.workloads.as_workload)"
+            )
+        base = (
+            ("num_nodes", alloc.num_nodes),
+            ("workload", workload.name),
+        )
+        keys = {key for key, _ in params}
+        merged = tuple(params) + tuple(
+            (key, value) for key, value in base if key not in keys
+        )
+        return cls(
+            grid=workload.grid,
+            alloc=alloc,
+            label=label or workload.name,
+            params=merged,
+            workload=workload,
+        )
+
+    @classmethod
     def coerce(cls, value) -> "InstanceSpec":
         """Accept the shapes drivers naturally hold.
 
         * an :class:`InstanceSpec` (returned unchanged),
         * an :class:`~repro.experiments.instances.Instance`-like object
           (``grid``/``allocation`` attributes plus a ``label()``),
-        * a ``(grid, alloc)`` pair,
+        * a ``(grid, alloc)`` or ``(workload, alloc)`` pair,
         * an ``int`` node count (48 processes per node, 2-d).
         """
         if isinstance(value, cls):
@@ -165,6 +216,8 @@ class InstanceSpec:
             return cls.from_nodes(value)
         if isinstance(value, tuple) and len(value) == 2:
             grid, alloc = value
+            if isinstance(grid, WorkloadBase):
+                return cls.from_workload(grid, alloc)
             return cls(
                 grid=grid,
                 alloc=alloc,
@@ -177,8 +230,15 @@ class InstanceSpec:
         )
 
 
-def _stencil_axis(value) -> tuple[str, Callable[[int], Stencil] | Stencil]:
-    """Normalise one stencil-axis entry to ``(name, factory-or-stencil)``."""
+def _stencil_axis(value) -> tuple[str, Callable[[int], Stencil] | Stencil | None]:
+    """Normalise one stencil-axis entry to ``(name, factory-or-stencil)``.
+
+    ``None`` or the string ``"workload"`` is the :data:`WORKLOAD_AXIS`
+    sentinel (value ``None``): cells on this entry evaluate the
+    instance's own workload instead of a grid x stencil product.
+    """
+    if value is None or value == WORKLOAD_AXIS:
+        return WORKLOAD_AXIS, None
     if isinstance(value, str):
         try:
             return value, STENCIL_FAMILIES[value]
@@ -272,8 +332,10 @@ class SweepSpec:
     stencils:
         Stencil-axis entries: family names from :data:`STENCIL_FAMILIES`
         (resolved against each instance's dimensionality), concrete
-        :class:`~repro.grid.stencil.Stencil` objects, or ``(name,
-        stencil_or_factory)`` pairs.
+        :class:`~repro.grid.stencil.Stencil` objects, ``(name,
+        stencil_or_factory)`` pairs, or the :data:`WORKLOAD_AXIS`
+        sentinel (``"workload"``/``None``) under which each workload
+        instance evaluates its own communication graph.
     mappers:
         Mapper-axis entries: registry names, configured
         :class:`~repro.core.Mapper` instances, ``(name, mapper)`` pairs,
@@ -402,6 +464,7 @@ class SweepSpec:
         resolve_stencil,
         mapper_name: str,
         mapper_spec,
+        is_workload_axis: bool = False,
     ) -> SweepCell:
         metrics = self.metrics
         tags = dict(self.tags)
@@ -426,16 +489,57 @@ class SweepSpec:
                 tags=tags,
                 error="skipped by override",
             )
-        try:
-            stencil = resolve_stencil()
-            request = MappingRequest(
-                grid=instance.grid,
-                stencil=stencil,
-                alloc=alloc,
-                mapper=mapper_spec,
-                metrics=metrics,
-                tag=index,
+        # The workload and stencil axes must agree per cell; a mismatch
+        # is an actionable error cell naming the offending labels, not a
+        # crash (and not a silently wrong evaluation).
+        mismatch: str | None = None
+        if instance.workload is not None and not is_workload_axis:
+            mismatch = (
+                f"workload instance {instance.label!r} cannot be crossed "
+                f"with stencil axis entry {stencil_name!r}: the workload "
+                f"({instance.workload.name!r}) supplies its own "
+                f"communication structure; list {WORKLOAD_AXIS!r} on the "
+                "stencil axis for this instance (or split workload and "
+                "Cartesian instances into separate sweeps)"
             )
+        elif is_workload_axis and instance.workload is None:
+            mismatch = (
+                f"stencil axis entry {WORKLOAD_AXIS!r} needs workload "
+                f"instances, but instance {instance.label!r} is a plain "
+                "grid instance; build workload instances with "
+                "InstanceSpec.from_workload(...) (or drop the "
+                f"{WORKLOAD_AXIS!r} axis entry)"
+            )
+        if mismatch is not None:
+            return SweepCell(
+                index=index,
+                instance=instance,
+                stencil=stencil_name,
+                mapper=mapper_name,
+                mapper_spec=mapper_spec,
+                metrics=metrics,
+                tags=tags,
+                error=mismatch,
+            )
+        try:
+            if is_workload_axis:
+                request = MappingRequest(
+                    workload=instance.workload,
+                    alloc=alloc,
+                    mapper=mapper_spec,
+                    metrics=metrics,
+                    tag=index,
+                )
+            else:
+                stencil = resolve_stencil()
+                request = MappingRequest(
+                    grid=instance.grid,
+                    stencil=stencil,
+                    alloc=alloc,
+                    mapper=mapper_spec,
+                    metrics=metrics,
+                    tag=index,
+                )
         except (ReproError, KeyError, TypeError, ValueError) as exc:
             # a malformed cell must not abort the other cells of the sweep
             return SweepCell(
@@ -470,9 +574,11 @@ class SweepSpec:
                     if self.allocations is None
                     else list(self.allocations)
                 )
-                ndim = instance.grid.ndim
+                ndim = 0 if instance.grid is None else instance.grid.ndim
                 for alloc_label, alloc in alloc_axis:
-                    for axis_index, (stencil_name, _) in enumerate(self.stencils):
+                    for axis_index, (stencil_name, axis_value) in enumerate(
+                        self.stencils
+                    ):
                         def resolve_stencil(i=axis_index, d=ndim):
                             return self._resolve_stencil(i, d, stencil_cache)
 
@@ -487,6 +593,7 @@ class SweepSpec:
                                     resolve_stencil,
                                     mapper_name,
                                     mapper_spec,
+                                    is_workload_axis=axis_value is None,
                                 )
                             )
             self._cells = tuple(cells)

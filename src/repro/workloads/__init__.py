@@ -10,8 +10,24 @@ subpackage generates the workloads that populate that comparison space:
   (processes talk mostly within groups, as in multi-physics couplings),
 * :func:`halo_exchange_volume` — byte-volume annotation of stencil
   workloads for weighted experiments.
+
+The workload *families* (:mod:`repro.workloads.base`) promote those raw
+edge sets to first-class sweep citizens: :class:`CartesianWorkload`
+(grid x stencil, bit-identical to the classic path),
+:class:`StencilProgramWorkload` (multi-stage stencil programs whose
+per-stage halo exchanges merge into one weighted communication graph)
+and :class:`GraphWorkload` (irregular general graphs).  Any of them can
+ride a :class:`~repro.engine.MappingRequest` or an
+:class:`~repro.sweep.InstanceSpec` through every backend.
 """
 
+from .base import (
+    CartesianWorkload,
+    GraphWorkload,
+    StencilProgramWorkload,
+    WorkloadBase,
+    as_workload,
+)
 from .generators import (
     Workload,
     clustered_workload,
@@ -21,6 +37,11 @@ from .generators import (
 )
 
 __all__ = [
+    "WorkloadBase",
+    "CartesianWorkload",
+    "StencilProgramWorkload",
+    "GraphWorkload",
+    "as_workload",
     "Workload",
     "stencil_workload",
     "random_sparse_workload",

@@ -46,7 +46,7 @@ class TestPublicExports:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_mapper_registry(self):
         names = repro.available_mappers()

@@ -374,7 +374,7 @@ class TestEvaluationEngine:
         message instead of surfacing from inside the batch kernel."""
         grid, stencil, alloc = instance
         short = np.arange(grid.size - 1, dtype=np.int64)
-        with pytest.raises(MappingError, match="grid.size"):
+        with pytest.raises(MappingError, match="every process exactly once"):
             MappingRequest(grid, stencil, alloc, "blocked", perm=short)
 
     def test_results_hash_by_identity(self, instance):

@@ -23,6 +23,7 @@ from repro.kernels import (
     KernelImplementation,
     KernelRegistry,
     evaluate_mappings_batch,
+    hop_weighted_cut_batch,
     node_of_vertex_batch,
     per_node_cut_batch,
     weighted_cut_bytes_batch,
@@ -115,6 +116,63 @@ def test_batch_matches_serial_evaluation(impl):
             grid, stencil, row, alloc, volumes
         )
         assert (total, bottleneck) == (serial_total, serial_bottleneck)
+
+
+@pytest.mark.parametrize("impl", NON_REFERENCE)
+@given(grids(max_ndim=3, max_size=96), st.data())
+@settings(max_examples=30, deadline=None)
+def test_hop_weighted_kernel_bit_identical(impl, grid, data):
+    """The topology-weighted cut reproduces the reference bit pattern
+    on random hop matrices (same ``tobytes`` discipline as the other
+    float64 kernel)."""
+    stencil = data.draw(stencils_for(grid.ndim))
+    alloc = data.draw(allocations_for(grid.size))
+    perms = random_perms(grid.size, data.draw(st.integers(1, 4)), seed=7)
+    nodes = node_of_vertex_batch(perms, alloc)
+    rng = np.random.default_rng(13)
+    n = alloc.num_nodes
+    weights = rng.uniform(0.0, 9.0, size=(n, n))
+    edges = repro.communication_edges(grid, stencil)
+    ref = hop_weighted_cut_batch(edges, nodes, weights, impl="reference")
+    got = hop_weighted_cut_batch(edges, nodes, weights, impl=impl)
+    assert got.dtype == ref.dtype and got.shape == ref.shape
+    assert ref.tobytes() == got.tobytes()
+
+
+def test_hop_weighted_cut_validation_and_empties():
+    alloc = repro.NodeAllocation.homogeneous(4, 4)
+    nodes = node_of_vertex_batch(random_perms(16, 2, seed=1), alloc)
+    eye = np.eye(4)
+    no_edges = np.empty((0, 2), dtype=np.int64)
+    out = hop_weighted_cut_batch(no_edges, nodes, eye)
+    assert out.shape == (2, 4) and not out.any()
+    from repro.exceptions import MappingError
+
+    edges = np.array([[0, 1]], dtype=np.int64)
+    with pytest.raises(MappingError, match="square"):
+        hop_weighted_cut_batch(edges, nodes, np.ones((4, 3)))
+    with pytest.raises(MappingError, match="covers only"):
+        hop_weighted_cut_batch(edges, nodes, np.ones((2, 2)))
+    with pytest.raises(MappingError, match="2-d"):
+        hop_weighted_cut_batch(edges, nodes[0], eye)
+
+
+def test_hop_weighted_cut_matches_manual_sum():
+    """Cross-check the kernel against a direct per-edge loop."""
+    grid = repro.CartesianGrid([4, 4])
+    stencil = repro.nearest_neighbor(2)
+    alloc = repro.NodeAllocation.homogeneous(4, 4)
+    edges = repro.communication_edges(grid, stencil)
+    perms = random_perms(16, 3, seed=21)
+    nodes = node_of_vertex_batch(perms, alloc)
+    weights = np.random.default_rng(3).uniform(0.5, 4.0, size=(4, 4))
+    out = hop_weighted_cut_batch(edges, nodes, weights)
+    for row, result in zip(nodes, out):
+        manual = np.zeros(4)
+        for u, v in edges:
+            if row[u] != row[v]:
+                manual[row[u]] += weights[row[u], row[v]]
+        assert np.allclose(result, manual)
 
 
 @pytest.mark.parametrize("impl", NON_REFERENCE)

@@ -155,6 +155,26 @@ class TestRacing:
         assert result.complete
         assert result.best_row is not None
 
+    def test_topology_hop_cut_as_objective(self):
+        """The hop-weighted cut drives candidate selection end to end:
+        the winner is the exhaustive argmin of the ``hop_cut`` column."""
+        import repro
+
+        metric = repro.topology_cut_metric(repro.Torus3DTopology((3, 3, 3)))
+        spec = _spec(
+            nodes=(4, 8, 16, 27),
+            metrics=[metric],
+            objective="hop_cut",
+        )
+        result = run_search(spec)
+        assert result.complete
+        exhaustive = run(spec.base)
+        totals = {
+            mapper: sum(row.metrics["hop_cut"] for row in rows if row.ok)
+            for mapper, rows in exhaustive.ok().group_by("mapper").items()
+        }
+        assert result.winner == min(totals, key=totals.get)
+
     def test_early_cancel_evaluates_fewer_cells_than_exhaustive(self):
         spec = _spec(nodes=(4, 8, 12, 16, 20, 27, 32, 45))
         result = run_search(spec, backend=_SlowBackend())

@@ -22,7 +22,14 @@ from repro.engine import EvaluationEngine, ThreadBackend, weighted_bytes_metric
 from repro.engine.metrics import as_metric_spec, register_metric
 from repro.experiments.instances import Instance
 from repro.metrics.cost import weighted_cut_bytes
-from repro.workloads import halo_exchange_volume
+from repro.sweep import WORKLOAD_AXIS
+from repro.workloads import (
+    CartesianWorkload,
+    StencilProgramWorkload,
+    as_workload,
+    halo_exchange_volume,
+    random_sparse_workload,
+)
 
 
 def small_spec(**kwargs) -> SweepSpec:
@@ -376,6 +383,149 @@ class TestRun:
         assert not row.ok
         assert "boom" in row.error
         assert row.jsum is not None  # the cost still computed
+
+
+def workload_spec(**kwargs) -> SweepSpec:
+    """Three workload families on the workload axis, 16 processes."""
+    alloc = NodeAllocation.homogeneous(4, 4)
+    grid = repro.CartesianGrid([4, 4])
+    nn = repro.nearest_neighbor(2)
+    return SweepSpec(
+        instances=[
+            InstanceSpec.from_workload(
+                CartesianWorkload(grid, nn), alloc, label="cartesian"
+            ),
+            InstanceSpec.from_workload(
+                StencilProgramWorkload(grid, [("a", nn), ("b", nn)]),
+                alloc,
+                label="program",
+            ),
+            InstanceSpec.from_workload(
+                as_workload(random_sparse_workload(16, 3, seed=4)),
+                alloc,
+                label="graph",
+            ),
+        ],
+        stencils=[WORKLOAD_AXIS],
+        mappers=["blocked", "graphmap"],
+        **kwargs,
+    )
+
+
+class TestWorkloadAxis:
+    def test_from_workload_labels_and_params(self):
+        alloc = NodeAllocation.homogeneous(4, 4)
+        w = CartesianWorkload(repro.CartesianGrid([4, 4]), repro.nearest_neighbor(2))
+        spec = InstanceSpec.from_workload(w, alloc)
+        assert spec.label == w.name
+        assert dict(spec.params)["workload"] == w.name
+        assert spec.workload is w and spec.grid == w.grid
+        with pytest.raises(TypeError, match="as_workload"):
+            InstanceSpec.from_workload(random_sparse_workload(16, 3, seed=1), alloc)
+
+    def test_coerce_workload_pair(self):
+        alloc = NodeAllocation.homogeneous(4, 4)
+        w = as_workload(random_sparse_workload(16, 3, seed=1))
+        spec = InstanceSpec.coerce((w, alloc))
+        assert spec.workload is w and spec.grid is None
+
+    def test_rows_and_structured_graph_split(self):
+        results = run(workload_spec())
+        assert len(results) == 6
+        by = {(r.instance, r.mapper): r for r in results}
+        # structured families evaluate everywhere; the irregular graph
+        # needs graphmap and surfaces an actionable error elsewhere
+        assert by[("cartesian", "blocked")].ok
+        assert by[("program", "graphmap")].ok
+        assert by[("graph", "graphmap")].ok
+        graph_blocked = by[("graph", "blocked")]
+        assert not graph_blocked.ok and "graphmap" in graph_blocked.error
+        # stage multiplicity doubles the shared-exchange cost
+        assert (
+            by[("program", "blocked")].jsum
+            == 2 * by[("cartesian", "blocked")].jsum
+        )
+
+    def test_byte_identical_across_backends(self):
+        spec = workload_spec()
+        serial = run(spec, backend="serial")
+        with ThreadBackend(max_workers=2) as threads:
+            threaded = run(spec, backend=threads)
+        assert serial.to_json(indent=None) == threaded.to_json(indent=None)
+        process = run(spec, backend="process:2")
+        assert serial.to_json(indent=None) == process.to_json(indent=None)
+
+    def test_workload_instance_on_stencil_axis_is_actionable_error(self):
+        """Satellite: crossing a workload instance with a named stencil
+        axis produces an error cell naming the offending labels."""
+        alloc = NodeAllocation.homogeneous(4, 4)
+        w = as_workload(random_sparse_workload(16, 3, seed=4))
+        spec = SweepSpec(
+            instances=[InstanceSpec.from_workload(w, alloc, label="mygraph")],
+            stencils=["nearest_neighbor"],
+            mappers=["blocked"],
+        )
+        (cell,) = spec.cells()
+        assert cell.request is None
+        assert "mygraph" in cell.error
+        assert "nearest_neighbor" in cell.error
+        assert WORKLOAD_AXIS in cell.error  # tells the user the fix
+
+    def test_plain_instance_on_workload_axis_is_actionable_error(self):
+        spec = SweepSpec(
+            instances=[InstanceSpec.from_nodes(4, 4)],
+            stencils=[WORKLOAD_AXIS],
+            mappers=["blocked"],
+        )
+        (cell,) = spec.cells()
+        assert cell.request is None
+        assert "N4_n4_2d" in cell.error
+        assert "from_workload" in cell.error
+
+    def test_fingerprint_stable_across_reconstruction(self):
+        """Independently rebuilt equal workloads fingerprint alike: the
+        service daemon's dedupe key survives process boundaries."""
+        assert workload_spec().fingerprint() == workload_spec().fingerprint()
+        alloc = NodeAllocation.homogeneous(4, 4)
+        changed = SweepSpec(
+            instances=[
+                InstanceSpec.from_workload(
+                    as_workload(random_sparse_workload(16, 3, seed=5)),
+                    alloc,
+                    label="graph",
+                )
+            ],
+            stencils=[WORKLOAD_AXIS],
+            mappers=["blocked", "graphmap"],
+        )
+        assert changed.fingerprint() != workload_spec().fingerprint()
+
+    def test_topology_metric_through_workload_sweep(self):
+        topo = repro.Torus3DTopology((2, 2, 1))
+        results = run(workload_spec(metrics=[repro.topology_cut_metric(topo)]))
+        for row in results.ok():
+            assert row.metrics["hop_cut"] >= row.metrics["hop_max"] >= 0.0
+        # the Cartesian workload's hop costs match the serial evaluation
+        from repro.metrics.cost import hop_weighted_cut
+
+        grid = repro.CartesianGrid([4, 4])
+        nn = repro.nearest_neighbor(2)
+        alloc = NodeAllocation.homogeneous(4, 4)
+        edges = repro.communication_edges(grid, nn)
+        weights = np.array(
+            [
+                [float(topo.hop_distance(a, b)) for b in range(4)]
+                for a in range(4)
+            ]
+        )
+        row = results.filter(instance="cartesian", mapper="blocked")[0]
+        total, bottleneck = hop_weighted_cut(
+            edges, row.result.perm, alloc, weights
+        )
+        assert (row.metrics["hop_cut"], row.metrics["hop_max"]) == (
+            total,
+            bottleneck,
+        )
 
 
 class TestResultSet:

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro import FatTreeTopology, IslandTopology, SingleSwitchTopology
+from repro import (
+    DragonflyTopology,
+    FatTreeTopology,
+    IslandTopology,
+    SingleSwitchTopology,
+    Torus3DTopology,
+    topology_from_spec,
+)
 from repro.exceptions import ReproError
 
 
@@ -73,3 +80,108 @@ class TestIsland:
             IslandTopology(4, nodes_per_island=-1)
         with pytest.raises(ReproError):
             IslandTopology(4, pruning_factor=0.0)
+
+
+class TestTorus3D:
+    def test_coordinates_row_major(self):
+        t = Torus3DTopology((2, 3, 4))
+        assert t.num_nodes == 24
+        assert t.coordinates(0) == (0, 0, 0)
+        assert t.coordinates(1) == (0, 0, 1)     # z fastest
+        assert t.coordinates(4) == (0, 1, 0)
+        assert t.coordinates(12) == (1, 0, 0)
+
+    def test_manhattan_distance(self):
+        t = Torus3DTopology((4, 4, 4), periodic=False)
+        assert t.hop_distance(0, 0) == 0
+        assert t.hop_distance(0, 1) == 1         # one z step
+        # (0,0,0) -> (3,3,3): 3 + 3 + 3 on the open mesh
+        assert t.hop_distance(0, t.num_nodes - 1) == 9
+
+    def test_periodic_wraparound(self):
+        torus = Torus3DTopology((4, 4, 4), periodic=True)
+        mesh = Torus3DTopology((4, 4, 4), periodic=False)
+        # (0,0,0) -> (3,3,3) wraps each axis in a single hop
+        assert torus.hop_distance(0, torus.num_nodes - 1) == 3
+        assert mesh.hop_distance(0, 63) == 9
+        assert torus.hop_distance(0, 2) == 2     # interior pairs agree
+        assert mesh.hop_distance(0, 2) == 2
+
+    def test_symmetry(self):
+        t = Torus3DTopology((3, 2, 2))
+        for a in range(t.num_nodes):
+            for b in range(t.num_nodes):
+                assert t.hop_distance(a, b) == t.hop_distance(b, a)
+
+    def test_every_node_its_own_leaf(self):
+        t = Torus3DTopology((2, 2, 2))
+        assert [t.leaf_of(i) for i in range(8)] == list(range(8))
+        assert t.uplink_capacity_fraction() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Torus3DTopology((2, 2))
+        with pytest.raises(ReproError):
+            Torus3DTopology((2, 0, 2))
+        with pytest.raises(ReproError):
+            Torus3DTopology((2, 2, 2)).hop_distance(0, 8)
+
+
+class TestDragonfly:
+    def test_hop_tiers(self):
+        t = DragonflyTopology(2, routers_per_group=2, nodes_per_router=2)
+        assert t.num_nodes == 8
+        assert t.hop_distance(0, 0) == 0
+        assert t.hop_distance(0, 1) == 1   # same router
+        assert t.hop_distance(0, 2) == 2   # same group, other router
+        assert t.hop_distance(0, 4) == 3   # across groups
+
+    def test_leaf_is_router(self):
+        t = DragonflyTopology(2, routers_per_group=2, nodes_per_router=2)
+        assert [t.leaf_of(i) for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert t.group_of(3) == 0 and t.group_of(4) == 1
+
+    def test_global_link_tapering(self):
+        t = DragonflyTopology(4, global_link_ratio=2.0)
+        assert t.uplink_capacity_fraction() == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            DragonflyTopology(0)
+        with pytest.raises(ReproError):
+            DragonflyTopology(2, nodes_per_router=0)
+        with pytest.raises(ReproError):
+            DragonflyTopology(2, global_link_ratio=0.5)
+
+
+class TestTopologyFromSpec:
+    """The wire format topology_cut_metric uses must round-trip."""
+
+    @pytest.mark.parametrize(
+        "kind,params",
+        [
+            ("single_switch", (6,)),
+            ("fat_tree", (8, 4, 2.0)),
+            ("island", (10, 5, 4.0)),
+            ("torus3d", ((2, 3, 2), True)),
+            ("torus3d", ((2, 2, 2), False)),
+            ("dragonfly", (2, 2, 2, 2.0)),
+        ],
+    )
+    def test_round_trip_distances(self, kind, params):
+        t = topology_from_spec(kind, params)
+        again = topology_from_spec(kind, params)
+        n = t.num_nodes
+        assert again.num_nodes == n
+        for a in range(min(n, 6)):
+            for b in range(min(n, 6)):
+                assert t.hop_distance(a, b) == again.hop_distance(a, b)
+        assert t.uplink_capacity_fraction() == again.uplink_capacity_fraction()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown topology kind"):
+            topology_from_spec("moebius", (4,))
+
+    def test_torus_needs_dims(self):
+        with pytest.raises(ReproError, match="torus3d spec"):
+            topology_from_spec("torus3d", ())
